@@ -1,0 +1,105 @@
+(* Bechamel micro-benchmarks of the core algorithms: one Test.make per
+   algorithmic hot spot (layout synthesis, Euler decomposition, fault
+   Monte-Carlo, transient solving, GDS serialization). *)
+
+open Bechamel
+open Toolkit
+
+let rules = Pdk.Rules.default
+
+let bench_layout_synthesis =
+  let fn = Logic.Cell_fun.aoi31 in
+  Test.make ~name:"layout/aoi31_immune_cell"
+    (Staged.stage (fun () ->
+         ignore
+           (Layout.Cell.make ~rules ~fn ~style:Layout.Cell.Immune_new
+              ~scheme:Layout.Cell.Scheme1 ~drive:4)))
+
+let bench_euler =
+  let fn = Logic.Cell_fun.aoi22 in
+  let net = Logic.Network.dual (Logic.Network.of_expr fn.Logic.Cell_fun.core) in
+  Test.make ~name:"euler/aoi22_pun_strips"
+    (Staged.stage (fun () ->
+         ignore (Euler.Net_graph.strips (Euler.Net_graph.of_network net))))
+
+let bench_fault_trial =
+  let fn = Logic.Cell_fun.nand 3 in
+  let cell =
+    Layout.Cell.make ~rules ~fn ~style:Layout.Cell.Immune_new
+      ~scheme:Layout.Cell.Scheme1 ~drive:4
+  in
+  let cfg = { Fault.Injector.default_config with Fault.Injector.trials = 10 } in
+  Test.make ~name:"fault/nand3_mc_10trials"
+    (Staged.stage (fun () -> ignore (Fault.Injector.run cfg cell)))
+
+let bench_transient =
+  let tech = Device.Cnfet.default_tech in
+  let inv () =
+    {
+      Circuit.Inverter_chain.pull_up =
+        Device.Cnfet.make tech ~polarity:Device.Model.Pfet ~tubes:4
+          ~width_nm:130. ();
+      pull_down =
+        Device.Cnfet.make tech ~polarity:Device.Model.Nfet ~tubes:4
+          ~width_nm:130. ();
+    }
+  in
+  Test.make ~name:"circuit/fo4_chain_transient"
+    (Staged.stage (fun () -> ignore (Circuit.Inverter_chain.fo4 ~vdd:1.0 inv)))
+
+let bench_gds =
+  let fn = Logic.Cell_fun.nand 3 in
+  let cell =
+    Layout.Cell.make ~rules ~fn ~style:Layout.Cell.Immune_new
+      ~scheme:Layout.Cell.Scheme1 ~drive:4
+  in
+  let lib =
+    Gds.Stream.library ~rules ~name:"bench"
+      [ (cell.Layout.Cell.name, Layout.Cell.layers cell) ]
+  in
+  Test.make ~name:"gds/nand3_roundtrip"
+    (Staged.stage (fun () ->
+         match Gds.Stream.of_bytes (Gds.Stream.to_bytes lib) with
+         | Ok _ -> ()
+         | Error e -> failwith e))
+
+let bench_region_area =
+  let rects =
+    List.init 64 (fun i ->
+        Geom.Rect.of_size ~x:(i * 3) ~y:(i mod 7) ~w:10 ~h:8)
+  in
+  let region = Geom.Region.of_rects rects in
+  Test.make ~name:"geom/region_union_area_64"
+    (Staged.stage (fun () -> ignore (Geom.Region.area region)))
+
+let tests =
+  Test.make_grouped ~name:"cnfet-dk" ~fmt:"%s %s"
+    [
+      bench_region_area;
+      bench_euler;
+      bench_layout_synthesis;
+      bench_gds;
+      bench_fault_trial;
+      bench_transient;
+    ]
+
+let run () =
+  print_newline ();
+  print_endline "Performance micro-benchmarks (Bechamel)";
+  print_endline "=======================================";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols (Instance.monotonic_clock) raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some [ ns ] -> Printf.printf "  %-32s %12.1f ns/run\n" name ns
+      | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
+    (List.sort Stdlib.compare rows)

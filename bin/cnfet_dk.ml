@@ -1,0 +1,283 @@
+(* cnfet_dk: command-line front end of the CNFET design kit.
+
+   Subcommands:
+     layout        generate an immune cell layout (ascii and/or GDS)
+     fault         run the misposition fault-injection campaign on a cell
+     table1        print the Table-1 area comparison
+     characterize  simulate a cell's timing/energy arcs
+     flow          place a netlist file under a layout scheme, stream GDSII
+     fo4           FO4 inverter-chain comparison at a given tube count *)
+
+open Cmdliner
+
+let rules = Pdk.Rules.default
+
+let cell_arg =
+  let doc = "Cell name: INV, NAND2, NAND3, NOR2, NOR3, AOI21, AOI22, OAI21, \
+             OAI22, AOI31." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CELL" ~doc)
+
+let drive_arg =
+  let doc = "Base transistor width in lambda." in
+  Arg.(value & opt int 4 & info [ "drive"; "d" ] ~docv:"LAMBDA" ~doc)
+
+let style_arg =
+  let styles =
+    [ ("new", Layout.Cell.Immune_new); ("old", Layout.Cell.Immune_old);
+      ("vulnerable", Layout.Cell.Vulnerable); ("cmos", Layout.Cell.Cmos) ]
+  in
+  let doc = "Layout style: new, old, vulnerable or cmos." in
+  Arg.(value & opt (enum styles) Layout.Cell.Immune_new
+       & info [ "style" ] ~docv:"STYLE" ~doc)
+
+let scheme_arg =
+  let schemes = [ ("1", Layout.Cell.Scheme1); ("2", Layout.Cell.Scheme2) ] in
+  let doc = "Standard-cell scheme: 1 (stacked) or 2 (side by side)." in
+  Arg.(value & opt (enum schemes) Layout.Cell.Scheme1
+       & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+
+let gds_arg =
+  let doc = "Write the layout to this GDSII file." in
+  Arg.(value & opt (some string) None & info [ "gds" ] ~docv:"FILE" ~doc)
+
+let find_cell name =
+  match Logic.Cell_fun.find name with
+  | fn -> Ok fn
+  | exception Not_found -> Error (`Msg ("unknown cell " ^ name))
+
+(* layout *)
+
+let layout_cmd =
+  let run name drive style scheme gds =
+    match find_cell name with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok fn ->
+      let cell = Layout.Cell.make ~rules ~fn ~style ~scheme ~drive in
+      print_endline (Layout.Render.cell cell);
+      Printf.printf
+        "\ncell %s: %dx%d lambda, active %d lambda^2, footprint %d lambda^2\n"
+        cell.Layout.Cell.name cell.Layout.Cell.width cell.Layout.Cell.height
+        (Layout.Cell.active_area cell)
+        (Layout.Cell.footprint_area cell);
+      (match Layout.Cell.check_function cell with
+      | Ok () -> print_endline "switch-level function: correct"
+      | Error e -> Printf.printf "switch-level function: %s\n" e);
+      (match gds with
+      | None -> ()
+      | Some path ->
+        Gds.Stream.write_file path
+          (Gds.Stream.library ~rules ~name:"cnfet_dk"
+             [ (cell.Layout.Cell.name, Layout.Cell.layers cell) ]);
+        Printf.printf "wrote %s\n" path);
+      0
+  in
+  let doc = "Generate a standard-cell layout." in
+  Cmd.v (Cmd.info "layout" ~doc)
+    Term.(const run $ cell_arg $ drive_arg $ style_arg $ scheme_arg $ gds_arg)
+
+(* fault *)
+
+let fault_cmd =
+  let trials =
+    Arg.(value & opt int 1000 & info [ "trials" ] ~docv:"N"
+           ~doc:"Monte-Carlo trials.")
+  in
+  let angle =
+    Arg.(value & opt float 8. & info [ "angle" ] ~docv:"DEG"
+           ~doc:"Maximum misposition angle, degrees.")
+  in
+  let run name drive style trials angle =
+    match find_cell name with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok fn ->
+      let cell =
+        Layout.Cell.make ~rules ~fn ~style ~scheme:Layout.Cell.Scheme1 ~drive
+      in
+      let o =
+        Fault.Injector.run
+          { Fault.Injector.default_config with
+            Fault.Injector.trials; max_angle_deg = angle }
+          cell
+      in
+      Printf.printf
+        "%s: %d/%d functional failures (%.2f%%), %d shorted, %d stray CNTs\n"
+        cell.Layout.Cell.name o.Fault.Injector.functional_failures o.Fault.Injector.trials
+        (100. *. Fault.Injector.failure_rate o)
+        o.Fault.Injector.shorted_trials o.Fault.Injector.stray_edges;
+      (match Fault.Injector.horizontal_sweep cell with
+      | Ok () -> print_endline "horizontal sweep: immune in every corridor"
+      | Error ys ->
+        Printf.printf "horizontal sweep: FAILS in %d corridors\n"
+          (List.length ys));
+      if o.Fault.Injector.functional_failures = 0 then 0 else 1
+  in
+  let doc = "Inject mispositioned CNTs and check functional immunity." in
+  Cmd.v (Cmd.info "fault" ~doc)
+    Term.(const run $ cell_arg $ drive_arg $ style_arg $ trials $ angle)
+
+(* table1 *)
+
+let table1_cmd =
+  let run () =
+    List.iter
+      (fun (name, paper_row) ->
+        let fn = Logic.Cell_fun.find name in
+        Printf.printf "%-7s" name;
+        List.iter
+          (fun (size, paper) ->
+            let r = Cnfet.Compare.row ~rules fn ~size in
+            Printf.printf "  %2dl: %5.2f%% (paper %5.2f%%)" size
+              r.Cnfet.Compare.saving_pct paper)
+          paper_row;
+        print_newline ())
+      Cnfet.Compare.paper_table1;
+    0
+  in
+  let doc = "Area difference between the new and the old immune layouts." in
+  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ const ())
+
+(* characterize *)
+
+let characterize_cmd =
+  let load =
+    Arg.(value & opt int 4 & info [ "load" ] ~docv:"N"
+           ~doc:"Output load in INV1X gates.")
+  in
+  let cmos_flag =
+    Arg.(value & flag & info [ "cmos" ] ~doc:"Use the CMOS reference library.")
+  in
+  let run name drive load use_cmos =
+    let lib =
+      if use_cmos then Stdcell.Library.cmos ~drives:[ drive ] ()
+      else Stdcell.Library.cnfet ~drives:[ drive ] ()
+    in
+    match Stdcell.Library.find lib ~name ~drive with
+    | exception Not_found ->
+      Printf.eprintf "cell %s_%dX not in the library\n" name drive;
+      1
+    | entry ->
+      let arcs = Stdcell.Characterize.all_arcs ~lib entry ~load_inv1x:load in
+      Printf.printf "%s (load %d x INV1X):\n" entry.Stdcell.Library.cell_name load;
+      List.iter
+        (fun (a : Stdcell.Characterize.arc) ->
+          Printf.printf
+            "  pin %-3s rise %6.1f ps, fall %6.1f ps, energy %6.2f fJ/cycle\n"
+            a.Stdcell.Characterize.input
+            (a.Stdcell.Characterize.rise_delay_s *. 1e12)
+            (a.Stdcell.Characterize.fall_delay_s *. 1e12)
+            (a.Stdcell.Characterize.energy_per_cycle_j *. 1e15))
+        arcs;
+      0
+  in
+  let doc = "Simulate timing/energy arcs of a library cell." in
+  Cmd.v (Cmd.info "characterize" ~doc)
+    Term.(const run $ cell_arg $ drive_arg $ load $ cmos_flag)
+
+(* flow *)
+
+let flow_cmd =
+  let netlist_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST"
+           ~doc:"Structural netlist file (see Flow.Netlist_ir format).")
+  in
+  let gds_out =
+    Arg.(value & opt string "design.gds" & info [ "o" ] ~docv:"FILE"
+           ~doc:"Output GDSII file.")
+  in
+  let scheme2 = Arg.(value & flag & info [ "scheme2" ]
+                       ~doc:"Use scheme-2 shelf packing.") in
+  let run path gds_out scheme2 =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    match Flow.Netlist_ir.of_string text with
+    | Error e -> prerr_endline e; 1
+    | Ok netlist -> (
+      match Flow.Netlist_ir.validate netlist with
+      | Error e -> prerr_endline e; 1
+      | Ok () ->
+        let drives =
+          List.sort_uniq Stdlib.compare
+            (List.map
+               (fun (i : Flow.Netlist_ir.instance) -> i.Flow.Netlist_ir.drive)
+               netlist.Flow.Netlist_ir.instances)
+        in
+        let lib = Stdcell.Library.cnfet ~drives () in
+        let p, scheme =
+          if scheme2 then (Flow.Placer.shelves ~lib netlist, `S2)
+          else (Flow.Placer.rows ~lib netlist, `S1)
+        in
+        Printf.printf "%s: %d cells, die %dx%d lambda, utilization %.2f\n"
+          netlist.Flow.Netlist_ir.design
+          (List.length p.Flow.Placer.cells)
+          p.Flow.Placer.die_width p.Flow.Placer.die_height
+          (Flow.Placer.utilization p);
+        Gds.Stream.write_file gds_out
+          (Flow.Gds_export.placement ~lib ~scheme
+             ~name:netlist.Flow.Netlist_ir.design p);
+        Printf.printf "wrote %s\n" gds_out;
+        0)
+  in
+  let doc = "Place a structural netlist and stream it to GDSII." in
+  Cmd.v (Cmd.info "flow" ~doc)
+    Term.(const run $ netlist_arg $ gds_out $ scheme2)
+
+(* fo4 *)
+
+let fo4_cmd =
+  let tubes =
+    Arg.(value & opt int 8 & info [ "tubes"; "n" ] ~docv:"N"
+           ~doc:"CNTs per device.")
+  in
+  let run tubes =
+    let width_nm = Pdk.Rules.nm_of_lambda rules 4 in
+    let tech = Device.Cnfet.default_tech in
+    let mos = Device.Mosfet.default_tech in
+    let cn =
+      Circuit.Inverter_chain.fo4 ~vdd:1.0 (fun () ->
+          {
+            Circuit.Inverter_chain.pull_up =
+              Device.Cnfet.make tech ~polarity:Device.Model.Pfet ~tubes
+                ~width_nm ();
+            pull_down =
+              Device.Cnfet.make tech ~polarity:Device.Model.Nfet ~tubes
+                ~width_nm ();
+          })
+    in
+    let cm =
+      Circuit.Inverter_chain.fo4 ~vdd:1.0 (fun () ->
+          {
+            Circuit.Inverter_chain.pull_up =
+              Device.Mosfet.make mos ~polarity:Device.Model.Pfet
+                ~width_nm:(width_nm *. 1.4) ();
+            pull_down =
+              Device.Mosfet.make mos ~polarity:Device.Model.Nfet ~width_nm ();
+          })
+    in
+    Printf.printf
+      "CNFET %d tubes (pitch %.1f nm): FO4 %.2f ps, %.3f fJ\n\
+       CMOS 65nm:                     FO4 %.2f ps, %.3f fJ\n\
+       gains: %.2fx delay, %.2fx energy\n"
+      tubes
+      (Device.Cnfet.pitch_of ~width_nm ~tubes)
+      (cn.Circuit.Inverter_chain.delay *. 1e12)
+      (cn.Circuit.Inverter_chain.energy_per_cycle *. 1e15)
+      (cm.Circuit.Inverter_chain.delay *. 1e12)
+      (cm.Circuit.Inverter_chain.energy_per_cycle *. 1e15)
+      (cm.Circuit.Inverter_chain.delay /. cn.Circuit.Inverter_chain.delay)
+      (cm.Circuit.Inverter_chain.energy_per_cycle
+      /. cn.Circuit.Inverter_chain.energy_per_cycle);
+    0
+  in
+  let doc = "FO4 inverter-chain comparison (case study 1)." in
+  Cmd.v (Cmd.info "fo4" ~doc) Term.(const run $ tubes)
+
+let () =
+  let doc = "CNFET design kit: imperfection-immune layouts, logic-to-GDSII." in
+  let info = Cmd.info "cnfet_dk" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ layout_cmd; fault_cmd; table1_cmd; characterize_cmd; flow_cmd;
+            fo4_cmd ]))

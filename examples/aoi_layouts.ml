@@ -1,0 +1,76 @@
+(* The paper's Figure 4: immune layout of an And-Or-Invert (AOI31) cell,
+   (ABC + D)', built directly from its sum-of-products expression.  Shows
+   the Euler path over the contact/gate graph, the generated strips, and
+   the resistance-balanced device sizing.
+
+   Run with: dune exec examples/aoi_layouts.exe *)
+
+let pp_terminal (ng : Euler.Net_graph.t) n =
+  match Euler.Net_graph.terminal_of_node ng n with
+  | Euler.Net_graph.Power -> "PWR"
+  | Euler.Net_graph.Output -> "Out"
+  | Euler.Net_graph.Junction i -> Printf.sprintf "m%d" (i + 1)
+
+let show_euler_path label net =
+  let ng = Euler.Net_graph.of_network net in
+  let trails = Euler.Net_graph.strips ng in
+  Printf.printf "%s: %d gate edges, %d contacts in the strip\n" label
+    (Logic.Network.device_count net)
+    (Euler.Net_graph.contact_count ng);
+  List.iter
+    (fun trail ->
+      let path =
+        List.map
+          (fun (s : Euler.Trail.step) ->
+            let node = pp_terminal ng s.Euler.Trail.node in
+            match s.Euler.Trail.via with
+            | None -> node
+            | Some id ->
+              let e = Euler.Multigraph.edge ng.Euler.Net_graph.graph id in
+              Printf.sprintf "-%s- %s" e.Euler.Multigraph.label node)
+          trail
+      in
+      Printf.printf "  euler path: %s\n" (String.concat " " path))
+    trails
+
+let () =
+  let core =
+    Logic.Expr.(Or [ And [ var "A"; var "B"; var "C" ]; var "D" ])
+  in
+  let fn = Cnfet.Synthesis.of_expr ~name:"AOI31" core in
+  Printf.printf "function: F = (%s)'\n\n" (Logic.Expr.to_string core);
+
+  let pdn = Logic.Network.of_expr core in
+  let pun = Logic.Network.dual pdn in
+  print_endline "PDN is the SOP form {ABC + D}, PUN the POS {(A+B+C) * D}:";
+  show_euler_path "PDN" pdn;
+  show_euler_path "PUN" pun;
+
+  print_endline "\nresistance-balanced sizing (paper: PDN product term 3x, \
+                 PUNs 2x):";
+  let show label net base =
+    let w = Layout.Sizing.widths ~base net in
+    Printf.printf "  %s: %s\n" label
+      (String.concat ", "
+         (List.map (fun (g, v) -> Printf.sprintf "%s=%dl" g v) w))
+  in
+  show "PDN" pdn 4;
+  show "PUN" pun 4;
+
+  let cell =
+    Cnfet.Synthesis.immune_cell (Cnfet.Synthesis.request ~drive:4 fn)
+  in
+  print_endline "\n== generated immune cell (scheme 1) ==";
+  print_endline (Layout.Render.cell cell);
+  (match Cnfet.Synthesis.verify_immunity cell with
+  | Ok () -> print_endline "\nimmunity verified (sweep + Monte-Carlo)"
+  | Error e -> Printf.printf "\nimmunity check failed: %s\n" e);
+
+  (* scheme 2 variant: PUN and PDN side by side *)
+  let cell2 =
+    Cnfet.Synthesis.immune_cell
+      (Cnfet.Synthesis.request ~scheme:Layout.Cell.Scheme2 ~drive:4 fn)
+  in
+  Printf.printf "\nscheme 1: %dx%d lambda, scheme 2: %dx%d lambda (height %d -> %d)\n"
+    cell.Layout.Cell.width cell.Layout.Cell.height cell2.Layout.Cell.width
+    cell2.Layout.Cell.height cell.Layout.Cell.height cell2.Layout.Cell.height

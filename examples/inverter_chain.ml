@@ -1,0 +1,60 @@
+(* Case study 1 in miniature: a five-stage FO4 inverter chain comparing
+   the CNFET inverter against 65nm CMOS while sweeping the number of CNTs
+   per device (the paper's Figure 7).
+
+   Run with: dune exec examples/inverter_chain.exe *)
+
+let vdd = 1.0
+let width_nm = Pdk.Rules.nm_of_lambda Pdk.Rules.default 4
+
+let cmos () =
+  let mos = Device.Mosfet.default_tech in
+  let inv () =
+    {
+      Circuit.Inverter_chain.pull_up =
+        Device.Mosfet.make mos ~polarity:Device.Model.Pfet
+          ~width_nm:(width_nm *. 1.4) ();
+      pull_down =
+        Device.Mosfet.make mos ~polarity:Device.Model.Nfet ~width_nm ();
+    }
+  in
+  Circuit.Inverter_chain.fo4 ~vdd inv
+
+let cnfet tubes =
+  let tech = Device.Cnfet.default_tech in
+  let inv () =
+    {
+      Circuit.Inverter_chain.pull_up =
+        Device.Cnfet.make tech ~polarity:Device.Model.Pfet ~tubes ~width_nm ();
+      pull_down =
+        Device.Cnfet.make tech ~polarity:Device.Model.Nfet ~tubes ~width_nm ();
+    }
+  in
+  Circuit.Inverter_chain.fo4 ~vdd inv
+
+let () =
+  let cm = cmos () in
+  Printf.printf
+    "CMOS 65nm FO4: %.2f ps, %.3f fJ/cycle (measured on stage 3 of 5)\n\n"
+    (cm.Circuit.Inverter_chain.delay *. 1e12)
+    (cm.Circuit.Inverter_chain.energy_per_cycle *. 1e15);
+  Printf.printf "%5s %10s %12s %10s\n" "CNTs" "pitch(nm)" "FO4 gain" "E gain";
+  let best = ref (0, infinity) in
+  List.iter
+    (fun tubes ->
+      let m = cnfet tubes in
+      if m.Circuit.Inverter_chain.delay < snd !best then
+        best := (tubes, m.Circuit.Inverter_chain.delay);
+      Printf.printf "%5d %10.1f %11.2fx %9.2fx\n" tubes
+        (Device.Cnfet.pitch_of ~width_nm ~tubes)
+        (cm.Circuit.Inverter_chain.delay /. m.Circuit.Inverter_chain.delay)
+        (cm.Circuit.Inverter_chain.energy_per_cycle
+        /. m.Circuit.Inverter_chain.energy_per_cycle))
+    [ 1; 2; 4; 8; 16; 24; 27; 32 ];
+  let n_opt, d_opt = !best in
+  Printf.printf
+    "\noptimum: %d tubes (pitch %.1f nm) -> %.2fx FO4 gain\n\
+     paper: optimum pitch ~5 nm, 4.2x gain, 2x energy/cycle\n"
+    n_opt
+    (Device.Cnfet.pitch_of ~width_nm ~tubes:n_opt)
+    (cm.Circuit.Inverter_chain.delay /. d_opt)

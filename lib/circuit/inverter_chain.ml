@@ -1,0 +1,92 @@
+type inverter = { pull_up : Device.Model.t; pull_down : Device.Model.t }
+
+type measurement = {
+  delay : float;
+  energy_per_cycle : float;
+  rise_delay : float;
+  fall_delay : float;
+  steps : int;
+}
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let fo4 ?(stages = 5) ?(fanout = 4) ?(measured_stage = 3) ?(period = 1e-9)
+    ?config ~vdd make_inverter =
+  if measured_stage < 1 || measured_stage > stages then
+    invalid_arg "Inverter_chain.fo4: measured stage out of range";
+  let net = Netlist.create () in
+  let vdd_node = Netlist.node net "vdd" in
+  let vdd_meas = Netlist.node net "vdd_meas" in
+  Netlist.add_vsource net vdd_node (Stimulus.dc vdd);
+  Netlist.add_vsource net vdd_meas (Stimulus.dc vdd);
+  let input = Netlist.node net "in" in
+  Netlist.add_vsource net input
+    (Stimulus.pulse ~period ~rise:(period /. 50.) ~lo:0. ~hi:vdd);
+  let place ~supply ~g ~d =
+    let inv = make_inverter () in
+    Netlist.add_device net inv.pull_up ~g ~d ~s:supply;
+    Netlist.add_device net inv.pull_down ~g ~d ~s:Netlist.gnd
+  in
+  let stage_node i = Netlist.node net (Printf.sprintf "s%d" i) in
+  for i = 1 to stages do
+    let g = if i = 1 then input else stage_node (i - 1) in
+    let d = stage_node i in
+    let supply = if i = measured_stage then vdd_meas else vdd_node in
+    place ~supply ~g ~d;
+    (* dummy fanout loads on this stage's output *)
+    for k = 1 to fanout - 1 do
+      let dummy = Netlist.node net (Printf.sprintf "s%d_load%d" i k) in
+      place ~supply:vdd_node ~g:d ~d:dummy
+    done
+  done;
+  let t_stop = 3. *. period in
+  let config =
+    match config with
+    | Some c -> { c with Transient.t_stop }
+    | None -> { Transient.default_config with Transient.t_stop }
+  in
+  let probes =
+    [ input; stage_node (max 1 (measured_stage - 1)); stage_node measured_stage ]
+  in
+  let r = Transient.run ~config net ~probes in
+  let w_in =
+    Transient.wave r
+      (if measured_stage = 1 then input else stage_node (measured_stage - 1))
+  in
+  let w_out = Transient.wave r (stage_node measured_stage) in
+  let level = vdd /. 2. in
+  (* skip the first period as warm-up *)
+  let steady = List.filter (fun (t, _) -> t > period) in
+  let in_x = steady (Waveform.crossings w_in ~level) in
+  let out_x = steady (Waveform.crossings w_out ~level) in
+  let delays dir =
+    List.filter_map
+      (fun (ti, d) ->
+        if d <> dir then None
+        else
+          match List.find_opt (fun (to_, _) -> to_ > ti) out_x with
+          | Some (to_, _) -> Some (to_ -. ti)
+          | None -> None)
+      in_x
+  in
+  let rises = delays Waveform.Falling  (* falling input -> rising output *)
+  and falls = delays Waveform.Rising in
+  if rises = [] && falls = [] then
+    failwith "Inverter_chain.fo4: no output transitions observed";
+  let rise_delay = mean rises and fall_delay = mean falls in
+  let delay = mean (rises @ falls) in
+  (* two warm periods measured: energy per cycle is half the measured-stage
+     supply energy over those periods; subtract nothing — leakage is
+     negligible at these time scales *)
+  let energy_total = Transient.energy_from r vdd_meas in
+  let warmup_fraction = 1. /. 3. in
+  let energy_per_cycle = energy_total *. (1. -. warmup_fraction) /. 2. in
+  {
+    delay;
+    energy_per_cycle;
+    rise_delay;
+    fall_delay;
+    steps = r.Transient.steps;
+  }

@@ -1,0 +1,24 @@
+(** The paper's case-study-1 test bench: a five-stage FO4 inverter chain
+    with the middle stage instrumented.
+
+    Every stage drives [fanout] copies of itself (one in the chain plus
+    dummy loads), the classic FO4 arrangement.  The measured stage's
+    pull-up network is fed from a dedicated supply node so its switching
+    energy per cycle can be separated from the rest of the chain. *)
+
+type inverter = { pull_up : Device.Model.t; pull_down : Device.Model.t }
+
+type measurement = {
+  delay : float;  (** mean 50%-50% propagation delay of the stage, s *)
+  energy_per_cycle : float;  (** energy drawn by the stage's supply, J *)
+  rise_delay : float;
+  fall_delay : float;
+  steps : int;  (** solver steps, for performance benches *)
+}
+
+val fo4 : ?stages:int -> ?fanout:int -> ?measured_stage:int -> ?period:float
+  -> ?config:Transient.config -> vdd:float -> (unit -> inverter) -> measurement
+(** Build, simulate and measure the chain.  Defaults: 5 stages, fanout 4,
+    stage 3 measured, 1 ns input period (three periods simulated, first
+    discarded as warm-up).
+    @raise Failure when no output crossings are observed (broken model). *)

@@ -1,0 +1,67 @@
+type node = int
+
+type device_inst = { model : Device.Model.t; g : node; d : node; s : node }
+
+type t = {
+  names : (string, node) Hashtbl.t;
+  rev_names : (node, string) Hashtbl.t;
+  mutable next : node;
+  mutable caps : (node * float) list;
+  mutable devs : device_inst list;
+  mutable sources : (node * (float -> float)) list;
+}
+
+let gnd = 0
+
+let create () =
+  let t =
+    {
+      names = Hashtbl.create 16;
+      rev_names = Hashtbl.create 16;
+      next = 1;
+      caps = [];
+      devs = [];
+      sources = [];
+    }
+  in
+  Hashtbl.add t.names "gnd" gnd;
+  Hashtbl.add t.rev_names gnd "gnd";
+  t
+
+let node t name =
+  match Hashtbl.find_opt t.names name with
+  | Some n -> n
+  | None ->
+    let n = t.next in
+    t.next <- n + 1;
+    Hashtbl.add t.names name n;
+    Hashtbl.add t.rev_names n name;
+    n
+
+let node_count t = t.next
+
+let name_of t n =
+  match Hashtbl.find_opt t.rev_names n with
+  | Some s -> s
+  | None -> Printf.sprintf "n%d" n
+
+let add_cap t n c =
+  if c < 0. then invalid_arg "Netlist.add_cap: negative capacitance";
+  if n <> gnd then t.caps <- (n, c) :: t.caps
+
+let add_device t model ~g ~d ~s =
+  t.devs <- { model; g; d; s } :: t.devs;
+  add_cap t g model.Device.Model.c_gate;
+  add_cap t d model.Device.Model.c_drain
+
+let add_vsource t n w =
+  if n = gnd then invalid_arg "Netlist.add_vsource: cannot drive ground";
+  t.sources <- (n, w) :: t.sources
+
+let devices t = List.rev t.devs
+
+let cap_of t n =
+  List.fold_left (fun acc (m, c) -> if m = n then acc +. c else acc) 0. t.caps
+
+let forced t = List.rev t.sources
+let is_forced t n = List.mem_assoc n t.sources

@@ -1,0 +1,36 @@
+(** Circuit netlists for transient simulation.
+
+    Nodes are integers; node 0 is ground.  Supported elements: transistors
+    (a {!Device.Model.t} between gate/drain/source), linear capacitors to
+    ground, and ideal voltage sources (time-driven forced nodes).  Device
+    gate and drain parasitics are lumped to ground automatically. *)
+
+type node = int
+
+type t
+
+val gnd : node
+val create : unit -> t
+
+val node : t -> string -> node
+(** Named node, created on first use. *)
+
+val node_count : t -> int
+val name_of : t -> node -> string
+
+val add_cap : t -> node -> float -> unit
+(** Add capacitance (farads) from the node to ground. *)
+
+val add_device : t -> Device.Model.t -> g:node -> d:node -> s:node -> unit
+
+val add_vsource : t -> node -> (float -> float) -> unit
+(** Force the node to the waveform value at every instant. *)
+
+type device_inst = { model : Device.Model.t; g : node; d : node; s : node }
+
+val devices : t -> device_inst list
+val cap_of : t -> node -> float
+(** Total capacitance to ground at the node (devices included). *)
+
+val forced : t -> (node * (float -> float)) list
+val is_forced : t -> node -> bool

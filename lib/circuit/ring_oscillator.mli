@@ -1,0 +1,16 @@
+(** Ring oscillator: an odd chain of inverters oscillating at
+    [f = 1 / (2 N t_p)], the classic silicon speed benchmark.  Exercises
+    the transient solver on a free-running (non-driven) circuit and gives
+    a second, independent delay measurement to cross-check the FO4 bench. *)
+
+type measurement = {
+  frequency_hz : float;
+  stage_delay_s : float;  (** [1 / (2 N f)] *)
+  periods_observed : int;
+}
+
+val run : ?stages:int -> ?t_stop:float -> ?config:Transient.config
+  -> vdd:float -> (unit -> Inverter_chain.inverter) -> measurement
+(** Default 5 stages.  A small kick-start charge breaks the metastable
+    midpoint.  @raise Failure when fewer than two full oscillation periods
+    are observed (increase [t_stop]). *)

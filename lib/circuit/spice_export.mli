@@ -1,0 +1,12 @@
+(** SPICE-deck export of circuit netlists.
+
+    The design kit's hand-off artefact for external simulators: devices
+    become behavioural G-elements (the compact models are table-free
+    analytic expressions, so the deck documents the netlist topology,
+    sizes and parasitics rather than re-encoding the model). *)
+
+val deck : title:string -> Netlist.t -> string
+(** The .sp text: node comments, capacitors, device cards and source
+    stubs.  Deterministic output (tested). *)
+
+val write_file : string -> title:string -> Netlist.t -> unit

@@ -1,0 +1,18 @@
+let dc v _ = v
+let step ~at ~lo ~hi t = if t < at then lo else hi
+
+let ramp ~at ~rise ~lo ~hi t =
+  if t <= at then lo
+  else if t >= at +. rise then hi
+  else lo +. ((hi -. lo) *. (t -. at) /. rise)
+
+(* One period: falling edge, low, rising edge, high — so the waveform is
+   continuous across period boundaries. *)
+let pulse ~period ~rise ~lo ~hi t =
+  let t = Float.rem t period in
+  let t = if t < 0. then t +. period else t in
+  let half = period /. 2. in
+  if t < rise then hi +. ((lo -. hi) *. t /. rise)
+  else if t < half then lo
+  else if t < half +. rise then lo +. ((hi -. lo) *. (t -. half) /. rise)
+  else hi

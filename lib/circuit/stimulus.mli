@@ -1,0 +1,13 @@
+(** Time-domain stimulus waveforms for voltage sources. *)
+
+val dc : float -> float -> float
+(** [dc v] is the constant waveform. *)
+
+val step : at:float -> lo:float -> hi:float -> float -> float
+
+val ramp : at:float -> rise:float -> lo:float -> hi:float -> float -> float
+(** Linear transition starting at [at] lasting [rise]. *)
+
+val pulse : period:float -> rise:float -> lo:float -> hi:float -> float -> float
+(** Symmetric square wave with linear edges: falls at the period start,
+    low until [period/2], rises, then high — continuous across periods. *)

@@ -1,0 +1,96 @@
+type config = {
+  t_stop : float;
+  dt_min : float;
+  dt_max : float;
+  dv_max : float;
+  c_min : float;
+}
+
+let default_config =
+  {
+    t_stop = 2e-9;
+    dt_min = 1e-15;
+    dt_max = 5e-12;
+    dv_max = 5e-3;
+    c_min = 1e-18;
+  }
+
+type result = {
+  waves : (Netlist.node * Waveform.t) list;
+  supply_energy : (Netlist.node * float) list;
+  steps : int;
+}
+
+let run ?(config = default_config) net ~probes =
+  let n = Netlist.node_count net in
+  let v = Array.make n 0. in
+  let cap = Array.init n (fun i -> Netlist.cap_of net i +. config.c_min) in
+  let forced = Netlist.forced net in
+  let is_forced = Array.make n false in
+  List.iter (fun (node, _) -> is_forced.(node) <- true) forced;
+  is_forced.(Netlist.gnd) <- true;
+  let devs = Array.of_list (Netlist.devices net) in
+  let current = Array.make n 0. in
+  let supply = Array.make n 0. in
+  (* initial condition from sources at t = 0 *)
+  List.iter (fun (node, w) -> v.(node) <- w 0.) forced;
+  let waves = List.map (fun p -> (p, Waveform.create ())) probes in
+  let record t =
+    List.iter (fun (p, w) -> Waveform.push w t v.(p)) waves
+  in
+  let compute_currents () =
+    Array.fill current 0 n 0.;
+    Array.iter
+      (fun (d : Netlist.device_inst) ->
+        let i_drain =
+          Device.Model.current d.Netlist.model ~vg:v.(d.Netlist.g)
+            ~vd:v.(d.Netlist.d) ~vs:v.(d.Netlist.s)
+        in
+        current.(d.Netlist.d) <- current.(d.Netlist.d) +. i_drain;
+        current.(d.Netlist.s) <- current.(d.Netlist.s) -. i_drain)
+      devs
+  in
+  let t = ref 0. in
+  let steps = ref 0 in
+  record 0.;
+  while !t < config.t_stop do
+    compute_currents ();
+    (* choose dt so no free node moves more than dv_max *)
+    let dt = ref config.dt_max in
+    for i = 1 to n - 1 do
+      if not is_forced.(i) then begin
+        let slew = Float.abs current.(i) /. cap.(i) in
+        if slew > 0. then dt := min !dt (config.dv_max /. slew)
+      end
+    done;
+    let dt = Float.max config.dt_min !dt in
+    let dt = Float.min dt (config.t_stop -. !t) in
+    for i = 1 to n - 1 do
+      if not is_forced.(i) then begin
+        v.(i) <- v.(i) +. (dt *. current.(i) /. cap.(i));
+        (* numerical guard: keep voltages in a physical window *)
+        if v.(i) < -0.5 then v.(i) <- -0.5;
+        if v.(i) > 2.0 then v.(i) <- 2.0
+      end
+    done;
+    (* energy bookkeeping: a source delivers the current the devices sink
+       from it (its node voltage is held, so the source supplies -I_in) *)
+    List.iter
+      (fun (node, _) ->
+        supply.(node) <- supply.(node) +. (-.current.(node) *. v.(node) *. dt))
+      forced;
+    t := !t +. dt;
+    List.iter (fun (node, w) -> v.(node) <- w !t) forced;
+    incr steps;
+    record !t
+  done;
+  {
+    waves;
+    supply_energy = List.map (fun (node, _) -> (node, supply.(node))) forced;
+    steps = !steps;
+  }
+
+let wave r node = List.assoc node r.waves
+
+let energy_from r node =
+  match List.assoc_opt node r.supply_energy with Some e -> e | None -> 0.

@@ -1,0 +1,35 @@
+(** Adaptive explicit transient solver.
+
+    Every free node carries capacitance to ground; device currents charge
+    and discharge it.  The step size adapts so no node moves more than
+    [dv_max] per step, which keeps the explicit update stable for the
+    monotone device models used here (the local conductance satisfies
+    [G <= I/v_crit], so [dt <= dv_max C / I << C/G] for
+    [dv_max << v_crit]). *)
+
+type config = {
+  t_stop : float;
+  dt_min : float;
+  dt_max : float;
+  dv_max : float;  (** max per-node voltage move per step, volts *)
+  c_min : float;  (** floor capacitance added to every free node *)
+}
+
+val default_config : config
+(** 2 ns stop, 1 fs..5 ps steps, 5 mV moves, 1 aF floor. *)
+
+type result = {
+  waves : (Netlist.node * Waveform.t) list;  (** probed node waveforms *)
+  supply_energy : (Netlist.node * float) list;
+      (** energy delivered by each source over the run, joules *)
+  steps : int;
+}
+
+val run : ?config:config -> Netlist.t -> probes:Netlist.node list -> result
+
+val wave : result -> Netlist.node -> Waveform.t
+(** @raise Not_found if the node was not probed. *)
+
+val energy_from : result -> Netlist.node -> float
+(** Total energy delivered by the source driving the node (0 when the node
+    sources no net energy). *)

@@ -1,0 +1,16 @@
+type point = {
+  delay_s : float;
+  energy_j : float;
+  area_lambda2 : float;
+}
+
+let edp p = p.delay_s *. p.energy_j
+let edap p = p.delay_s *. p.energy_j *. p.area_lambda2
+
+let edp_gain ~baseline p =
+  let d = edp p in
+  if d = 0. then infinity else edp baseline /. d
+
+let edap_gain ~baseline p =
+  let d = edap p in
+  if d = 0. then infinity else edap baseline /. d

@@ -1,0 +1,19 @@
+(** Energy-delay and energy-delay-area figures of merit used in the
+    paper's abstract and conclusions. *)
+
+type point = {
+  delay_s : float;
+  energy_j : float;
+  area_lambda2 : float;
+}
+
+val edp : point -> float
+(** Energy-delay product, J*s. *)
+
+val edap : point -> float
+(** Energy-delay-area product, J*s*lambda^2. *)
+
+val edp_gain : baseline:point -> point -> float
+(** [edp baseline / edp candidate] — above 1 means the candidate wins. *)
+
+val edap_gain : baseline:point -> point -> float

@@ -1,0 +1,60 @@
+type request = {
+  fn : Logic.Cell_fun.t;
+  drive : int;
+  scheme : Layout.Cell.scheme;
+  rules : Pdk.Rules.t;
+}
+
+let request ?(rules = Pdk.Rules.default) ?(scheme = Layout.Cell.Scheme1)
+    ?(drive = 4) fn =
+  { fn; drive; scheme; rules }
+
+let of_expr ~name expr =
+  let expr = Logic.Expr.simplify expr in
+  if not (Logic.Expr.is_positive expr) then
+    invalid_arg "Synthesis.of_expr: pull-down expression must be positive";
+  {
+    Logic.Cell_fun.name;
+    core = expr;
+    fan_in = List.length (Logic.Expr.inputs expr);
+  }
+
+let immune_cell r =
+  Layout.Cell.make ~rules:r.rules ~fn:r.fn ~style:Layout.Cell.Immune_new
+    ~scheme:r.scheme ~drive:r.drive
+
+let reference_cells r =
+  let mk style =
+    Layout.Cell.make ~rules:r.rules ~fn:r.fn ~style ~scheme:r.scheme
+      ~drive:r.drive
+  in
+  (mk Layout.Cell.Immune_old, mk Layout.Cell.Vulnerable, mk Layout.Cell.Cmos)
+
+let verify_immunity ?(trials = 500) cell =
+  match Layout.Cell.check_function cell with
+  | Error e -> Error ("nominal function: " ^ e)
+  | Ok () -> (
+    match Fault.Injector.horizontal_sweep cell with
+    | Error ys ->
+      Error
+        (Printf.sprintf "horizontal sweep: %d failing corridors"
+           (List.length ys))
+    | Ok () ->
+      let outcome =
+        Fault.Injector.run
+          { Fault.Injector.default_config with Fault.Injector.trials }
+          cell
+      in
+      if outcome.Fault.Injector.functional_failures = 0 then Ok ()
+      else
+        Error
+          (Printf.sprintf "Monte-Carlo: %d/%d trials failed"
+             outcome.Fault.Injector.functional_failures trials))
+
+let gds_of_cells ~rules ~name cells =
+  Gds.Stream.to_bytes
+    (Gds.Stream.library ~rules ~name
+       (List.map
+          (fun (c : Layout.Cell.t) ->
+            (c.Layout.Cell.name, Layout.Cell.layers c))
+          cells))

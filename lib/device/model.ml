@@ -1,0 +1,24 @@
+type polarity = Nfet | Pfet
+
+type t = {
+  name : string;
+  polarity : polarity;
+  i_d : vgs:float -> vds:float -> float;
+  c_gate : float;
+  c_drain : float;
+}
+
+let flip = function Nfet -> Pfet | Pfet -> Nfet
+
+(* Signed current into the drain node.  For an n-FET with vd > vs the
+   conventional current flows drain->source, i.e. out of the drain node:
+   negative into it.  Source/drain are symmetric: when vd < vs the roles
+   swap.  A p-FET is the mirror image. *)
+let current t ~vg ~vd ~vs =
+  match t.polarity with
+  | Nfet ->
+    if vd >= vs then -.t.i_d ~vgs:(vg -. vs) ~vds:(vd -. vs)
+    else t.i_d ~vgs:(vg -. vd) ~vds:(vs -. vd)
+  | Pfet ->
+    if vd <= vs then t.i_d ~vgs:(vs -. vg) ~vds:(vs -. vd)
+    else -.t.i_d ~vgs:(vd -. vg) ~vds:(vd -. vs)

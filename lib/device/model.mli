@@ -1,0 +1,27 @@
+(** Common transistor-model interface consumed by the circuit simulator.
+
+    A device is a voltage-controlled current source between drain and
+    source plus lumped capacitances.  Currents use n-type conventions:
+    [i_d ~vgs ~vds] is the drain-to-source current for positive [vgs],
+    [vds]; p-type devices are handled by the simulator mirroring
+    voltages. *)
+
+type polarity = Nfet | Pfet
+
+type t = {
+  name : string;
+  polarity : polarity;
+  i_d : vgs:float -> vds:float -> float;
+      (** drain current in amperes for the *magnitude* voltages (the
+          simulator maps p-type terminals); must be 0 at [vds = 0],
+          monotone in both arguments. *)
+  c_gate : float;  (** lumped gate capacitance, farads *)
+  c_drain : float;  (** lumped drain junction/parasitic capacitance *)
+}
+
+val flip : polarity -> polarity
+
+val current : t -> vg:float -> vd:float -> vs:float -> float
+(** Signed terminal current *into the drain node* given absolute node
+    voltages, handling polarity and source/drain symmetry (the device
+    conducts for either sign of vds). *)

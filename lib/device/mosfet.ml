@@ -1,0 +1,63 @@
+type tech = {
+  vdd : float;
+  vt : float;
+  alpha : float;
+  k_n : float;
+  k_p : float;
+  v_crit : float;
+  ss_mv_dec : float;
+  c_gate_per_m : float;
+  c_drain_per_m : float;
+  l_nm : float;
+}
+
+(* 65nm-class numbers: ~0.6 mA/um nMOS on-current, ~0.3 mA/um pMOS,
+   ~1.6 fF/um of gate width (incl. overlap), Vt ~ 0.35 V at Vdd = 1 V. *)
+let default_tech =
+  {
+    vdd = 1.0;
+    vt = 0.35;
+    alpha = 1.3;
+    k_n = 0.60e3;
+    k_p = 0.30e3;
+    v_crit = 0.35;
+    ss_mv_dec = 100.;
+    c_gate_per_m = 1.6e-9;
+    c_drain_per_m = 1.0e-9;
+    l_nm = 65.;
+  }
+
+(* smooth softplus overdrive keeps the drive continuous and monotone
+   through the threshold (see Device.Cnfet) *)
+let i_d t ~k ~width_nm ~vgs ~vds =
+  if vds <= 0. then 0.
+  else begin
+    let phi = t.ss_mv_dec /. 1000. /. log 10. in
+    let soft ov = phi *. log (1. +. exp (ov /. phi)) in
+    let drive = (soft (vgs -. t.vt) /. soft (t.vdd -. t.vt)) ** t.alpha in
+    let knee = tanh (vds /. t.v_crit) in
+    k *. (width_nm *. 1e-9) *. drive *. knee
+  end
+
+let on_current t ~polarity ~width_nm =
+  let k = match polarity with Model.Nfet -> t.k_n | Model.Pfet -> t.k_p in
+  i_d t ~k ~width_nm ~vgs:t.vdd ~vds:t.vdd
+
+let make t ?name ~polarity ~width_nm () =
+  let k = match polarity with Model.Nfet -> t.k_n | Model.Pfet -> t.k_p in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+      Printf.sprintf "mos_%s_%.0fn"
+        (match polarity with Model.Nfet -> "n" | Model.Pfet -> "p")
+        width_nm
+  in
+  let w_m = width_nm *. 1e-9 in
+  {
+    Model.name;
+    polarity;
+    i_d = (fun ~vgs ~vds -> i_d t ~k ~width_nm ~vgs ~vds);
+    c_gate = t.c_gate_per_m *. w_m;
+    c_drain = t.c_drain_per_m *. w_m;
+  }

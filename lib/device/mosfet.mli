@@ -1,0 +1,24 @@
+(** Alpha-power-law MOSFET model standing in for the industrial 65nm CMOS
+    library (Sakurai–Newton with velocity saturation).  Only the relative
+    CNFET/CMOS behaviour matters for the paper's comparisons, so standard
+    65nm-class parameters are used. *)
+
+type tech = {
+  vdd : float;
+  vt : float;
+  alpha : float;  (** velocity-saturation exponent (~1.3 at 65nm) *)
+  k_n : float;  (** nMOS drive at full overdrive per metre of width (A/m) *)
+  k_p : float;  (** pMOS drive per metre of width (A/m) *)
+  v_crit : float;
+  ss_mv_dec : float;
+  c_gate_per_m : float;  (** gate capacitance per metre of width (F/m) *)
+  c_drain_per_m : float;  (** junction capacitance per metre of width *)
+  l_nm : float;  (** drawn channel length *)
+}
+
+val default_tech : tech
+
+val make : tech -> ?name:string -> polarity:Model.polarity -> width_nm:float
+  -> unit -> Model.t
+
+val on_current : tech -> polarity:Model.polarity -> width_nm:float -> float

@@ -1,0 +1,80 @@
+type spec = {
+  mean_diameter_nm : float;
+  sigma_diameter_nm : float;
+  pitch_variation_frac : float;
+  samples : int;
+  seed : int;
+}
+
+let default_spec =
+  { mean_diameter_nm = 1.0; sigma_diameter_nm = 0.15;
+    pitch_variation_frac = 0.1; samples = 2000; seed = 11 }
+
+type stats = {
+  mean : float;
+  sigma : float;
+  p5 : float;
+  p95 : float;
+}
+
+let gaussian rng ~mean ~sigma =
+  let u1 = Float.max 1e-12 (Random.State.float rng 1.) in
+  let u2 = Random.State.float rng 1. in
+  mean +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let stats_of samples =
+  let n = float_of_int (Array.length samples) in
+  let mean = Array.fold_left ( +. ) 0. samples /. n in
+  let var =
+    Array.fold_left (fun a x -> a +. ((x -. mean) ** 2.)) 0. samples /. n
+  in
+  let sorted = Array.copy samples in
+  Array.sort Stdlib.compare sorted;
+  let pct p =
+    sorted.(max 0 (min (Array.length sorted - 1)
+                     (int_of_float (p *. n /. 100.))))
+  in
+  { mean; sigma = sqrt var; p5 = pct 5.; p95 = pct 95. }
+
+(* One sampled device: per-tube threshold from its sampled diameter, with
+   the drive evaluated at vgs = vds = vdd (the same operating point the
+   calibration anchors use). *)
+let sample_on_current (t : Cnfet.tech) spec rng ~tubes ~width_nm =
+  let nominal_pitch = Cnfet.pitch_of ~width_nm ~tubes in
+  let phi = t.Cnfet.ss_mv_dec /. 1000. /. log 10. in
+  let soft ov = phi *. log (1. +. exp (ov /. phi)) in
+  let tube_current () =
+    let d =
+      Float.max 0.4
+        (gaussian rng ~mean:spec.mean_diameter_nm ~sigma:spec.sigma_diameter_nm)
+    in
+    let vt = Cnt.threshold_v ~diameter_nm:d in
+    let pitch =
+      if Float.is_finite nominal_pitch then
+        Float.max 0.5
+          (nominal_pitch
+          *. (1.
+             +. gaussian rng ~mean:0. ~sigma:spec.pitch_variation_frac))
+      else nominal_pitch
+    in
+    let eta = Cnfet.screening t ~pitch_nm:pitch in
+    let drive = (soft (t.Cnfet.vdd -. vt) /. soft (t.Cnfet.vdd -. Cnfet.threshold t)) ** t.Cnfet.alpha in
+    t.Cnfet.i_tube_sat *. eta *. drive *. tanh (t.Cnfet.vdd /. t.Cnfet.v_crit)
+  in
+  let total = ref 0. in
+  for _ = 1 to tubes do
+    total := !total +. tube_current ()
+  done;
+  !total
+
+let on_current_stats t spec ~tubes ~width_nm =
+  let rng = Random.State.make [| spec.seed |] in
+  let samples =
+    Array.init spec.samples (fun _ ->
+        sample_on_current t spec rng ~tubes ~width_nm)
+  in
+  stats_of samples
+
+let delay_spread_estimate t spec ~tubes ~width_nm =
+  let s = on_current_stats t spec ~tubes ~width_nm in
+  if s.mean = 0. then 0. else s.sigma /. s.mean

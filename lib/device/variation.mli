@@ -1,0 +1,38 @@
+(** CNT process-variation analysis.
+
+    The paper (Section I) lists diameter and doping variations as the
+    lesser CNFET imperfections — they modulate drive current rather than
+    logic function.  This module quantifies that: tube diameters are drawn
+    from a normal distribution, each tube's threshold follows its band gap,
+    and the device's on-current spread is reported, feeding a delay-spread
+    estimate for gates built from such devices. *)
+
+type spec = {
+  mean_diameter_nm : float;
+  sigma_diameter_nm : float;  (** growth-process spread (~0.1-0.2 nm) *)
+  pitch_variation_frac : float;  (** relative pitch jitter *)
+  samples : int;
+  seed : int;
+}
+
+val default_spec : spec
+
+type stats = {
+  mean : float;
+  sigma : float;
+  p5 : float;
+  p95 : float;
+}
+
+val gaussian : Random.State.t -> mean:float -> sigma:float -> float
+(** Box–Muller sample. *)
+
+val on_current_stats : Cnfet.tech -> spec -> tubes:int -> width_nm:float
+  -> stats
+(** Monte-Carlo distribution of the device on-current when every tube has
+    its own diameter (hence threshold) and the pitch jitters. *)
+
+val delay_spread_estimate : Cnfet.tech -> spec -> tubes:int
+  -> width_nm:float -> float
+(** Relative gate-delay sigma, [sigma_I / mean_I] to first order (delay is
+    inversely proportional to drive at fixed load). *)

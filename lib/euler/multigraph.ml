@@ -1,0 +1,65 @@
+type 'a edge = { id : int; u : int; v : int; label : 'a }
+
+type 'a t = {
+  nodes : int;
+  mutable edges_rev : 'a edge list;
+  mutable n_edges : int;
+}
+
+let create ~nodes =
+  if nodes < 0 then invalid_arg "Multigraph.create";
+  { nodes; edges_rev = []; n_edges = 0 }
+
+let node_count t = t.nodes
+let edge_count t = t.n_edges
+
+let add_edge t ~u ~v label =
+  if u < 0 || u >= t.nodes || v < 0 || v >= t.nodes then
+    invalid_arg "Multigraph.add_edge: node out of range";
+  let id = t.n_edges in
+  t.edges_rev <- { id; u; v; label } :: t.edges_rev;
+  t.n_edges <- id + 1;
+  id
+
+let edges t = List.rev t.edges_rev
+
+let edge t id =
+  match List.find_opt (fun e -> e.id = id) t.edges_rev with
+  | Some e -> e
+  | None -> invalid_arg "Multigraph.edge: unknown id"
+
+let degree t n =
+  List.fold_left
+    (fun acc e ->
+      acc + (if e.u = n then 1 else 0) + if e.v = n then 1 else 0)
+    0 t.edges_rev
+
+let incident t n =
+  List.filter (fun e -> e.u = n || e.v = n) (edges t)
+
+let odd_nodes t =
+  List.init t.nodes Fun.id |> List.filter (fun n -> degree t n mod 2 = 1)
+
+let connected_components t =
+  let parent = Array.init t.nodes Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(ra) <- rb
+  in
+  List.iter (fun e -> union e.u e.v) t.edges_rev;
+  let buckets = Hashtbl.create 8 in
+  for n = t.nodes - 1 downto 0 do
+    let r = find n in
+    let prev = try Hashtbl.find buckets r with Not_found -> [] in
+    Hashtbl.replace buckets r (n :: prev)
+  done;
+  Hashtbl.fold (fun _ ns acc -> ns :: acc) buckets []
+  |> List.sort Stdlib.compare
+
+let is_edge_connected t =
+  let with_edges =
+    connected_components t
+    |> List.filter (fun ns -> List.exists (fun n -> degree t n > 0) ns)
+  in
+  List.length with_edges <= 1

@@ -1,0 +1,35 @@
+(** Undirected multigraphs with integer nodes and labelled edges.
+
+    The layout problem of the paper treats metal contacts as nodes and
+    transistor gates as edges: a diffusion strip is a walk, and a layout
+    without etched regions exists iff the graph decomposes into few open
+    trails (each extra trail duplicates one contact). *)
+
+type 'a t
+
+type 'a edge = { id : int; u : int; v : int; label : 'a }
+
+val create : nodes:int -> 'a t
+(** Graph over nodes [0 .. nodes-1] and no edges. *)
+
+val node_count : 'a t -> int
+val edge_count : 'a t -> int
+
+val add_edge : 'a t -> u:int -> v:int -> 'a -> int
+(** Add an undirected edge (self-loops allowed); returns its id. *)
+
+val edge : 'a t -> int -> 'a edge
+val edges : 'a t -> 'a edge list
+val degree : 'a t -> int -> int
+val incident : 'a t -> int -> 'a edge list
+
+val odd_nodes : 'a t -> int list
+(** Nodes of odd degree, ascending. *)
+
+val connected_components : 'a t -> int list list
+(** Components as node lists; isolated nodes (degree 0) form their own
+    singleton components. *)
+
+val is_edge_connected : 'a t -> bool
+(** All edges lie in one component (isolated nodes ignored); vacuously true
+    without edges. *)

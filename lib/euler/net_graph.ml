@@ -1,0 +1,64 @@
+type terminal = Power | Output | Junction of int
+
+type t = {
+  graph : string Multigraph.t;
+  labels : terminal array;
+  power : int;
+  output : int;
+}
+
+(* Expansion parallels Logic.Switch_graph.add_network: series chains of
+   plain devices become junction-separated edges; here every device is its
+   own edge because each gate is one stripe of the strip. *)
+let of_network net =
+  (* First pass: count internal junction nodes needed. *)
+  let rec count_junctions = function
+    | Logic.Network.Device _ -> 0
+    | Logic.Network.Parallel ns ->
+      List.fold_left (fun a n -> a + count_junctions n) 0 ns
+    | Logic.Network.Series ns ->
+      List.length ns - 1
+      + List.fold_left (fun a n -> a + count_junctions n) 0 ns
+  in
+  let n_junctions = count_junctions net in
+  let total = 2 + n_junctions in
+  let graph = Multigraph.create ~nodes:total in
+  let labels = Array.make total Power in
+  labels.(1) <- Output;
+  let next = ref 2 in
+  let fresh () =
+    let id = !next in
+    incr next;
+    labels.(id) <- Junction (id - 2);
+    id
+  in
+  let rec expand ~src ~dst = function
+    | Logic.Network.Device g -> ignore (Multigraph.add_edge graph ~u:src ~v:dst g)
+    | Logic.Network.Parallel ns ->
+      List.iter (fun n -> expand ~src ~dst n) ns
+    | Logic.Network.Series ns ->
+      let rec chain src = function
+        | [] -> ()
+        | [ last ] -> expand ~src ~dst last
+        | n :: rest ->
+          let mid = fresh () in
+          expand ~src ~dst:mid n;
+          chain mid rest
+      in
+      chain src ns
+  in
+  expand ~src:0 ~dst:1 net;
+  { graph; labels; power = 0; output = 1 }
+
+let strips t =
+  Trail.decompose t.graph ~prefer_start:[ t.power; t.output ]
+
+let contact_count t =
+  let trails = strips t in
+  Multigraph.edge_count t.graph + List.length trails
+
+let gate_sequence t trail =
+  Trail.edges_of trail
+  |> List.map (fun id -> (Multigraph.edge t.graph id).Multigraph.label)
+
+let terminal_of_node t n = t.labels.(n)

@@ -1,0 +1,35 @@
+(** Bridge from series/parallel transistor networks to contact/gate
+    multigraphs.
+
+    Following the paper: "The Euler path is drawn considering the metal
+    contacts (Vdd/Out/Gnd) as nodes and gates (A/B/C) as edges in a
+    graph."  Internal series junctions become internal contact nodes. *)
+
+type terminal = Power | Output | Junction of int
+(** [Power] is the rail the network ties to (Vdd for a PUN, Gnd for a PDN);
+    [Junction] nodes are internal diffusion contacts. *)
+
+type t = {
+  graph : string Multigraph.t;  (** edge labels are gate input names *)
+  labels : terminal array;      (** node id -> terminal kind *)
+  power : int;                  (** node id of [Power] *)
+  output : int;                 (** node id of [Output] *)
+}
+
+val of_network : Logic.Network.t -> t
+(** Build the contact/gate multigraph of a network hanging between its rail
+    and the cell output.  Consecutive series devices share anonymous
+    junction contacts; parallel branches share their end nodes. *)
+
+val strips : t -> Trail.trail list
+(** Minimal trail decomposition preferring to start strips at the power
+    rail, then at the output — the paper's "Euler path stretching from Vdd
+    to the Gnd". *)
+
+val contact_count : t -> int
+(** Contact stripes of the strip layout: [edges + #trails]. *)
+
+val gate_sequence : t -> Trail.trail -> string list
+(** Gate labels along a trail, in strip order. *)
+
+val terminal_of_node : t -> int -> terminal

@@ -1,0 +1,160 @@
+type step = { node : int; via : int option }
+type trail = step list
+
+let nodes_of t = List.map (fun s -> s.node) t
+let edges_of t = List.filter_map (fun s -> s.via) t
+
+(* Adjacency view: per node, mutable list of (other endpoint, edge id).
+   Edge ids >= [virtual_from] are virtual pairing edges (see [decompose]). *)
+type adj = { nbrs : (int * int) list array; used : bool array }
+
+let adj_of_edges ~nodes edge_list =
+  let nbrs = Array.make nodes [] in
+  let max_id =
+    List.fold_left (fun m (id, _, _) -> max m id) (-1) edge_list
+  in
+  let used = Array.make (max_id + 1) false in
+  List.iter
+    (fun (id, u, v) ->
+      nbrs.(u) <- (v, id) :: nbrs.(u);
+      if u <> v then nbrs.(v) <- (u, id) :: nbrs.(v))
+    edge_list;
+  { nbrs; used }
+
+(* Post-order Hierholzer: collects the edge ids of an Euler trail from
+   [start] in reverse order. *)
+let hierholzer_edges adj start =
+  let out = ref [] in
+  let rec dfs v =
+    let rec take () =
+      match
+        List.find_opt (fun (_, id) -> not adj.used.(id)) adj.nbrs.(v)
+      with
+      | None -> ()
+      | Some (u, id) ->
+        adj.used.(id) <- true;
+        dfs u;
+        out := id :: !out;
+        take ()
+    in
+    take ()
+  in
+  dfs start;
+  !out
+
+(* Reconstruct the node sequence by walking the edge list from [start]. *)
+let walk ~endpoints start edge_ids =
+  let rec go node acc = function
+    | [] -> List.rev acc
+    | id :: rest ->
+      let u, v = endpoints id in
+      let next = if u = node then v else u in
+      go next ({ node = next; via = Some id } :: acc) rest
+  in
+  go start [ { node = start; via = None } ] edge_ids
+
+let euler_trail g ~start =
+  let nodes = Multigraph.node_count g in
+  if start < 0 || start >= nodes then Error "start node out of range"
+  else if not (Multigraph.is_edge_connected g) then
+    Error "graph is not edge-connected"
+  else
+    let odd = Multigraph.odd_nodes g in
+    match odd with
+    | [] | [ _; _ ] ->
+      if odd <> [] && not (List.mem start odd) then
+        Error "start must be an odd-degree node"
+      else if Multigraph.edge_count g = 0 then Ok [ { node = start; via = None } ]
+      else if Multigraph.degree g start = 0 then
+        Error "start node has no incident edge"
+      else begin
+        let edge_list =
+          List.map
+            (fun (e : _ Multigraph.edge) -> (e.id, e.u, e.v))
+            (Multigraph.edges g)
+        in
+        let adj = adj_of_edges ~nodes edge_list in
+        let ids = hierholzer_edges adj start in
+        if List.length ids <> Multigraph.edge_count g then
+          Error "internal: trail does not cover all edges"
+        else
+          let endpoints id =
+            let e = Multigraph.edge g id in
+            (e.u, e.v)
+          in
+          Ok (walk ~endpoints start ids)
+      end
+    | _ -> Error "more than two odd-degree nodes"
+
+(* Pick the most preferred element of [candidates]; falls back to the list
+   head when no preference matches. *)
+let pick_preferred prefer candidates =
+  let rec go = function
+    | [] -> (match candidates with c :: _ -> c | [] -> invalid_arg "pick")
+    | p :: rest -> if List.mem p candidates then p else go rest
+  in
+  go prefer
+
+let decompose g ~prefer_start =
+  let nodes = Multigraph.node_count g in
+  let components =
+    Multigraph.connected_components g
+    |> List.filter (fun ns ->
+           List.exists (fun n -> Multigraph.degree g n > 0) ns)
+  in
+  let virtual_from = Multigraph.edge_count g in
+  let all_trails =
+    List.concat_map
+      (fun comp ->
+        let comp_edges =
+          Multigraph.edges g
+          |> List.filter (fun (e : _ Multigraph.edge) -> List.mem e.u comp)
+          |> List.map (fun (e : _ Multigraph.edge) -> (e.id, e.u, e.v))
+        in
+        let odd =
+          List.filter (fun n -> Multigraph.degree g n mod 2 = 1) comp
+        in
+        let start, virtuals =
+          match odd with
+          | [] -> (pick_preferred prefer_start comp, [])
+          | [ a; b ] -> (pick_preferred prefer_start [ a; b ], [])
+          | _ ->
+            let start = pick_preferred prefer_start odd in
+            let rest = List.filter (fun n -> n <> start) odd in
+            (* keep the most preferred of the rest as the other endpoint *)
+            let fin = pick_preferred prefer_start rest in
+            let middle = List.filter (fun n -> n <> fin) rest in
+            let rec pair k = function
+              | a :: b :: more ->
+                (virtual_from + k, a, b) :: pair (k + 1) more
+              | [] -> []
+              | [ _ ] -> assert false
+            in
+            (start, pair 0 middle)
+        in
+        let adj = adj_of_edges ~nodes (comp_edges @ virtuals) in
+        let ids = hierholzer_edges adj start in
+        let endpoints id =
+          match List.find_opt (fun (i, _, _) -> i = id) (comp_edges @ virtuals) with
+          | Some (_, u, v) -> (u, v)
+          | None -> assert false
+        in
+        let full = walk ~endpoints start ids in
+        (* split at virtual edges *)
+        let rec split acc cur = function
+          | [] -> List.rev (List.rev cur :: acc)
+          | s :: rest -> (
+            match s.via with
+            | Some id when id >= virtual_from ->
+              split (List.rev cur :: acc) [ { s with via = None } ] rest
+            | _ -> split acc (s :: cur) rest)
+        in
+        match full with
+        | [] -> []
+        | first :: rest -> split [] [ first ] rest)
+      components
+  in
+  if all_trails = [] then [] else all_trails
+
+let cost trails =
+  List.fold_left (fun acc t -> acc + List.length (edges_of t) + 1) 0 trails

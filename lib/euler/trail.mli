@@ -1,0 +1,32 @@
+(** Euler trails and minimal trail decompositions.
+
+    A diffusion strip realizes one open trail; a graph with [2k] odd-degree
+    nodes ([k >= 1]) needs exactly [k] trails, and each break between
+    consecutive trails costs one duplicated metal contact in the layout.
+    The paper's compact layouts are obtained by walking an Euler path "from
+    Vdd to Gnd"; {!decompose} generalizes this to any gate function. *)
+
+type step = { node : int; via : int option }
+(** A trail is a node sequence; [via] is the edge id taken to arrive at
+    [node] ([None] for the first step). *)
+
+type trail = step list
+
+val nodes_of : trail -> int list
+val edges_of : trail -> int list
+
+val euler_trail : 'a Multigraph.t -> start:int -> (trail, string) result
+(** Hierholzer's algorithm.  Succeeds when the graph is edge-connected and
+    has zero or two odd nodes, with [start] being an odd node when two
+    exist.  The trail covers every edge exactly once. *)
+
+val decompose : 'a Multigraph.t -> prefer_start:int list -> trail list
+(** Minimal open-trail decomposition: [max 1 (odd/2)] trails covering every
+    edge exactly once (per edge-connected component; components yield
+    additional trails).  [prefer_start] biases which odd (or any) node each
+    trail starts from — the layout generator passes power nodes first so
+    strips begin at Vdd/Gnd rails when possible. *)
+
+val cost : trail list -> int
+(** Number of contact stripes the trails need in a linear strip layout:
+    [edges + 1 + breaks] where [breaks = trails - 1]. *)

@@ -1,0 +1,57 @@
+type parasitics = {
+  out_cap_f : float;
+  in_caps_f : (string * float) list;
+  rail_res_ohm : float;
+}
+
+let af = 1e-18
+
+let cap_of_rect tables layer r =
+  let area = float_of_int (Geom.Rect.area r) in
+  let perim = float_of_int (2 * (Geom.Rect.width r + Geom.Rect.height r)) in
+  ((area *. Tables.area_cap tables layer)
+  +. (perim *. Tables.fringe_cap tables layer))
+  *. af
+
+let fabric_out_cap tables (f : Layout.Fabric.t) =
+  Layout.Fabric.contacts f
+  |> List.filter (fun (n, _) -> n = Logic.Switch_graph.Out)
+  |> List.fold_left
+       (fun acc (_, r) -> acc +. cap_of_rect tables Pdk.Layer.Contact r)
+       0.
+
+let fabric_in_caps tables (f : Layout.Fabric.t) =
+  Layout.Fabric.gates f
+  |> List.map (fun (g, r) -> (g, cap_of_rect tables Pdk.Layer.Gate r))
+
+let merge_assoc a b =
+  List.fold_left
+    (fun acc (k, v) ->
+      match List.assoc_opt k acc with
+      | Some v' -> (k, v +. v') :: List.remove_assoc k acc
+      | None -> (k, v) :: acc)
+    a b
+
+let cell ?(tables = Tables.default) (c : Layout.Cell.t) =
+  let out_cap_f =
+    fabric_out_cap tables c.Layout.Cell.pun
+    +. fabric_out_cap tables c.Layout.Cell.pdn
+  in
+  let in_caps_f =
+    merge_assoc
+      (fabric_in_caps tables c.Layout.Cell.pun)
+      (fabric_in_caps tables c.Layout.Cell.pdn)
+    |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+  in
+  (* worst path: one contact in, the strip, one contact out *)
+  let strip_squares (f : Layout.Fabric.t) =
+    let b = f.Layout.Fabric.bbox in
+    if Geom.Rect.height b = 0 then 0.
+    else float_of_int (Geom.Rect.width b) /. float_of_int (Geom.Rect.height b)
+  in
+  let rail_res_ohm =
+    (2. *. tables.Tables.contact_res_ohm)
+    +. (Tables.sheet_res tables Pdk.Layer.Metal1
+       *. (strip_squares c.Layout.Cell.pun +. strip_squares c.Layout.Cell.pdn))
+  in
+  { out_cap_f; in_caps_f; rail_res_ohm }

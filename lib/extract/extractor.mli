@@ -1,0 +1,17 @@
+(** Post-layout parasitic extraction.
+
+    From a generated cell the extractor reports the lumped capacitance a
+    spice deck should add on the output net and on each input pin, plus the
+    worst-case series resistance from a rail to the output — the "post
+    layout analysis kit" of the design kit, in miniature. *)
+
+type parasitics = {
+  out_cap_f : float;  (** extra capacitance on the output net, farads *)
+  in_caps_f : (string * float) list;  (** per-input wiring capacitance *)
+  rail_res_ohm : float;  (** contact + diffusion series resistance *)
+}
+
+val cell : ?tables:Tables.t -> Layout.Cell.t -> parasitics
+
+val cap_of_rect : Tables.t -> Pdk.Layer.t -> Geom.Rect.t -> float
+(** Area plus fringe capacitance of one rectangle on a layer, farads. *)

@@ -1,0 +1,34 @@
+type t = {
+  area_cap_af : (Pdk.Layer.t * float) list;
+  fringe_cap_af : (Pdk.Layer.t * float) list;
+  sheet_res_ohm : (Pdk.Layer.t * float) list;
+  contact_res_ohm : float;
+}
+
+(* 65nm-class back end: metal-1 ~ 0.04 aF per lambda^2 over field
+   (~40 aF/um^2), poly a little higher over the CNT plane, fringe a few
+   aF per um of edge. *)
+let default =
+  {
+    area_cap_af =
+      [
+        (Pdk.Layer.Metal1, 0.042);
+        (Pdk.Layer.Metal2, 0.030);
+        (Pdk.Layer.Gate, 0.055);
+        (Pdk.Layer.Contact, 0.050);
+      ];
+    fringe_cap_af =
+      [ (Pdk.Layer.Metal1, 0.02); (Pdk.Layer.Metal2, 0.015);
+        (Pdk.Layer.Gate, 0.03) ];
+    sheet_res_ohm =
+      [ (Pdk.Layer.Metal1, 0.2); (Pdk.Layer.Metal2, 0.15);
+        (Pdk.Layer.Gate, 10.0) ];
+    contact_res_ohm = 20.;
+  }
+
+let get tbl layer =
+  match List.assoc_opt layer tbl with Some v -> v | None -> 0.
+
+let area_cap t layer = get t.area_cap_af layer
+let fringe_cap t layer = get t.fringe_cap_af layer
+let sheet_res t layer = get t.sheet_res_ohm layer

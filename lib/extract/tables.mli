@@ -1,0 +1,19 @@
+(** Parasitic tables of the emulated 65nm back end: area capacitance per
+    layer and sheet/contact resistances.  Values are per lambda^2 (area) or
+    per square (resistance), so the extractor works directly on layout
+    geometry. *)
+
+type t = {
+  area_cap_af : (Pdk.Layer.t * float) list;  (** aF per lambda^2 *)
+  fringe_cap_af : (Pdk.Layer.t * float) list;  (** aF per lambda of perimeter *)
+  sheet_res_ohm : (Pdk.Layer.t * float) list;  (** ohm per square *)
+  contact_res_ohm : float;  (** per contact cut *)
+}
+
+val default : t
+
+val area_cap : t -> Pdk.Layer.t -> float
+(** 0 for layers without an entry. *)
+
+val fringe_cap : t -> Pdk.Layer.t -> float
+val sheet_res : t -> Pdk.Layer.t -> float

@@ -1,0 +1,50 @@
+type hit = { at : float; elem : Layout.Fabric.element }
+
+let hits (f : Layout.Fabric.t) seg =
+  List.filter_map
+    (fun (p : Layout.Fabric.placed) ->
+      let r = p.Layout.Fabric.rect in
+      match
+        Geom.Segment.clip_to_rect_f seg
+          ~x0:(float_of_int r.Geom.Rect.x0)
+          ~y0:(float_of_int r.Geom.Rect.y0)
+          ~x1:(float_of_int r.Geom.Rect.x1)
+          ~y1:(float_of_int r.Geom.Rect.y1)
+      with
+      | Some (t0, t1) -> Some { at = (t0 +. t1) /. 2.; elem = p.Layout.Fabric.elem }
+      | None -> None)
+    f.Layout.Fabric.items
+  |> List.sort (fun a b -> Stdlib.compare a.at b.at)
+
+let edges (f : Layout.Fabric.t) seg =
+  let fold (acc, state) h =
+    match h.elem with
+    | Layout.Fabric.Gate g -> (
+      match state with
+      | None -> (acc, None)  (* dangling piece: no contact reached yet *)
+      | Some (src, gates) -> (acc, Some (src, g :: gates)))
+    | Layout.Fabric.Etch -> (acc, None)
+    | Layout.Fabric.Contact n -> (
+      match state with
+      | None -> (acc, Some (n, []))
+      | Some (src, gates) ->
+        let e =
+          {
+            Logic.Switch_graph.src;
+            dst = n;
+            gates = List.rev gates;
+            polarity = f.Layout.Fabric.polarity;
+          }
+        in
+        (e :: acc, Some (n, [])))
+  in
+  (* a dangling piece before the first contact conducts but connects
+     nothing, so starting with [None] is correct *)
+  let acc, _ = List.fold_left fold ([], None) (hits f seg) in
+  List.rev acc
+
+let is_benign (f : Layout.Fabric.t) ~intended ~inputs seg =
+  let g = Layout.Fabric.switch_graph_of_rows f in
+  List.iter (Logic.Switch_graph.add_edge g) (edges f seg);
+  let got = Logic.Switch_graph.truth_table g ~inputs in
+  Logic.Truth.equal got intended

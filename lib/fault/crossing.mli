@@ -1,0 +1,24 @@
+(** From a CNT track to the conduction edges it contributes.
+
+    The track is clipped against every placed element of the fabric; hits
+    are ordered along the track and folded: contacts terminate conduction
+    pieces, gates accumulate into the series set of the current piece, an
+    etched strip cuts the CNT.  Doping follows the paper's model — outside
+    gate regions the CNT is fully doped (conducting), under a gate it is
+    intrinsic and gated. *)
+
+type hit = { at : float; elem : Layout.Fabric.element }
+
+val hits : Layout.Fabric.t -> Geom.Segment.t -> hit list
+(** Element crossings ordered by track parameter. *)
+
+val edges : Layout.Fabric.t -> Geom.Segment.t -> Logic.Switch_graph.edge list
+(** Conduction edges between consecutive contacts reached by the track
+    without an intervening etch; each edge is gated by the gates crossed
+    in between (possibly none — a hard short). *)
+
+val is_benign : Layout.Fabric.t -> intended:Logic.Truth.t
+  -> inputs:string list -> Geom.Segment.t -> bool
+(** [true] when adding the track's edges to the fabric's nominal rows does
+    not change the function of the *single fabric* network seen between its
+    rails.  (Cell-level checks live in {!Injector}.) *)

@@ -1,0 +1,97 @@
+type config = {
+  trials : int;
+  tracks_per_trial : int;
+  max_angle_deg : float;
+  margin : float;
+  seed : int;
+}
+
+let default_config =
+  { trials = 1000; tracks_per_trial = 3; max_angle_deg = 8.; margin = 2.; seed = 42 }
+
+type outcome = {
+  trials : int;
+  functional_failures : int;
+  shorted_trials : int;
+  stray_edges : int;
+}
+
+let failure_rate o =
+  if o.trials = 0 then 0.
+  else float_of_int o.functional_failures /. float_of_int o.trials
+
+let trial_tables (cell : Layout.Cell.t) ~pun_extra ~pdn_extra =
+  let got = Layout.Cell.truth_with cell ~pun_extra ~pdn_extra in
+  let reference = Layout.Cell.reference_truth cell in
+  let failed = not (Logic.Truth.equal got reference) in
+  let shorted = not (Logic.Truth.defined_everywhere got) in
+  (failed, shorted)
+
+let run config (cell : Layout.Cell.t) =
+  let rng = Random.State.make [| config.seed |] in
+  let spray (f : Layout.Fabric.t) =
+    List.init config.tracks_per_trial (fun _ ->
+        Track.sample rng ~bbox:f.Layout.Fabric.bbox
+          ~max_angle_deg:config.max_angle_deg ~margin:config.margin)
+    |> List.concat_map (fun (t : Track.t) -> Crossing.edges f t.Track.seg)
+  in
+  let rec go i failures shorts stray =
+    if i >= config.trials then
+      {
+        trials = config.trials;
+        functional_failures = failures;
+        shorted_trials = shorts;
+        stray_edges = stray;
+      }
+    else begin
+      let pun_extra = spray cell.Layout.Cell.pun in
+      let pdn_extra = spray cell.Layout.Cell.pdn in
+      let failed, shorted = trial_tables cell ~pun_extra ~pdn_extra in
+      go (i + 1)
+        (failures + if failed then 1 else 0)
+        (shorts + if shorted then 1 else 0)
+        (stray + List.length pun_extra + List.length pdn_extra)
+    end
+  in
+  go 0 0 0 0
+
+let horizontal_sweep (cell : Layout.Cell.t) =
+  let corridor_ys (f : Layout.Fabric.t) =
+    let bounds =
+      List.concat_map
+        (fun (p : Layout.Fabric.placed) ->
+          [ p.Layout.Fabric.rect.Geom.Rect.y0; p.Layout.Fabric.rect.Geom.Rect.y1 ])
+        f.Layout.Fabric.items
+      @ [ f.Layout.Fabric.bbox.Geom.Rect.y0 - 1; f.Layout.Fabric.bbox.Geom.Rect.y1 + 1 ]
+      |> List.sort_uniq Stdlib.compare
+    in
+    let rec mids = function
+      | a :: (b :: _ as rest) ->
+        ((float_of_int a +. float_of_int b) /. 2.) :: mids rest
+      | [ _ ] | [] -> []
+    in
+    (* band midpoints plus the boundaries themselves (a CNT can run exactly
+       on a boundary; treat it as infinitesimally inside via +- epsilon) *)
+    mids bounds
+  in
+  let track_at (f : Layout.Fabric.t) y =
+    Track.horizontal ~y
+      ~x0:(float_of_int f.Layout.Fabric.bbox.Geom.Rect.x0 -. 1.)
+      ~x1:(float_of_int f.Layout.Fabric.bbox.Geom.Rect.x1 +. 1.)
+  in
+  let check_region which (f : Layout.Fabric.t) =
+    List.filter_map
+      (fun y ->
+        let extra = Crossing.edges f (track_at f y).Track.seg in
+        let pun_extra, pdn_extra =
+          match which with `Pun -> (extra, []) | `Pdn -> ([], extra)
+        in
+        let failed, _ = trial_tables cell ~pun_extra ~pdn_extra in
+        if failed then Some y else None)
+      (corridor_ys f)
+  in
+  let bad =
+    check_region `Pun cell.Layout.Cell.pun
+    @ check_region `Pdn cell.Layout.Cell.pdn
+  in
+  if bad = [] then Ok () else Error bad

@@ -1,0 +1,37 @@
+(** Misposition fault-injection campaigns on complete cells.
+
+    Each trial sprays a number of mispositioned CNTs over the PUN and PDN
+    regions of a cell, rebuilds the switch-level conduction graph (nominal
+    rows plus stray edges) and compares the resulting ternary truth table
+    with the intended function.  This reproduces the Fig. 2 experiment:
+    vulnerable layouts fail (typically by shorting a rail to the output),
+    immune layouts never do. *)
+
+type config = {
+  trials : int;
+  tracks_per_trial : int;  (** stray CNTs per network region per trial *)
+  max_angle_deg : float;
+  margin : float;  (** vertical overshoot allowed around each region *)
+  seed : int;
+}
+
+val default_config : config
+
+type outcome = {
+  trials : int;
+  functional_failures : int;  (** trials whose truth table deviates *)
+  shorted_trials : int;  (** trials with an X (fight/float) output row *)
+  stray_edges : int;  (** total stray conduction edges injected *)
+}
+
+val failure_rate : outcome -> float
+
+val run : config -> Layout.Cell.t -> outcome
+(** Monte-Carlo campaign over the cell. *)
+
+val horizontal_sweep : Layout.Cell.t -> (unit, float list) result
+(** Deterministic immunity check for zero-angle strays: one representative
+    track per vertical corridor (bands delimited by every distinct item
+    boundary) in each region; returns the offending y-coordinates if any
+    corridor breaks the function.  [Ok ()] proves immunity against all
+    horizontal mispositioned CNTs. *)

@@ -1,0 +1,106 @@
+type config = {
+  p_metallic : float;
+  removal_eff : float;
+  tubes_per_row : int;
+  trials : int;
+  seed : int;
+}
+
+let default_config =
+  { p_metallic = 1. /. 3.; removal_eff = 0.999; tubes_per_row = 8;
+    trials = 2000; seed = 7 }
+
+type outcome = {
+  trials : int;
+  functional : int;
+  killed_by_short : int;
+  killed_by_open : int;
+}
+
+let yield_ o =
+  if o.trials = 0 then 0. else float_of_int o.functional /. float_of_int o.trials
+
+(* Per row: Nominal (conducts as drawn), Short (a surviving metallic tube
+   conducts under every gate), or Open (all tubes gone). *)
+type row_state = Nominal | Short | Open
+
+let sample_row rng cfg =
+  let rec go i short alive =
+    if i >= cfg.tubes_per_row then
+      if short then Short else if alive then Nominal else Open
+    else begin
+      let metallic = Random.State.float rng 1. < cfg.p_metallic in
+      if not metallic then go (i + 1) short true
+      else if Random.State.float rng 1. < cfg.removal_eff then
+        go (i + 1) short alive  (* removed: neither short nor drive *)
+      else go (i + 1) true alive
+    end
+  in
+  go 0 false false
+
+(* Ungated conduction of one row: the nominal row edges with their gate
+   sets erased (a metallic tube conducts under the gates too; etched
+   strips still cut it physically). *)
+let short_edges (f : Layout.Fabric.t) row =
+  let single = { f with Layout.Fabric.rows = [ row ] } in
+  Logic.Switch_graph.edges (Layout.Fabric.switch_graph_of_rows single)
+  |> List.map (fun (e : Logic.Switch_graph.edge) ->
+         { e with Logic.Switch_graph.gates = [] })
+
+let cell_yield cfg (cell : Layout.Cell.t) =
+  let rng = Random.State.make [| cfg.seed |] in
+  let reference = Layout.Cell.reference_truth cell in
+  let rec trials i functional shorts opens =
+    if i >= cfg.trials then
+      { trials = cfg.trials; functional; killed_by_short = shorts;
+        killed_by_open = opens }
+    else begin
+      let classify (f : Layout.Fabric.t) =
+        List.map (fun row -> (row, sample_row rng cfg)) f.Layout.Fabric.rows
+      in
+      let pun_rows = classify cell.Layout.Cell.pun in
+      let pdn_rows = classify cell.Layout.Cell.pdn in
+      let keep states =
+        List.filter_map
+          (fun (row, s) -> match s with Nominal -> Some row | Short | Open -> None)
+          states
+      in
+      let strays f states =
+        List.concat_map
+          (fun (row, s) ->
+            match s with Short -> short_edges f row | Nominal | Open -> [])
+          states
+      in
+      let trimmed =
+        {
+          cell with
+          Layout.Cell.pun =
+            { cell.Layout.Cell.pun with Layout.Fabric.rows = keep pun_rows };
+          pdn =
+            { cell.Layout.Cell.pdn with Layout.Fabric.rows = keep pdn_rows };
+        }
+      in
+      let got =
+        Layout.Cell.truth_with trimmed
+          ~pun_extra:(strays cell.Layout.Cell.pun pun_rows)
+          ~pdn_extra:(strays cell.Layout.Cell.pdn pdn_rows)
+      in
+      if Logic.Truth.equal got reference then
+        trials (i + 1) (functional + 1) shorts opens
+      else begin
+        let any_short states = List.exists (fun (_, s) -> s = Short) states in
+        if any_short pun_rows || any_short pdn_rows then
+          trials (i + 1) functional (shorts + 1) opens
+        else trials (i + 1) functional shorts (opens + 1)
+      end
+    end
+  in
+  trials 0 0 0 0
+
+let analytic_row_yield cfg =
+  let p = cfg.p_metallic and r = cfg.removal_eff in
+  let n = float_of_int cfg.tubes_per_row in
+  ((1. -. (p *. (1. -. r))) ** n) -. ((p *. r) ** n)
+
+let analytic_cell_yield cfg ~rows =
+  analytic_row_yield cfg ** float_of_int rows

@@ -1,0 +1,47 @@
+(** Metallic-CNT tolerance analysis.
+
+    The paper assumes metallic CNTs are removed during manufacturing
+    (Section II) and defers tolerance analysis to Zhang et al. (DATE'08).
+    This module provides that analysis for our generated layouts: every
+    grown CNT is metallic with probability [p_m]; a metallic tube is not
+    gated, so each CNT row it lands in conducts permanently between its
+    contacts — a short unless *every* path it closes is allowed by the
+    cell function in every input state (it never is for a functional
+    cell).  Removal (electrical burning / chemical etching) succeeds per
+    metallic tube with probability [removal_eff].
+
+    A cell also needs drive: a row with *all* tubes removed is open, so
+    yield requires every row to keep at least one semiconducting tube. *)
+
+type config = {
+  p_metallic : float;  (** fraction of grown CNTs that are metallic *)
+  removal_eff : float;  (** probability a metallic CNT is removed *)
+  tubes_per_row : int;  (** CNTs grown per layout row *)
+  trials : int;
+  seed : int;
+}
+
+val default_config : config
+(** 1/3 metallic (the natural chirality ratio), 99.9% removal, 8 tubes per
+    row, 2000 trials. *)
+
+type outcome = {
+  trials : int;
+  functional : int;  (** trials where the cell still computes its function *)
+  killed_by_short : int;  (** a surviving metallic tube shorted a row *)
+  killed_by_open : int;  (** a row lost all of its tubes *)
+}
+
+val yield_ : outcome -> float
+
+val cell_yield : config -> Layout.Cell.t -> outcome
+(** Monte-Carlo yield of one cell under metallic-CNT contamination. *)
+
+val analytic_row_yield : config -> float
+(** Closed-form yield of a single row: no surviving metallic tube and at
+    least one surviving semiconducting tube,
+    [(1 - p_m (1 - r))^n - (p_m (1 - r) ... )] — used to cross-check the
+    Monte-Carlo (tests assert agreement). *)
+
+val analytic_cell_yield : config -> rows:int -> float
+(** Independent-rows approximation: [analytic_row_yield ^ rows]. *)

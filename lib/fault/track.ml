@@ -1,0 +1,22 @@
+type t = { seg : Geom.Segment.t }
+
+let horizontal ~y ~x0 ~x1 =
+  { seg = Geom.Segment.make (Geom.Vec.v x0 y) (Geom.Vec.v x1 y) }
+
+let through ~bbox ~y_center ~angle_rad =
+  let x0 = float_of_int bbox.Geom.Rect.x0 -. 1.
+  and x1 = float_of_int bbox.Geom.Rect.x1 +. 1. in
+  let xc = (x0 +. x1) /. 2. in
+  let slope = tan angle_rad in
+  let y_at x = y_center +. (slope *. (x -. xc)) in
+  { seg = Geom.Segment.make (Geom.Vec.v x0 (y_at x0)) (Geom.Vec.v x1 (y_at x1)) }
+
+let sample rng ~bbox ~max_angle_deg ~margin =
+  let ylo = float_of_int bbox.Geom.Rect.y0 -. margin
+  and yhi = float_of_int bbox.Geom.Rect.y1 +. margin in
+  let y_center = ylo +. Random.State.float rng (yhi -. ylo) in
+  let a = max_angle_deg *. Float.pi /. 180. in
+  let angle_rad = -.a +. Random.State.float rng (2. *. a) in
+  through ~bbox ~y_center ~angle_rad
+
+let pp ppf t = Geom.Segment.pp ppf t.seg

@@ -1,0 +1,23 @@
+(** Mispositioned-CNT tracks.
+
+    A CNT is modelled as a straight segment spanning a fabric horizontally;
+    a *well-positioned* CNT runs at angle zero inside a CNT row, while a
+    mispositioned one has a random vertical offset (possibly in a corridor
+    between rows) and a small random angle, matching the paper's Fig. 2
+    failure mechanism. *)
+
+type t = { seg : Geom.Segment.t }
+
+val horizontal : y:float -> x0:float -> x1:float -> t
+
+val through : bbox:Geom.Rect.t -> y_center:float -> angle_rad:float -> t
+(** Track crossing the whole box, passing through [y_center] at the box's
+    horizontal midpoint with the given slope angle; endpoints extend one
+    lambda beyond the box on each side. *)
+
+val sample : Random.State.t -> bbox:Geom.Rect.t -> max_angle_deg:float
+  -> margin:float -> t
+(** Uniform [y_center] over the box extended by [margin] on top and bottom,
+    uniform angle in [±max_angle_deg]. *)
+
+val pp : Format.formatter -> t -> unit

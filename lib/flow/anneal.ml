@@ -1,0 +1,64 @@
+type config = {
+  iterations : int;
+  start_temp : float;
+  seed : int;
+}
+
+let default_config = { iterations = 20_000; start_temp = 40.; seed = 3 }
+
+(* Swap the slot assignment of two placed cells: both keep the slot
+   origin (x, y) but exchange which instance sits there.  Legal when the
+   slots can hold each other's widths and heights (row placements have a
+   common row height; shelf placements require fitting the shelf). *)
+let can_swap (a : Placer.placed_cell) (b : Placer.placed_cell) =
+  a.Placer.cell_width = b.Placer.cell_width
+  && a.Placer.cell_height = b.Placer.cell_height
+
+let swap cells i j =
+  let a = cells.(i) and b = cells.(j) in
+  cells.(i) <- { a with Placer.inst = b.Placer.inst };
+  cells.(j) <- { b with Placer.inst = a.Placer.inst }
+
+let hpwl (p : Placer.t) netlist = Placer.wirelength_estimate p netlist
+
+let refine ?(config = default_config) (p : Placer.t) netlist =
+  let cells = Array.of_list p.Placer.cells in
+  let n = Array.length cells in
+  if n < 2 then (p, hpwl p netlist, hpwl p netlist)
+  else begin
+    let rng = Random.State.make [| config.seed |] in
+    let current = ref { p with Placer.cells = Array.to_list cells } in
+    let cost = ref (hpwl !current netlist) in
+    let initial = !cost in
+    let best = ref !cost in
+    let best_cells = ref (Array.copy cells) in
+    for it = 0 to config.iterations - 1 do
+      let i = Random.State.int rng n and j = Random.State.int rng n in
+      if i <> j && can_swap cells.(i) cells.(j) then begin
+        swap cells i j;
+        let candidate = { p with Placer.cells = Array.to_list cells } in
+        let c = hpwl candidate netlist in
+        let temp =
+          config.start_temp
+          *. (1. -. (float_of_int it /. float_of_int config.iterations))
+        in
+        let accept =
+          c <= !cost
+          || (temp > 0.
+             && Random.State.float rng 1.
+                < exp (-.float_of_int (c - !cost) /. temp))
+        in
+        if accept then begin
+          current := candidate;
+          cost := c;
+          if c < !best then begin
+            best := c;
+            best_cells := Array.copy cells
+          end
+        end
+        else swap cells i j (* revert *)
+      end
+    done;
+    let final = { p with Placer.cells = Array.to_list !best_cells } in
+    (final, initial, !best)
+  end

@@ -1,0 +1,21 @@
+(** Wirelength-driven annealing refinement of a placement — the paper's
+    stated future work ("development of a specific placement tool to handle
+    both layout schemes ... efficient routing").
+
+    Starting from a legal row/shelf placement, cells swap positions within
+    compatible slots under simulated annealing with half-perimeter
+    wirelength as the cost.  Slots are compatible when their heights admit
+    both cells, so the result stays legal (tests check no overlap and the
+    cost never ends higher than it started). *)
+
+type config = {
+  iterations : int;
+  start_temp : float;  (** in units of wirelength (lambda) *)
+  seed : int;
+}
+
+val default_config : config
+
+val refine : ?config:config -> Placer.t -> Netlist_ir.t -> Placer.t * int * int
+(** [(placement, initial_hpwl, final_hpwl)] — cells re-ordered within their
+    slots to reduce the wirelength estimate. *)

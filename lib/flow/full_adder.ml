@@ -1,0 +1,72 @@
+let v = Logic.Expr.var
+
+let xor a b =
+  Logic.Expr.(Or [ And [ a; Not b ]; And [ Not a; b ] ])
+
+let sum_expr = xor (xor (v "A") (v "B")) (v "CIN")
+
+let cout_expr =
+  Logic.Expr.(
+    Or [ And [ v "A"; v "B" ]; And [ xor (v "A") (v "B"); v "CIN" ] ])
+
+(* Classic 9-NAND full adder; output buffers (paired inverters, so polarity
+   is preserved) carry the 4X/7X/9X drives visible in Figure 8. *)
+let netlist () =
+  let nand name a b out =
+    {
+      Netlist_ir.inst_name = name;
+      cell = "NAND2";
+      drive = 2;
+      output = out;
+      conns = [ ("A", a); ("B", b) ];
+    }
+  in
+  let inv name drive a out =
+    {
+      Netlist_ir.inst_name = name;
+      cell = "INV";
+      drive;
+      output = out;
+      conns = [ ("A", a) ];
+    }
+  in
+  {
+    Netlist_ir.design = "full_adder";
+    inputs = [ "A"; "B"; "CIN" ];
+    outputs = [ "SUM"; "COUT" ];
+    instances =
+      [
+        nand "n1" "A" "B" "w1";
+        nand "n2" "A" "w1" "w2";
+        nand "n3" "B" "w1" "w3";
+        nand "n4" "w2" "w3" "h";  (* h = A xor B *)
+        nand "n5" "h" "CIN" "w4";
+        nand "n6" "h" "w4" "w5";
+        nand "n7" "CIN" "w4" "w6";
+        nand "n8" "w5" "w6" "sum0";  (* sum before buffering *)
+        nand "n9" "w1" "w4" "cout0";  (* carry: AB + (A xor B)CIN *)
+        inv "b1" 4 "sum0" "sum1";
+        inv "b2" 7 "sum1" "SUM";
+        inv "b3" 4 "cout0" "cout1";
+        inv "b4" 9 "cout1" "COUT";
+      ];
+  }
+
+let check () =
+  let n = netlist () in
+  match Netlist_ir.validate n with
+  | Error e -> Error e
+  | Ok () ->
+    let specs = [ ("SUM", sum_expr); ("COUT", cout_expr) ] in
+    let rec check_all = function
+      | [] -> Ok ()
+      | (out, spec) :: rest ->
+        let got = Netlist_ir.truth_of_output n ~output:out in
+        let want =
+          Logic.Truth.of_fun ~inputs:n.Netlist_ir.inputs (fun env ->
+              if Logic.Expr.eval env spec then Logic.Truth.T else Logic.Truth.F)
+        in
+        if Logic.Truth.equal got want then check_all rest
+        else Error (out ^ " is wrong")
+    in
+    check_all specs

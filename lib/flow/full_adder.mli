@@ -1,0 +1,12 @@
+(** The paper's Figure 8(a) full adder: nine 2X NAND2 gates plus output
+    buffer inverters of increasing drive (4X/7X/9X), the workload of case
+    study 2. *)
+
+val netlist : unit -> Netlist_ir.t
+(** Inputs A, B, CIN; outputs SUM, COUT. *)
+
+val sum_expr : Logic.Expr.t
+val cout_expr : Logic.Expr.t
+
+val check : unit -> (unit, string) result
+(** Verify the structure implements a full adder exhaustively. *)

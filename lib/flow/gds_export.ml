@@ -1,0 +1,43 @@
+let cell_library ~rules ~name cells =
+  Gds.Stream.library ~rules ~name
+    (List.map (fun (c : Layout.Cell.t) -> (c.Layout.Cell.name, Layout.Cell.layers c)) cells)
+
+let placement ~lib ~scheme ~name (p : Placer.t) =
+  let rules = lib.Stdcell.Library.rules in
+  let layout_of inst =
+    let e = Placer.entry_for lib inst in
+    match scheme with
+    | `S1 -> e.Stdcell.Library.scheme1
+    | `S2 -> e.Stdcell.Library.scheme2
+  in
+  (* referenced cells, unique by name *)
+  let uniq =
+    List.fold_left
+      (fun acc (c : Placer.placed_cell) ->
+        let l = layout_of c.Placer.inst in
+        if List.mem_assoc l.Layout.Cell.name acc then acc
+        else (l.Layout.Cell.name, l) :: acc)
+      [] p.Placer.cells
+  in
+  let top_layers =
+    List.concat_map
+      (fun (c : Placer.placed_cell) ->
+        let l = layout_of c.Placer.inst in
+        List.map
+          (fun (layer, region) ->
+            (layer, Geom.Region.translate ~dx:c.Placer.x ~dy:c.Placer.y region))
+          (Layout.Cell.layers l))
+      p.Placer.cells
+  in
+  (* merge per layer *)
+  let merged =
+    List.fold_left
+      (fun acc (layer, region) ->
+        match List.assoc_opt layer acc with
+        | Some r -> (layer, Geom.Region.union r region) :: List.remove_assoc layer acc
+        | None -> (layer, region) :: acc)
+      [] top_layers
+  in
+  Gds.Stream.library ~rules ~name
+    ((name ^ "_top", merged)
+    :: List.map (fun (n, l) -> (n, Layout.Cell.layers l)) (List.rev uniq))

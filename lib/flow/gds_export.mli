@@ -1,0 +1,10 @@
+(** Stream a placed design (or single cells) out to GDSII. *)
+
+val cell_library : rules:Pdk.Rules.t -> name:string -> Layout.Cell.t list
+  -> Gds.Stream.library
+(** One GDS structure per cell. *)
+
+val placement : lib:Stdcell.Library.t
+  -> scheme:[ `S1 | `S2 ] -> name:string -> Placer.t -> Gds.Stream.library
+(** The placed design flattened into one top structure (plus one structure
+    per referenced cell). *)

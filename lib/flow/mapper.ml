@@ -1,0 +1,129 @@
+let map_exprs ~design ?(drive = 2) specs =
+  let inputs =
+    List.concat_map (fun (_, e) -> Logic.Expr.inputs e) specs
+    |> List.sort_uniq Stdlib.compare
+  in
+  let instances = ref [] in
+  let counter = ref 0 in
+  let memo : (Logic.Expr.t, string) Hashtbl.t = Hashtbl.create 32 in
+  let emit cell conns =
+    incr counter;
+    let net = Printf.sprintf "w%d" !counter in
+    let inst =
+      {
+        Netlist_ir.inst_name = Printf.sprintf "u%d" !counter;
+        cell;
+        drive;
+        output = net;
+        conns;
+      }
+    in
+    instances := inst :: !instances;
+    net
+  in
+  (* [net_of e] returns a net computing e; NAND2/INV only *)
+  let rec net_of e =
+    let e = Logic.Expr.simplify e in
+    match Hashtbl.find_opt memo e with
+    | Some n -> n
+    | None ->
+      let n =
+        match e with
+        | Logic.Expr.Var v -> v
+        | Logic.Expr.Const _ ->
+          invalid_arg "Mapper: constant outputs are not supported"
+        | Logic.Expr.Not (Logic.Expr.And [ a; b ]) ->
+          emit "NAND2" [ ("A", net_of a); ("B", net_of b) ]
+        | Logic.Expr.Not inner -> emit "INV" [ ("A", net_of inner) ]
+        | Logic.Expr.And es -> (
+          (* a*b = ((a*b)')' *)
+          match es with
+          | [] -> invalid_arg "Mapper: empty And"
+          | [ single ] -> net_of single
+          | a :: rest ->
+            let ab =
+              emit "NAND2"
+                [ ("A", net_of a); ("B", net_of (Logic.Expr.And rest)) ]
+            in
+            emit "INV" [ ("A", ab) ])
+        | Logic.Expr.Or es -> (
+          (* a+b = (a' * b')' *)
+          match es with
+          | [] -> invalid_arg "Mapper: empty Or"
+          | [ single ] -> net_of single
+          | a :: rest ->
+            emit "NAND2"
+              [
+                ("A", net_of (Logic.Expr.Not a));
+                ("B", net_of (Logic.Expr.Not (Logic.Expr.Or rest)));
+              ])
+      in
+      Hashtbl.replace memo e n;
+      n
+  in
+  let outputs =
+    List.map
+      (fun (name, e) ->
+        let net = net_of e in
+        (* alias via buffer-less rename: rewrite the driving instance *)
+        if List.mem net inputs then begin
+          (* output equals an input: insert a double inverter *)
+          let n1 = emit "INV" [ ("A", net) ] in
+          let inst_net = emit "INV" [ ("A", n1) ] in
+          instances :=
+            List.map
+              (fun (i : Netlist_ir.instance) ->
+                if i.Netlist_ir.output = inst_net then
+                  { i with Netlist_ir.output = name }
+                else i)
+              !instances;
+          name
+        end
+        else begin
+          instances :=
+            List.map
+              (fun (i : Netlist_ir.instance) ->
+                if i.Netlist_ir.output = net then
+                  { i with Netlist_ir.output = name }
+                else i)
+              !instances;
+          (* repoint readers of the renamed net *)
+          instances :=
+            List.map
+              (fun (i : Netlist_ir.instance) ->
+                {
+                  i with
+                  Netlist_ir.conns =
+                    List.map
+                      (fun (f, n) -> (f, if n = net then name else n))
+                      i.Netlist_ir.conns;
+                })
+              !instances;
+          Hashtbl.iter
+            (fun k v -> if v = net then Hashtbl.replace memo k name)
+            memo;
+          name
+        end)
+      specs
+  in
+  {
+    Netlist_ir.design;
+    inputs;
+    outputs;
+    instances = List.rev !instances;
+  }
+
+let check_equivalence netlist specs =
+  let rec check = function
+    | [] -> Ok ()
+    | (name, e) :: rest ->
+      let inputs = netlist.Netlist_ir.inputs in
+      let spec_tt =
+        Logic.Truth.of_fun ~inputs (fun env ->
+            if Logic.Expr.eval env e then Logic.Truth.T else Logic.Truth.F)
+      in
+      let got = Netlist_ir.truth_of_output netlist ~output:name in
+      if Logic.Truth.equal got spec_tt then check rest
+      else Error (Printf.sprintf "output %s differs from its specification" name)
+  in
+  check specs

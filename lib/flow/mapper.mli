@@ -1,0 +1,15 @@
+(** NAND2/INV technology mapping.
+
+    A minimal structural synthesis: boolean expressions are decomposed by
+    De Morgan into two-input NANDs and inverters, with structural sharing
+    of repeated subexpressions — enough to drive "RTL to GDSII" for the
+    combinational designs the paper evaluates. *)
+
+val map_exprs : design:string -> ?drive:int -> (string * Logic.Expr.t) list
+  -> Netlist_ir.t
+(** [(output_name, expr)] pairs over shared primary inputs; every generated
+    instance uses [drive] (default 2, the paper's 2X gates). *)
+
+val check_equivalence : Netlist_ir.t -> (string * Logic.Expr.t) list
+  -> (unit, string) result
+(** Exhaustively compare each mapped output against its specification. *)

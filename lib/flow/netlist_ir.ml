@@ -1,0 +1,190 @@
+type instance = {
+  inst_name : string;
+  cell : string;
+  drive : int;
+  output : string;
+  conns : (string * string) list;
+}
+
+type t = {
+  design : string;
+  inputs : string list;
+  outputs : string list;
+  instances : instance list;
+}
+
+let drivers t =
+  List.map (fun i -> (i.output, i)) t.instances
+
+let validate t =
+  let driver_nets = List.map fst (drivers t) in
+  let dup =
+    let sorted = List.sort Stdlib.compare driver_nets in
+    let rec find = function
+      | a :: (b :: _ as rest) -> if a = b then Some a else find rest
+      | [ _ ] | [] -> None
+    in
+    find sorted
+  in
+  match dup with
+  | Some net -> Error (Printf.sprintf "net %s has multiple drivers" net)
+  | None ->
+    let known net = List.mem net t.inputs || List.mem net driver_nets in
+    let missing_in =
+      List.concat_map
+        (fun i ->
+          List.filter_map
+            (fun (_, net) -> if known net then None else Some (i.inst_name, net))
+            i.conns)
+        t.instances
+    in
+    (match missing_in with
+    | (inst, net) :: _ ->
+      Error (Printf.sprintf "instance %s reads undriven net %s" inst net)
+    | [] -> (
+      match List.find_opt (fun o -> not (known o)) t.outputs with
+      | Some o -> Error (Printf.sprintf "design output %s is undriven" o)
+      | None -> (
+        (* cycle check via depth-bounded evaluation ordering *)
+        let table = drivers t in
+        let rec depth seen net =
+          if List.mem net t.inputs then Ok 0
+          else if List.mem net seen then Error net
+          else
+            match List.assoc_opt net table with
+            | None -> Ok 0
+            | Some i ->
+              List.fold_left
+                (fun acc (_, n) ->
+                  match acc with
+                  | Error _ -> acc
+                  | Ok d -> (
+                    match depth (net :: seen) n with
+                    | Ok d' -> Ok (max d (d' + 1))
+                    | Error e -> Error e))
+                (Ok 0) i.conns
+        in
+        match
+          List.fold_left
+            (fun acc o ->
+              match acc with Error _ -> acc | Ok () -> (
+                match depth [] o with
+                | Ok _ -> Ok ()
+                | Error net -> Error net))
+            (Ok ()) t.outputs
+        with
+        | Ok () -> Ok ()
+        | Error net ->
+          Error (Printf.sprintf "combinational cycle through net %s" net))))
+
+let eval t env =
+  (match validate t with Ok () -> () | Error e -> failwith e);
+  let table = drivers t in
+  let memo = Hashtbl.create 32 in
+  let rec value net =
+    match Hashtbl.find_opt memo net with
+    | Some v -> v
+    | None ->
+      let v =
+        if List.mem net t.inputs then env net
+        else
+          match List.assoc_opt net table with
+          | None -> failwith ("Netlist_ir.eval: unknown net " ^ net)
+          | Some i ->
+            let fn = Logic.Cell_fun.find i.cell in
+            let inner name =
+              match List.assoc_opt name i.conns with
+              | Some n -> value n
+              | None ->
+                failwith
+                  (Printf.sprintf "Netlist_ir.eval: %s pin %s unbound"
+                     i.inst_name name)
+            in
+            Logic.Expr.eval inner (Logic.Cell_fun.output_expr fn)
+      in
+      Hashtbl.replace memo net v;
+      v
+  in
+  value
+
+let truth_of_output t ~output =
+  Logic.Truth.of_fun ~inputs:t.inputs (fun env ->
+      if eval t env output then Logic.Truth.T else Logic.Truth.F)
+
+let stats t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun i ->
+      let key = Printf.sprintf "%s_%dX" i.cell i.drive in
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    t.instances;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort Stdlib.compare
+
+let to_string t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "design %s\n" t.design);
+  Buffer.add_string b ("input " ^ String.concat " " t.inputs ^ "\n");
+  Buffer.add_string b ("output " ^ String.concat " " t.outputs ^ "\n");
+  List.iter
+    (fun i ->
+      Buffer.add_string b
+        (Printf.sprintf "inst %s %s %d out=%s%s\n" i.inst_name i.cell i.drive
+           i.output
+           (String.concat ""
+              (List.map
+                 (fun (f, n) -> Printf.sprintf " %s=%s" (String.lowercase_ascii f) n)
+                 i.conns))))
+    t.instances;
+  Buffer.contents b
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  let design = ref "top" and inputs = ref [] and outputs = ref [] in
+  let instances = ref [] in
+  let exception Bad of string in
+  try
+    List.iter
+      (fun line ->
+        match String.split_on_char ' ' line |> List.filter (fun w -> w <> "") with
+        | "design" :: [ n ] -> design := n
+        | "input" :: ns -> inputs := !inputs @ ns
+        | "output" :: ns -> outputs := !outputs @ ns
+        | "inst" :: name :: cell :: drive :: pins ->
+          let drive =
+            match int_of_string_opt drive with
+            | Some d -> d
+            | None -> raise (Bad ("bad drive in: " ^ line))
+          in
+          let parse_pin p =
+            match String.index_opt p '=' with
+            | Some i ->
+              ( String.uppercase_ascii (String.sub p 0 i),
+                String.sub p (i + 1) (String.length p - i - 1) )
+            | None -> raise (Bad ("bad pin binding " ^ p))
+          in
+          let bindings = List.map parse_pin pins in
+          let output =
+            match List.assoc_opt "OUT" bindings with
+            | Some n -> n
+            | None -> raise (Bad ("missing out= in: " ^ line))
+          in
+          let conns = List.remove_assoc "OUT" bindings in
+          instances :=
+            { inst_name = name; cell = String.uppercase_ascii cell; drive;
+              output; conns }
+            :: !instances
+        | _ -> raise (Bad ("unrecognized line: " ^ line)))
+      lines;
+    Ok
+      {
+        design = !design;
+        inputs = !inputs;
+        outputs = !outputs;
+        instances = List.rev !instances;
+      }
+  with Bad msg -> Error msg

@@ -1,0 +1,39 @@
+(** Structural gate-level netlists: the hand-off format between logic
+    synthesis, placement and GDSII export. *)
+
+type instance = {
+  inst_name : string;
+  cell : string;  (** logic function name, e.g. "NAND2" *)
+  drive : int;
+  output : string;  (** net driven by the cell output *)
+  conns : (string * string) list;  (** formal input -> net *)
+}
+
+type t = {
+  design : string;
+  inputs : string list;
+  outputs : string list;
+  instances : instance list;
+}
+
+val validate : t -> (unit, string) result
+(** Single driver per net, no dangling instance inputs, every design output
+    driven, no combinational cycles. *)
+
+val eval : t -> (string -> bool) -> string -> bool
+(** Evaluate a net under primary-input values (topological, memoized).
+    @raise Failure on validation errors or unknown nets. *)
+
+val truth_of_output : t -> output:string -> Logic.Truth.t
+(** Tabulate one design output over the primary inputs. *)
+
+val stats : t -> (string * int) list
+(** Instance count per [cell_drive] name, sorted. *)
+
+val to_string : t -> string
+(** Human-readable single-file dump (also the on-disk format). *)
+
+val of_string : string -> (t, string) result
+(** Parse {!to_string}'s format: [design NAME], [input A B ...],
+    [output S ...], and one [inst name cell drive out=net a=net ...] line
+    per instance; ['#'] starts a comment. *)

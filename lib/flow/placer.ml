@@ -1,0 +1,142 @@
+type placed_cell = {
+  inst : Netlist_ir.instance;
+  x : int;
+  y : int;
+  cell_width : int;
+  cell_height : int;
+}
+
+type t = {
+  scheme : [ `Rows | `Shelves ];
+  cells : placed_cell list;
+  die_width : int;
+  die_height : int;
+  cell_area : int;
+}
+
+let die_area t = t.die_width * t.die_height
+
+let utilization t =
+  let da = die_area t in
+  if da = 0 then 0. else float_of_int t.cell_area /. float_of_int da
+
+let entry_for lib (inst : Netlist_ir.instance) =
+  Stdcell.Library.find lib ~name:inst.Netlist_ir.cell ~drive:inst.Netlist_ir.drive
+
+let dims lib scheme inst =
+  let e = entry_for lib inst in
+  let c =
+    match scheme with
+    | `S1 -> e.Stdcell.Library.scheme1
+    | `S2 -> e.Stdcell.Library.scheme2
+  in
+  (c.Layout.Cell.width, c.Layout.Cell.height)
+
+let target_row_width cells_area aspect =
+  max 1 (int_of_float (sqrt (float_of_int cells_area *. aspect)))
+
+let rows ~lib ?(aspect = 1.0) netlist =
+  let instances = netlist.Netlist_ir.instances in
+  let sized = List.map (fun i -> (i, dims lib `S1 i)) instances in
+  let row_h =
+    List.fold_left (fun acc (_, (_, h)) -> max acc h) 0 sized
+  in
+  let spacing = 1 in
+  let total_area =
+    List.fold_left (fun acc (_, (w, _)) -> acc + ((w + spacing) * row_h)) 0 sized
+  in
+  let row_w = target_row_width total_area aspect in
+  let place (cells, x, y, max_x) (i, (w, h)) =
+    let x, y = if x > 0 && x + w > row_w then (0, y + row_h + spacing) else (x, y) in
+    let cell = { inst = i; x; y; cell_width = w; cell_height = h } in
+    (cell :: cells, x + w + spacing, y, max max_x (x + w))
+  in
+  let cells, _, last_y, max_x =
+    List.fold_left place ([], 0, 0, 0) sized
+  in
+  let cell_area =
+    List.fold_left (fun acc c -> acc + (c.cell_width * c.cell_height)) 0 cells
+  in
+  {
+    scheme = `Rows;
+    cells = List.rev cells;
+    die_width = max_x;
+    die_height = last_y + row_h;
+    cell_area;
+  }
+
+(* First-fit decreasing height shelf packing. *)
+let shelves ~lib ?(aspect = 1.0) netlist =
+  let instances = netlist.Netlist_ir.instances in
+  let sized = List.map (fun i -> (i, dims lib `S2 i)) instances in
+  let spacing = 1 in
+  let total_area =
+    List.fold_left (fun acc (_, (w, h)) -> acc + ((w + spacing) * h)) 0 sized
+  in
+  let bin_w = target_row_width total_area aspect in
+  let sorted =
+    List.sort
+      (fun (_, (_, h1)) (_, (_, h2)) -> Stdlib.compare h2 h1)
+      sized
+  in
+  (* shelves: (y, height, used_width, cells) *)
+  let place shelves (i, (w, h)) =
+    let rec fit acc = function
+      | (y, sh, used, cs) :: rest when used + w <= bin_w && h <= sh ->
+        let cell = { inst = i; x = used; y; cell_width = w; cell_height = h } in
+        List.rev_append acc ((y, sh, used + w + spacing, cell :: cs) :: rest)
+      | shelf :: rest -> fit (shelf :: acc) rest
+      | [] ->
+        let y =
+          List.fold_left (fun m (sy, sh, _, _) -> max m (sy + sh + spacing)) 0
+            (List.rev acc)
+        in
+        let cell = { inst = i; x = 0; y; cell_width = w; cell_height = h } in
+        List.rev_append acc [ (y, h, w + spacing, [ cell ]) ]
+    in
+    fit [] shelves
+  in
+  let final = List.fold_left place [] sorted in
+  let cells = List.concat_map (fun (_, _, _, cs) -> cs) final in
+  let die_width =
+    List.fold_left (fun m c -> max m (c.x + c.cell_width)) 0 cells
+  in
+  let die_height =
+    List.fold_left (fun m c -> max m (c.y + c.cell_height)) 0 cells
+  in
+  let cell_area =
+    List.fold_left (fun acc c -> acc + (c.cell_width * c.cell_height)) 0 cells
+  in
+  { scheme = `Shelves; cells; die_width; die_height; cell_area }
+
+let wirelength_estimate t netlist =
+  let pin_positions net =
+    List.concat_map
+      (fun c ->
+        let reads =
+          List.exists (fun (_, n) -> n = net) c.inst.Netlist_ir.conns
+        in
+        let writes = c.inst.Netlist_ir.output = net in
+        if reads || writes then
+          [ (c.x + (c.cell_width / 2), c.y + (c.cell_height / 2)) ]
+        else [])
+      t.cells
+  in
+  let nets =
+    List.concat_map
+      (fun (i : Netlist_ir.instance) ->
+        i.Netlist_ir.output :: List.map snd i.Netlist_ir.conns)
+      netlist.Netlist_ir.instances
+    |> List.sort_uniq Stdlib.compare
+  in
+  List.fold_left
+    (fun acc net ->
+      match pin_positions net with
+      | [] | [ _ ] -> acc
+      | pts ->
+        let xs = List.map fst pts and ys = List.map snd pts in
+        let span vs =
+          List.fold_left max min_int vs - List.fold_left min max_int vs
+        in
+        acc + span xs + span ys)
+    0 nets

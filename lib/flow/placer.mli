@@ -1,0 +1,42 @@
+(** Standard-cell placement for the two CNFET layout schemes and the CMOS
+    reference.
+
+    Scheme 1 places cells in rows of one standardized height (the tallest
+    cell of the design), like a CMOS row placer; under-sized cells waste
+    the height difference (the paper's Inv4X/Inv9X observation).  Scheme 2
+    exploits the free cell heights of CNFET layouts with shelf packing
+    (first-fit decreasing height), reaching a better area-utilization
+    factor. *)
+
+type placed_cell = {
+  inst : Netlist_ir.instance;
+  x : int;
+  y : int;
+  cell_width : int;
+  cell_height : int;  (** the cell's own height, not the row height *)
+}
+
+type t = {
+  scheme : [ `Rows | `Shelves ];
+  cells : placed_cell list;
+  die_width : int;
+  die_height : int;
+  cell_area : int;  (** sum of the placed cells' own footprints *)
+}
+
+val die_area : t -> int
+val utilization : t -> float
+(** [cell_area / die_area]. *)
+
+val entry_for : Stdcell.Library.t -> Netlist_ir.instance -> Stdcell.Library.entry
+(** Library entry matching an instance. @raise Not_found. *)
+
+val rows : lib:Stdcell.Library.t -> ?aspect:float -> Netlist_ir.t -> t
+(** Scheme-1 (and CMOS) row placement using the scheme-1 layouts;
+    [aspect] is the target width/height ratio of the die. *)
+
+val shelves : lib:Stdcell.Library.t -> ?aspect:float -> Netlist_ir.t -> t
+(** Scheme-2 shelf packing using the scheme-2 layouts. *)
+
+val wirelength_estimate : t -> Netlist_ir.t -> int
+(** Half-perimeter wirelength over all nets, in lambda. *)

@@ -1,0 +1,10 @@
+(** N-bit ripple-carry adder built by chaining the Figure-8 full adder —
+    the scale-up workload showing the logic-to-GDSII flow beyond a single
+    cell. *)
+
+val netlist : bits:int -> Netlist_ir.t
+(** Inputs [A0..A(n-1)], [B0..], [CIN]; outputs [S0..], [COUT].
+    @raise Invalid_argument for [bits < 1]. *)
+
+val check : bits:int -> (unit, string) result
+(** Exhaustive arithmetic check (up to 2^(2n+1) vectors; keep [bits <= 6]). *)

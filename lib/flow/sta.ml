@@ -1,0 +1,78 @@
+type delay_table = cell:string -> drive:int -> fanout:int -> float
+
+type path_node = { through : string; net : string; at : float }
+
+type report = {
+  arrival : (string * float) list;
+  critical_path : path_node list;
+  critical_delay : float;
+}
+
+let analyze table (n : Netlist_ir.t) =
+  (match Netlist_ir.validate n with
+  | Ok () -> ()
+  | Error e -> failwith ("Sta.analyze: " ^ e));
+  let drivers =
+    List.map (fun (i : Netlist_ir.instance) -> (i.Netlist_ir.output, i))
+      n.Netlist_ir.instances
+  in
+  let fanout_of net =
+    List.fold_left
+      (fun acc (i : Netlist_ir.instance) ->
+        acc
+        + List.length
+            (List.filter (fun (_, m) -> m = net) i.Netlist_ir.conns))
+      0 n.Netlist_ir.instances
+  in
+  let memo : (string, float * path_node list) Hashtbl.t = Hashtbl.create 32 in
+  let rec arrival net =
+    match Hashtbl.find_opt memo net with
+    | Some r -> r
+    | None ->
+      let r =
+        if List.mem net n.Netlist_ir.inputs then
+          (0., [ { through = "input:" ^ net; net; at = 0. } ])
+        else
+          match List.assoc_opt net drivers with
+          | None -> failwith ("Sta.analyze: undriven net " ^ net)
+          | Some i ->
+            let worst_in, worst_path =
+              List.fold_left
+                (fun (best, path) (_, m) ->
+                  let a, p = arrival m in
+                  if a > best then (a, p) else (best, path))
+                (neg_infinity, [])
+                i.Netlist_ir.conns
+            in
+            let d =
+              table ~cell:i.Netlist_ir.cell ~drive:i.Netlist_ir.drive
+                ~fanout:(max 1 (fanout_of net))
+            in
+            let at = worst_in +. d in
+            (at, worst_path @ [ { through = i.Netlist_ir.inst_name; net; at } ])
+      in
+      Hashtbl.replace memo net r;
+      r
+  in
+  let arrivals = List.map (fun o -> (o, arrival o)) n.Netlist_ir.outputs in
+  let critical_out, (critical_delay, critical_path) =
+    List.fold_left
+      (fun (bo, (ba, bp)) (o, (a, p)) ->
+        if a > ba then (o, (a, p)) else (bo, (ba, bp)))
+      ("", (neg_infinity, []))
+      arrivals
+  in
+  ignore critical_out;
+  {
+    arrival = List.map (fun (o, (a, _)) -> (o, a)) arrivals;
+    critical_path;
+    critical_delay;
+  }
+
+let table_of_characterization entries ~fanout_slope ~cell ~drive ~fanout =
+  match
+    List.find_opt (fun (c, d, _) -> c = cell && d = drive) entries
+  with
+  | Some (_, _, base) ->
+    base *. (1. +. (fanout_slope *. (float_of_int fanout -. 4.) /. 4.))
+  | None -> raise Not_found

@@ -1,0 +1,29 @@
+(** Static timing analysis over a mapped netlist.
+
+    Cell delays come from a delay table (typically simulator-characterized
+    via {!Stdcell.Characterize}); arrival times propagate topologically and
+    the critical path is reported.  Used to cross-check the transistor-level
+    transient simulation of case study 2 — STA and transient must agree on
+    which path is critical and roughly on its length. *)
+
+type delay_table = cell:string -> drive:int -> fanout:int -> float
+(** Pin-to-output delay of a cell driving [fanout] gate loads, seconds. *)
+
+type path_node = { through : string;  (** instance name, or "input:<net>" *)
+                   net : string; at : float }
+
+type report = {
+  arrival : (string * float) list;  (** net -> latest arrival, seconds *)
+  critical_path : path_node list;  (** input to the latest output *)
+  critical_delay : float;
+}
+
+val analyze : delay_table -> Netlist_ir.t -> report
+(** @raise Failure on invalid netlists (see {!Netlist_ir.validate}). *)
+
+val table_of_characterization :
+  (string * int * float) list -> fanout_slope:float -> delay_table
+(** Build a table from [(cell, drive, base_delay)] triples; the delay grows
+    linearly with fanout at [fanout_slope] per load relative to the base
+    (characterized at fanout 4).
+    @raise Not_found for cells missing from the list. *)

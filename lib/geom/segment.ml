@@ -1,0 +1,38 @@
+type t = { p : Vec.t; q : Vec.t }
+
+let make p q = { p; q }
+let length s = Vec.norm (Vec.sub s.q s.p)
+let point_at s t = Vec.add s.p (Vec.scale t (Vec.sub s.q s.p))
+
+let clamp01 t = if t < 0. then 0. else if t > 1. then 1. else t
+
+let clip_to_vertical_band s ~xlo ~xhi =
+  let dx = s.q.Vec.x -. s.p.Vec.x in
+  if Float.abs dx < 1e-12 then
+    if s.p.Vec.x >= xlo && s.p.Vec.x <= xhi then Some (0., 1.) else None
+  else
+    let ta = (xlo -. s.p.Vec.x) /. dx and tb = (xhi -. s.p.Vec.x) /. dx in
+    let t0 = clamp01 (min ta tb) and t1 = clamp01 (max ta tb) in
+    if t1 <= t0 then None else Some (t0, t1)
+
+(* Liang–Barsky: intersect the parameter intervals imposed by the four
+   half-planes of the box. *)
+let clip_to_rect_f s ~x0 ~y0 ~x1 ~y1 =
+  let dx = s.q.Vec.x -. s.p.Vec.x and dy = s.q.Vec.y -. s.p.Vec.y in
+  let update (t0, t1) p q =
+    if Float.abs p < 1e-12 then if q < 0. then None else Some (t0, t1)
+    else
+      let r = q /. p in
+      if p < 0. then if r > t1 then None else Some (max t0 r, t1)
+      else if r < t0 then None
+      else Some (t0, min t1 r)
+  in
+  let ( >>= ) o f = match o with None -> None | Some v -> f v in
+  Some (0., 1.)
+  >>= fun i -> update i (-.dx) (s.p.Vec.x -. x0)
+  >>= fun i -> update i dx (x1 -. s.p.Vec.x)
+  >>= fun i -> update i (-.dy) (s.p.Vec.y -. y0)
+  >>= fun i -> update i dy (y1 -. s.p.Vec.y)
+  >>= fun (t0, t1) -> if t1 <= t0 then None else Some (t0, t1)
+
+let pp ppf s = Format.fprintf ppf "%a->%a" Vec.pp s.p Vec.pp s.q

@@ -1,0 +1,25 @@
+(** Straight line segments in floating-point coordinates.
+
+    A mispositioned CNT is modelled as a segment crossing a cell; the fault
+    simulator needs the parameter interval at which a segment traverses each
+    vertical stripe or rectangle of the layout. *)
+
+type t = { p : Vec.t; q : Vec.t }
+
+val make : Vec.t -> Vec.t -> t
+val length : t -> float
+val point_at : t -> float -> Vec.t
+(** [point_at s t] for [t] in [0, 1] interpolates from [s.p] to [s.q]. *)
+
+val clip_to_vertical_band : t -> xlo:float -> xhi:float -> (float * float) option
+(** Parameter interval [(t0, t1)] (clamped to [0,1], [t0 <= t1]) during which
+    the segment's x-coordinate lies within [xlo, xhi]; [None] when the
+    segment never enters the band.  Vertical bands are the stripe columns of
+    a cell layout. *)
+
+val clip_to_rect_f : t -> x0:float -> y0:float -> x1:float -> y1:float
+  -> (float * float) option
+(** Liang–Barsky clipping of the segment to an axis-aligned box; returns the
+    parameter interval inside the box. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+(** Complete standard cells: a PUN and a PDN fabric assembled under one of
+    the paper's two layout schemes.
+
+    Scheme 1 stacks the PUN above the PDN with a routing channel between
+    them (CMOS-like; channel width set by the input-pin size, 6 lambda,
+    instead of the 10 lambda n-to-p diffusion spacing of CMOS).  Scheme 2
+    places the PUN and the PDN side by side, shrinking the cell height —
+    the novel CNFET-specific arrangement of Section IV. *)
+
+type style =
+  | Immune_new  (** the paper's compact Euler-strip layouts *)
+  | Immune_old  (** etched-region layouts of Patil et al. [6] *)
+  | Vulnerable  (** no isolation: Fig. 2(b) baseline *)
+  | Cmos  (** reference CMOS cell under 65nm rules *)
+
+type scheme = Scheme1 | Scheme2
+
+type t = {
+  name : string;
+  fn : Logic.Cell_fun.t;
+  style : style;
+  scheme : scheme;
+  rules : Pdk.Rules.t;
+  drive : int;  (** base transistor width in lambda *)
+  pun : Fabric.t;  (** placed in cell coordinates *)
+  pdn : Fabric.t;
+  width : int;
+  height : int;
+}
+
+val make : rules:Pdk.Rules.t -> fn:Logic.Cell_fun.t -> style:style
+  -> scheme:scheme -> drive:int -> t
+(** Build the cell.  [drive] is the base (unit-path) transistor width in
+    lambda; series paths are widened per {!Sizing.widths}.  CMOS cells draw
+    pMOS [cmos_pn_ratio] times wider than nMOS and use the CMOS PUN/PDN
+    separation. *)
+
+val active_area : t -> int
+(** PUN + PDN active area including via overheads — the Table 1 metric. *)
+
+val footprint_area : t -> int
+(** Cell footprint: width times height of the assembled cell (active bands
+    plus the inter-network channel) — the case-study area metric. *)
+
+val pins : t -> (string * Geom.Rect.t) list
+(** Input pin markers, one per input, in the routing channel. *)
+
+val graph_with : t -> pun_extra:Logic.Switch_graph.edge list
+  -> pdn_extra:Logic.Switch_graph.edge list -> Logic.Switch_graph.t
+(** Conduction graph of the cell: nominal CNT rows of both fabrics plus
+    extra (stray-CNT) edges per network region.  Internal nodes of the two
+    fabrics live in disjoint namespaces. *)
+
+val truth_with : t -> pun_extra:Logic.Switch_graph.edge list
+  -> pdn_extra:Logic.Switch_graph.edge list -> Logic.Truth.t
+(** Tabulated output of {!graph_with} over the cell inputs. *)
+
+val reference_truth : t -> Logic.Truth.t
+(** The intended function [Not core]. *)
+
+val check_function : t -> (unit, string) result
+(** Verify that nominal CNT rows of both fabrics realize the intended cell
+    function (switch-level, exhaustive over input assignments). *)
+
+val layers : t -> (Pdk.Layer.t * Geom.Region.t) list
+(** Geometry per layer for GDSII export. *)

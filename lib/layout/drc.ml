@@ -1,0 +1,158 @@
+type violation = {
+  rule : string;
+  detail : string;
+  where : Geom.Rect.t;
+}
+
+let v rule detail where = { rule; detail; where }
+
+let elem_name = function
+  | Fabric.Contact _ -> "contact"
+  | Fabric.Gate g -> "gate " ^ g
+  | Fabric.Etch -> "etch"
+
+(* Minimum dimensions per element kind.  Etched regions only need their
+   lithography minimum along one axis (they are isolation strips). *)
+let width_rules (r : Pdk.Rules.t) (p : Fabric.placed) =
+  let w = Geom.Rect.width p.Fabric.rect
+  and h = Geom.Rect.height p.Fabric.rect in
+  match p.Fabric.elem with
+  | Fabric.Gate _ ->
+    (if w < r.Pdk.Rules.gate_len then
+       [ v "gate.width"
+           (Printf.sprintf "gate width %d < Lg %d" w r.Pdk.Rules.gate_len)
+           p.Fabric.rect ]
+     else [])
+    @
+    if h < r.Pdk.Rules.min_width then
+      [ v "gate.height"
+          (Printf.sprintf "transistor width %d < minimum %d" h
+             r.Pdk.Rules.min_width)
+          p.Fabric.rect ]
+    else []
+  | Fabric.Contact _ ->
+    if w < r.Pdk.Rules.contact_len then
+      [ v "contact.width"
+          (Printf.sprintf "contact width %d < Lc %d" w r.Pdk.Rules.contact_len)
+          p.Fabric.rect ]
+    else []
+  | Fabric.Etch -> []  (* checked on merged etch components, see below *)
+
+(* Distinct conducting elements must not overlap; gate-to-contact pairs
+   must keep the Lgs spacing along x. *)
+let pair_rules (r : Pdk.Rules.t) a b =
+  let ra = a.Fabric.rect and rb = b.Fabric.rect in
+  if Geom.Rect.intersects ra rb then
+    match (a.Fabric.elem, b.Fabric.elem) with
+    | Fabric.Etch, _ | _, Fabric.Etch -> []  (* etch may abut anything *)
+    | _ ->
+      [ v "overlap"
+          (Printf.sprintf "%s overlaps %s" (elem_name a.Fabric.elem)
+             (elem_name b.Fabric.elem))
+          ra ]
+  else
+    match (a.Fabric.elem, b.Fabric.elem) with
+    | Fabric.Gate _, Fabric.Contact _ | Fabric.Contact _, Fabric.Gate _ ->
+      (* spacing applies only when they share a row band *)
+      let y_overlap =
+        ra.Geom.Rect.y0 < rb.Geom.Rect.y1 && rb.Geom.Rect.y0 < ra.Geom.Rect.y1
+      in
+      let dx =
+        max 0
+          (max
+             (rb.Geom.Rect.x0 - ra.Geom.Rect.x1)
+             (ra.Geom.Rect.x0 - rb.Geom.Rect.x1))
+      in
+      let x_disjoint =
+        ra.Geom.Rect.x1 <= rb.Geom.Rect.x0 || rb.Geom.Rect.x1 <= ra.Geom.Rect.x0
+      in
+      if y_overlap && x_disjoint && dx < r.Pdk.Rules.gate_contact_sp then
+        [ v "gate_contact.spacing"
+            (Printf.sprintf "spacing %d < Lgs %d" dx r.Pdk.Rules.gate_contact_sp)
+            ra ]
+      else []
+    | _ -> []
+
+(* Etched regions are drawn as rectangle tilings; the lithography minimum
+   applies to each *merged* connected component, not to the tiles. *)
+let etch_rules (r : Pdk.Rules.t) (f : Fabric.t) =
+  let etches = Fabric.etches f in
+  let n = List.length etches in
+  if n = 0 then []
+  else begin
+    let arr = Array.of_list etches in
+    let parent = Array.init n Fun.id in
+    let rec find i = if parent.(i) = i then i else find parent.(i) in
+    let touching (a : Geom.Rect.t) (b : Geom.Rect.t) =
+      a.Geom.Rect.x0 <= b.Geom.Rect.x1 && b.Geom.Rect.x0 <= a.Geom.Rect.x1
+      && a.Geom.Rect.y0 <= b.Geom.Rect.y1 && b.Geom.Rect.y0 <= a.Geom.Rect.y1
+    in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if touching arr.(i) arr.(j) then begin
+          let ri = find i and rj = find j in
+          if ri <> rj then parent.(ri) <- rj
+        end
+      done
+    done;
+    let components = Hashtbl.create 8 in
+    for i = 0 to n - 1 do
+      let root = find i in
+      let prev =
+        try Hashtbl.find components root with Not_found -> Geom.Rect.empty
+      in
+      Hashtbl.replace components root (Geom.Rect.union_bbox prev arr.(i))
+    done;
+    Hashtbl.fold
+      (fun _ bbox acc ->
+        let w = Geom.Rect.width bbox and h = Geom.Rect.height bbox in
+        if min w h < r.Pdk.Rules.etch_len then
+          v "etch.size"
+            (Printf.sprintf "merged etched region %dx%d below lithography %d"
+               w h r.Pdk.Rules.etch_len)
+            bbox
+          :: acc
+        else acc)
+      components []
+  end
+
+let check_fabric ~rules (f : Fabric.t) =
+  let widths = List.concat_map (width_rules rules) f.Fabric.items in
+  let rec pairs acc = function
+    | [] -> acc
+    | p :: rest ->
+      pairs (acc @ List.concat_map (pair_rules rules p) rest) rest
+  in
+  widths @ etch_rules rules f @ pairs [] f.Fabric.items
+
+let check_cell (c : Cell.t) =
+  let rules = c.Cell.rules in
+  let sep_rule =
+    match c.Cell.style with
+    | Cell.Cmos -> rules.Pdk.Rules.cmos_pun_pdn_sep
+    | Cell.Immune_new | Cell.Immune_old | Cell.Vulnerable ->
+      rules.Pdk.Rules.cnfet_pun_pdn_sep
+  in
+  let pun_b = c.Cell.pun.Fabric.bbox and pdn_b = c.Cell.pdn.Fabric.bbox in
+  let actual_sep =
+    match c.Cell.scheme with
+    | Cell.Scheme1 ->
+      min
+        (abs (pun_b.Geom.Rect.y0 - pdn_b.Geom.Rect.y1))
+        (abs (pdn_b.Geom.Rect.y0 - pun_b.Geom.Rect.y1))
+    | Cell.Scheme2 ->
+      min
+        (abs (pun_b.Geom.Rect.x0 - pdn_b.Geom.Rect.x1))
+        (abs (pdn_b.Geom.Rect.x0 - pun_b.Geom.Rect.x1))
+  in
+  let sep =
+    if actual_sep < sep_rule then
+      [ v "pun_pdn.separation"
+          (Printf.sprintf "separation %d < required %d" actual_sep sep_rule)
+          pun_b ]
+    else []
+  in
+  check_fabric ~rules c.Cell.pun @ check_fabric ~rules c.Cell.pdn @ sep
+
+let pp_violation ppf t =
+  Format.fprintf ppf "%s: %s at %a" t.rule t.detail Geom.Rect.pp t.where

@@ -1,0 +1,21 @@
+(** Design-rule checking of generated fabrics and cells.
+
+    The paper's claim that the new layouts can be "built respecting the
+    design rules of commercially available technologies" is checked
+    mechanically: minimum feature widths, gate/contact spacing, etched
+    region size, and non-overlap of distinct elements. *)
+
+type violation = {
+  rule : string;
+  detail : string;
+  where : Geom.Rect.t;
+}
+
+val check_fabric : rules:Pdk.Rules.t -> Fabric.t -> violation list
+(** Empty list means clean. *)
+
+val check_cell : Cell.t -> violation list
+(** Both fabrics plus the inter-network separation rule (6 lambda for
+    CNFET schemes, 10 lambda for CMOS, scheme-dependent direction). *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,116 @@
+type element =
+  | Contact of Logic.Switch_graph.node
+  | Gate of string
+  | Etch
+
+type placed = { rect : Geom.Rect.t; elem : element }
+
+type t = {
+  polarity : Logic.Network.polarity;
+  items : placed list;
+  bbox : Geom.Rect.t;
+  rows : Geom.Rect.t list;
+  via_overhead : int;
+}
+
+let make ~polarity ?(via_overhead = 0) ~rows items =
+  let bbox =
+    Geom.Rect.bbox_of_list (List.map (fun p -> p.rect) items @ rows)
+  in
+  { polarity; items; bbox; rows; via_overhead }
+
+let translate ~dx ~dy t =
+  {
+    t with
+    items =
+      List.map
+        (fun p -> { p with rect = Geom.Rect.translate ~dx ~dy p.rect })
+        t.items;
+    bbox = Geom.Rect.translate ~dx ~dy t.bbox;
+    rows = List.map (Geom.Rect.translate ~dx ~dy) t.rows;
+  }
+
+let area t = Geom.Rect.area t.bbox + t.via_overhead
+let width t = Geom.Rect.width t.bbox
+let height t = Geom.Rect.height t.bbox
+
+let contacts t =
+  List.filter_map
+    (fun p -> match p.elem with Contact n -> Some (n, p.rect) | Gate _ | Etch -> None)
+    t.items
+
+let gates t =
+  List.filter_map
+    (fun p -> match p.elem with Gate g -> Some (g, p.rect) | Contact _ | Etch -> None)
+    t.items
+
+let etches t =
+  List.filter_map
+    (fun p -> match p.elem with Etch -> Some p.rect | Contact _ | Gate _ -> None)
+    t.items
+
+let inputs t =
+  gates t |> List.map fst |> List.sort_uniq Stdlib.compare
+
+(* Items crossing a row band, left to right.  A column belongs to the row
+   when the rectangles overlap vertically and horizontally within the row's
+   x-range. *)
+let row_items t row =
+  t.items
+  |> List.filter (fun p ->
+         let r = p.rect in
+         r.Geom.Rect.y0 < row.Geom.Rect.y1
+         && row.Geom.Rect.y0 < r.Geom.Rect.y1
+         && r.Geom.Rect.x0 < row.Geom.Rect.x1
+         && row.Geom.Rect.x0 < r.Geom.Rect.x1)
+  |> List.sort (fun a b ->
+         Stdlib.compare a.rect.Geom.Rect.x0 b.rect.Geom.Rect.x0)
+
+let switch_graph_of_rows t =
+  let g = Logic.Switch_graph.create () in
+  let add_row row =
+    let step (prev, gates) p =
+      match p.elem with
+      | Gate name -> (prev, name :: gates)
+      | Etch -> (None, [])
+      | Contact n ->
+        (match prev with
+        | Some src ->
+          Logic.Switch_graph.add_edge g
+            {
+              Logic.Switch_graph.src;
+              dst = n;
+              gates = List.rev gates;
+              polarity = t.polarity;
+            }
+        | None -> ());
+        (Some n, [])
+    in
+    ignore (List.fold_left step (None, []) (row_items t row))
+  in
+  List.iter add_row t.rows;
+  g
+
+let pp_elem ppf = function
+  | Contact n ->
+    let s =
+      match n with
+      | Logic.Switch_graph.Vdd -> "Vdd"
+      | Logic.Switch_graph.Gnd -> "Gnd"
+      | Logic.Switch_graph.Out -> "Out"
+      | Logic.Switch_graph.Internal i -> Printf.sprintf "n%d" i
+    in
+    Format.fprintf ppf "C:%s" s
+  | Gate g -> Format.fprintf ppf "G:%s" g
+  | Etch -> Format.pp_print_string ppf "etch"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>fabric %s bbox=%a area=%d@ "
+    (match t.polarity with
+    | Logic.Network.N_type -> "PDN"
+    | Logic.Network.P_type -> "PUN")
+    Geom.Rect.pp t.bbox (area t);
+  List.iter
+    (fun p -> Format.fprintf ppf "%a %a@ " pp_elem p.elem Geom.Rect.pp p.rect)
+    t.items;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,54 @@
+(** Placed active-region fabric of one transistor network (PUN or PDN).
+
+    A fabric is the geometric content of one network region: metal contact
+    columns, poly gate columns, etched strips, laid out over the CNT plane.
+    Both the new Euler-strip layouts and the old stacked-row layouts reduce
+    to this representation, which is what the area accounting, the GDSII
+    export and the misposition fault simulator consume. *)
+
+type element =
+  | Contact of Logic.Switch_graph.node  (** metal contact column *)
+  | Gate of string  (** poly gate column controlled by the named input *)
+  | Etch  (** etched-CNT isolation strip (old-style layouts) *)
+
+type placed = { rect : Geom.Rect.t; elem : element }
+
+type t = {
+  polarity : Logic.Network.polarity;
+  items : placed list;
+  bbox : Geom.Rect.t;
+  rows : Geom.Rect.t list;
+      (** CNT-carrying horizontal bands; nominal (well-positioned) CNTs run
+          the full width of a row *)
+  via_overhead : int;
+      (** fixed extra metal area in lambda^2 charged for vertical-gating
+          vias (zero for new-style layouts) *)
+}
+
+val make : polarity:Logic.Network.polarity -> ?via_overhead:int
+  -> rows:Geom.Rect.t list -> placed list -> t
+(** Compute the bounding box from the items. *)
+
+val translate : dx:int -> dy:int -> t -> t
+
+val area : t -> int
+(** Active area: bounding-box area of the network region plus the
+    vertical-gating overhead.  This is the quantity Table 1 compares. *)
+
+val width : t -> int
+val height : t -> int
+
+val contacts : t -> (Logic.Switch_graph.node * Geom.Rect.t) list
+val gates : t -> (string * Geom.Rect.t) list
+val etches : t -> Geom.Rect.t list
+
+val inputs : t -> string list
+(** Distinct gate input names, sorted. *)
+
+val switch_graph_of_rows : t -> Logic.Switch_graph.t
+(** Conduction graph implied by *nominal* CNTs: for every row, tracks run
+    the full row and conduct between consecutive contact columns gated by
+    the gate columns in between (cut at etched strips).  This is the
+    intended function of the fabric and must match the cell's network. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,166 @@
+let node_of_terminal ~polarity (t : Euler.Net_graph.t) n =
+  match Euler.Net_graph.terminal_of_node t n with
+  | Euler.Net_graph.Power -> (
+    match polarity with
+    | Logic.Network.P_type -> Logic.Switch_graph.Vdd
+    | Logic.Network.N_type -> Logic.Switch_graph.Gnd)
+  | Euler.Net_graph.Output -> Logic.Switch_graph.Out
+  | Euler.Net_graph.Junction i -> Logic.Switch_graph.Internal i
+
+(* A junction contact can be omitted (bare shared diffusion between two
+   series gates) when the junction occurs exactly once across all trails,
+   in an interior position. *)
+let bare_junctions (ng : Euler.Net_graph.t) trails =
+  let occur = Hashtbl.create 8 in
+  let note n interior =
+    let count, all_interior =
+      try Hashtbl.find occur n with Not_found -> (0, true)
+    in
+    Hashtbl.replace occur n (count + 1, all_interior && interior)
+  in
+  List.iter
+    (fun trail ->
+      let len = List.length trail in
+      List.iteri
+        (fun i (s : Euler.Trail.step) ->
+          note s.Euler.Trail.node (i > 0 && i < len - 1))
+        trail)
+    trails;
+  fun n ->
+    match Euler.Net_graph.terminal_of_node ng n with
+    | Euler.Net_graph.Power | Euler.Net_graph.Output -> false
+    | Euler.Net_graph.Junction _ -> (
+      match Hashtbl.find_opt occur n with
+      | Some (1, true) -> true
+      | Some _ | None -> false)
+
+(* Abstract column sequence of the strip. *)
+type column =
+  | Ccol of Logic.Switch_graph.node
+  | Gcol of string * int  (* input, drawn width *)
+  | Ecol  (* isolation between trail breaks *)
+
+let columns_of_trails ~polarity ~widths ~default_h ng trails =
+  let bare = bare_junctions ng trails in
+  let gate_h name =
+    match List.assoc_opt name widths with Some w -> w | None -> default_h
+  in
+  let of_trail trail =
+    List.concat_map
+      (fun (s : Euler.Trail.step) ->
+        let gate =
+          match s.Euler.Trail.via with
+          | Some id ->
+            let e = Euler.Multigraph.edge ng.Euler.Net_graph.graph id in
+            let name = e.Euler.Multigraph.label in
+            [ Gcol (name, gate_h name) ]
+          | None -> []
+        in
+        let contact =
+          if bare s.Euler.Trail.node then []
+          else [ Ccol (node_of_terminal ~polarity ng s.Euler.Trail.node) ]
+        in
+        gate @ contact)
+      trail
+  in
+  (* trail breaks are isolated with an etched column so the two unrelated
+     duplicated contacts cannot be bridged by a stray CNT *)
+  let rec join = function
+    | [] -> []
+    | [ t ] -> of_trail t
+    | t :: rest -> of_trail t @ (Ecol :: join rest)
+  in
+  join trails
+
+let strip_of_graph ?(uniform = true) ~rules ~polarity ~widths ng =
+  let r : Pdk.Rules.t = rules in
+  let sp = r.Pdk.Rules.gate_contact_sp in
+  let default_h = max r.Pdk.Rules.min_width (Sizing.strip_width widths) in
+  let widths =
+    (* Uniform strips draw every device at the tallest width: a height step
+       at a contact would let a slightly slanted stray CNT slip past the
+       shorter gate and still land on both neighbouring contacts.  The
+       bounding-box area is unchanged; only drive improves. *)
+    if uniform then List.map (fun (g, _) -> (g, default_h)) widths
+    else widths
+  in
+  let trails = Euler.Net_graph.strips ng in
+  let cols = columns_of_trails ~polarity ~widths ~default_h ng trails in
+  (* x placement *)
+  let placed, total_w =
+    let rec go x acc = function
+      | [] -> (List.rev acc, max 0 (x - sp))
+      | c :: rest ->
+        let len =
+          match c with
+          | Ccol _ -> r.Pdk.Rules.contact_len
+          | Gcol _ -> r.Pdk.Rules.gate_len
+          | Ecol -> r.Pdk.Rules.etch_len
+        in
+        go (x + len + sp) ((c, x, len) :: acc) rest
+    in
+    go 0 [] cols
+  in
+  ignore total_w;
+  (* CNT rows: one per contact-to-contact span holding at least one gate;
+     the row height is the span's tallest device *)
+  let rows =
+    let rec spans acc current = function
+      | [] -> List.rev acc
+      | ((Ccol _, x, len) as c) :: rest -> (
+        match current with
+        | None -> spans acc (Some (c, [])) rest
+        | Some ((_, x0, _), gates) ->
+          let acc =
+            if gates = [] then acc
+            else
+              let h = List.fold_left max 0 gates in
+              Geom.Rect.make ~x0 ~y0:0 ~x1:(x + len) ~y1:h :: acc
+          in
+          spans acc (Some (c, [])) rest)
+      | (Gcol (_, h), _, _) :: rest -> (
+        match current with
+        | None -> spans acc None rest
+        | Some (c0, gates) -> spans acc (Some (c0, h :: gates)) rest)
+      | (Ecol, _, _) :: rest -> spans acc None rest
+    in
+    spans [] None placed
+  in
+  (* contact heights adapt to the rows they collect *)
+  let contact_height x len =
+    let touching =
+      List.filter
+        (fun (row : Geom.Rect.t) ->
+          row.Geom.Rect.x0 <= x && row.Geom.Rect.x1 >= x + len)
+        rows
+    in
+    match touching with
+    | [] -> default_h
+    | _ -> List.fold_left (fun a (row : Geom.Rect.t) -> max a row.Geom.Rect.y1) 0 touching
+  in
+  let items =
+    List.map
+      (fun (c, x, len) ->
+        match c with
+        | Ccol n ->
+          {
+            Fabric.rect = Geom.Rect.of_size ~x ~y:0 ~w:len ~h:(contact_height x len);
+            elem = Fabric.Contact n;
+          }
+        | Gcol (g, h) ->
+          {
+            Fabric.rect = Geom.Rect.of_size ~x ~y:0 ~w:len ~h;
+            elem = Fabric.Gate g;
+          }
+        | Ecol ->
+          {
+            Fabric.rect = Geom.Rect.of_size ~x ~y:0 ~w:len ~h:default_h;
+            elem = Fabric.Etch;
+          })
+      placed
+  in
+  Fabric.make ~polarity ~rows items
+
+let strip ?uniform ~rules ~polarity ~widths net =
+  strip_of_graph ?uniform ~rules ~polarity ~widths
+    (Euler.Net_graph.of_network net)

@@ -1,0 +1,285 @@
+type isolation = Etched | Bare
+
+type block = {
+  width : int;
+  height : int;
+  items : Fabric.placed list;
+  rows : Geom.Rect.t list;
+  enclosed_gates : int;  (** gates needing vertical-gating vias *)
+}
+
+let translate_block ~dx ~dy b =
+  {
+    b with
+    items =
+      List.map
+        (fun (p : Fabric.placed) ->
+          { p with Fabric.rect = Geom.Rect.translate ~dx ~dy p.Fabric.rect })
+        b.items;
+    rows = List.map (Geom.Rect.translate ~dx ~dy) b.rows;
+  }
+
+let is_parallel = function
+  | Logic.Network.Parallel _ -> true
+  | Logic.Network.Device _ | Logic.Network.Series _ -> false
+
+let device_width widths g =
+  match List.assoc_opt g widths with Some w -> w | None -> 3
+
+(* Extend rows that touch the block's x-boundary so they reach an adjacent
+   contact column (nominal CNTs must land on the contacts). *)
+let extend_rows_left ~to_x rows ~boundary =
+  List.map
+    (fun (r : Geom.Rect.t) ->
+      if r.Geom.Rect.x0 = boundary then
+        Geom.Rect.make ~x0:to_x ~y0:r.Geom.Rect.y0 ~x1:r.Geom.Rect.x1
+          ~y1:r.Geom.Rect.y1
+      else r)
+    rows
+
+let extend_rows_right ~to_x rows ~boundary =
+  List.map
+    (fun (r : Geom.Rect.t) ->
+      if r.Geom.Rect.x1 = boundary then
+        Geom.Rect.make ~x0:r.Geom.Rect.x0 ~y0:r.Geom.Rect.y0 ~x1:to_x
+          ~y1:r.Geom.Rect.y1
+      else r)
+    rows
+
+let rec count_gates = function
+  | Logic.Network.Device _ -> 1
+  | Logic.Network.Series ns | Logic.Network.Parallel ns ->
+    List.fold_left (fun a n -> a + count_gates n) 0 ns
+
+let strip ~rules ~polarity ~widths ~isolation net =
+  let r : Pdk.Rules.t = rules in
+  let sp = r.Pdk.Rules.gate_contact_sp in
+  let lc = r.Pdk.Rules.contact_len in
+  let next_junction = ref 0 in
+  let fresh_junction () =
+    let i = !next_junction in
+    incr next_junction;
+    Logic.Switch_graph.Internal i
+  in
+  let rec build = function
+    | Logic.Network.Device g ->
+      let h = max r.Pdk.Rules.min_width (device_width widths g) in
+      let rect = Geom.Rect.of_size ~x:0 ~y:0 ~w:r.Pdk.Rules.gate_len ~h in
+      {
+        width = r.Pdk.Rules.gate_len;
+        height = h;
+        items = [ { Fabric.rect; elem = Fabric.Gate g } ];
+        rows = [ rect ];
+        enclosed_gates = 0;
+      }
+    | Logic.Network.Series ns -> series (List.map (fun n -> (n, build n)) ns)
+    | Logic.Network.Parallel ns ->
+      parallel (List.map (fun n -> (n, build n)) ns)
+  (* Series: children side by side; a contact column separates a parallel
+     block from its neighbour, plain devices share bare diffusion.  Rows of
+     runs of bare-shared devices are merged into one segment row. *)
+  and series children =
+    let rec place x acc_items acc_rows enclosed prev = function
+      | [] -> (x - sp, acc_items, acc_rows, enclosed)
+      | (net, b) :: rest ->
+        let x, acc_items, acc_rows =
+          match prev with
+          | None -> (x, acc_items, acc_rows)
+          | Some (pnet, pb, px1) ->
+            if is_parallel pnet || is_parallel net then begin
+              (* junction contact column between the two children *)
+              let h = max pb.height b.height in
+              let c =
+                Geom.Rect.of_size ~x ~y:0 ~w:lc ~h
+              in
+              let node = fresh_junction () in
+              let acc_rows =
+                extend_rows_right ~to_x:(x + lc) acc_rows ~boundary:px1
+              in
+              ( x + lc + sp,
+                { Fabric.rect = c; elem = Fabric.Contact node } :: acc_items,
+                acc_rows )
+            end
+            else (x, acc_items, acc_rows)
+        in
+        let placed = translate_block ~dx:x ~dy:0 b in
+        let rows =
+          match prev with
+          | Some (pnet, _, _) when not (is_parallel pnet || is_parallel net) ->
+            (* merge the segment row across the bare junction *)
+            merge_boundary_rows acc_rows placed.rows ~left_x:x
+          | Some _ | None -> acc_rows @ placed.rows
+        in
+        let rows' =
+          (* rows entering this child from a contact: extend left *)
+          match prev with
+          | Some (pnet, _, _) when is_parallel pnet || is_parallel net ->
+            extend_rows_left ~to_x:(x - sp - lc) rows ~boundary:x
+          | Some _ | None -> rows
+        in
+        place (x + b.width + sp) (acc_items @ placed.items) rows'
+          (enclosed + b.enclosed_gates)
+          (Some (net, b, x + b.width))
+          rest
+    in
+    let width, items, rows, enclosed =
+      place 0 [] [] 0 None children
+    in
+    let height =
+      List.fold_left (fun a (_, b) -> max a b.height) 0 children
+    in
+    { width; height; items; rows; enclosed_gates = enclosed }
+  (* Merge rows that touch the bare junction: the left segment's rightmost
+     row and the right child's leftmost row become one. *)
+  and merge_boundary_rows left_rows right_rows ~left_x =
+    let boundary = left_x - sp in
+    let touching, others =
+      List.partition (fun (r : Geom.Rect.t) -> r.Geom.Rect.x1 = boundary) left_rows
+    in
+    let entering, rest =
+      List.partition (fun (r : Geom.Rect.t) -> r.Geom.Rect.x0 = left_x) right_rows
+    in
+    match (touching, entering) with
+    | [ a ], [ b ] ->
+      let merged =
+        Geom.Rect.make ~x0:a.Geom.Rect.x0
+          ~y0:(min a.Geom.Rect.y0 b.Geom.Rect.y0)
+          ~x1:b.Geom.Rect.x1
+          ~y1:(min a.Geom.Rect.y1 b.Geom.Rect.y1)
+      in
+      (merged :: others) @ rest
+    | _ -> left_rows @ right_rows
+  (* Parallel: stack branches bottom-up, isolated by etched (or bare)
+     strips; branch rows extend to the shared stack width. *)
+  and parallel children =
+    let stack_w =
+      List.fold_left (fun a (_, b) -> max a b.width) 0 children
+    in
+    let n = List.length children in
+    let rec stack y acc_items acc_rows enclosed i = function
+      | [] -> (y - r.Pdk.Rules.etch_len, acc_items, acc_rows, enclosed)
+      | (net, b) :: rest ->
+        let placed = translate_block ~dx:0 ~dy:y b in
+        let rows =
+          extend_rows_right ~to_x:stack_w placed.rows ~boundary:b.width
+        in
+        let sep_items =
+          if i < n - 1 then
+            match isolation with
+            | Etched ->
+              [ {
+                  Fabric.rect =
+                    Geom.Rect.of_size ~x:0 ~y:(y + b.height) ~w:stack_w
+                      ~h:r.Pdk.Rules.etch_len;
+                  elem = Fabric.Etch;
+                } ]
+            | Bare -> []
+          else []
+        in
+        let enclosed' =
+          if i > 0 && i < n - 1 then enclosed + count_gates net else enclosed
+        in
+        stack
+          (y + b.height + r.Pdk.Rules.etch_len)
+          (acc_items @ placed.items @ sep_items)
+          (acc_rows @ rows) enclosed' (i + 1) rest
+    in
+    let height, items, rows, enclosed = stack 0 [] [] 0 0 children in
+    {
+      width = stack_w;
+      height;
+      items;
+      rows;
+      enclosed_gates =
+        enclosed + List.fold_left (fun a (_, b) -> a + b.enclosed_gates) 0 children;
+    }
+  in
+  let body = build net in
+  (* wrap with the power and output contact columns *)
+  let power =
+    match polarity with
+    | Logic.Network.P_type -> Logic.Switch_graph.Vdd
+    | Logic.Network.N_type -> Logic.Switch_graph.Gnd
+  in
+  let left =
+    {
+      Fabric.rect = Geom.Rect.of_size ~x:0 ~y:0 ~w:lc ~h:body.height;
+      elem = Fabric.Contact power;
+    }
+  in
+  let bx = lc + sp in
+  let body = translate_block ~dx:bx ~dy:0 body in
+  let right_x = bx + body.width + sp in
+  let right =
+    {
+      Fabric.rect = Geom.Rect.of_size ~x:right_x ~y:0 ~w:lc ~h:body.height;
+      elem = Fabric.Contact Logic.Switch_graph.Out;
+    }
+  in
+  let rows =
+    body.rows
+    |> extend_rows_left ~to_x:0 ~boundary:bx
+    |> extend_rows_right ~to_x:(right_x + lc) ~boundary:(bx + body.width)
+  in
+  let via_overhead =
+    match isolation with
+    | Etched -> body.enclosed_gates * r.Pdk.Rules.via_pad_area
+    | Bare -> 0
+  in
+  (* Contacts only as tall as the CNT rows they collect: a full-height
+     contact next to a short segment would open a corridor a stray CNT
+     could use to reach it without crossing the segment's gate. *)
+  let resize_contact (p : Fabric.placed) =
+    match p.Fabric.elem with
+    | Fabric.Gate _ | Fabric.Etch -> p
+    | Fabric.Contact _ ->
+      let c = p.Fabric.rect in
+      let touching =
+        List.filter
+          (fun (row : Geom.Rect.t) ->
+            row.Geom.Rect.x0 < c.Geom.Rect.x1
+            && row.Geom.Rect.x1 > c.Geom.Rect.x0)
+          rows
+      in
+      (match touching with
+      | [] -> p
+      | _ ->
+        let y0 =
+          List.fold_left
+            (fun a (row : Geom.Rect.t) -> min a row.Geom.Rect.y0)
+            max_int touching
+        and y1 =
+          List.fold_left
+            (fun a (row : Geom.Rect.t) -> max a row.Geom.Rect.y1)
+            min_int touching
+        in
+        {
+          p with
+          Fabric.rect =
+            Geom.Rect.make ~x0:c.Geom.Rect.x0 ~y0 ~x1:c.Geom.Rect.x1 ~y1;
+        })
+  in
+  let items =
+    List.map resize_contact ((left :: body.items) @ [ right ])
+  in
+  (* Etch every part of the region not covered by CNT rows or elements:
+     uncovered active (e.g. above a short segment next to a tall contact)
+     is a corridor slanted stray CNTs could use.  "Etching the small region
+     fits within the cell boundary etching step" [6]. *)
+  let items =
+    match isolation with
+    | Bare -> items
+    | Etched ->
+      let cover =
+        Geom.Region.of_rects
+          (rows @ List.map (fun (p : Fabric.placed) -> p.Fabric.rect) items)
+      in
+      let bbox = Geom.Region.bbox cover in
+      let extra =
+        Geom.Region.complement_rects ~within:bbox cover
+        |> List.filter (fun r -> not (Geom.Rect.is_empty r))
+        |> List.map (fun rect -> { Fabric.rect; elem = Fabric.Etch })
+      in
+      items @ extra
+  in
+  Fabric.make ~polarity ~via_overhead ~rows items

@@ -1,0 +1,21 @@
+(** Etched-region misaligned-CNT-immune layouts in the style of Patil et
+    al. (DAC'07), the baseline the paper's Table 1 compares against.
+
+    Parallel branches are stacked as separate CNT rows between shared metal
+    contact columns, with etched-CNT strips isolating adjacent rows so a
+    stray CNT cannot drift between branches.  Gates of enclosed rows
+    (neither top nor bottom of a stack) need vertical-gating vias for their
+    intra-cell poly connection; each is charged a fixed landing-pad area
+    from the rules ([via_pad_area]), since the via (3 lambda) exceeds the
+    gate length (2 lambda). *)
+
+type isolation =
+  | Etched  (** old immune layouts: etched strips between stacked rows *)
+  | Bare
+      (** the misaligned-CNT-*vulnerable* baseline of Fig. 2(b): rows are
+          stacked with plain spacing, leaving open corridors *)
+
+val strip : rules:Pdk.Rules.t -> polarity:Logic.Network.polarity
+  -> widths:(string * int) list -> isolation:isolation -> Logic.Network.t
+  -> Fabric.t
+(** Stacked-row layout of one network. *)

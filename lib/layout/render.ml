@@ -1,0 +1,46 @@
+let blit grid ~x0 ~y0 (r : Geom.Rect.t) c =
+  let h = Array.length grid in
+  for y = r.Geom.Rect.y0 - y0 to r.Geom.Rect.y1 - y0 - 1 do
+    for x = r.Geom.Rect.x0 - x0 to r.Geom.Rect.x1 - x0 - 1 do
+      if y >= 0 && y < h && x >= 0 && x < String.length (Bytes.to_string grid.(0))
+      then Bytes.set grid.(y) x c
+    done
+  done
+
+let draw_items grid ~x0 ~y0 (f : Fabric.t) =
+  List.iter (fun r -> blit grid ~x0 ~y0 r '.') f.Fabric.rows;
+  List.iter
+    (fun (p : Fabric.placed) ->
+      let c =
+        match p.Fabric.elem with
+        | Fabric.Contact _ -> '#'
+        | Fabric.Gate g -> if g = "" then 'G' else g.[0]
+        | Fabric.Etch -> '='
+      in
+      blit grid ~x0 ~y0 p.Fabric.rect c)
+    f.Fabric.items
+
+let grid_of ~width ~height = Array.init height (fun _ -> Bytes.make width ' ')
+
+let to_string grid =
+  (* rows are stored bottom-up; print top-down *)
+  Array.to_list grid |> List.rev_map Bytes.to_string |> String.concat "\n"
+
+let fabric (f : Fabric.t) =
+  let b = f.Fabric.bbox in
+  let width = Geom.Rect.width b and height = Geom.Rect.height b in
+  if width = 0 || height = 0 then ""
+  else begin
+    let grid = grid_of ~width ~height in
+    draw_items grid ~x0:b.Geom.Rect.x0 ~y0:b.Geom.Rect.y0 f;
+    to_string grid
+  end
+
+let cell (c : Cell.t) =
+  if c.Cell.width = 0 || c.Cell.height = 0 then ""
+  else begin
+    let grid = grid_of ~width:c.Cell.width ~height:c.Cell.height in
+    draw_items grid ~x0:0 ~y0:0 c.Cell.pun;
+    draw_items grid ~x0:0 ~y0:0 c.Cell.pdn;
+    to_string grid
+  end

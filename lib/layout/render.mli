@@ -1,0 +1,9 @@
+(** ASCII rendering of fabrics and cells (one character per lambda), used by
+    the examples to reproduce the paper's layout figures in the terminal.
+
+    Legend: ['#'] contact metal, letters = poly gates (uppercase initial of
+    the input), ['='] etched region, ['.'] CNT active rows, [' '] empty. *)
+
+val fabric : Fabric.t -> string
+val cell : Cell.t -> string
+(** The cell rendered top-down (PUN above PDN for scheme 1). *)

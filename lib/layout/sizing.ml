@@ -1,0 +1,42 @@
+(* For every leaf, the length of its conduction path: inside a series
+   composition the lengths of the legs add; parallel branches keep their own
+   lengths. *)
+let rec leaf_paths = function
+  | Logic.Network.Device g -> [ (g, 1) ]
+  | Logic.Network.Parallel ns -> List.concat_map leaf_paths ns
+  | Logic.Network.Series ns ->
+    let per_leg = List.map leaf_paths ns in
+    (* a path through the series traverses the best (shortest) realization
+       of every other leg; the standard sizing convention instead charges
+       each leaf the sum of the minimum depths of the sibling legs plus its
+       own in-leg depth *)
+    let min_depth leg =
+      List.fold_left (fun acc (_, d) -> min acc d) max_int leg
+    in
+    let total_min = List.fold_left (fun a leg -> a + min_depth leg) 0 per_leg in
+    List.concat_map
+      (fun leg ->
+        let others = total_min - min_depth leg in
+        List.map (fun (g, d) -> (g, d + others)) leg)
+      per_leg
+
+let path_length net name =
+  match List.assoc_opt name (leaf_paths net) with
+  | Some d -> d
+  | None -> raise Not_found
+
+let widths ~base net =
+  let merge acc (g, d) =
+    let w = base * d in
+    match List.assoc_opt g acc with
+    | Some w' -> (g, max w w') :: List.remove_assoc g acc
+    | None -> (g, w) :: acc
+  in
+  List.fold_left merge [] (leaf_paths net) |> List.rev
+
+let lookup tbl g =
+  match List.assoc_opt g tbl with
+  | Some w -> w
+  | None -> raise Not_found
+
+let strip_width tbl = List.fold_left (fun acc (_, w) -> max acc w) 0 tbl

@@ -1,0 +1,22 @@
+(** Resistance-balanced transistor sizing.
+
+    Every conduction path through a network should present the same
+    resistance as a single transistor of the base width, so a device on a
+    path of [k] series devices is drawn [k] times wider (the paper:
+    "n-CNFETs are three times bigger than the p-CNFETs for a NAND3 cell").
+    Widths are in lambda. *)
+
+val path_length : Logic.Network.t -> string -> int
+(** Number of series devices on the conduction path through the named
+    device (its own path, not the network's worst path).
+    @raise Not_found when the input gates no device. *)
+
+val widths : base:int -> Logic.Network.t -> (string * int) list
+(** Width per input name, [base * path_length]; when the same input gates
+    several devices the widest is kept.  The list covers every input. *)
+
+val lookup : (string * int) list -> string -> int
+(** Width of an input. @raise Not_found. *)
+
+val strip_width : (string * int) list -> int
+(** The tallest device — the strip height of a single-row layout. *)

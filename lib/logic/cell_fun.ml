@@ -1,0 +1,74 @@
+type t = { name : string; core : Expr.t; fan_in : int }
+
+let letters = [| "A"; "B"; "C"; "D"; "E"; "F"; "G"; "H" |]
+
+let make name core = { name; core; fan_in = List.length (Expr.inputs core) }
+
+let inv = make "INV" (Expr.var "A")
+
+let nand n =
+  if n < 1 then invalid_arg "Cell_fun.nand";
+  if n = 1 then inv
+  else
+    make
+      (Printf.sprintf "NAND%d" n)
+      (Expr.and_list (List.init n (fun i -> Expr.var letters.(i))))
+
+let nor n =
+  if n < 1 then invalid_arg "Cell_fun.nor";
+  if n = 1 then inv
+  else
+    make
+      (Printf.sprintf "NOR%d" n)
+      (Expr.or_list (List.init n (fun i -> Expr.var letters.(i))))
+
+let v = Expr.var
+
+let aoi21 = make "AOI21" Expr.(and_list [ v "A1"; v "A2" ] ||| v "B")
+
+let aoi22 =
+  make "AOI22"
+    Expr.(and_list [ v "A1"; v "A2" ] ||| and_list [ v "B1"; v "B2" ])
+
+let aoi31 =
+  make "AOI31" Expr.(and_list [ v "A1"; v "A2"; v "A3" ] ||| v "B")
+
+let oai21 = make "OAI21" Expr.(and_list [ or_list [ v "A1"; v "A2" ]; v "B" ])
+
+let oai22 =
+  make "OAI22"
+    Expr.(
+      and_list
+        [ or_list [ v "A1"; v "A2" ]; or_list [ v "B1"; v "B2" ] ])
+
+let aoi211 =
+  make "AOI211" Expr.(or_list [ and_list [ v "A1"; v "A2" ]; v "B"; v "C" ])
+
+let oai211 =
+  make "OAI211"
+    Expr.(and_list [ or_list [ v "A1"; v "A2" ]; v "B"; v "C" ])
+
+let aoi222 =
+  make "AOI222"
+    Expr.(
+      or_list
+        [ and_list [ v "A1"; v "A2" ]; and_list [ v "B1"; v "B2" ];
+          and_list [ v "C1"; v "C2" ] ])
+
+let maj3_inv =
+  make "MAJ3I"
+    Expr.(
+      or_list
+        [ and_list [ v "A"; v "B" ]; and_list [ v "B"; v "C" ];
+          and_list [ v "A"; v "C" ] ])
+
+let all =
+  [ inv; nand 2; nand 3; nand 4; nor 2; nor 3; nor 4; aoi21; aoi22; oai21;
+    oai22; aoi31; aoi211; oai211; aoi222; maj3_inv ]
+
+let find name =
+  let up = String.uppercase_ascii name in
+  List.find (fun c -> c.name = up) all
+
+let output_expr c = Expr.Not c.core
+let truth c = Truth.of_expr (output_expr c)

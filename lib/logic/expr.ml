@@ -1,0 +1,91 @@
+type t =
+  | Const of bool
+  | Var of string
+  | Not of t
+  | And of t list
+  | Or of t list
+
+let var s = Var s
+let ( &&& ) a b = And [ a; b ]
+let ( ||| ) a b = Or [ a; b ]
+let not_ e = Not e
+let and_list es = And es
+let or_list es = Or es
+
+let inputs e =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go = function
+    | Const _ -> ()
+    | Var s ->
+      if not (Hashtbl.mem seen s) then begin
+        Hashtbl.add seen s ();
+        out := s :: !out
+      end
+    | Not e -> go e
+    | And es | Or es -> List.iter go es
+  in
+  go e;
+  List.rev !out
+
+let rec eval env = function
+  | Const b -> b
+  | Var s -> env s
+  | Not e -> not (eval env e)
+  | And es -> List.for_all (eval env) es
+  | Or es -> List.exists (eval env) es
+
+let rec is_positive = function
+  | Const _ | Not _ -> false
+  | Var _ -> true
+  | And es | Or es -> es <> [] && List.for_all is_positive es
+
+let rec simplify e =
+  match e with
+  | Const _ | Var _ -> e
+  | Not e' -> (
+    match simplify e' with
+    | Const b -> Const (not b)
+    | Not inner -> inner
+    | s -> Not s)
+  | And es -> simplify_nary true es
+  | Or es -> simplify_nary false es
+
+(* [conj = true] folds And (unit = true, absorbing = false); [false] folds
+   Or symmetrically. *)
+and simplify_nary conj es =
+  let unit_b = conj and absorb_b = not conj in
+  let flatten e acc =
+    match (conj, e) with
+    | true, And xs | false, Or xs -> xs @ acc
+    | _, x -> x :: acc
+  in
+  let es = List.map simplify es in
+  let es = List.fold_right flatten es [] in
+  if List.exists (fun e -> e = Const absorb_b) es then Const absorb_b
+  else
+    match List.filter (fun e -> e <> Const unit_b) es with
+    | [] -> Const unit_b
+    | [ e ] -> e
+    | es -> if conj then And es else Or es
+
+let equal a b = simplify a = simplify b
+
+let rec pp ppf = function
+  | Const b -> Format.pp_print_string ppf (if b then "1" else "0")
+  | Var s -> Format.pp_print_string ppf s
+  | Not e -> Format.fprintf ppf "(%a)'" pp e
+  | And es ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "*")
+         pp)
+      es
+  | Or es ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "+")
+         pp)
+      es
+
+let to_string e = Format.asprintf "%a" pp e

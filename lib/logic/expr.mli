@@ -1,0 +1,42 @@
+(** Boolean expressions over named inputs.
+
+    Static CNFET/CMOS gates realize inverting functions [F = (e)'] where [e]
+    is a positive (negation-free) expression over the cell inputs; [e]
+    directly describes the pull-down network and its dual the pull-up
+    network.  The expression type allows general negation so test oracles
+    can state arbitrary functions, but {!is_positive} identifies the
+    gate-realizable subset. *)
+
+type t =
+  | Const of bool
+  | Var of string
+  | Not of t
+  | And of t list
+  | Or of t list
+
+val var : string -> t
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val not_ : t -> t
+val and_list : t list -> t
+val or_list : t list -> t
+
+val inputs : t -> string list
+(** Distinct input names in first-appearance order. *)
+
+val eval : (string -> bool) -> t -> bool
+(** [eval env e] evaluates [e] under the assignment [env].
+    @raise Not_found if [env] raises on a used variable. *)
+
+val is_positive : t -> bool
+(** No [Not] and no [Const] anywhere — realizable as a transistor network. *)
+
+val simplify : t -> t
+(** Constant folding and flattening of nested [And]/[Or]; not a full
+    minimizer. *)
+
+val equal : t -> t -> bool
+(** Structural equality after {!simplify}. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,101 @@
+type node = Vdd | Gnd | Out | Internal of int
+
+type edge = {
+  src : node;
+  dst : node;
+  gates : string list;
+  polarity : Network.polarity;
+}
+
+type t = { mutable edges : edge list; mutable next_internal : int }
+
+let create () = { edges = []; next_internal = 0 }
+let add_edge t e = t.edges <- e :: t.edges
+let edges t = List.rev t.edges
+
+let fresh_internal t =
+  let n = Internal t.next_internal in
+  t.next_internal <- t.next_internal + 1;
+  n
+
+(* Expansion keeps series chains of plain devices as a single edge (one
+   series gate set) and breaks at parallel branches with internal nodes —
+   mirroring how diffusion strips are shared in a layout. *)
+let rec add_network t ~polarity ~src ~dst net =
+  match net with
+  | Network.Device g ->
+    add_edge t { src; dst; gates = [ g ]; polarity }
+  | Network.Parallel branches ->
+    List.iter (fun b -> add_network t ~polarity ~src ~dst b) branches
+  | Network.Series parts ->
+    let rec chain src = function
+      | [] -> ()
+      | [ last ] -> add_network t ~polarity ~src ~dst last
+      | part :: rest ->
+        (* merge consecutive plain devices into one edge *)
+        let mid = fresh_internal t in
+        add_network t ~polarity ~src ~dst:mid part;
+        chain mid rest
+    in
+    (match all_devices parts with
+    | Some gates -> add_edge t { src; dst; gates; polarity }
+    | None -> chain src parts)
+
+and all_devices parts =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | Network.Device g :: rest -> go (g :: acc) rest
+    | (Network.Series _ | Network.Parallel _) :: _ -> None
+  in
+  go [] parts
+
+let edge_conducts env e =
+  let on g =
+    match e.polarity with
+    | Network.N_type -> env g
+    | Network.P_type -> not (env g)
+  in
+  List.for_all on e.gates
+
+let conducting_between t env a b =
+  if a = b then true
+  else begin
+    (* BFS over conducting edges *)
+    let live = List.filter (edge_conducts env) t.edges in
+    let visited = Hashtbl.create 16 in
+    let rec bfs = function
+      | [] -> false
+      | n :: rest ->
+        if n = b then true
+        else if Hashtbl.mem visited n then bfs rest
+        else begin
+          Hashtbl.add visited n ();
+          let next =
+            List.filter_map
+              (fun e ->
+                if e.src = n then Some e.dst
+                else if e.dst = n then Some e.src
+                else None)
+              live
+          in
+          bfs (next @ rest)
+        end
+    in
+    bfs [ a ]
+  end
+
+let output_value t env =
+  let to_vdd = conducting_between t env Out Vdd
+  and to_gnd = conducting_between t env Out Gnd in
+  match (to_vdd, to_gnd) with
+  | true, false -> Truth.T
+  | false, true -> Truth.F
+  | true, true | false, false -> Truth.X
+
+let truth_table t ~inputs =
+  Truth.of_fun ~inputs (fun env -> output_value t env)
+
+let implements t e =
+  let inputs = Expr.inputs e in
+  let reference = Truth.of_expr (Expr.Not e) in
+  Truth.equal (truth_table t ~inputs) reference

@@ -1,0 +1,43 @@
+(** Switch-level conduction graphs.
+
+    A cell layout — intended or corrupted by mispositioned CNTs — induces a
+    multigraph whose nodes are metal contacts (Vdd, Gnd, Out, internal) and
+    whose edges are conduction channels controlled by a *series set* of
+    gates of one polarity.  Evaluating the graph under every input
+    assignment recovers the cell's (possibly ternary) output function,
+    which the fault simulator compares against the intended truth table. *)
+
+type node = Vdd | Gnd | Out | Internal of int
+
+type edge = {
+  src : node;
+  dst : node;
+  gates : string list;  (** all must conduct for the edge to conduct *)
+  polarity : Network.polarity;
+}
+
+type t
+
+val create : unit -> t
+val add_edge : t -> edge -> unit
+val edges : t -> edge list
+
+val add_network : t -> polarity:Network.polarity -> src:node -> dst:node
+  -> Network.t -> unit
+(** Expand a series/parallel network into edges between [src] and [dst],
+    allocating internal nodes for series junctions. *)
+
+val fresh_internal : t -> node
+
+val conducting_between : t -> (string -> bool) -> node -> node -> bool
+(** Is there a conducting path between the two nodes under the assignment? *)
+
+val output_value : t -> (string -> bool) -> Truth.value
+(** Output seen at [Out]: [T] when connected to Vdd only, [F] when to Gnd
+    only, [X] when to both (fight) or neither (floating). *)
+
+val truth_table : t -> inputs:string list -> Truth.t
+(** Tabulated {!output_value} over all assignments of [inputs]. *)
+
+val implements : t -> Expr.t -> bool
+(** Does the graph implement [F = (e)'] for the positive expression [e]? *)

@@ -1,0 +1,45 @@
+type t =
+  | Cnt_plane
+  | Ndoping
+  | Pdoping
+  | Etch
+  | Gate
+  | Contact
+  | Metal1
+  | Metal2
+  | Via1
+  | Pin
+  | Boundary
+
+let all =
+  [ Cnt_plane; Ndoping; Pdoping; Etch; Gate; Contact; Metal1; Metal2;
+    Via1; Pin; Boundary ]
+
+let gds_number = function
+  | Cnt_plane -> 100
+  | Ndoping -> 101
+  | Pdoping -> 102
+  | Etch -> 103
+  | Gate -> 110
+  | Contact -> 111
+  | Metal1 -> 112
+  | Metal2 -> 113
+  | Via1 -> 114
+  | Pin -> 120
+  | Boundary -> 121
+
+let name = function
+  | Cnt_plane -> "cnt"
+  | Ndoping -> "ndop"
+  | Pdoping -> "pdop"
+  | Etch -> "etch"
+  | Gate -> "gate"
+  | Contact -> "cont"
+  | Metal1 -> "met1"
+  | Metal2 -> "met2"
+  | Via1 -> "via1"
+  | Pin -> "pin"
+  | Boundary -> "bound"
+
+let of_gds_number n = List.find_opt (fun l -> gds_number l = n) all
+let pp ppf l = Format.pp_print_string ppf (name l)

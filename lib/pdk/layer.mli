@@ -1,0 +1,28 @@
+(** Layer table of the CNFET design platform.
+
+    The paper keeps the 65nm back-end layers (poly to metal-7) and replaces
+    bulk diffusion with a CNT plane over 10um of SiO2; etched regions and
+    the n+/p+ doping masks are CNFET-specific front-end layers.  GDS layer
+    numbers are assigned in a private range so streams remain readable by
+    standard viewers. *)
+
+type t =
+  | Cnt_plane  (** carbon-nanotube active plane (replaces diffusion) *)
+  | Ndoping  (** n+ doping mask (blue CNT segments in the paper) *)
+  | Pdoping  (** p+ doping mask (red CNT segments) *)
+  | Etch  (** etched-CNT region (old-style immune layouts only) *)
+  | Gate  (** polysilicon gate *)
+  | Contact  (** diffusion/CNT contact *)
+  | Metal1
+  | Metal2
+  | Via1
+  | Pin  (** logical pin marker layer *)
+  | Boundary  (** cell abutment boundary *)
+
+val all : t list
+val gds_number : t -> int
+(** GDS stream layer number. *)
+
+val name : t -> string
+val of_gds_number : int -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+type t = {
+  lambda_nm : float;
+  gate_len : int;
+  contact_len : int;
+  gate_contact_sp : int;
+  etch_len : int;
+  via_size : int;
+  via_pad_area : int;
+  min_width : int;
+  pin_size : int;
+  cnfet_pun_pdn_sep : int;
+  cmos_pun_pdn_sep : int;
+  cmos_pn_ratio : float;
+  rail_height : int;
+  cell_margin : int;
+}
+
+let default =
+  {
+    lambda_nm = 32.5;
+    gate_len = 2;
+    contact_len = 2;
+    gate_contact_sp = 1;
+    etch_len = 2;
+    via_size = 3;
+    via_pad_area = 6;
+    min_width = 3;
+    pin_size = 6;
+    cnfet_pun_pdn_sep = 6;
+    cmos_pun_pdn_sep = 10;
+    cmos_pn_ratio = 1.4;
+    rail_height = 2;
+    cell_margin = 1;
+  }
+
+let nm_of_lambda t n = float_of_int n *. t.lambda_nm
+
+let um2_of_lambda2 t a =
+  let nm2 = float_of_int a *. t.lambda_nm *. t.lambda_nm in
+  nm2 /. 1e6
+
+let validate t =
+  let checks =
+    [
+      (t.lambda_nm > 0., "lambda_nm must be positive");
+      (t.gate_len >= 2, "gate length below lithography limit");
+      (t.contact_len >= 2, "contact length below lithography limit");
+      (t.gate_contact_sp >= 1, "gate/contact spacing must be >= 1");
+      (t.etch_len >= 2, "etched region below lithography limit");
+      (t.via_size > t.gate_len, "via must be larger than the gate length");
+      (t.via_pad_area >= 0, "via pad area must be non-negative");
+      (t.min_width >= 1, "minimum width must be positive");
+      ( t.cnfet_pun_pdn_sep >= 2,
+        "CNFET PUN/PDN separation below lithography limit" );
+      ( t.cmos_pun_pdn_sep >= t.cnfet_pun_pdn_sep,
+        "CMOS diffusion spacing should dominate the CNFET one" );
+      (t.cmos_pn_ratio > 0., "CMOS P/N ratio must be positive");
+      (t.rail_height >= 1, "rail height must be positive");
+      (t.cell_margin >= 0, "cell margin must be non-negative");
+    ]
+  in
+  match List.find_opt (fun (ok, _) -> not ok) checks with
+  | Some (_, msg) -> Error msg
+  | None -> Ok ()
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>lambda=%.2fnm Lg=%d Lc=%d Lgs=%d etch=%d via=%d pad=%d@ \
+     min_w=%d pin=%d sep(cnfet)=%d sep(cmos)=%d pn=%.2f rail=%d margin=%d@]"
+    t.lambda_nm t.gate_len t.contact_len t.gate_contact_sp t.etch_len
+    t.via_size t.via_pad_area t.min_width t.pin_size t.cnfet_pun_pdn_sep
+    t.cmos_pun_pdn_sep t.cmos_pn_ratio t.rail_height t.cell_margin

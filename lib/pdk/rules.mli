@@ -1,0 +1,44 @@
+(** Lambda design rules of the emulated 65nm design platform.
+
+    The paper customizes an industrial 65nm CMOS platform: layers from
+    polysilicon to metal-7 are reused, a CNT plane replaces the silicon
+    diffusion, and all dimensions are expressed in the lambda convention
+    ([lambda = 32.5nm] at the 65nm node, so the minimum feature / gate
+    length [Lg = 2 lambda = 65nm]).  One record gathers every rule the
+    layout generators consume, so experiments can sweep them. *)
+
+type t = {
+  lambda_nm : float;  (** physical size of one lambda in nanometres *)
+  gate_len : int;  (** Lg, poly gate length in lambda (2) *)
+  contact_len : int;  (** Ls = Ld, source/drain contact length (2) *)
+  gate_contact_sp : int;  (** Lgs = Lgd, gate to contact spacing (1) *)
+  etch_len : int;  (** minimum etched-region length, lithography limited (2) *)
+  via_size : int;  (** via edge, larger than the gate length (3) *)
+  via_pad_area : int;
+      (** fixed metal landing-pad area charged per vertical-gating via of
+          the old-style layout, in lambda^2 *)
+  min_width : int;  (** minimum transistor (strip) width (3) *)
+  pin_size : int;  (** input pin edge; bounds PUN/PDN separation (6) *)
+  cnfet_pun_pdn_sep : int;
+      (** CNFET scheme-1 PUN-to-PDN spacing: max of lithography 2 lambda and
+          the pin size (6) *)
+  cmos_pun_pdn_sep : int;  (** CMOS n-to-p diffusion spacing (10) *)
+  cmos_pn_ratio : float;  (** CMOS pMOS/nMOS width ratio (1.4) *)
+  rail_height : int;  (** power-rail metal height per rail (2) *)
+  cell_margin : int;  (** margin from active to the cell boundary (1) *)
+}
+
+val default : t
+(** The 65nm rules used for every paper experiment. *)
+
+val nm_of_lambda : t -> int -> float
+(** Convert a lambda dimension to nanometres. *)
+
+val um2_of_lambda2 : t -> int -> float
+(** Convert a lambda^2 area to square micrometres. *)
+
+val validate : t -> (unit, string) result
+(** Sanity-check rule consistency (positivity, via larger than gate,
+    separations at least the lithography limit). *)
+
+val pp : Format.formatter -> t -> unit

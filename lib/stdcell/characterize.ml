@@ -1,0 +1,128 @@
+type arc = {
+  input : string;
+  load_inv1x : int;
+  rise_delay_s : float;
+  fall_delay_s : float;
+  avg_delay_s : float;
+  energy_per_cycle_j : float;
+}
+
+let sensitize fn ~input =
+  let expr = Logic.Cell_fun.output_expr fn in
+  let names = Logic.Expr.inputs fn.Logic.Cell_fun.core in
+  let others = List.filter (fun n -> n <> input) names in
+  let rec search i =
+    if i >= 1 lsl List.length others then raise Not_found
+    else begin
+      let env_others =
+        List.mapi (fun k n -> (n, (i lsr k) land 1 = 1)) others
+      in
+      let eval x =
+        Logic.Expr.eval
+          (fun n ->
+            if n = input then x
+            else List.assoc n env_others)
+          expr
+      in
+      if eval true <> eval false then env_others else search (i + 1)
+    end
+  in
+  search 0
+
+let vdd_of lib =
+  match (List.nth lib.Library.entries 0).Library.technology with
+  | Library.Cnfet_tech t -> t.Device.Cnfet.vdd
+  | Library.Cmos_tech t -> t.Device.Mosfet.vdd
+
+let arc ~lib (entry : Library.entry) ~input ~load_inv1x =
+  let vdd = vdd_of lib in
+  let period = 2e-9 in
+  let net = Circuit.Netlist.create () in
+  let vdd_node = Circuit.Netlist.node net "vdd" in
+  let vdd_meas = Circuit.Netlist.node net "vdd_meas" in
+  Circuit.Netlist.add_vsource net vdd_node (Circuit.Stimulus.dc vdd);
+  Circuit.Netlist.add_vsource net vdd_meas (Circuit.Stimulus.dc vdd);
+  let out = Circuit.Netlist.node net "out" in
+  let in_node = Circuit.Netlist.node net "in" in
+  Circuit.Netlist.add_vsource net in_node
+    (Circuit.Stimulus.pulse ~period ~rise:(period /. 100.) ~lo:0. ~hi:vdd);
+  let side = sensitize entry.Library.fn ~input in
+  let side_nodes =
+    List.map
+      (fun (n, v) ->
+        let node = Circuit.Netlist.node net ("side_" ^ n) in
+        Circuit.Netlist.add_vsource net node
+          (Circuit.Stimulus.dc (if v then vdd else 0.));
+        (n, node))
+      side
+  in
+  let inputs = (input, in_node) :: side_nodes in
+  Gate_netlist.add_gate net (Library.factory lib) ~fn:entry.Library.fn
+    ~drive:entry.Library.width_lambda_base ~prefix:"dut" ~out ~inputs
+    ~vdd:vdd_meas;
+  (* INV1X loads *)
+  let inv = Logic.Cell_fun.inv in
+  for k = 1 to load_inv1x do
+    let dummy = Circuit.Netlist.node net (Printf.sprintf "load%d" k) in
+    Gate_netlist.add_gate net (Library.factory lib) ~fn:inv
+      ~drive:Library.base_width_lambda
+      ~prefix:(Printf.sprintf "ld%d" k)
+      ~out:dummy ~inputs:[ ("A", out) ] ~vdd:vdd_node
+  done;
+  let config =
+    { Circuit.Transient.default_config with Circuit.Transient.t_stop = 3. *. period }
+  in
+  let r = Circuit.Transient.run ~config net ~probes:[ in_node; out ] in
+  let w_in = Circuit.Transient.wave r in_node in
+  let w_out = Circuit.Transient.wave r out in
+  let level = vdd /. 2. in
+  let steady = List.filter (fun (t, _) -> t > period) in
+  let in_x = steady (Circuit.Waveform.crossings w_in ~level) in
+  let out_x = steady (Circuit.Waveform.crossings w_out ~level) in
+  let delays dir =
+    List.filter_map
+      (fun (ti, d) ->
+        if d <> dir then None
+        else
+          match List.find_opt (fun (to_, _) -> to_ > ti) out_x with
+          | Some (to_, _) -> Some (to_ -. ti)
+          | None -> None)
+      in_x
+  in
+  let mean = function
+    | [] -> nan
+    | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+  in
+  (* the output may follow or invert the pin depending on the cell; rising
+     output delays pair with whichever input direction produced them *)
+  let d_after dir = mean (delays dir) in
+  let d_rise_in = d_after Circuit.Waveform.Rising in
+  let d_fall_in = d_after Circuit.Waveform.Falling in
+  if Float.is_nan d_rise_in && Float.is_nan d_fall_in then
+    failwith
+      (Printf.sprintf "Characterize.arc: %s/%s never switched"
+         entry.Library.cell_name input);
+  let energy = Circuit.Transient.energy_from r vdd_meas /. 3. in
+  let rise_delay_s = d_fall_in and fall_delay_s = d_rise_in in
+  {
+    input;
+    load_inv1x;
+    rise_delay_s;
+    fall_delay_s;
+    avg_delay_s = mean (List.filter (fun x -> not (Float.is_nan x)) [ rise_delay_s; fall_delay_s ]);
+    energy_per_cycle_j = energy;
+  }
+
+let all_arcs ~lib entry ~load_inv1x =
+  List.map
+    (fun input -> arc ~lib entry ~input ~load_inv1x)
+    (Logic.Expr.inputs entry.Library.fn.Logic.Cell_fun.core)
+
+let worst_delay arcs =
+  List.fold_left (fun acc a -> Float.max acc a.avg_delay_s) 0. arcs
+
+let total_energy = function
+  | [] -> 0.
+  | arcs ->
+    List.fold_left (fun acc a -> acc +. a.energy_per_cycle_j) 0. arcs
+    /. float_of_int (List.length arcs)

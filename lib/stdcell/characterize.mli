@@ -1,0 +1,31 @@
+(** Cell characterization through the transient simulator.
+
+    For every input pin the cell is sensitized (side inputs held at values
+    that make the output follow the pin), driven with a pulse, and loaded
+    with a number of INV1X gates of the same library — the sizing
+    methodology of Section IV.A.  Results feed the Liberty-style export
+    and the case-study comparisons. *)
+
+type arc = {
+  input : string;
+  load_inv1x : int;
+  rise_delay_s : float;  (** input edge to rising output, 50%-50% *)
+  fall_delay_s : float;
+  avg_delay_s : float;
+  energy_per_cycle_j : float;
+}
+
+val sensitize : Logic.Cell_fun.t -> input:string -> (string * bool) list
+(** Side-input values under which the output toggles when [input] toggles.
+    @raise Not_found when the input cannot control the output. *)
+
+val arc : lib:Library.t -> Library.entry -> input:string -> load_inv1x:int
+  -> arc
+(** Simulate one pin.  @raise Failure when the output never switches. *)
+
+val all_arcs : lib:Library.t -> Library.entry -> load_inv1x:int -> arc list
+(** One arc per input pin. *)
+
+val worst_delay : arc list -> float
+val total_energy : arc list -> float
+(** Mean switching energy over the arcs. *)

@@ -1,0 +1,44 @@
+type factory =
+  polarity:Device.Model.polarity -> width_lambda:int -> name:string
+  -> Device.Model.t
+
+let add_gate net factory ~fn ~drive ~prefix ~out ~inputs ~vdd =
+  let core = fn.Logic.Cell_fun.core in
+  let pdn = Logic.Network.of_expr core in
+  let pun = Logic.Network.dual pdn in
+  let input_node g =
+    match List.assoc_opt g inputs with
+    | Some n -> n
+    | None -> invalid_arg ("Gate_netlist.add_gate: unbound input " ^ g)
+  in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Circuit.Netlist.node net (Printf.sprintf "%s_i%d" prefix !counter)
+  in
+  let expand ~polarity ~widths ~rail network =
+    let rec go ~src ~dst = function
+      | Logic.Network.Device g ->
+        let width_lambda = Layout.Sizing.lookup widths g in
+        let name = Printf.sprintf "%s_%s" prefix g in
+        let model = factory ~polarity ~width_lambda ~name in
+        Circuit.Netlist.add_device net model ~g:(input_node g) ~d:dst ~s:src
+      | Logic.Network.Parallel branches ->
+        List.iter (fun b -> go ~src ~dst b) branches
+      | Logic.Network.Series parts ->
+        let rec chain src = function
+          | [] -> ()
+          | [ last ] -> go ~src ~dst last
+          | p :: rest ->
+            let mid = fresh () in
+            go ~src ~dst:mid p;
+            chain mid rest
+        in
+        chain src parts
+    in
+    go ~src:rail ~dst:out network
+  in
+  let pdn_w = Layout.Sizing.widths ~base:drive pdn in
+  let pun_w = Layout.Sizing.widths ~base:drive pun in
+  expand ~polarity:Device.Model.Nfet ~widths:pdn_w ~rail:Circuit.Netlist.gnd pdn;
+  expand ~polarity:Device.Model.Pfet ~widths:pun_w ~rail:vdd pun

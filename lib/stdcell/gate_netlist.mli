@@ -1,0 +1,20 @@
+(** Expand a logic cell into transistors inside a circuit netlist.
+
+    The PDN hangs between the output and ground, the PUN between the output
+    and the supply; series compositions create internal diffusion nodes.
+    Device sizing mirrors the layout generator ({!Layout.Sizing}): a device
+    on a path of [k] series transistors is drawn [k] times wider. *)
+
+type factory =
+  polarity:Device.Model.polarity -> width_lambda:int -> name:string
+  -> Device.Model.t
+(** Technology hook: returns the transistor model for a device of the given
+    drawn width. *)
+
+val add_gate : Circuit.Netlist.t -> factory -> fn:Logic.Cell_fun.t
+  -> drive:int -> prefix:string -> out:Circuit.Netlist.node
+  -> inputs:(string * Circuit.Netlist.node) list -> vdd:Circuit.Netlist.node
+  -> unit
+(** Instantiate the gate.  [prefix] namespaces internal nodes; [inputs]
+    maps the cell's formal input names to circuit nodes.
+    @raise Invalid_argument on a missing input binding. *)

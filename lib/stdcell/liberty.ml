@@ -1,0 +1,57 @@
+let cell_to_string ~lib (entry : Library.entry) arcs =
+  let b = Buffer.create 512 in
+  let rules = lib.Library.rules in
+  let area_um2 =
+    Pdk.Rules.um2_of_lambda2 rules
+      (Layout.Cell.footprint_area entry.Library.scheme1)
+  in
+  Buffer.add_string b (Printf.sprintf "  cell (%s) {\n" entry.Library.cell_name);
+  Buffer.add_string b (Printf.sprintf "    area : %.4f;\n" area_um2);
+  Buffer.add_string b
+    (Printf.sprintf "    cell_footprint : \"%s\";\n"
+       entry.Library.fn.Logic.Cell_fun.name);
+  let out_fn =
+    Logic.Expr.to_string (Logic.Cell_fun.output_expr entry.Library.fn)
+  in
+  Buffer.add_string b "    pin (Z) {\n      direction : output;\n";
+  Buffer.add_string b (Printf.sprintf "      function : \"%s\";\n" out_fn);
+  List.iter
+    (fun (a : Characterize.arc) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "      timing () { related_pin : \"%s\"; cell_rise : %.4g; \
+            cell_fall : %.4g; }\n"
+           a.Characterize.input
+           (a.Characterize.rise_delay_s *. 1e9)
+           (a.Characterize.fall_delay_s *. 1e9)))
+    arcs;
+  Buffer.add_string b "    }\n";
+  List.iter
+    (fun (a : Characterize.arc) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    pin (%s) { direction : input; internal_energy : %.4g; }\n"
+           a.Characterize.input
+           (a.Characterize.energy_per_cycle_j *. 1e15)))
+    arcs;
+  Buffer.add_string b "  }\n";
+  Buffer.contents b
+
+let library_to_string ~lib cells =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Printf.sprintf "library (%s) {\n" lib.Library.lib_name);
+  Buffer.add_string b "  time_unit : \"1ns\";\n";
+  Buffer.add_string b "  capacitive_load_unit (1, ff);\n";
+  Buffer.add_string b "  /* energies in fJ per switching cycle */\n";
+  List.iter
+    (fun (entry, arcs) ->
+      Buffer.add_string b (cell_to_string ~lib entry arcs))
+    cells;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let write_file path ~lib cells =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (library_to_string ~lib cells))

@@ -1,0 +1,11 @@
+(** Liberty-flavoured text export of a characterized library, so the design
+    kit produces the artefact a conventional synthesis flow expects. *)
+
+val cell_to_string : lib:Library.t -> Library.entry -> Characterize.arc list
+  -> string
+
+val library_to_string : lib:Library.t
+  -> (Library.entry * Characterize.arc list) list -> string
+
+val write_file : string -> lib:Library.t
+  -> (Library.entry * Characterize.arc list) list -> unit

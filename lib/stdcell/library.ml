@@ -1,0 +1,101 @@
+type technology = Cnfet_tech of Device.Cnfet.tech | Cmos_tech of Device.Mosfet.tech
+
+type entry = {
+  cell_name : string;
+  fn : Logic.Cell_fun.t;
+  drive : int;
+  technology : technology;
+  scheme1 : Layout.Cell.t;
+  scheme2 : Layout.Cell.t;
+  width_lambda_base : int;
+}
+
+type t = {
+  lib_name : string;
+  rules : Pdk.Rules.t;
+  entries : entry list;
+}
+
+let base_width_lambda = Pdk.Rules.default.Pdk.Rules.min_width
+
+let optimal_pitch_nm = 5.0
+
+let tubes_for _tech ~rules ~width_lambda =
+  let width_nm = Pdk.Rules.nm_of_lambda rules width_lambda in
+  max 1 (1 + int_of_float (Float.round (width_nm /. optimal_pitch_nm)))
+
+let factory t ~polarity ~width_lambda ~name =
+  match
+    (List.nth_opt t.entries 0, t.entries)
+  with
+  | None, _ | _, [] -> invalid_arg "Library.factory: empty library"
+  | Some e, _ -> (
+    match e.technology with
+    | Cnfet_tech tech ->
+      let width_nm = Pdk.Rules.nm_of_lambda t.rules width_lambda in
+      let tubes = tubes_for tech ~rules:t.rules ~width_lambda in
+      Device.Cnfet.make tech ~name ~polarity ~tubes ~width_nm ()
+    | Cmos_tech tech ->
+      let scale =
+        match polarity with
+        | Device.Model.Pfet -> t.rules.Pdk.Rules.cmos_pn_ratio
+        | Device.Model.Nfet -> 1.
+      in
+      let width_nm = Pdk.Rules.nm_of_lambda t.rules width_lambda *. scale in
+      Device.Mosfet.make tech ~name ~polarity ~width_nm ())
+
+let entry_of ~rules ~technology ~style fn drive =
+  let base = drive * base_width_lambda in
+  let scheme1 =
+    Layout.Cell.make ~rules ~fn ~style ~scheme:Layout.Cell.Scheme1 ~drive:base
+  in
+  let scheme2 =
+    Layout.Cell.make ~rules ~fn ~style ~scheme:Layout.Cell.Scheme2 ~drive:base
+  in
+  {
+    cell_name = Printf.sprintf "%s_%dX" fn.Logic.Cell_fun.name drive;
+    fn;
+    drive;
+    technology;
+    scheme1;
+    scheme2;
+    width_lambda_base = base;
+  }
+
+let catalog = Logic.Cell_fun.all
+
+let build ~lib_name ~rules ~technology ~style ~drives =
+  let sized_fns = [ Logic.Cell_fun.inv; Logic.Cell_fun.nand 2 ] in
+  let sized =
+    List.concat_map
+      (fun fn ->
+        List.map (fun d -> entry_of ~rules ~technology ~style fn d) drives)
+      sized_fns
+  in
+  let table1 =
+    List.filter_map
+      (fun fn ->
+        if List.exists (fun f -> f.Logic.Cell_fun.name = fn.Logic.Cell_fun.name) sized_fns
+        then None
+        else Some (entry_of ~rules ~technology ~style fn 1))
+      catalog
+  in
+  { lib_name; rules; entries = sized @ table1 }
+
+let cnfet ?(tech = Device.Cnfet.default_tech) ?(rules = Pdk.Rules.default)
+    ~drives () =
+  build ~lib_name:"cnfet65" ~rules ~technology:(Cnfet_tech tech)
+    ~style:Layout.Cell.Immune_new ~drives
+
+let cmos ?(tech = Device.Mosfet.default_tech) ?(rules = Pdk.Rules.default)
+    ~drives () =
+  build ~lib_name:"cmos65" ~rules ~technology:(Cmos_tech tech)
+    ~style:Layout.Cell.Cmos ~drives
+
+let find t ~name ~drive =
+  List.find
+    (fun e -> e.fn.Logic.Cell_fun.name = String.uppercase_ascii name && e.drive = drive)
+    t.entries
+
+let cell_height_scheme1 t =
+  List.fold_left (fun acc e -> max acc e.scheme1.Layout.Cell.height) 0 t.entries

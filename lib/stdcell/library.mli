@@ -1,0 +1,51 @@
+(** The CNFET standard-cell library (and its CMOS reference twin).
+
+    Cells are generated, not drawn: each entry carries the immune layouts
+    in both schemes, the CMOS reference layout, and a transistor factory
+    for simulation.  Following Section IV, "all the cells in the library
+    are designed with reference to the smallest inverter (INV1X)"; drive
+    strength [k] scales the base transistor width [k] times. *)
+
+type technology = Cnfet_tech of Device.Cnfet.tech | Cmos_tech of Device.Mosfet.tech
+
+type entry = {
+  cell_name : string;  (** e.g. "NAND2_2X" *)
+  fn : Logic.Cell_fun.t;
+  drive : int;  (** multiple of the INV1X base width *)
+  technology : technology;
+  scheme1 : Layout.Cell.t;
+  scheme2 : Layout.Cell.t;
+  width_lambda_base : int;  (** drawn base transistor width *)
+}
+
+type t = {
+  lib_name : string;
+  rules : Pdk.Rules.t;
+  entries : entry list;
+}
+
+val base_width_lambda : int
+(** Unit transistor width of INV1X (the rules' minimum width). *)
+
+val tubes_for : Device.Cnfet.tech -> rules:Pdk.Rules.t -> width_lambda:int -> int
+(** Tube count at the technology's optimal pitch for a gate of the given
+    drawn width (at least one tube). *)
+
+val factory : t -> Gate_netlist.factory
+(** Transistor factory for the library's technology; CNFET widths are
+    populated with tubes at the optimal pitch, CMOS pMOS widths are scaled
+    by the rules' P/N ratio. *)
+
+val cnfet : ?tech:Device.Cnfet.tech -> ?rules:Pdk.Rules.t -> drives:int list
+  -> unit -> t
+(** CNFET library over INV and NAND2 plus the Table 1 catalog at drive 1,
+    and all [drives] for INV/NAND2 (the full-adder case study sizes). *)
+
+val cmos : ?tech:Device.Mosfet.tech -> ?rules:Pdk.Rules.t -> drives:int list
+  -> unit -> t
+
+val find : t -> name:string -> drive:int -> entry
+(** @raise Not_found. *)
+
+val cell_height_scheme1 : t -> int
+(** Standardized scheme-1 cell height: the tallest scheme-1 cell. *)

@@ -1,0 +1,215 @@
+(* Circuit simulator tests: netlist bookkeeping, stimuli, waveform
+   measurements, transient behaviour of known circuits, and the FO4
+   harness. *)
+
+let checkb = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf eps = Alcotest.(check (float eps))
+
+let netlist_nodes () =
+  let net = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.node net "a" in
+  let b = Circuit.Netlist.node net "b" in
+  checkb "distinct" true (a <> b);
+  check_int "memoized" a (Circuit.Netlist.node net "a");
+  Alcotest.(check string) "name round trip" "a" (Circuit.Netlist.name_of net a);
+  checkb "gnd is node 0" true (Circuit.Netlist.gnd = 0)
+
+let netlist_caps () =
+  let net = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.node net "a" in
+  Circuit.Netlist.add_cap net a 1e-15;
+  Circuit.Netlist.add_cap net a 2e-15;
+  checkf 1e-18 "caps accumulate" 3e-15 (Circuit.Netlist.cap_of net a);
+  Circuit.Netlist.add_cap net Circuit.Netlist.gnd 5e-15;
+  checkf 1e-18 "gnd cap ignored" 0. (Circuit.Netlist.cap_of net Circuit.Netlist.gnd);
+  Alcotest.check_raises "negative cap"
+    (Invalid_argument "Netlist.add_cap: negative capacitance") (fun () ->
+      Circuit.Netlist.add_cap net a (-1e-15))
+
+let netlist_device_caps () =
+  let net = Circuit.Netlist.create () in
+  let g = Circuit.Netlist.node net "g"
+  and d = Circuit.Netlist.node net "d" in
+  let m =
+    Device.Mosfet.make Device.Mosfet.default_tech ~polarity:Device.Model.Nfet
+      ~width_nm:130. ()
+  in
+  Circuit.Netlist.add_device net m ~g ~d ~s:Circuit.Netlist.gnd;
+  checkb "gate cap lumped" true (Circuit.Netlist.cap_of net g > 0.);
+  checkb "drain cap lumped" true (Circuit.Netlist.cap_of net d > 0.)
+
+let stimulus_shapes () =
+  checkf 1e-12 "dc" 0.7 (Circuit.Stimulus.dc 0.7 123.);
+  checkf 1e-12 "step before" 0. (Circuit.Stimulus.step ~at:1. ~lo:0. ~hi:1. 0.5);
+  checkf 1e-12 "step after" 1. (Circuit.Stimulus.step ~at:1. ~lo:0. ~hi:1. 1.5);
+  checkf 1e-12 "ramp mid" 0.5
+    (Circuit.Stimulus.ramp ~at:0. ~rise:1. ~lo:0. ~hi:1. 0.5);
+  let p = Circuit.Stimulus.pulse ~period:1. ~rise:0.01 ~lo:0. ~hi:1. in
+  checkf 1e-12 "pulse low phase" 0. (p 0.25);
+  checkf 1e-12 "pulse high phase" 1. (p 0.75);
+  checkf 1e-6 "pulse continuous at period" (p 0.9999) (p (-0.0001) +. 1. -. 1.);
+  checkf 1e-12 "pulse periodic" (p 0.3) (p 1.3)
+
+let waveform_measurements () =
+  let w = Circuit.Waveform.create () in
+  List.iteri
+    (fun i v -> Circuit.Waveform.push w (float_of_int i) v)
+    [ 0.; 0.; 1.; 1.; 0. ];
+  check_int "length" 5 (Circuit.Waveform.length w);
+  checkf 1e-9 "interp" 0.5 (Circuit.Waveform.value_at w 1.5);
+  checkf 1e-9 "clamp left" 0. (Circuit.Waveform.value_at w (-5.));
+  let xs = Circuit.Waveform.crossings w ~level:0.5 in
+  check_int "two crossings" 2 (List.length xs);
+  (match xs with
+  | [ (t1, d1); (t2, d2) ] ->
+    checkf 1e-9 "rising at 1.5" 1.5 t1;
+    checkb "rising" true (d1 = Circuit.Waveform.Rising);
+    checkf 1e-9 "falling at 3.5" 3.5 t2;
+    checkb "falling" true (d2 = Circuit.Waveform.Falling)
+  | _ -> Alcotest.fail "bad crossings");
+  let delays =
+    Circuit.Waveform.propagation_delays ~input:w ~output:w ~level:0.5
+  in
+  check_int "self delay count" 1 (List.length delays)
+
+(* RC discharge through an ideal-ish nFET: output must fall to ground *)
+let transient_discharge () =
+  let net = Circuit.Netlist.create () in
+  let vdd = Circuit.Netlist.node net "vdd" in
+  Circuit.Netlist.add_vsource net vdd (Circuit.Stimulus.dc 1.);
+  let out = Circuit.Netlist.node net "out" in
+  Circuit.Netlist.add_cap net out 1e-15;
+  let g = Circuit.Netlist.node net "gate" in
+  Circuit.Netlist.add_vsource net g (Circuit.Stimulus.step ~at:0.2e-9 ~lo:0. ~hi:1.);
+  let m =
+    Device.Mosfet.make Device.Mosfet.default_tech ~polarity:Device.Model.Nfet
+      ~width_nm:130. ()
+  in
+  Circuit.Netlist.add_device net m ~g ~d:out ~s:Circuit.Netlist.gnd;
+  (* precharge by initial condition: out starts at 0; charge it first with a
+     pFET tied on *)
+  let p =
+    Device.Mosfet.make Device.Mosfet.default_tech ~polarity:Device.Model.Pfet
+      ~width_nm:260. ()
+  in
+  let pg = Circuit.Netlist.node net "pgate" in
+  Circuit.Netlist.add_vsource net pg (Circuit.Stimulus.step ~at:0.2e-9 ~lo:0. ~hi:1.);
+  Circuit.Netlist.add_device net p ~g:pg ~d:out ~s:vdd;
+  let config =
+    { Circuit.Transient.default_config with Circuit.Transient.t_stop = 1e-9 }
+  in
+  let r = Circuit.Transient.run ~config net ~probes:[ out ] in
+  let w = Circuit.Transient.wave r out in
+  checkb "charged high before switch" true
+    (Circuit.Waveform.value_at w 0.19e-9 > 0.9);
+  checkb "discharged low at end" true (Circuit.Waveform.last_value w < 0.05);
+  checkb "steps happened" true (r.Circuit.Transient.steps > 10)
+
+let transient_energy_cv2 () =
+  (* charging C through a pFET from vdd draws ~ C*V^2 from the supply *)
+  let net = Circuit.Netlist.create () in
+  let vdd = Circuit.Netlist.node net "vdd" in
+  Circuit.Netlist.add_vsource net vdd (Circuit.Stimulus.dc 1.);
+  let out = Circuit.Netlist.node net "out" in
+  let c_load = 10e-15 in
+  Circuit.Netlist.add_cap net out c_load;
+  let pg = Circuit.Netlist.node net "pg" in
+  Circuit.Netlist.add_vsource net pg (Circuit.Stimulus.step ~at:0.1e-9 ~lo:1. ~hi:0.);
+  let p =
+    Device.Mosfet.make Device.Mosfet.default_tech ~polarity:Device.Model.Pfet
+      ~width_nm:600. ()
+  in
+  Circuit.Netlist.add_device net p ~g:pg ~d:out ~s:vdd;
+  let config =
+    { Circuit.Transient.default_config with Circuit.Transient.t_stop = 3e-9 }
+  in
+  let r = Circuit.Transient.run ~config net ~probes:[ out ] in
+  let e = Circuit.Transient.energy_from r vdd in
+  (* allow the pFET drain parasitic to add a little *)
+  checkb "energy ~ C V^2" true (e > 0.9 *. c_load && e < 1.3 *. c_load)
+
+let inverter_dc_inversion () =
+  let tech = Device.Cnfet.default_tech in
+  let net = Circuit.Netlist.create () in
+  let vdd = Circuit.Netlist.node net "vdd" in
+  Circuit.Netlist.add_vsource net vdd (Circuit.Stimulus.dc 1.);
+  let input = Circuit.Netlist.node net "in" in
+  Circuit.Netlist.add_vsource net input
+    (Circuit.Stimulus.pulse ~period:1e-9 ~rise:10e-12 ~lo:0. ~hi:1.);
+  let out = Circuit.Netlist.node net "out" in
+  let p = Device.Cnfet.make tech ~polarity:Device.Model.Pfet ~tubes:4 ~width_nm:130. () in
+  let n = Device.Cnfet.make tech ~polarity:Device.Model.Nfet ~tubes:4 ~width_nm:130. () in
+  Circuit.Netlist.add_device net p ~g:input ~d:out ~s:vdd;
+  Circuit.Netlist.add_device net n ~g:input ~d:out ~s:Circuit.Netlist.gnd;
+  let config =
+    { Circuit.Transient.default_config with Circuit.Transient.t_stop = 2e-9 }
+  in
+  let r = Circuit.Transient.run ~config net ~probes:[ input; out ] in
+  let w = Circuit.Transient.wave r out in
+  (* input low in (0.1, 0.5)ns -> out high; input high in (0.6, 1.0) -> low *)
+  checkb "out high when in low" true (Circuit.Waveform.value_at w 0.4e-9 > 0.9);
+  checkb "out low when in high" true (Circuit.Waveform.value_at w 0.9e-9 < 0.1)
+
+let fo4_measurement_sane () =
+  let tech = Device.Cnfet.default_tech in
+  let inv () =
+    {
+      Circuit.Inverter_chain.pull_up =
+        Device.Cnfet.make tech ~polarity:Device.Model.Pfet ~tubes:4 ~width_nm:130. ();
+      pull_down =
+        Device.Cnfet.make tech ~polarity:Device.Model.Nfet ~tubes:4 ~width_nm:130. ();
+    }
+  in
+  let m = Circuit.Inverter_chain.fo4 ~vdd:1.0 inv in
+  checkb "delay positive" true (m.Circuit.Inverter_chain.delay > 0.);
+  checkb "delay sub-ns" true (m.Circuit.Inverter_chain.delay < 1e-9);
+  checkb "energy positive" true (m.Circuit.Inverter_chain.energy_per_cycle > 0.);
+  checkb "rise and fall both measured" true
+    (Float.is_finite m.Circuit.Inverter_chain.rise_delay
+    && Float.is_finite m.Circuit.Inverter_chain.fall_delay)
+
+let fo4_fanout_slows () =
+  let tech = Device.Cnfet.default_tech in
+  let inv () =
+    {
+      Circuit.Inverter_chain.pull_up =
+        Device.Cnfet.make tech ~polarity:Device.Model.Pfet ~tubes:4 ~width_nm:130. ();
+      pull_down =
+        Device.Cnfet.make tech ~polarity:Device.Model.Nfet ~tubes:4 ~width_nm:130. ();
+    }
+  in
+  let d fanout =
+    (Circuit.Inverter_chain.fo4 ~vdd:1.0 ~fanout inv).Circuit.Inverter_chain.delay
+  in
+  checkb "FO8 slower than FO2" true (d 8 > 1.5 *. d 2)
+
+let fo4_bad_stage_rejected () =
+  let tech = Device.Cnfet.default_tech in
+  let inv () =
+    {
+      Circuit.Inverter_chain.pull_up =
+        Device.Cnfet.make tech ~polarity:Device.Model.Pfet ~tubes:1 ~width_nm:130. ();
+      pull_down =
+        Device.Cnfet.make tech ~polarity:Device.Model.Nfet ~tubes:1 ~width_nm:130. ();
+    }
+  in
+  Alcotest.check_raises "stage out of range"
+    (Invalid_argument "Inverter_chain.fo4: measured stage out of range")
+    (fun () ->
+      ignore (Circuit.Inverter_chain.fo4 ~measured_stage:9 ~vdd:1.0 inv))
+
+let suite =
+  [
+    Alcotest.test_case "netlist nodes" `Quick netlist_nodes;
+    Alcotest.test_case "netlist caps" `Quick netlist_caps;
+    Alcotest.test_case "device caps lumped" `Quick netlist_device_caps;
+    Alcotest.test_case "stimulus shapes" `Quick stimulus_shapes;
+    Alcotest.test_case "waveform measurements" `Quick waveform_measurements;
+    Alcotest.test_case "transient discharge" `Quick transient_discharge;
+    Alcotest.test_case "supply energy ~ CV^2" `Quick transient_energy_cv2;
+    Alcotest.test_case "inverter inverts" `Quick inverter_dc_inversion;
+    Alcotest.test_case "FO4 measurement sane" `Slow fo4_measurement_sane;
+    Alcotest.test_case "fanout slows the chain" `Slow fo4_fanout_slows;
+    Alcotest.test_case "FO4 bad stage rejected" `Quick fo4_bad_stage_rejected;
+  ]

@@ -1,0 +1,97 @@
+(* Core-facade tests: synthesis API, the Table 1 comparison machinery and
+   the figure-of-merit helpers. *)
+
+let checkb = Alcotest.(check bool)
+
+let of_expr_positive_only () =
+  checkb "positive accepted" true
+    (match
+       Cnfet.Synthesis.of_expr ~name:"AND_OR"
+         Logic.Expr.(Or [ And [ var "A"; var "B" ]; var "C" ])
+     with
+    | _ -> true);
+  Alcotest.check_raises "negation rejected"
+    (Invalid_argument "Synthesis.of_expr: pull-down expression must be positive")
+    (fun () ->
+      ignore (Cnfet.Synthesis.of_expr ~name:"BAD" Logic.Expr.(Not (var "A"))))
+
+let request_defaults () =
+  let r = Cnfet.Synthesis.request (Logic.Cell_fun.nand 2) in
+  Alcotest.(check int) "default drive" 4 r.Cnfet.Synthesis.drive;
+  checkb "default scheme 1" true (r.Cnfet.Synthesis.scheme = Layout.Cell.Scheme1)
+
+let immune_cell_roundtrip () =
+  let r = Cnfet.Synthesis.request ~drive:6 (Logic.Cell_fun.aoi21) in
+  let c = Cnfet.Synthesis.immune_cell r in
+  checkb "correct function" true (Layout.Cell.check_function c = Ok ());
+  let old_c, vuln, cmos = Cnfet.Synthesis.reference_cells r in
+  checkb "references share the function" true
+    (Layout.Cell.check_function old_c = Ok ()
+    && Layout.Cell.check_function vuln = Ok ()
+    && Layout.Cell.check_function cmos = Ok ())
+
+let table1_rows_complete () =
+  let rows = Cnfet.Compare.table1 () in
+  Alcotest.(check int) "9 cells x 4 sizes" 36 (List.length rows);
+  List.iter
+    (fun (r : Cnfet.Compare.row) ->
+      checkb "new never bigger" true
+        (r.Cnfet.Compare.area_new <= r.Cnfet.Compare.area_old))
+    rows
+
+let table1_close_to_paper_for_nands () =
+  let rows = Cnfet.Compare.table1 () in
+  List.iter
+    (fun (name, paper_cells) ->
+      List.iter
+        (fun (size, paper_pct) ->
+          let r =
+            List.find
+              (fun (r : Cnfet.Compare.row) ->
+                r.Cnfet.Compare.cell_name = name
+                && r.Cnfet.Compare.size_lambda = size)
+              rows
+          in
+          checkb
+            (Printf.sprintf "%s@%d within 2.5pp of paper" name size)
+            true
+            (Float.abs (r.Cnfet.Compare.saving_pct -. paper_pct) < 2.5))
+        paper_cells)
+    (List.filter
+       (fun (n, _) -> List.mem n [ "INV"; "NAND2"; "NOR2"; "NAND3"; "NOR3" ])
+       Cnfet.Compare.paper_table1)
+
+let footprint_gain_shape () =
+  let g w = (Cnfet.Compare.inverter_footprint ~width:w ()).Cnfet.Compare.gain in
+  checkb "all gains > 1" true (List.for_all (fun w -> g w > 1.) [ 3; 4; 6; 10 ]);
+  checkb "declining beyond 4" true (g 4 >= g 6 && g 6 >= g 10)
+
+let metrics_math () =
+  let p = { Cnfet.Metrics.delay_s = 2.; energy_j = 3.; area_lambda2 = 4. } in
+  Alcotest.(check (float 1e-9)) "edp" 6. (Cnfet.Metrics.edp p);
+  Alcotest.(check (float 1e-9)) "edap" 24. (Cnfet.Metrics.edap p);
+  let q = { Cnfet.Metrics.delay_s = 1.; energy_j = 1.; area_lambda2 = 1. } in
+  Alcotest.(check (float 1e-9)) "edp gain" 6. (Cnfet.Metrics.edp_gain ~baseline:p q);
+  Alcotest.(check (float 1e-9)) "edap gain" 24.
+    (Cnfet.Metrics.edap_gain ~baseline:p q)
+
+let gds_bytes_nonempty () =
+  let r = Cnfet.Synthesis.request (Logic.Cell_fun.nand 3) in
+  let c = Cnfet.Synthesis.immune_cell r in
+  let bytes =
+    Cnfet.Synthesis.gds_of_cells ~rules:Pdk.Rules.default ~name:"x" [ c ]
+  in
+  checkb "nonempty stream" true (String.length bytes > 100)
+
+let suite =
+  [
+    Alcotest.test_case "of_expr positivity" `Quick of_expr_positive_only;
+    Alcotest.test_case "request defaults" `Quick request_defaults;
+    Alcotest.test_case "immune cell + references" `Quick immune_cell_roundtrip;
+    Alcotest.test_case "table1 rows complete" `Quick table1_rows_complete;
+    Alcotest.test_case "table1 close to paper (NAND family)" `Quick
+      table1_close_to_paper_for_nands;
+    Alcotest.test_case "footprint gain shape" `Quick footprint_gain_shape;
+    Alcotest.test_case "metrics math" `Quick metrics_math;
+    Alcotest.test_case "gds bytes nonempty" `Quick gds_bytes_nonempty;
+  ]

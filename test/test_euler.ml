@@ -1,0 +1,213 @@
+(* Euler-path engine tests: multigraph bookkeeping, Hierholzer trails,
+   minimal trail decomposition, and the network-to-graph bridge. *)
+
+open Euler
+
+let checkb = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let path_graph n =
+  (* 0 - 1 - 2 - ... - (n-1) *)
+  let g = Multigraph.create ~nodes:n in
+  for i = 0 to n - 2 do
+    ignore (Multigraph.add_edge g ~u:i ~v:(i + 1) (string_of_int i))
+  done;
+  g
+
+let degrees () =
+  let g = path_graph 4 in
+  check_int "end degree" 1 (Multigraph.degree g 0);
+  check_int "middle degree" 2 (Multigraph.degree g 1);
+  check_int "edge count" 3 (Multigraph.edge_count g);
+  Alcotest.(check (list int)) "odd nodes" [ 0; 3 ] (Multigraph.odd_nodes g)
+
+let self_loop_degree () =
+  let g = Multigraph.create ~nodes:1 in
+  ignore (Multigraph.add_edge g ~u:0 ~v:0 "loop");
+  check_int "self loop counts twice" 2 (Multigraph.degree g 0)
+
+let components () =
+  let g = Multigraph.create ~nodes:5 in
+  ignore (Multigraph.add_edge g ~u:0 ~v:1 "a");
+  ignore (Multigraph.add_edge g ~u:2 ~v:3 "b");
+  check_int "three components" 3 (List.length (Multigraph.connected_components g));
+  checkb "not edge-connected" false (Multigraph.is_edge_connected g)
+
+let trail_covers_path () =
+  let g = path_graph 5 in
+  match Trail.euler_trail g ~start:0 with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    Alcotest.(check (list int)) "node sequence" [ 0; 1; 2; 3; 4 ]
+      (Trail.nodes_of t);
+    check_int "edges covered" 4 (List.length (Trail.edges_of t))
+
+let trail_cycle () =
+  let g = Multigraph.create ~nodes:3 in
+  ignore (Multigraph.add_edge g ~u:0 ~v:1 "a");
+  ignore (Multigraph.add_edge g ~u:1 ~v:2 "b");
+  ignore (Multigraph.add_edge g ~u:2 ~v:0 "c");
+  match Trail.euler_trail g ~start:1 with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    check_int "circuit length" 3 (List.length (Trail.edges_of t));
+    let nodes = Trail.nodes_of t in
+    check_int "returns to start" 1 (List.nth nodes (List.length nodes - 1))
+
+let trail_rejects_wrong_start () =
+  let g = path_graph 3 in
+  checkb "middle start rejected" true
+    (match Trail.euler_trail g ~start:1 with Error _ -> true | Ok _ -> false)
+
+let trail_rejects_four_odd () =
+  (* star with 3 leaves + one more edge: degrees 0:3(odd),1,2,3 odd *)
+  let g = Multigraph.create ~nodes:4 in
+  ignore (Multigraph.add_edge g ~u:0 ~v:1 "a");
+  ignore (Multigraph.add_edge g ~u:0 ~v:2 "b");
+  ignore (Multigraph.add_edge g ~u:0 ~v:3 "c");
+  checkb "four odd rejected" true
+    (match Trail.euler_trail g ~start:0 with Error _ -> true | Ok _ -> false)
+
+let random_graph_arb =
+  QCheck.make
+    ~print:(fun edges ->
+      String.concat ";"
+        (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) edges))
+    QCheck.Gen.(
+      let* n_edges = int_range 0 14 in
+      list_size (return n_edges)
+        (let* u = int_range 0 5 in
+         let* v = int_range 0 5 in
+         return (u, v)))
+
+let decompose_covers_all =
+  QCheck.Test.make ~name:"decompose covers every edge exactly once" ~count:300
+    random_graph_arb (fun edges ->
+      let g = Multigraph.create ~nodes:6 in
+      List.iter (fun (u, v) -> ignore (Multigraph.add_edge g ~u ~v "e")) edges;
+      let trails = Trail.decompose g ~prefer_start:[ 0 ] in
+      let covered = List.concat_map Trail.edges_of trails in
+      List.length covered = List.length edges
+      && List.sort_uniq Stdlib.compare covered
+         = List.sort Stdlib.compare covered)
+
+let decompose_trail_count =
+  QCheck.Test.make
+    ~name:"decompose per component uses max(1, odd/2) trails" ~count:300
+    random_graph_arb (fun edges ->
+      let g = Multigraph.create ~nodes:6 in
+      List.iter (fun (u, v) -> ignore (Multigraph.add_edge g ~u ~v "e")) edges;
+      let trails = Trail.decompose g ~prefer_start:[ 0 ] in
+      (* expected: sum over edge-bearing components of max(1, odd/2) *)
+      let comps =
+        Multigraph.connected_components g
+        |> List.filter (fun ns ->
+               List.exists (fun n -> Multigraph.degree g n > 0) ns)
+      in
+      let expected =
+        List.fold_left
+          (fun acc comp ->
+            let odd =
+              List.length
+                (List.filter (fun n -> Multigraph.degree g n mod 2 = 1) comp)
+            in
+            acc + max 1 (odd / 2))
+          0 comps
+      in
+      List.length trails = expected)
+
+let trails_are_walks =
+  QCheck.Test.make ~name:"every decomposed trail is a connected walk"
+    ~count:300 random_graph_arb (fun edges ->
+      let g = Multigraph.create ~nodes:6 in
+      List.iter (fun (u, v) -> ignore (Multigraph.add_edge g ~u ~v "e")) edges;
+      let trails = Trail.decompose g ~prefer_start:[ 0 ] in
+      List.for_all
+        (fun trail ->
+          let rec walk prev = function
+            | [] -> true
+            | (s : Trail.step) :: rest -> (
+              match s.Trail.via with
+              | None -> walk s.Trail.node rest
+              | Some id ->
+                let e = Multigraph.edge g id in
+                ((e.Multigraph.u = prev && e.Multigraph.v = s.Trail.node)
+                || (e.Multigraph.v = prev && e.Multigraph.u = s.Trail.node))
+                && walk s.Trail.node rest)
+          in
+          match trail with
+          | [] -> true
+          | first :: rest -> walk first.Trail.node rest)
+        trails)
+
+let cost_formula () =
+  let g = path_graph 4 in
+  let trails = Trail.decompose g ~prefer_start:[ 0 ] in
+  check_int "path cost: edges+1" 4 (Trail.cost trails)
+
+(* Net_graph bridge *)
+
+let nand3_pun_graph () =
+  let fn = Logic.Cell_fun.nand 3 in
+  let pun = Logic.Network.dual (Logic.Network.of_expr fn.Logic.Cell_fun.core) in
+  let ng = Euler.Net_graph.of_network pun in
+  check_int "3 edges" 3 (Multigraph.edge_count ng.Euler.Net_graph.graph);
+  check_int "2 nodes" 2 (Multigraph.node_count ng.Euler.Net_graph.graph);
+  let trails = Euler.Net_graph.strips ng in
+  check_int "single strip" 1 (List.length trails);
+  check_int "contacts: edges + trails" 4 (Euler.Net_graph.contact_count ng);
+  let gates = Euler.Net_graph.gate_sequence ng (List.nth trails 0) in
+  Alcotest.(check (list string)) "gates each appear once" [ "A"; "B"; "C" ]
+    (List.sort Stdlib.compare gates)
+
+let nand3_pdn_graph () =
+  let fn = Logic.Cell_fun.nand 3 in
+  let pdn = Logic.Network.of_expr fn.Logic.Cell_fun.core in
+  let ng = Euler.Net_graph.of_network pdn in
+  check_int "series chain has junctions" 4
+    (Multigraph.node_count ng.Euler.Net_graph.graph);
+  check_int "single strip" 1 (List.length (Euler.Net_graph.strips ng));
+  (* junction terminals are labelled as such *)
+  let junctions =
+    List.init (Multigraph.node_count ng.Euler.Net_graph.graph) Fun.id
+    |> List.filter (fun n ->
+           match Euler.Net_graph.terminal_of_node ng n with
+           | Euler.Net_graph.Junction _ -> true
+           | Euler.Net_graph.Power | Euler.Net_graph.Output -> false)
+  in
+  check_int "two junctions" 2 (List.length junctions)
+
+let catalog_strips_cover_devices () =
+  List.iter
+    (fun fn ->
+      let pdn = Logic.Network.of_expr fn.Logic.Cell_fun.core in
+      List.iter
+        (fun net ->
+          let ng = Euler.Net_graph.of_network net in
+          let trails = Euler.Net_graph.strips ng in
+          let gates = List.concat_map (Euler.Net_graph.gate_sequence ng) trails in
+          check_int
+            (fn.Logic.Cell_fun.name ^ " strip covers all devices")
+            (Logic.Network.device_count net)
+            (List.length gates))
+        [ pdn; Logic.Network.dual pdn ])
+    Logic.Cell_fun.all
+
+let suite =
+  [
+    Alcotest.test_case "degrees and odd nodes" `Quick degrees;
+    Alcotest.test_case "self loop degree" `Quick self_loop_degree;
+    Alcotest.test_case "components" `Quick components;
+    Alcotest.test_case "euler trail on path" `Quick trail_covers_path;
+    Alcotest.test_case "euler circuit" `Quick trail_cycle;
+    Alcotest.test_case "wrong start rejected" `Quick trail_rejects_wrong_start;
+    Alcotest.test_case "four odd rejected" `Quick trail_rejects_four_odd;
+    Alcotest.test_case "cost formula" `Quick cost_formula;
+    Alcotest.test_case "NAND3 PUN graph" `Quick nand3_pun_graph;
+    Alcotest.test_case "NAND3 PDN graph" `Quick nand3_pdn_graph;
+    Alcotest.test_case "catalog strips cover devices" `Quick
+      catalog_strips_cover_devices;
+    QCheck_alcotest.to_alcotest decompose_covers_all;
+    QCheck_alcotest.to_alcotest decompose_trail_count;
+    QCheck_alcotest.to_alcotest trails_are_walks;
+  ]

@@ -1,0 +1,482 @@
+(* Tests for the extension subsystems: metallic-CNT yield, process
+   variation, DRC, SPICE export, STA and the annealing placer. *)
+
+let checkb = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let rules = Pdk.Rules.default
+
+let mk ?(style = Layout.Cell.Immune_new) name drive =
+  Layout.Cell.make ~rules ~fn:(Logic.Cell_fun.find name) ~style
+    ~scheme:Layout.Cell.Scheme1 ~drive
+
+(* --- metallic CNT yield --- *)
+
+let metallic_mc_matches_analytic () =
+  let cfg =
+    { Fault.Metallic.default_config with Fault.Metallic.trials = 4000 }
+  in
+  List.iter
+    (fun name ->
+      let cell = mk name 4 in
+      let rows =
+        List.length cell.Layout.Cell.pun.Layout.Fabric.rows
+        + List.length cell.Layout.Cell.pdn.Layout.Fabric.rows
+      in
+      let mc = Fault.Metallic.yield_ (Fault.Metallic.cell_yield cfg cell) in
+      let an = Fault.Metallic.analytic_cell_yield cfg ~rows in
+      checkb
+        (Printf.sprintf "%s MC %.3f ~ analytic %.3f" name mc an)
+        true
+        (Float.abs (mc -. an) < 0.02))
+    [ "INV"; "NAND2"; "NAND3" ]
+
+let metallic_perfect_removal () =
+  let cfg =
+    { Fault.Metallic.default_config with
+      Fault.Metallic.removal_eff = 1.0; trials = 300 }
+  in
+  let o = Fault.Metallic.cell_yield cfg (mk "NAND2" 4) in
+  check_int "no failures with perfect removal" o.Fault.Metallic.trials
+    o.Fault.Metallic.functional
+
+let metallic_no_metallic_tubes () =
+  let cfg =
+    { Fault.Metallic.default_config with
+      Fault.Metallic.p_metallic = 0.; trials = 200 }
+  in
+  let o = Fault.Metallic.cell_yield cfg (mk "AOI21" 4) in
+  Alcotest.(check (float 1e-9)) "yield 1.0" 1.0 (Fault.Metallic.yield_ o)
+
+let metallic_yield_monotone_in_removal () =
+  let y r =
+    let cfg =
+      { Fault.Metallic.default_config with
+        Fault.Metallic.removal_eff = r; trials = 1500 }
+    in
+    Fault.Metallic.yield_ (Fault.Metallic.cell_yield cfg (mk "NAND3" 4))
+  in
+  checkb "better removal, better yield" true (y 0.999 > y 0.9)
+
+let metallic_analytic_bounds () =
+  let cfg = Fault.Metallic.default_config in
+  let ry = Fault.Metallic.analytic_row_yield cfg in
+  checkb "row yield in (0,1)" true (ry > 0. && ry < 1.);
+  checkb "cell yield below row yield" true
+    (Fault.Metallic.analytic_cell_yield cfg ~rows:5 < ry)
+
+let metallic_shorts_break_function () =
+  (* with terrible removal, failures must be dominated by shorts *)
+  let cfg =
+    { Fault.Metallic.default_config with
+      Fault.Metallic.removal_eff = 0.5; trials = 500 }
+  in
+  let o = Fault.Metallic.cell_yield cfg (mk "NAND2" 4) in
+  checkb "mostly short-kills" true
+    (o.Fault.Metallic.killed_by_short > o.Fault.Metallic.killed_by_open);
+  checkb "yield badly hurt" true (Fault.Metallic.yield_ o < 0.6)
+
+(* --- variation --- *)
+
+let variation_gaussian_stats () =
+  let rng = Random.State.make [| 5 |] in
+  let n = 20000 in
+  let acc = ref 0. and acc2 = ref 0. in
+  for _ = 1 to n do
+    let x = Device.Variation.gaussian rng ~mean:3. ~sigma:0.5 in
+    acc := !acc +. x;
+    acc2 := !acc2 +. (x *. x)
+  done;
+  let mean = !acc /. float_of_int n in
+  let sigma = sqrt ((!acc2 /. float_of_int n) -. (mean *. mean)) in
+  Alcotest.(check (float 0.02)) "mean" 3. mean;
+  Alcotest.(check (float 0.02)) "sigma" 0.5 sigma
+
+let variation_spread_shrinks_with_tubes () =
+  let tech = Device.Cnfet.default_tech in
+  let spec = Device.Variation.default_spec in
+  let spread n =
+    Device.Variation.delay_spread_estimate tech spec ~tubes:n ~width_nm:130.
+  in
+  checkb "averaging effect" true (spread 16 < spread 4 && spread 4 < spread 1);
+  (* roughly 1/sqrt(n): 16x tubes ~ 4x less spread, within a factor 2 *)
+  let ratio = spread 1 /. spread 16 in
+  checkb "roughly 1/sqrt(n)" true (ratio > 2. && ratio < 8.)
+
+let variation_stats_ordered () =
+  let tech = Device.Cnfet.default_tech in
+  let s =
+    Device.Variation.on_current_stats tech Device.Variation.default_spec
+      ~tubes:8 ~width_nm:130.
+  in
+  checkb "p5 < mean < p95" true
+    (s.Device.Variation.p5 < s.Device.Variation.mean
+    && s.Device.Variation.mean < s.Device.Variation.p95);
+  checkb "positive currents" true (s.Device.Variation.p5 > 0.)
+
+(* --- DRC --- *)
+
+let drc_clean_catalog () =
+  List.iter
+    (fun fn ->
+      List.iter
+        (fun style ->
+          let c =
+            Layout.Cell.make ~rules ~fn ~style ~scheme:Layout.Cell.Scheme1
+              ~drive:4
+          in
+          match Layout.Drc.check_cell c with
+          | [] -> ()
+          | vs ->
+            Alcotest.failf "%s: %d violations, first: %s"
+              c.Layout.Cell.name (List.length vs)
+              (Format.asprintf "%a" Layout.Drc.pp_violation (List.nth vs 0)))
+        [ Layout.Cell.Immune_new; Layout.Cell.Immune_old; Layout.Cell.Cmos ])
+    Logic.Cell_fun.all
+
+let drc_catches_bad_rules () =
+  (* generating with a 1-lambda gate length must trip the gate.width rule *)
+  let bad = { rules with Pdk.Rules.gate_len = 1 } in
+  let c =
+    Layout.Cell.make ~rules:bad ~fn:(Logic.Cell_fun.nand 2)
+      ~style:Layout.Cell.Immune_new ~scheme:Layout.Cell.Scheme1 ~drive:4
+  in
+  (* check against the good rules *)
+  let violations =
+    Layout.Drc.check_fabric ~rules c.Layout.Cell.pun
+    @ Layout.Drc.check_fabric ~rules c.Layout.Cell.pdn
+  in
+  checkb "violations found" true
+    (List.exists (fun v -> v.Layout.Drc.rule = "gate.width") violations)
+
+let drc_catches_overlap () =
+  let r1 = Geom.Rect.of_size ~x:0 ~y:0 ~w:4 ~h:4 in
+  let r2 = Geom.Rect.of_size ~x:2 ~y:0 ~w:4 ~h:4 in
+  let f =
+    Layout.Fabric.make ~polarity:Logic.Network.P_type ~rows:[]
+      [
+        { Layout.Fabric.rect = r1;
+          elem = Layout.Fabric.Contact Logic.Switch_graph.Vdd };
+        { Layout.Fabric.rect = r2; elem = Layout.Fabric.Gate "A" };
+      ]
+  in
+  checkb "overlap detected" true
+    (List.exists
+       (fun v -> v.Layout.Drc.rule = "overlap")
+       (Layout.Drc.check_fabric ~rules f))
+
+let drc_catches_tight_spacing () =
+  let f =
+    Layout.Fabric.make ~polarity:Logic.Network.P_type ~rows:[]
+      [
+        { Layout.Fabric.rect = Geom.Rect.of_size ~x:0 ~y:0 ~w:2 ~h:4;
+          elem = Layout.Fabric.Contact Logic.Switch_graph.Vdd };
+        (* abutting gate: zero spacing *)
+        { Layout.Fabric.rect = Geom.Rect.of_size ~x:2 ~y:0 ~w:2 ~h:4;
+          elem = Layout.Fabric.Gate "A" };
+      ]
+  in
+  checkb "spacing violation" true
+    (List.exists
+       (fun v -> v.Layout.Drc.rule = "gate_contact.spacing")
+       (Layout.Drc.check_fabric ~rules f))
+
+(* --- SPICE export --- *)
+
+let spice_deck_contents () =
+  let net = Circuit.Netlist.create () in
+  let vdd = Circuit.Netlist.node net "vdd" in
+  Circuit.Netlist.add_vsource net vdd (Circuit.Stimulus.dc 1.);
+  let out = Circuit.Netlist.node net "out" in
+  let inp = Circuit.Netlist.node net "in" in
+  Circuit.Netlist.add_vsource net inp (Circuit.Stimulus.dc 0.);
+  let tech = Device.Cnfet.default_tech in
+  Circuit.Netlist.add_device net
+    (Device.Cnfet.make tech ~polarity:Device.Model.Pfet ~tubes:4 ~width_nm:130. ())
+    ~g:inp ~d:out ~s:vdd;
+  let deck = Circuit.Spice_export.deck ~title:"inv" net in
+  let contains sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  checkb "title" true (contains "* inv" deck);
+  checkb "device card" true (contains "X1 out in vdd" deck);
+  checkb "tran card" true (contains ".tran" deck);
+  checkb "end card" true (contains ".end" deck);
+  checkb "deterministic" true
+    (deck = Circuit.Spice_export.deck ~title:"inv" net)
+
+(* --- STA --- *)
+
+let sta_chain () =
+  (* three inverters in a chain: arrival = 3 * delay *)
+  let n =
+    {
+      Flow.Netlist_ir.design = "chain";
+      inputs = [ "A" ];
+      outputs = [ "Z" ];
+      instances =
+        [
+          { Flow.Netlist_ir.inst_name = "u1"; cell = "INV"; drive = 1;
+            output = "w1"; conns = [ ("A", "A") ] };
+          { Flow.Netlist_ir.inst_name = "u2"; cell = "INV"; drive = 1;
+            output = "w2"; conns = [ ("A", "w1") ] };
+          { Flow.Netlist_ir.inst_name = "u3"; cell = "INV"; drive = 1;
+            output = "Z"; conns = [ ("A", "w2") ] };
+        ];
+    }
+  in
+  let table ~cell:_ ~drive:_ ~fanout:_ = 10e-12 in
+  let r = Flow.Sta.analyze table n in
+  Alcotest.(check (float 1e-15)) "3 stages" 30e-12 r.Flow.Sta.critical_delay;
+  check_int "path length (input + 3 gates)" 4
+    (List.length r.Flow.Sta.critical_path)
+
+let sta_full_adder_structure () =
+  let fa = Flow.Full_adder.netlist () in
+  let table ~cell ~drive:_ ~fanout:_ =
+    match cell with "NAND2" -> 8e-12 | _ -> 4e-12
+  in
+  let r = Flow.Sta.analyze table fa in
+  (* deepest cone: 6 NAND levels (n1 n2 n4 n5 n6 n8) + 2 buffers = 56 ps *)
+  Alcotest.(check (float 1e-15)) "critical depth" 56e-12
+    r.Flow.Sta.critical_delay;
+  checkb "sum is the critical output" true
+    (match List.rev r.Flow.Sta.critical_path with
+    | last :: _ -> last.Flow.Sta.net = "SUM"
+    | [] -> false);
+  checkb "arrivals cover outputs" true
+    (List.mem_assoc "SUM" r.Flow.Sta.arrival
+    && List.mem_assoc "COUT" r.Flow.Sta.arrival)
+
+let sta_fanout_dependence () =
+  let table =
+    Flow.Sta.table_of_characterization [ ("INV", 1, 10e-12) ] ~fanout_slope:1.
+  in
+  checkb "more fanout, more delay" true
+    (table ~cell:"INV" ~drive:1 ~fanout:8 > table ~cell:"INV" ~drive:1 ~fanout:2)
+
+(* --- annealing --- *)
+
+let anneal_improves_or_keeps () =
+  let fa = Flow.Full_adder.netlist () in
+  let lib = Stdcell.Library.cnfet ~drives:[ 1; 2; 4; 7; 9 ] () in
+  List.iter
+    (fun p ->
+      let refined, before, after = Flow.Anneal.refine p fa in
+      checkb "cost never worsens" true (after <= before);
+      check_int "all cells kept"
+        (List.length p.Flow.Placer.cells)
+        (List.length refined.Flow.Placer.cells);
+      (* still legal: same slot geometry, no overlaps *)
+      let rect (c : Flow.Placer.placed_cell) =
+        Geom.Rect.of_size ~x:c.Flow.Placer.x ~y:c.Flow.Placer.y
+          ~w:c.Flow.Placer.cell_width ~h:c.Flow.Placer.cell_height
+      in
+      let rec pairs = function
+        | [] -> true
+        | c :: rest ->
+          List.for_all
+            (fun d -> not (Geom.Rect.intersects (rect c) (rect d)))
+            rest
+          && pairs rest
+      in
+      checkb "no overlaps after refinement" true (pairs refined.Flow.Placer.cells))
+    [ Flow.Placer.rows ~lib fa; Flow.Placer.shelves ~lib fa ]
+
+let anneal_preserves_instances () =
+  let fa = Flow.Full_adder.netlist () in
+  let lib = Stdcell.Library.cnfet ~drives:[ 1; 2; 4; 7; 9 ] () in
+  let p = Flow.Placer.shelves ~lib fa in
+  let refined, _, _ = Flow.Anneal.refine p fa in
+  let names pl =
+    List.map
+      (fun (c : Flow.Placer.placed_cell) ->
+        c.Flow.Placer.inst.Flow.Netlist_ir.inst_name)
+      pl.Flow.Placer.cells
+    |> List.sort Stdlib.compare
+  in
+  Alcotest.(check (list string)) "same instances" (names p) (names refined)
+
+let base_suite =
+  [
+    Alcotest.test_case "metallic: MC matches analytic" `Slow
+      metallic_mc_matches_analytic;
+    Alcotest.test_case "metallic: perfect removal" `Quick
+      metallic_perfect_removal;
+    Alcotest.test_case "metallic: no metallic tubes" `Quick
+      metallic_no_metallic_tubes;
+    Alcotest.test_case "metallic: yield monotone in removal" `Slow
+      metallic_yield_monotone_in_removal;
+    Alcotest.test_case "metallic: analytic bounds" `Quick
+      metallic_analytic_bounds;
+    Alcotest.test_case "metallic: shorts dominate" `Quick
+      metallic_shorts_break_function;
+    Alcotest.test_case "variation: gaussian sampler" `Quick
+      variation_gaussian_stats;
+    Alcotest.test_case "variation: averaging over tubes" `Quick
+      variation_spread_shrinks_with_tubes;
+    Alcotest.test_case "variation: stats ordered" `Quick variation_stats_ordered;
+    Alcotest.test_case "drc: catalog is clean" `Slow drc_clean_catalog;
+    Alcotest.test_case "drc: catches undersized gates" `Quick
+      drc_catches_bad_rules;
+    Alcotest.test_case "drc: catches overlap" `Quick drc_catches_overlap;
+    Alcotest.test_case "drc: catches tight spacing" `Quick
+      drc_catches_tight_spacing;
+    Alcotest.test_case "spice deck" `Quick spice_deck_contents;
+    Alcotest.test_case "sta: inverter chain" `Quick sta_chain;
+    Alcotest.test_case "sta: full adder depth" `Quick sta_full_adder_structure;
+    Alcotest.test_case "sta: fanout dependence" `Quick sta_fanout_dependence;
+    Alcotest.test_case "anneal: improves or keeps" `Quick
+      anneal_improves_or_keeps;
+    Alcotest.test_case "anneal: preserves instances" `Quick
+      anneal_preserves_instances;
+  ]
+
+(* --- ring oscillator --- *)
+
+let ring_oscillates () =
+  let tech = Device.Cnfet.default_tech in
+  let inv () =
+    {
+      Circuit.Inverter_chain.pull_up =
+        Device.Cnfet.make tech ~polarity:Device.Model.Pfet ~tubes:8
+          ~width_nm:130. ();
+      pull_down =
+        Device.Cnfet.make tech ~polarity:Device.Model.Nfet ~tubes:8
+          ~width_nm:130. ();
+    }
+  in
+  let m = Circuit.Ring_oscillator.run ~t_stop:1e-9 ~vdd:1.0 inv in
+  checkb "oscillates" true (m.Circuit.Ring_oscillator.periods_observed >= 2);
+  checkb "GHz range" true
+    (m.Circuit.Ring_oscillator.frequency_hz > 1e9
+    && m.Circuit.Ring_oscillator.frequency_hz < 1e12);
+  checkb "stage delay positive" true
+    (m.Circuit.Ring_oscillator.stage_delay_s > 0.)
+
+let ring_more_stages_slower () =
+  let tech = Device.Cnfet.default_tech in
+  let inv () =
+    {
+      Circuit.Inverter_chain.pull_up =
+        Device.Cnfet.make tech ~polarity:Device.Model.Pfet ~tubes:8
+          ~width_nm:130. ();
+      pull_down =
+        Device.Cnfet.make tech ~polarity:Device.Model.Nfet ~tubes:8
+          ~width_nm:130. ();
+    }
+  in
+  let f stages =
+    (Circuit.Ring_oscillator.run ~stages ~t_stop:2e-9 ~vdd:1.0 inv)
+      .Circuit.Ring_oscillator.frequency_hz
+  in
+  checkb "7 stages slower than 3" true (f 7 < f 3)
+
+let ring_rejects_even () =
+  let tech = Device.Cnfet.default_tech in
+  let inv () =
+    {
+      Circuit.Inverter_chain.pull_up =
+        Device.Cnfet.make tech ~polarity:Device.Model.Pfet ~tubes:2
+          ~width_nm:130. ();
+      pull_down =
+        Device.Cnfet.make tech ~polarity:Device.Model.Nfet ~tubes:2
+          ~width_nm:130. ();
+    }
+  in
+  Alcotest.check_raises "even ring rejected"
+    (Invalid_argument "Ring_oscillator.run: stages must be odd and >= 3")
+    (fun () -> ignore (Circuit.Ring_oscillator.run ~stages:4 ~vdd:1.0 inv))
+
+(* --- ripple adder --- *)
+
+let ripple_arithmetic () =
+  List.iter
+    (fun bits ->
+      match Flow.Ripple_adder.check ~bits with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%d bits: %s" bits e)
+    [ 1; 2; 3; 4 ]
+
+let ripple_structure () =
+  let n = Flow.Ripple_adder.netlist ~bits:4 in
+  checkb "validates" true (Flow.Netlist_ir.validate n = Ok ());
+  check_int "4x the FA cells" 52 (List.length n.Flow.Netlist_ir.instances);
+  check_int "outputs" 5 (List.length n.Flow.Netlist_ir.outputs);
+  checkb "too many bits rejected" true
+    (match Flow.Ripple_adder.check ~bits:7 with Error _ -> true | Ok () -> false)
+
+let ripple_places () =
+  let lib = Stdcell.Library.cnfet ~drives:[ 1; 2; 4; 7; 9 ] () in
+  let n = Flow.Ripple_adder.netlist ~bits:4 in
+  let p = Flow.Placer.shelves ~lib n in
+  check_int "all placed" 52 (List.length p.Flow.Placer.cells);
+  checkb "utilization healthy" true (Flow.Placer.utilization p > 0.5)
+
+(* --- random-expression immunity: the paper's 100% claim as a property --- *)
+
+let positive_expr_gen =
+  QCheck.Gen.(
+    let var = oneofl [ "A"; "B"; "C"; "D" ] >|= Logic.Expr.var in
+    fix
+      (fun self depth ->
+        if depth <= 0 then var
+        else
+          frequency
+            [
+              (2, var);
+              ( 2,
+                let* es = list_size (int_range 2 3) (self (depth - 1)) in
+                return (Logic.Expr.and_list es) );
+              ( 2,
+                let* es = list_size (int_range 2 3) (self (depth - 1)) in
+                return (Logic.Expr.or_list es) );
+            ])
+      2)
+
+let random_cells_are_immune =
+  QCheck.Test.make ~name:"synthesized cells of random functions are immune"
+    ~count:25
+    (QCheck.make ~print:Logic.Expr.to_string positive_expr_gen)
+    (fun e ->
+      match Logic.Expr.simplify e with
+      | Logic.Expr.Const _ | Logic.Expr.Var _ -> true
+      | core ->
+        let fn = Cnfet.Synthesis.of_expr ~name:"RND" core in
+        let cell =
+          Cnfet.Synthesis.immune_cell (Cnfet.Synthesis.request ~drive:4 fn)
+        in
+        Layout.Cell.check_function cell = Ok ()
+        && Fault.Injector.horizontal_sweep cell = Ok ()
+        && (Fault.Injector.run
+              { Fault.Injector.default_config with Fault.Injector.trials = 60 }
+              cell)
+             .Fault.Injector.functional_failures = 0)
+
+let random_cells_pass_drc =
+  QCheck.Test.make ~name:"synthesized cells of random functions pass DRC"
+    ~count:40
+    (QCheck.make ~print:Logic.Expr.to_string positive_expr_gen)
+    (fun e ->
+      match Logic.Expr.simplify e with
+      | Logic.Expr.Const _ -> true
+      | core ->
+        let fn = Cnfet.Synthesis.of_expr ~name:"RND" core in
+        let cell =
+          Cnfet.Synthesis.immune_cell (Cnfet.Synthesis.request ~drive:4 fn)
+        in
+        Layout.Drc.check_cell cell = [])
+
+let suite =
+  base_suite
+  @ [
+      Alcotest.test_case "ring: oscillates" `Slow ring_oscillates;
+      Alcotest.test_case "ring: stage scaling" `Slow ring_more_stages_slower;
+      Alcotest.test_case "ring: rejects even" `Quick ring_rejects_even;
+      Alcotest.test_case "ripple: arithmetic 1-4 bits" `Slow ripple_arithmetic;
+      Alcotest.test_case "ripple: structure" `Quick ripple_structure;
+      Alcotest.test_case "ripple: places" `Quick ripple_places;
+      QCheck_alcotest.to_alcotest random_cells_are_immune;
+      QCheck_alcotest.to_alcotest random_cells_pass_drc;
+    ]

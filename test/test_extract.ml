@@ -1,0 +1,71 @@
+(* Parasitic extraction tests. *)
+
+let checkb = Alcotest.(check bool)
+let rules = Pdk.Rules.default
+let tables = Extract.Tables.default
+
+let cap_of_rect_formula () =
+  let r = Geom.Rect.of_size ~x:0 ~y:0 ~w:10 ~h:4 in
+  let c = Extract.Extractor.cap_of_rect tables Pdk.Layer.Metal1 r in
+  (* area 40 * 0.042 aF + perimeter 28 * 0.02 aF = 2.24 aF *)
+  Alcotest.(check (float 1e-21)) "metal1 cap" 2.24e-18 c;
+  Alcotest.(check (float 1e-24)) "unknown layer has no cap" 0.
+    (Extract.Extractor.cap_of_rect tables Pdk.Layer.Boundary r)
+
+let tables_lookup () =
+  checkb "gate cap present" true (Extract.Tables.area_cap tables Pdk.Layer.Gate > 0.);
+  checkb "missing defaults to 0" true
+    (Extract.Tables.sheet_res tables Pdk.Layer.Cnt_plane = 0.)
+
+let cell_parasitics_positive () =
+  let cell =
+    Layout.Cell.make ~rules ~fn:(Logic.Cell_fun.nand 2)
+      ~style:Layout.Cell.Immune_new ~scheme:Layout.Cell.Scheme1 ~drive:4
+  in
+  let p = Extract.Extractor.cell cell in
+  checkb "output cap positive" true (p.Extract.Extractor.out_cap_f > 0.);
+  checkb "rail resistance positive" true (p.Extract.Extractor.rail_res_ohm > 0.);
+  Alcotest.(check (list string)) "inputs covered" [ "A"; "B" ]
+    (List.map fst p.Extract.Extractor.in_caps_f);
+  List.iter
+    (fun (_, c) -> checkb "input cap positive" true (c > 0.))
+    p.Extract.Extractor.in_caps_f
+
+let parasitics_grow_with_drive () =
+  let p drive =
+    Extract.Extractor.cell
+      (Layout.Cell.make ~rules ~fn:(Logic.Cell_fun.nand 2)
+         ~style:Layout.Cell.Immune_new ~scheme:Layout.Cell.Scheme1 ~drive)
+  in
+  let small = p 3 and big = p 10 in
+  checkb "bigger cell, more output cap" true
+    (big.Extract.Extractor.out_cap_f > small.Extract.Extractor.out_cap_f);
+  checkb "bigger cell, more input cap" true
+    (List.assoc "A" big.Extract.Extractor.in_caps_f
+    > List.assoc "A" small.Extract.Extractor.in_caps_f)
+
+let new_layout_duplicates_out_contacts () =
+  (* the compact NAND3 PUN duplicates the Out contact columns; the old
+     stacked layout has a single tall Out contact *)
+  let out_contacts style =
+    let c =
+      Layout.Cell.make ~rules ~fn:(Logic.Cell_fun.nand 3) ~style
+        ~scheme:Layout.Cell.Scheme1 ~drive:4
+    in
+    Layout.Fabric.contacts c.Layout.Cell.pun
+    |> List.filter (fun (n, _) -> n = Logic.Switch_graph.Out)
+    |> List.length
+  in
+  checkb "new has more Out columns" true
+    (out_contacts Layout.Cell.Immune_new > out_contacts Layout.Cell.Immune_old)
+
+let suite =
+  [
+    Alcotest.test_case "cap_of_rect formula" `Quick cap_of_rect_formula;
+    Alcotest.test_case "tables lookup" `Quick tables_lookup;
+    Alcotest.test_case "cell parasitics positive" `Quick cell_parasitics_positive;
+    Alcotest.test_case "parasitics grow with drive" `Quick
+      parasitics_grow_with_drive;
+    Alcotest.test_case "duplicated Out contact columns" `Quick
+      new_layout_duplicates_out_contacts;
+  ]

@@ -1,0 +1,207 @@
+(* Fault-injection tests: track geometry, crossing extraction, the Fig. 2
+   vulnerable-vs-immune experiment, and immunity of the whole catalog. *)
+
+let checkb = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let rules = Pdk.Rules.default
+
+let mk style name =
+  Layout.Cell.make ~rules ~fn:(Logic.Cell_fun.find name) ~style
+    ~scheme:Layout.Cell.Scheme1 ~drive:4
+
+(* a tiny hand-made fabric: [C_Vdd][gA][C_Out] with a row *)
+let toy_fabric () =
+  let c r elem = { Layout.Fabric.rect = r; elem } in
+  let items =
+    [
+      c (Geom.Rect.of_size ~x:0 ~y:0 ~w:2 ~h:4)
+        (Layout.Fabric.Contact Logic.Switch_graph.Vdd);
+      c (Geom.Rect.of_size ~x:3 ~y:0 ~w:2 ~h:4) (Layout.Fabric.Gate "A");
+      c (Geom.Rect.of_size ~x:6 ~y:0 ~w:2 ~h:4)
+        (Layout.Fabric.Contact Logic.Switch_graph.Out);
+    ]
+  in
+  Layout.Fabric.make ~polarity:Logic.Network.P_type
+    ~rows:[ Geom.Rect.of_size ~x:0 ~y:0 ~w:8 ~h:4 ]
+    items
+
+let track_through_strip () =
+  let f = toy_fabric () in
+  let t = Fault.Track.horizontal ~y:2. ~x0:(-1.) ~x1:9. in
+  let edges = Fault.Crossing.edges f t.Fault.Track.seg in
+  check_int "one edge" 1 (List.length edges);
+  (match edges with
+  | [ e ] ->
+    checkb "vdd-out" true
+      (e.Logic.Switch_graph.src = Logic.Switch_graph.Vdd
+      && e.Logic.Switch_graph.dst = Logic.Switch_graph.Out);
+    Alcotest.(check (list string)) "gated by A" [ "A" ] e.Logic.Switch_graph.gates
+  | _ -> Alcotest.fail "expected a single edge");
+  (* track above the strip touches nothing *)
+  let high = Fault.Track.horizontal ~y:5. ~x0:(-1.) ~x1:9. in
+  check_int "no edges above" 0
+    (List.length (Fault.Crossing.edges f high.Fault.Track.seg))
+
+let etch_cuts_track () =
+  let c r elem = { Layout.Fabric.rect = r; elem } in
+  let items =
+    [
+      c (Geom.Rect.of_size ~x:0 ~y:0 ~w:2 ~h:4)
+        (Layout.Fabric.Contact Logic.Switch_graph.Vdd);
+      c (Geom.Rect.of_size ~x:3 ~y:0 ~w:2 ~h:4) Layout.Fabric.Etch;
+      c (Geom.Rect.of_size ~x:6 ~y:0 ~w:2 ~h:4)
+        (Layout.Fabric.Contact Logic.Switch_graph.Out);
+    ]
+  in
+  let f =
+    Layout.Fabric.make ~polarity:Logic.Network.P_type ~rows:[] items
+  in
+  let t = Fault.Track.horizontal ~y:2. ~x0:(-1.) ~x1:9. in
+  check_int "etch cuts the CNT" 0
+    (List.length (Fault.Crossing.edges f t.Fault.Track.seg))
+
+let bare_corridor_shorts () =
+  (* two contacts with nothing between: a stray CNT is a hard short *)
+  let c r elem = { Layout.Fabric.rect = r; elem } in
+  let items =
+    [
+      c (Geom.Rect.of_size ~x:0 ~y:0 ~w:2 ~h:4)
+        (Layout.Fabric.Contact Logic.Switch_graph.Vdd);
+      c (Geom.Rect.of_size ~x:6 ~y:0 ~w:2 ~h:4)
+        (Layout.Fabric.Contact Logic.Switch_graph.Out);
+    ]
+  in
+  let f = Layout.Fabric.make ~polarity:Logic.Network.P_type ~rows:[] items in
+  let t = Fault.Track.horizontal ~y:2. ~x0:(-1.) ~x1:9. in
+  match Fault.Crossing.edges f t.Fault.Track.seg with
+  | [ e ] -> Alcotest.(check (list string)) "no gates" [] e.Logic.Switch_graph.gates
+  | _ -> Alcotest.fail "expected one shorting edge"
+
+let hits_ordered () =
+  let f = toy_fabric () in
+  let t = Fault.Track.horizontal ~y:1. ~x0:(-1.) ~x1:9. in
+  let hs = Fault.Crossing.hits f t.Fault.Track.seg in
+  check_int "three hits" 3 (List.length hs);
+  let ats = List.map (fun (h : Fault.Crossing.hit) -> h.Fault.Crossing.at) hs in
+  checkb "sorted" true (List.sort Stdlib.compare ats = ats)
+
+let track_sampling_bounds () =
+  let rng = Random.State.make [| 7 |] in
+  let bbox = Geom.Rect.of_size ~x:0 ~y:0 ~w:20 ~h:10 in
+  for _ = 1 to 100 do
+    let t = Fault.Track.sample rng ~bbox ~max_angle_deg:8. ~margin:2. in
+    let p = t.Fault.Track.seg.Geom.Segment.p in
+    let q = t.Fault.Track.seg.Geom.Segment.q in
+    checkb "spans box" true (p.Geom.Vec.x < 0. && q.Geom.Vec.x > 20.);
+    let dy = Float.abs (q.Geom.Vec.y -. p.Geom.Vec.y) in
+    let dx = q.Geom.Vec.x -. p.Geom.Vec.x in
+    checkb "angle bounded" true (dy /. dx <= tan (8.5 *. Float.pi /. 180.))
+  done
+
+let vulnerable_nand2_fails () =
+  let cell = mk Layout.Cell.Vulnerable "NAND2" in
+  let o =
+    Fault.Injector.run
+      { Fault.Injector.default_config with Fault.Injector.trials = 300 }
+      cell
+  in
+  checkb "vulnerable layout fails under misposition" true
+    (o.Fault.Injector.functional_failures > 0);
+  checkb "failures short the output" true (o.Fault.Injector.shorted_trials > 0);
+  checkb "horizontal sweep finds the corridor" true
+    (match Fault.Injector.horizontal_sweep cell with
+    | Error _ -> true
+    | Ok () -> false)
+
+let immune_styles_pass_nand2 () =
+  List.iter
+    (fun style ->
+      let cell = mk style "NAND2" in
+      let o =
+        Fault.Injector.run
+          { Fault.Injector.default_config with Fault.Injector.trials = 300 }
+          cell
+      in
+      check_int "no MC failures" 0 o.Fault.Injector.functional_failures;
+      checkb "sweep immune" true
+        (Fault.Injector.horizontal_sweep cell = Ok ()))
+    [ Layout.Cell.Immune_new; Layout.Cell.Immune_old ]
+
+let catalog_immune () =
+  List.iter
+    (fun fn ->
+      List.iter
+        (fun style ->
+          let cell =
+            Layout.Cell.make ~rules ~fn ~style ~scheme:Layout.Cell.Scheme1
+              ~drive:4
+          in
+          (match Fault.Injector.horizontal_sweep cell with
+          | Ok () -> ()
+          | Error ys ->
+            Alcotest.failf "%s sweep: %d corridors" cell.Layout.Cell.name
+              (List.length ys));
+          let o =
+            Fault.Injector.run
+              { Fault.Injector.default_config with Fault.Injector.trials = 150 }
+              cell
+          in
+          if o.Fault.Injector.functional_failures > 0 then
+            Alcotest.failf "%s MC: %d/150" cell.Layout.Cell.name
+              o.Fault.Injector.functional_failures)
+        [ Layout.Cell.Immune_new; Layout.Cell.Immune_old ])
+    Logic.Cell_fun.all
+
+let injector_deterministic () =
+  let cell = mk Layout.Cell.Vulnerable "NAND2" in
+  let cfg = { Fault.Injector.default_config with Fault.Injector.trials = 100 } in
+  let a = Fault.Injector.run cfg cell and b = Fault.Injector.run cfg cell in
+  check_int "same seed, same failures" a.Fault.Injector.functional_failures
+    b.Fault.Injector.functional_failures;
+  let c =
+    Fault.Injector.run { cfg with Fault.Injector.seed = 99 } cell
+  in
+  (* a different seed samples different strays (count may coincide) *)
+  checkb "different seed runs" true (c.Fault.Injector.trials = 100)
+
+let failure_rate_math () =
+  let o =
+    {
+      Fault.Injector.trials = 200;
+      functional_failures = 50;
+      shorted_trials = 10;
+      stray_edges = 0;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "rate" 0.25 (Fault.Injector.failure_rate o);
+  Alcotest.(check (float 1e-9)) "empty rate" 0.
+    (Fault.Injector.failure_rate
+       { o with Fault.Injector.trials = 0; functional_failures = 0 })
+
+let verify_immunity_api () =
+  let req = Cnfet.Synthesis.request (Logic.Cell_fun.nand 3) in
+  let cell = Cnfet.Synthesis.immune_cell req in
+  checkb "synthesized cell verifies" true
+    (Cnfet.Synthesis.verify_immunity ~trials:150 cell = Ok ());
+  let _, vuln, _ = Cnfet.Synthesis.reference_cells req in
+  checkb "vulnerable reference rejected" true
+    (match Cnfet.Synthesis.verify_immunity ~trials:150 vuln with
+    | Error _ -> true
+    | Ok () -> false)
+
+let suite =
+  [
+    Alcotest.test_case "track through strip" `Quick track_through_strip;
+    Alcotest.test_case "etch cuts track" `Quick etch_cuts_track;
+    Alcotest.test_case "bare corridor shorts" `Quick bare_corridor_shorts;
+    Alcotest.test_case "hits ordered" `Quick hits_ordered;
+    Alcotest.test_case "track sampling bounds" `Quick track_sampling_bounds;
+    Alcotest.test_case "vulnerable NAND2 fails (Fig 2b)" `Quick
+      vulnerable_nand2_fails;
+    Alcotest.test_case "immune NAND2 passes (Fig 2c/3b)" `Quick
+      immune_styles_pass_nand2;
+    Alcotest.test_case "catalog immune (both styles)" `Slow catalog_immune;
+    Alcotest.test_case "injector deterministic" `Quick injector_deterministic;
+    Alcotest.test_case "failure rate math" `Quick failure_rate_math;
+    Alcotest.test_case "verify_immunity API" `Quick verify_immunity_api;
+  ]

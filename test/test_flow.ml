@@ -1,0 +1,233 @@
+(* Flow tests: netlist IR validation and parsing, the NAND2/INV mapper,
+   the full adder, both placers and the GDS export of placed designs. *)
+
+let checkb = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let inst name cell drive output conns =
+  { Flow.Netlist_ir.inst_name = name; cell; drive; output; conns }
+
+let simple_netlist () =
+  {
+    Flow.Netlist_ir.design = "buf2";
+    inputs = [ "A" ];
+    outputs = [ "Z" ];
+    instances =
+      [ inst "u1" "INV" 1 "w1" [ ("A", "A") ];
+        inst "u2" "INV" 1 "Z" [ ("A", "w1") ] ];
+  }
+
+let validate_good () =
+  checkb "valid" true (Flow.Netlist_ir.validate (simple_netlist ()) = Ok ())
+
+let validate_multi_driver () =
+  let n =
+    { (simple_netlist ()) with
+      Flow.Netlist_ir.instances =
+        [ inst "u1" "INV" 1 "Z" [ ("A", "A") ];
+          inst "u2" "INV" 1 "Z" [ ("A", "A") ] ] }
+  in
+  checkb "multi driver" true
+    (match Flow.Netlist_ir.validate n with Error _ -> true | Ok () -> false)
+
+let validate_undriven () =
+  let n =
+    { (simple_netlist ()) with
+      Flow.Netlist_ir.instances = [ inst "u1" "INV" 1 "Z" [ ("A", "ghost") ] ] }
+  in
+  checkb "undriven input" true
+    (match Flow.Netlist_ir.validate n with Error _ -> true | Ok () -> false)
+
+let validate_cycle () =
+  let n =
+    {
+      Flow.Netlist_ir.design = "loop";
+      inputs = [];
+      outputs = [ "Z" ];
+      instances =
+        [ inst "u1" "INV" 1 "Z" [ ("A", "w") ];
+          inst "u2" "INV" 1 "w" [ ("A", "Z") ] ];
+    }
+  in
+  checkb "cycle rejected" true
+    (match Flow.Netlist_ir.validate n with Error _ -> true | Ok () -> false)
+
+let eval_buffer () =
+  let n = simple_netlist () in
+  checkb "buffer of true" true (Flow.Netlist_ir.eval n (fun _ -> true) "Z");
+  checkb "buffer of false" false (Flow.Netlist_ir.eval n (fun _ -> false) "Z")
+
+let stats_census () =
+  let fa = Flow.Full_adder.netlist () in
+  let stats = Flow.Netlist_ir.stats fa in
+  check_int "nine NAND2_2X" 9 (List.assoc "NAND2_2X" stats);
+  check_int "two INV_4X" 2 (List.assoc "INV_4X" stats)
+
+let parse_roundtrip () =
+  let n = Flow.Full_adder.netlist () in
+  match Flow.Netlist_ir.of_string (Flow.Netlist_ir.to_string n) with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+    Alcotest.(check string) "design" n.Flow.Netlist_ir.design
+      back.Flow.Netlist_ir.design;
+    Alcotest.(check (list string)) "inputs" n.Flow.Netlist_ir.inputs
+      back.Flow.Netlist_ir.inputs;
+    check_int "instances" (List.length n.Flow.Netlist_ir.instances)
+      (List.length back.Flow.Netlist_ir.instances);
+    checkb "still a full adder" true
+      (Logic.Truth.equal
+         (Flow.Netlist_ir.truth_of_output back ~output:"COUT")
+         (Flow.Netlist_ir.truth_of_output n ~output:"COUT"))
+
+let parse_errors () =
+  checkb "garbage rejected" true
+    (match Flow.Netlist_ir.of_string "inst broken" with
+    | Error _ -> true
+    | Ok _ -> false);
+  checkb "bad drive rejected" true
+    (match Flow.Netlist_ir.of_string "inst u1 INV x out=z a=b" with
+    | Error _ -> true
+    | Ok _ -> false);
+  checkb "comments skipped" true
+    (match Flow.Netlist_ir.of_string "# hello\ndesign d\ninput A\noutput A\n" with
+    | Ok _ -> true
+    | Error _ -> false)
+
+let full_adder_correct () =
+  checkb "full adder verifies" true (Flow.Full_adder.check () = Ok ())
+
+let mapper_simple () =
+  let spec = [ ("Z", Logic.Expr.(And [ var "A"; var "B"; var "C" ])) ] in
+  let n = Flow.Mapper.map_exprs ~design:"and3" spec in
+  checkb "validates" true (Flow.Netlist_ir.validate n = Ok ());
+  checkb "equivalent" true (Flow.Mapper.check_equivalence n spec = Ok ());
+  checkb "uses only NAND2 and INV" true
+    (List.for_all
+       (fun (i : Flow.Netlist_ir.instance) ->
+         i.Flow.Netlist_ir.cell = "NAND2" || i.Flow.Netlist_ir.cell = "INV")
+       n.Flow.Netlist_ir.instances)
+
+let mapper_xor_sharing () =
+  (* mapping sum and carry together shares the A xor B cone *)
+  let spec =
+    [ ("S", Flow.Full_adder.sum_expr); ("CO", Flow.Full_adder.cout_expr) ]
+  in
+  let n = Flow.Mapper.map_exprs ~design:"fa_mapped" spec in
+  checkb "validates" true (Flow.Netlist_ir.validate n = Ok ());
+  checkb "equivalent" true (Flow.Mapper.check_equivalence n spec = Ok ())
+
+let positive_expr_gen =
+  QCheck.Gen.(
+    let var = oneofl [ "A"; "B"; "C" ] >|= Logic.Expr.var in
+    fix
+      (fun self depth ->
+        if depth <= 0 then var
+        else
+          frequency
+            [
+              (2, var);
+              ( 2,
+                let* es = list_size (int_range 2 3) (self (depth - 1)) in
+                return (Logic.Expr.and_list es) );
+              ( 2,
+                let* es = list_size (int_range 2 3) (self (depth - 1)) in
+                return (Logic.Expr.or_list es) );
+            ])
+      2)
+
+let mapper_random_equivalence =
+  QCheck.Test.make ~name:"mapper preserves random functions" ~count:60
+    (QCheck.make ~print:Logic.Expr.to_string positive_expr_gen)
+    (fun e ->
+      match Logic.Expr.simplify e with
+      | Logic.Expr.Const _ -> true
+      | _ ->
+        let spec = [ ("Z", e) ] in
+        let n = Flow.Mapper.map_exprs ~design:"rnd" spec in
+        Flow.Netlist_ir.validate n = Ok ()
+        && Flow.Mapper.check_equivalence n spec = Ok ())
+
+let lib = Stdcell.Library.cnfet ~drives:[ 1; 2; 4; 7; 9 ] ()
+let cm_lib = Stdcell.Library.cmos ~drives:[ 1; 2; 4; 7; 9 ] ()
+
+let no_overlaps (p : Flow.Placer.t) =
+  let rect (c : Flow.Placer.placed_cell) =
+    Geom.Rect.of_size ~x:c.Flow.Placer.x ~y:c.Flow.Placer.y
+      ~w:c.Flow.Placer.cell_width ~h:c.Flow.Placer.cell_height
+  in
+  let rec pairs = function
+    | [] -> true
+    | c :: rest ->
+      List.for_all (fun d -> not (Geom.Rect.intersects (rect c) (rect d))) rest
+      && pairs rest
+  in
+  pairs p.Flow.Placer.cells
+
+let placer_rows () =
+  let fa = Flow.Full_adder.netlist () in
+  let p = Flow.Placer.rows ~lib fa in
+  check_int "all cells placed" 13 (List.length p.Flow.Placer.cells);
+  checkb "no overlaps" true (no_overlaps p);
+  checkb "utilization in (0,1]" true
+    (Flow.Placer.utilization p > 0. && Flow.Placer.utilization p <= 1.);
+  checkb "die covers cells" true
+    (List.for_all
+       (fun (c : Flow.Placer.placed_cell) ->
+         c.Flow.Placer.x + c.Flow.Placer.cell_width <= p.Flow.Placer.die_width
+         && c.Flow.Placer.y + c.Flow.Placer.cell_height
+            <= p.Flow.Placer.die_height)
+       p.Flow.Placer.cells)
+
+let placer_shelves () =
+  let fa = Flow.Full_adder.netlist () in
+  let p = Flow.Placer.shelves ~lib fa in
+  check_int "all cells placed" 13 (List.length p.Flow.Placer.cells);
+  checkb "no overlaps" true (no_overlaps p);
+  checkb "better utilization than rows" true
+    (Flow.Placer.utilization p > Flow.Placer.utilization (Flow.Placer.rows ~lib fa))
+
+let placer_scheme_gains () =
+  let fa = Flow.Full_adder.netlist () in
+  let s1 = Flow.Placer.die_area (Flow.Placer.rows ~lib fa) in
+  let s2 = Flow.Placer.die_area (Flow.Placer.shelves ~lib fa) in
+  let cmos = Flow.Placer.die_area (Flow.Placer.rows ~lib:cm_lib fa) in
+  checkb "scheme1 beats CMOS (paper ~1.4x)" true
+    (float_of_int cmos /. float_of_int s1 > 1.2);
+  checkb "scheme2 beats scheme1 (paper: 1.6x vs 1.4x)" true (s2 < s1)
+
+let wirelength_positive () =
+  let fa = Flow.Full_adder.netlist () in
+  let p = Flow.Placer.rows ~lib fa in
+  checkb "positive wirelength" true (Flow.Placer.wirelength_estimate p fa > 0)
+
+let gds_export_placement () =
+  let fa = Flow.Full_adder.netlist () in
+  let p = Flow.Placer.shelves ~lib fa in
+  let g = Flow.Gds_export.placement ~lib ~scheme:`S2 ~name:"fa" p in
+  (* top + unique cells: INV_{4,7,9}X + NAND2_2X = 5 structures *)
+  check_int "structures" 5 (List.length g.Gds.Stream.structures);
+  match Gds.Stream.of_bytes (Gds.Stream.to_bytes g) with
+  | Ok back ->
+    check_int "round trip structures" 5 (List.length back.Gds.Stream.structures)
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "validate good" `Quick validate_good;
+    Alcotest.test_case "validate multi-driver" `Quick validate_multi_driver;
+    Alcotest.test_case "validate undriven" `Quick validate_undriven;
+    Alcotest.test_case "validate cycle" `Quick validate_cycle;
+    Alcotest.test_case "eval buffer" `Quick eval_buffer;
+    Alcotest.test_case "stats census" `Quick stats_census;
+    Alcotest.test_case "parse round-trip" `Quick parse_roundtrip;
+    Alcotest.test_case "parse errors" `Quick parse_errors;
+    Alcotest.test_case "full adder correct" `Quick full_adder_correct;
+    Alcotest.test_case "mapper AND3" `Quick mapper_simple;
+    Alcotest.test_case "mapper shares XOR cone" `Quick mapper_xor_sharing;
+    Alcotest.test_case "placer rows" `Quick placer_rows;
+    Alcotest.test_case "placer shelves" `Quick placer_shelves;
+    Alcotest.test_case "scheme area gains" `Quick placer_scheme_gains;
+    Alcotest.test_case "wirelength positive" `Quick wirelength_positive;
+    Alcotest.test_case "gds export placement" `Quick gds_export_placement;
+    QCheck_alcotest.to_alcotest mapper_random_equivalence;
+  ]

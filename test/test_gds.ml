@@ -1,0 +1,179 @@
+(* GDSII codec tests: 8-byte real encoding, record round-trips, and
+   stream-level library round-trips. *)
+
+let checkb = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let real8_known_values () =
+  (* 1.0 encodes as 0x4110000000000000 *)
+  Alcotest.(check int64) "encode 1.0" 0x4110000000000000L
+    (Gds.Record.encode_real8 1.0);
+  Alcotest.(check (float 0.)) "decode 1.0" 1.0
+    (Gds.Record.decode_real8 0x4110000000000000L);
+  Alcotest.(check (float 0.)) "zero" 0. (Gds.Record.decode_real8 0L)
+
+let real8_roundtrip =
+  QCheck.Test.make ~name:"real8 round-trip" ~count:500
+    QCheck.(float_range 1e-12 1e12)
+    (fun v ->
+      let back = Gds.Record.decode_real8 (Gds.Record.encode_real8 v) in
+      Float.abs (back -. v) <= 1e-12 *. Float.abs v)
+
+let real8_negative () =
+  let v = -0.0325 in
+  Alcotest.(check (float 1e-15)) "negative round trip" v
+    (Gds.Record.decode_real8 (Gds.Record.encode_real8 v))
+
+let record_roundtrip () =
+  let buf = Buffer.create 64 in
+  let records =
+    [
+      { Gds.Record.rtype = Gds.Record.Header; payload = Gds.Record.I16 [ 600 ] };
+      { Gds.Record.rtype = Gds.Record.Libname; payload = Gds.Record.Ascii "lib" };
+      { Gds.Record.rtype = Gds.Record.Xy;
+        payload = Gds.Record.I32 [ 0; 0; 10; 0; 10; 5; 0; 5; 0; 0 ] };
+      { Gds.Record.rtype = Gds.Record.Endel; payload = Gds.Record.No_data };
+    ]
+  in
+  List.iter (Gds.Record.encode buf) records;
+  let s = Buffer.contents buf in
+  let rec decode_all pos acc =
+    if pos >= String.length s then List.rev acc
+    else
+      match Gds.Record.decode s ~pos with
+      | Ok (r, next) -> decode_all next (r :: acc)
+      | Error e -> Alcotest.fail e
+  in
+  let got = decode_all 0 [] in
+  check_int "record count" 4 (List.length got);
+  checkb "records equal" true (got = records)
+
+let record_odd_string_padded () =
+  let buf = Buffer.create 16 in
+  Gds.Record.encode buf
+    { Gds.Record.rtype = Gds.Record.Libname; payload = Gds.Record.Ascii "abc" };
+  let s = Buffer.contents buf in
+  check_int "padded to even" 0 (String.length s mod 2);
+  match Gds.Record.decode s ~pos:0 with
+  | Ok ({ Gds.Record.payload = Gds.Record.Ascii got; _ }, _) ->
+    Alcotest.(check string) "padding stripped" "abc" got
+  | Ok _ | Error _ -> Alcotest.fail "decode failed"
+
+let record_negative_i32 () =
+  let buf = Buffer.create 16 in
+  Gds.Record.encode buf
+    { Gds.Record.rtype = Gds.Record.Xy; payload = Gds.Record.I32 [ -7; 13 ] };
+  match Gds.Record.decode (Buffer.contents buf) ~pos:0 with
+  | Ok ({ Gds.Record.payload = Gds.Record.I32 [ a; b ]; _ }, _) ->
+    check_int "negative preserved" (-7) a;
+    check_int "positive preserved" 13 b
+  | Ok _ | Error _ -> Alcotest.fail "decode failed"
+
+let decode_errors () =
+  checkb "truncated" true
+    (match Gds.Record.decode "\000" ~pos:0 with Error _ -> true | Ok _ -> false);
+  (* bogus record type 0x7F *)
+  let s = "\000\004\127\000" in
+  checkb "unknown type" true
+    (match Gds.Record.decode s ~pos:0 with Error _ -> true | Ok _ -> false)
+
+let rects_arb =
+  QCheck.list_of_size (QCheck.Gen.int_range 1 10)
+    (QCheck.make
+       ~print:Geom.Rect.to_string
+       QCheck.Gen.(
+         let* x = int_range (-100) 100 in
+         let* y = int_range (-100) 100 in
+         let* w = int_range 1 50 in
+         let* h = int_range 1 50 in
+         return (Geom.Rect.of_size ~x ~y ~w ~h)))
+
+let stream_roundtrip_random =
+  QCheck.Test.make ~name:"stream round-trip preserves geometry" ~count:100
+    rects_arb (fun rects ->
+      let lib =
+        Gds.Stream.library ~rules:Pdk.Rules.default ~name:"t"
+          [ ("cell", [ (Pdk.Layer.Gate, Geom.Region.of_rects rects) ]) ]
+      in
+      match Gds.Stream.of_bytes (Gds.Stream.to_bytes lib) with
+      | Error _ -> false
+      | Ok back ->
+        (match back.Gds.Stream.structures with
+        | [ s ] ->
+          List.length s.Gds.Stream.elements = List.length rects
+          && List.for_all2
+               (fun (e : Gds.Stream.element) r ->
+                 e.Gds.Stream.xy
+                 = (Gds.Stream.element_of_rect
+                      ~layer:(Pdk.Layer.gds_number Pdk.Layer.Gate) r)
+                     .Gds.Stream.xy)
+               s.Gds.Stream.elements rects
+        | _ -> false))
+
+let stream_units () =
+  let lib =
+    Gds.Stream.library ~rules:Pdk.Rules.default ~name:"units" []
+  in
+  match Gds.Stream.of_bytes (Gds.Stream.to_bytes lib) with
+  | Ok back ->
+    Alcotest.(check (float 1e-15)) "lambda in metres" 32.5e-9
+      back.Gds.Stream.user_unit_m;
+    Alcotest.(check string) "libname" "units" back.Gds.Stream.libname
+  | Error e -> Alcotest.fail e
+
+let stream_cell_export () =
+  let cell =
+    Layout.Cell.make ~rules:Pdk.Rules.default ~fn:(Logic.Cell_fun.nand 3)
+      ~style:Layout.Cell.Immune_new ~scheme:Layout.Cell.Scheme1 ~drive:4
+  in
+  let bytes =
+    Cnfet.Synthesis.gds_of_cells ~rules:Pdk.Rules.default ~name:"lib"
+      [ cell ]
+  in
+  match Gds.Stream.of_bytes bytes with
+  | Ok lib ->
+    check_int "one structure" 1 (List.length lib.Gds.Stream.structures);
+    let s = List.nth lib.Gds.Stream.structures 0 in
+    checkb "has elements" true (List.length s.Gds.Stream.elements > 5);
+    checkb "boundary closed" true
+      (List.for_all
+         (fun (e : Gds.Stream.element) ->
+           match e.Gds.Stream.xy with
+           | first :: _ ->
+             List.nth e.Gds.Stream.xy (List.length e.Gds.Stream.xy - 1) = first
+           | [] -> false)
+         s.Gds.Stream.elements)
+  | Error e -> Alcotest.fail e
+
+let file_roundtrip () =
+  let tmp = Filename.temp_file "cnfet" ".gds" in
+  let lib =
+    Gds.Stream.library ~rules:Pdk.Rules.default ~name:"file"
+      [
+        ( "c1",
+          [ (Pdk.Layer.Metal1,
+             Geom.Region.of_rect (Geom.Rect.of_size ~x:0 ~y:0 ~w:4 ~h:2)) ] );
+      ]
+  in
+  Gds.Stream.write_file tmp lib;
+  (match Gds.Stream.read_file tmp with
+  | Ok back ->
+    Alcotest.(check string) "libname" "file" back.Gds.Stream.libname;
+    check_int "structures" 1 (List.length back.Gds.Stream.structures)
+  | Error e -> Alcotest.fail e);
+  Sys.remove tmp
+
+let suite =
+  [
+    Alcotest.test_case "real8 known values" `Quick real8_known_values;
+    Alcotest.test_case "real8 negative" `Quick real8_negative;
+    Alcotest.test_case "record round-trip" `Quick record_roundtrip;
+    Alcotest.test_case "odd string padded" `Quick record_odd_string_padded;
+    Alcotest.test_case "negative i32" `Quick record_negative_i32;
+    Alcotest.test_case "decode errors" `Quick decode_errors;
+    Alcotest.test_case "stream units" `Quick stream_units;
+    Alcotest.test_case "cell export" `Quick stream_cell_export;
+    Alcotest.test_case "file round-trip" `Quick file_roundtrip;
+    QCheck_alcotest.to_alcotest real8_roundtrip;
+    QCheck_alcotest.to_alcotest stream_roundtrip_random;
+  ]

@@ -1,0 +1,213 @@
+(* Geometry kernel tests: rectangles, regions (exact union area),
+   complement tiling, and segment clipping. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let rect_arb =
+  QCheck.make
+    ~print:(fun r -> Geom.Rect.to_string r)
+    QCheck.Gen.(
+      let* x = int_range (-30) 30 in
+      let* y = int_range (-30) 30 in
+      let* w = int_range 0 20 in
+      let* h = int_range 0 20 in
+      return (Geom.Rect.of_size ~x ~y ~w ~h))
+
+let rects_arb = QCheck.list_of_size (QCheck.Gen.int_range 0 12) rect_arb
+
+let basic_rect () =
+  let r = Geom.Rect.of_size ~x:2 ~y:3 ~w:5 ~h:4 in
+  check "width" 5 (Geom.Rect.width r);
+  check "height" 4 (Geom.Rect.height r);
+  check "area" 20 (Geom.Rect.area r);
+  checkb "contains corner" true (Geom.Rect.contains r ~x:2 ~y:3);
+  checkb "contains far corner" true (Geom.Rect.contains r ~x:7 ~y:7);
+  checkb "outside" false (Geom.Rect.contains r ~x:8 ~y:3)
+
+let make_normalizes () =
+  let r = Geom.Rect.make ~x0:5 ~y0:7 ~x1:1 ~y1:2 in
+  check "x0" 1 r.Geom.Rect.x0;
+  check "y1" 7 r.Geom.Rect.y1
+
+let of_size_negative () =
+  Alcotest.check_raises "negative width" (Invalid_argument "Rect.of_size: negative size")
+    (fun () -> ignore (Geom.Rect.of_size ~x:0 ~y:0 ~w:(-1) ~h:2))
+
+let empty_rect () =
+  checkb "empty is empty" true (Geom.Rect.is_empty Geom.Rect.empty);
+  checkb "degenerate is empty" true
+    (Geom.Rect.is_empty (Geom.Rect.of_size ~x:3 ~y:3 ~w:0 ~h:5));
+  check "empty area" 0 (Geom.Rect.area Geom.Rect.empty)
+
+let translate_rect () =
+  let r = Geom.Rect.of_size ~x:1 ~y:1 ~w:2 ~h:2 in
+  let t = Geom.Rect.translate ~dx:3 ~dy:(-1) r in
+  check "x0" 4 t.Geom.Rect.x0;
+  check "y0" 0 t.Geom.Rect.y0;
+  check "area preserved" (Geom.Rect.area r) (Geom.Rect.area t)
+
+let inflate_rect () =
+  let r = Geom.Rect.of_size ~x:2 ~y:2 ~w:4 ~h:4 in
+  check "inflate grows" 36 (Geom.Rect.area (Geom.Rect.inflate 1 r));
+  check "deflate shrinks" 4 (Geom.Rect.area (Geom.Rect.inflate (-1) r));
+  checkb "over-deflate collapses" true
+    (Geom.Rect.is_empty (Geom.Rect.inflate (-3) r))
+
+let intersect_rect () =
+  let a = Geom.Rect.of_size ~x:0 ~y:0 ~w:4 ~h:4 in
+  let b = Geom.Rect.of_size ~x:2 ~y:2 ~w:4 ~h:4 in
+  let c = Geom.Rect.of_size ~x:4 ~y:0 ~w:2 ~h:2 in
+  checkb "overlap" true (Geom.Rect.intersects a b);
+  checkb "touching edge is not overlap" false (Geom.Rect.intersects a c);
+  (match Geom.Rect.inter a b with
+  | Some i -> check "intersection area" 4 (Geom.Rect.area i)
+  | None -> Alcotest.fail "expected intersection");
+  checkb "inter none" true (Geom.Rect.inter a c = None)
+
+let union_bbox () =
+  let a = Geom.Rect.of_size ~x:0 ~y:0 ~w:1 ~h:1 in
+  let b = Geom.Rect.of_size ~x:5 ~y:5 ~w:1 ~h:1 in
+  let u = Geom.Rect.union_bbox a b in
+  check "bbox area" 36 (Geom.Rect.area u);
+  check "bbox of empty list" 0 (Geom.Rect.area (Geom.Rect.bbox_of_list []))
+
+let region_disjoint_area () =
+  let rg =
+    Geom.Region.of_rects
+      [ Geom.Rect.of_size ~x:0 ~y:0 ~w:2 ~h:2;
+        Geom.Rect.of_size ~x:5 ~y:5 ~w:3 ~h:1 ]
+  in
+  check "disjoint union" 7 (Geom.Region.area rg)
+
+let region_overlap_area () =
+  let rg =
+    Geom.Region.of_rects
+      [ Geom.Rect.of_size ~x:0 ~y:0 ~w:4 ~h:4;
+        Geom.Rect.of_size ~x:2 ~y:2 ~w:4 ~h:4 ]
+  in
+  check "overlap counted once" 28 (Geom.Region.area rg)
+
+let region_nested_area () =
+  let rg =
+    Geom.Region.of_rects
+      [ Geom.Rect.of_size ~x:0 ~y:0 ~w:6 ~h:6;
+        Geom.Rect.of_size ~x:1 ~y:1 ~w:2 ~h:2 ]
+  in
+  check "nested counted once" 36 (Geom.Region.area rg)
+
+let region_empty () =
+  check "empty region area" 0 (Geom.Region.area Geom.Region.empty);
+  checkb "empty region is empty" true (Geom.Region.is_empty Geom.Region.empty);
+  checkb "degenerate rect dropped" true
+    (Geom.Region.is_empty
+       (Geom.Region.of_rect (Geom.Rect.of_size ~x:1 ~y:1 ~w:0 ~h:3)))
+
+let region_area_union_bound =
+  QCheck.Test.make ~name:"region union area <= sum of areas" ~count:200
+    rects_arb (fun rects ->
+      let sum = List.fold_left (fun a r -> a + Geom.Rect.area r) 0 rects in
+      Geom.Region.area (Geom.Region.of_rects rects) <= sum)
+
+let region_area_max_bound =
+  QCheck.Test.make ~name:"region area >= max member area" ~count:200 rects_arb
+    (fun rects ->
+      let m = List.fold_left (fun a r -> max a (Geom.Rect.area r)) 0 rects in
+      Geom.Region.area (Geom.Region.of_rects rects) >= m)
+
+let region_translate_invariant =
+  QCheck.Test.make ~name:"region area is translation invariant" ~count:200
+    rects_arb (fun rects ->
+      let rg = Geom.Region.of_rects rects in
+      Geom.Region.area rg
+      = Geom.Region.area (Geom.Region.translate ~dx:7 ~dy:(-3) rg))
+
+let complement_partitions =
+  QCheck.Test.make ~name:"complement partitions the bounding box" ~count:200
+    rects_arb (fun rects ->
+      let rg = Geom.Region.of_rects rects in
+      let bbox = Geom.Region.bbox rg in
+      let comp = Geom.Region.complement_rects ~within:bbox rg in
+      Geom.Region.area rg + Geom.Region.area (Geom.Region.of_rects comp)
+      = Geom.Rect.area bbox)
+
+let complement_disjoint =
+  QCheck.Test.make ~name:"complement does not overlap the region" ~count:200
+    rects_arb (fun rects ->
+      let rg = Geom.Region.of_rects rects in
+      let bbox = Geom.Region.bbox rg in
+      let comp = Geom.Region.complement_rects ~within:bbox rg in
+      List.for_all (fun c -> not (Geom.Region.intersects_rect rg c)) comp)
+
+let vec_ops () =
+  let a = Geom.Vec.v 3. 4. in
+  Alcotest.(check (float 1e-9)) "norm" 5. (Geom.Vec.norm a);
+  let u = Geom.Vec.normalize a in
+  Alcotest.(check (float 1e-9)) "unit norm" 1. (Geom.Vec.norm u);
+  Alcotest.(check (float 1e-9)) "dot" 25. (Geom.Vec.dot a a);
+  Alcotest.check_raises "normalize zero"
+    (Invalid_argument "Vec.normalize: zero vector") (fun () ->
+      ignore (Geom.Vec.normalize Geom.Vec.zero))
+
+let segment_band_clip () =
+  let s = Geom.Segment.make (Geom.Vec.v 0. 0.) (Geom.Vec.v 10. 0.) in
+  (match Geom.Segment.clip_to_vertical_band s ~xlo:2. ~xhi:4. with
+  | Some (t0, t1) ->
+    Alcotest.(check (float 1e-9)) "t0" 0.2 t0;
+    Alcotest.(check (float 1e-9)) "t1" 0.4 t1
+  | None -> Alcotest.fail "expected clip");
+  checkb "outside band" true
+    (Geom.Segment.clip_to_vertical_band s ~xlo:11. ~xhi:12. = None)
+
+let segment_rect_clip () =
+  let s = Geom.Segment.make (Geom.Vec.v (-1.) 1.) (Geom.Vec.v 5. 1.) in
+  (match Geom.Segment.clip_to_rect_f s ~x0:0. ~y0:0. ~x1:2. ~y1:2. with
+  | Some (t0, t1) ->
+    checkb "interval ordered" true (t0 < t1);
+    let p = Geom.Segment.point_at s t0 in
+    Alcotest.(check (float 1e-9)) "entry x" 0. p.Geom.Vec.x
+  | None -> Alcotest.fail "expected rect clip");
+  let miss = Geom.Segment.make (Geom.Vec.v (-1.) 5.) (Geom.Vec.v 5. 5.) in
+  checkb "miss above" true
+    (Geom.Segment.clip_to_rect_f miss ~x0:0. ~y0:0. ~x1:2. ~y1:2. = None)
+
+let segment_clip_inside_points =
+  QCheck.Test.make ~name:"clipped midpoint lies inside the box" ~count:200
+    QCheck.(
+      quad (float_bound_exclusive 20.) (float_bound_exclusive 20.)
+        (float_bound_exclusive 20.) (float_bound_exclusive 20.))
+    (fun (ax, ay, bx, by) ->
+      let s = Geom.Segment.make (Geom.Vec.v ax ay) (Geom.Vec.v bx by) in
+      match Geom.Segment.clip_to_rect_f s ~x0:5. ~y0:5. ~x1:15. ~y1:15. with
+      | None -> true
+      | Some (t0, t1) ->
+        let p = Geom.Segment.point_at s ((t0 +. t1) /. 2.) in
+        p.Geom.Vec.x >= 5. -. 1e-6
+        && p.Geom.Vec.x <= 15. +. 1e-6
+        && p.Geom.Vec.y >= 5. -. 1e-6
+        && p.Geom.Vec.y <= 15. +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "rect basics" `Quick basic_rect;
+    Alcotest.test_case "make normalizes corners" `Quick make_normalizes;
+    Alcotest.test_case "of_size rejects negative" `Quick of_size_negative;
+    Alcotest.test_case "empty rect" `Quick empty_rect;
+    Alcotest.test_case "translate" `Quick translate_rect;
+    Alcotest.test_case "inflate/deflate" `Quick inflate_rect;
+    Alcotest.test_case "intersection" `Quick intersect_rect;
+    Alcotest.test_case "union bbox" `Quick union_bbox;
+    Alcotest.test_case "region disjoint area" `Quick region_disjoint_area;
+    Alcotest.test_case "region overlap area" `Quick region_overlap_area;
+    Alcotest.test_case "region nested area" `Quick region_nested_area;
+    Alcotest.test_case "region empty" `Quick region_empty;
+    Alcotest.test_case "vec ops" `Quick vec_ops;
+    Alcotest.test_case "segment band clip" `Quick segment_band_clip;
+    Alcotest.test_case "segment rect clip" `Quick segment_rect_clip;
+    QCheck_alcotest.to_alcotest region_area_union_bound;
+    QCheck_alcotest.to_alcotest region_area_max_bound;
+    QCheck_alcotest.to_alcotest region_translate_invariant;
+    QCheck_alcotest.to_alcotest complement_partitions;
+    QCheck_alcotest.to_alcotest complement_disjoint;
+    QCheck_alcotest.to_alcotest segment_clip_inside_points;
+  ]

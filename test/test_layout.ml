@@ -1,0 +1,310 @@
+(* Layout generator tests: sizing, both immune styles, the vulnerable
+   baseline, CMOS references, cell assembly, areas against the paper's
+   anchors, and rendering. *)
+
+let checkb = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let rules = Pdk.Rules.default
+
+let all_styles =
+  [
+    (Layout.Cell.Immune_new, "new");
+    (Layout.Cell.Immune_old, "old");
+    (Layout.Cell.Vulnerable, "vuln");
+    (Layout.Cell.Cmos, "cmos");
+  ]
+
+let mk ?(style = Layout.Cell.Immune_new) ?(scheme = Layout.Cell.Scheme1)
+    ?(drive = 4) name =
+  Layout.Cell.make ~rules ~fn:(Logic.Cell_fun.find name) ~style ~scheme ~drive
+
+(* Sizing *)
+
+let sizing_nand3 () =
+  let fn = Logic.Cell_fun.nand 3 in
+  let pdn = Logic.Network.of_expr fn.Logic.Cell_fun.core in
+  check_int "series path" 3 (Layout.Sizing.path_length pdn "B");
+  let w = Layout.Sizing.widths ~base:4 pdn in
+  check_int "nFET 3x wider" 12 (Layout.Sizing.lookup w "A");
+  check_int "strip width" 12 (Layout.Sizing.strip_width w);
+  let pun = Logic.Network.dual pdn in
+  check_int "pFET 1x" 4
+    (Layout.Sizing.lookup (Layout.Sizing.widths ~base:4 pun) "C")
+
+let sizing_aoi31 () =
+  let fn = Logic.Cell_fun.aoi31 in
+  let pdn = Logic.Network.of_expr fn.Logic.Cell_fun.core in
+  check_int "product-term device 3x" 3 (Layout.Sizing.path_length pdn "A1");
+  check_int "lone device 1x" 1 (Layout.Sizing.path_length pdn "B");
+  let pun = Logic.Network.dual pdn in
+  check_int "PUN paths are 2 long" 2 (Layout.Sizing.path_length pun "A1");
+  check_int "PUN D path" 2 (Layout.Sizing.path_length pun "B")
+
+let sizing_unknown_input () =
+  let pdn = Logic.Network.of_expr (Logic.Expr.var "A") in
+  checkb "unknown raises" true
+    (try
+       ignore (Layout.Sizing.path_length pdn "Z");
+       false
+     with Not_found -> true)
+
+(* Fabric-level checks *)
+
+let nand3_new_pun_geometry () =
+  let fn = Logic.Cell_fun.nand 3 in
+  let pun = Logic.Network.dual (Logic.Network.of_expr fn.Logic.Cell_fun.core) in
+  let widths = Layout.Sizing.widths ~base:4 pun in
+  let f =
+    Layout.Immune_new.strip ~rules ~polarity:Logic.Network.P_type ~widths pun
+  in
+  (* paper Fig 3(b): C g C g C g C = 4 contacts, 3 gates, width 20, height 4 *)
+  check_int "four contacts" 4 (List.length (Layout.Fabric.contacts f));
+  check_int "three gates" 3 (List.length (Layout.Fabric.gates f));
+  check_int "width 20 lambda" 20 (Layout.Fabric.width f);
+  check_int "height 4 lambda" 4 (Layout.Fabric.height f);
+  check_int "area 80" 80 (Layout.Fabric.area f);
+  checkb "no etched regions" true (Layout.Fabric.etches f = [])
+
+let nand3_old_pun_geometry () =
+  let fn = Logic.Cell_fun.nand 3 in
+  let pun = Logic.Network.dual (Logic.Network.of_expr fn.Logic.Cell_fun.core) in
+  let widths = Layout.Sizing.widths ~base:4 pun in
+  let f =
+    Layout.Immune_old.strip ~rules ~polarity:Logic.Network.P_type ~widths
+      ~isolation:Layout.Immune_old.Etched pun
+  in
+  (* stacked rows: 2 shared contacts, 3 gate rows, 2 etched strips *)
+  check_int "two contacts" 2 (List.length (Layout.Fabric.contacts f));
+  check_int "three gates" 3 (List.length (Layout.Fabric.gates f));
+  checkb "has etched strips" true (List.length (Layout.Fabric.etches f) >= 2);
+  check_int "width 8" 8 (Layout.Fabric.width f);
+  check_int "height 3w+2e = 16" 16 (Layout.Fabric.height f)
+
+let nand2_pdn_shared_diffusion () =
+  let fn = Logic.Cell_fun.nand 2 in
+  let pdn = Logic.Network.of_expr fn.Logic.Cell_fun.core in
+  let widths = Layout.Sizing.widths ~base:4 pdn in
+  let f =
+    Layout.Immune_new.strip ~rules ~polarity:Logic.Network.N_type ~widths pdn
+  in
+  (* series chain shares diffusion: only the two end contacts *)
+  check_int "two contacts" 2 (List.length (Layout.Fabric.contacts f));
+  check_int "width C g g C + gaps = 11" 11 (Layout.Fabric.width f)
+
+let inv_same_area_both_styles () =
+  List.iter
+    (fun drive ->
+      let a style =
+        Layout.Cell.active_area (mk ~style ~drive "INV")
+      in
+      check_int
+        (Printf.sprintf "INV@%d old == new" drive)
+        (a Layout.Cell.Immune_new)
+        (a Layout.Cell.Immune_old))
+    [ 3; 4; 6; 10 ]
+
+let nominal_function_all () =
+  List.iter
+    (fun fn ->
+      List.iter
+        (fun (style, sname) ->
+          List.iter
+            (fun scheme ->
+              let c =
+                Layout.Cell.make ~rules ~fn ~style ~scheme ~drive:4
+              in
+              match Layout.Cell.check_function c with
+              | Ok () -> ()
+              | Error e ->
+                Alcotest.failf "%s %s: %s" fn.Logic.Cell_fun.name sname e)
+            [ Layout.Cell.Scheme1; Layout.Cell.Scheme2 ])
+        all_styles)
+    Logic.Cell_fun.all
+
+let nominal_function_drives () =
+  List.iter
+    (fun drive ->
+      List.iter
+        (fun fn ->
+          let c =
+            Layout.Cell.make ~rules ~fn ~style:Layout.Cell.Immune_new
+              ~scheme:Layout.Cell.Scheme1 ~drive
+          in
+          checkb
+            (Printf.sprintf "%s@%d" fn.Logic.Cell_fun.name drive)
+            true
+            (Layout.Cell.check_function c = Ok ()))
+        Logic.Cell_fun.all)
+    [ 3; 6; 10; 16 ]
+
+(* Table 1 anchors *)
+
+let table1_anchor_values () =
+  let pct name size =
+    (Cnfet.Compare.row ~rules (Logic.Cell_fun.find name) ~size)
+      .Cnfet.Compare.saving_pct
+  in
+  Alcotest.(check (float 0.6)) "NAND2@4 ~ 14.5%" 14.52 (pct "NAND2" 4);
+  Alcotest.(check (float 2.0)) "NAND3@4 ~ 16.7%" 16.67 (pct "NAND3" 4);
+  Alcotest.(check (float 0.01)) "INV@4 = 0" 0. (pct "INV" 4);
+  Alcotest.(check (float 0.6)) "NAND2@10 ~ 9.25%" 9.25 (pct "NAND2" 10)
+
+let table1_trends () =
+  let rows = Cnfet.Compare.table1 ~rules () in
+  let pct name size =
+    (List.find
+       (fun (r : Cnfet.Compare.row) ->
+         r.Cnfet.Compare.cell_name = name && r.Cnfet.Compare.size_lambda = size)
+       rows)
+      .Cnfet.Compare.saving_pct
+  in
+  (* decreasing in transistor size *)
+  List.iter
+    (fun name ->
+      checkb (name ^ " decreasing") true
+        (pct name 3 > pct name 4 && pct name 4 > pct name 6
+        && pct name 6 > pct name 10))
+    [ "NAND2"; "NAND3"; "AOI22"; "AOI21" ];
+  (* increasing with fan-in and complexity *)
+  checkb "NAND3 > NAND2" true (pct "NAND3" 4 > pct "NAND2" 4);
+  checkb "AOI21 > AOI22 (paper ordering)" true (pct "AOI21" 4 > pct "AOI22" 4);
+  checkb "AOI22 > NAND3" true (pct "AOI22" 4 > pct "NAND3" 4);
+  (* symmetric pairs identical *)
+  checkb "NAND2 = NOR2" true (pct "NAND2" 4 = pct "NOR2" 4);
+  checkb "AOI21 = OAI21" true (pct "AOI21" 4 = pct "OAI21" 4);
+  (* new is never larger than old *)
+  List.iter
+    (fun (r : Cnfet.Compare.row) ->
+      checkb "saving >= 0" true (r.Cnfet.Compare.saving_pct >= -1e-9))
+    rows
+
+(* Cell assembly *)
+
+let scheme_dimensions () =
+  let c1 = mk ~scheme:Layout.Cell.Scheme1 "NAND2" in
+  let c2 = mk ~scheme:Layout.Cell.Scheme2 "NAND2" in
+  checkb "scheme2 is lower" true (c2.Layout.Cell.height < c1.Layout.Cell.height);
+  checkb "scheme2 is wider" true (c2.Layout.Cell.width > c1.Layout.Cell.width);
+  check_int "same active area"
+    (Layout.Cell.active_area c1) (Layout.Cell.active_area c2)
+
+let cmos_inverter_footprint_gain () =
+  let fp = Cnfet.Compare.inverter_footprint ~rules ~width:4 () in
+  Alcotest.(check (float 0.05)) "1.4x at 4 lambda" 1.43 fp.Cnfet.Compare.gain;
+  let fp10 = Cnfet.Compare.inverter_footprint ~rules ~width:10 () in
+  checkb "gain declines with width" true
+    (fp10.Cnfet.Compare.gain < fp.Cnfet.Compare.gain);
+  checkb "CNFET always smaller" true (fp10.Cnfet.Compare.gain > 1.)
+
+let pins_cover_inputs () =
+  List.iter
+    (fun fn ->
+      let c =
+        Layout.Cell.make ~rules ~fn ~style:Layout.Cell.Immune_new
+          ~scheme:Layout.Cell.Scheme1 ~drive:4
+      in
+      let pins = Layout.Cell.pins c in
+      Alcotest.(check (list string))
+        (fn.Logic.Cell_fun.name ^ " pin names")
+        (List.sort Stdlib.compare (Logic.Expr.inputs fn.Logic.Cell_fun.core))
+        (List.sort Stdlib.compare (List.map fst pins)))
+    Logic.Cell_fun.all
+
+let layers_present () =
+  let c = mk "NAND3" in
+  let layers = Layout.Cell.layers c in
+  let has l = List.mem_assoc l layers in
+  checkb "cnt plane" true (has Pdk.Layer.Cnt_plane);
+  checkb "gate" true (has Pdk.Layer.Gate);
+  checkb "contact" true (has Pdk.Layer.Contact);
+  checkb "pdoping" true (has Pdk.Layer.Pdoping);
+  checkb "ndoping" true (has Pdk.Layer.Ndoping);
+  checkb "metal rails" true (has Pdk.Layer.Metal1);
+  checkb "boundary" true (has Pdk.Layer.Boundary);
+  checkb "new style has no etch" false (has Pdk.Layer.Etch);
+  let cold = mk ~style:Layout.Cell.Immune_old "NAND3" in
+  checkb "old style has etch" true
+    (List.mem_assoc Pdk.Layer.Etch (Layout.Cell.layers cold))
+
+let render_dimensions () =
+  let c = mk "NAND2" in
+  let art = Layout.Render.cell c in
+  let lines = String.split_on_char '\n' art in
+  check_int "one text row per lambda" c.Layout.Cell.height (List.length lines);
+  List.iter
+    (fun l -> check_int "line width" c.Layout.Cell.width (String.length l))
+    lines;
+  checkb "contains contacts" true (String.contains art '#');
+  checkb "contains gate A" true (String.contains art 'A');
+  checkb "contains rows" true (String.contains art '.')
+
+let render_fabric_nonempty () =
+  let fn = Logic.Cell_fun.nand 2 in
+  let pun = Logic.Network.dual (Logic.Network.of_expr fn.Logic.Cell_fun.core) in
+  let f =
+    Layout.Immune_new.strip ~rules ~polarity:Logic.Network.P_type
+      ~widths:(Layout.Sizing.widths ~base:4 pun)
+      pun
+  in
+  checkb "fabric art nonempty" true (String.length (Layout.Render.fabric f) > 0)
+
+let uniform_flag_area_invariant () =
+  (* drawing devices at full strip height never changes the bbox area *)
+  List.iter
+    (fun name ->
+      let fn = Logic.Cell_fun.find name in
+      let pdn = Logic.Network.of_expr fn.Logic.Cell_fun.core in
+      let widths = Layout.Sizing.widths ~base:4 pdn in
+      let area uniform =
+        Layout.Fabric.area
+          (Layout.Immune_new.strip ~uniform ~rules
+             ~polarity:Logic.Network.N_type ~widths pdn)
+      in
+      check_int (name ^ " bbox area invariant") (area true) (area false))
+    [ "AOI31"; "AOI21"; "NAND3" ]
+
+let custom_expression_cell () =
+  (* the paper's Figure 4 function (ABC + D)' built from a raw expression *)
+  let fn =
+    Cnfet.Synthesis.of_expr ~name:"AOI31_CUSTOM"
+      Logic.Expr.(
+        Or [ And [ var "A"; var "B"; var "C" ]; var "D" ])
+  in
+  let c =
+    Layout.Cell.make ~rules ~fn ~style:Layout.Cell.Immune_new
+      ~scheme:Layout.Cell.Scheme1 ~drive:4
+  in
+  checkb "custom cell correct" true (Layout.Cell.check_function c = Ok ())
+
+let suite =
+  [
+    Alcotest.test_case "sizing NAND3" `Quick sizing_nand3;
+    Alcotest.test_case "sizing AOI31" `Quick sizing_aoi31;
+    Alcotest.test_case "sizing unknown input" `Quick sizing_unknown_input;
+    Alcotest.test_case "NAND3 new PUN geometry (Fig 3b)" `Quick
+      nand3_new_pun_geometry;
+    Alcotest.test_case "NAND3 old PUN geometry (Fig 3a)" `Quick
+      nand3_old_pun_geometry;
+    Alcotest.test_case "NAND2 PDN shared diffusion" `Quick
+      nand2_pdn_shared_diffusion;
+    Alcotest.test_case "INV identical in both styles" `Quick
+      inv_same_area_both_styles;
+    Alcotest.test_case "nominal function, all styles and schemes" `Slow
+      nominal_function_all;
+    Alcotest.test_case "nominal function across drives" `Slow
+      nominal_function_drives;
+    Alcotest.test_case "Table 1 anchor values" `Quick table1_anchor_values;
+    Alcotest.test_case "Table 1 trends" `Quick table1_trends;
+    Alcotest.test_case "scheme 1 vs scheme 2 dimensions" `Quick
+      scheme_dimensions;
+    Alcotest.test_case "CS1 inverter footprint gain" `Quick
+      cmos_inverter_footprint_gain;
+    Alcotest.test_case "pins cover inputs" `Quick pins_cover_inputs;
+    Alcotest.test_case "layer export" `Quick layers_present;
+    Alcotest.test_case "render cell dimensions" `Quick render_dimensions;
+    Alcotest.test_case "render fabric" `Quick render_fabric_nonempty;
+    Alcotest.test_case "uniform flag keeps bbox area" `Quick
+      uniform_flag_area_invariant;
+    Alcotest.test_case "custom expression cell (Fig 4)" `Quick
+      custom_expression_cell;
+  ]

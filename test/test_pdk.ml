@@ -1,0 +1,52 @@
+(* PDK tests: rule validation and the layer table. *)
+
+let checkb = Alcotest.(check bool)
+
+let default_rules_valid () =
+  checkb "default rules validate" true (Pdk.Rules.validate Pdk.Rules.default = Ok ())
+
+let bad_rules_rejected () =
+  let bad = { Pdk.Rules.default with Pdk.Rules.gate_len = 1 } in
+  checkb "tiny gate rejected" true
+    (match Pdk.Rules.validate bad with Error _ -> true | Ok () -> false);
+  let bad = { Pdk.Rules.default with Pdk.Rules.via_size = 2 } in
+  checkb "via must exceed gate" true
+    (match Pdk.Rules.validate bad with Error _ -> true | Ok () -> false);
+  let bad = { Pdk.Rules.default with Pdk.Rules.cmos_pun_pdn_sep = 1 } in
+  checkb "cmos sep must dominate" true
+    (match Pdk.Rules.validate bad with Error _ -> true | Ok () -> false)
+
+let conversions () =
+  let r = Pdk.Rules.default in
+  Alcotest.(check (float 1e-9)) "2 lambda = 65nm" 65. (Pdk.Rules.nm_of_lambda r 2);
+  (* 1 lambda^2 = 32.5nm * 32.5nm = 1056.25 nm^2 ~ 0.00105625 um^2 *)
+  Alcotest.(check (float 1e-9)) "um2" 0.00105625 (Pdk.Rules.um2_of_lambda2 r 1)
+
+let layer_numbers_unique () =
+  let nums = List.map Pdk.Layer.gds_number Pdk.Layer.all in
+  Alcotest.(check int) "unique gds numbers" (List.length nums)
+    (List.length (List.sort_uniq Stdlib.compare nums))
+
+let layer_roundtrip () =
+  List.iter
+    (fun l ->
+      match Pdk.Layer.of_gds_number (Pdk.Layer.gds_number l) with
+      | Some l' -> checkb (Pdk.Layer.name l) true (l = l')
+      | None -> Alcotest.fail "missing layer")
+    Pdk.Layer.all;
+  checkb "unknown number" true (Pdk.Layer.of_gds_number 9999 = None)
+
+let layer_names_distinct () =
+  let names = List.map Pdk.Layer.name Pdk.Layer.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq Stdlib.compare names))
+
+let suite =
+  [
+    Alcotest.test_case "default rules valid" `Quick default_rules_valid;
+    Alcotest.test_case "bad rules rejected" `Quick bad_rules_rejected;
+    Alcotest.test_case "unit conversions" `Quick conversions;
+    Alcotest.test_case "layer numbers unique" `Quick layer_numbers_unique;
+    Alcotest.test_case "layer roundtrip" `Quick layer_roundtrip;
+    Alcotest.test_case "layer names distinct" `Quick layer_names_distinct;
+  ]

@@ -1,0 +1,161 @@
+(* Standard-cell library tests: construction, transistor factories,
+   sensitization, characterization through the simulator, and the Liberty
+   export. *)
+
+let checkb = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cn_lib = Stdcell.Library.cnfet ~drives:[ 1; 2; 4 ] ()
+let cm_lib = Stdcell.Library.cmos ~drives:[ 1; 2; 4 ] ()
+
+let library_contents () =
+  checkb "has INV_1X" true
+    (match Stdcell.Library.find cn_lib ~name:"INV" ~drive:1 with
+    | _ -> true);
+  checkb "has NAND2_4X" true
+    (match Stdcell.Library.find cn_lib ~name:"nand2" ~drive:4 with
+    | _ -> true);
+  checkb "missing drive raises" true
+    (try
+       ignore (Stdcell.Library.find cn_lib ~name:"INV" ~drive:99);
+       false
+     with Not_found -> true);
+  (* the Table-1 catalog is present at drive 1 *)
+  List.iter
+    (fun name ->
+      ignore (Stdcell.Library.find cn_lib ~name ~drive:1))
+    [ "NAND3"; "NOR2"; "AOI21"; "AOI22"; "OAI21"; "AOI31" ]
+
+let entries_have_layouts () =
+  List.iter
+    (fun (e : Stdcell.Library.entry) ->
+      checkb (e.Stdcell.Library.cell_name ^ " scheme1 function") true
+        (Layout.Cell.check_function e.Stdcell.Library.scheme1 = Ok ());
+      checkb (e.Stdcell.Library.cell_name ^ " scheme2 function") true
+        (Layout.Cell.check_function e.Stdcell.Library.scheme2 = Ok ()))
+    cn_lib.Stdcell.Library.entries
+
+let tubes_for_widths () =
+  let t w =
+    Stdcell.Library.tubes_for Device.Cnfet.default_tech
+      ~rules:Pdk.Rules.default ~width_lambda:w
+  in
+  checkb "wider gate, more tubes" true (t 12 > t 3);
+  (* 3 lambda = 97.5nm at 5nm pitch ~ 21 tubes *)
+  check_int "INV1X tube count" 21 (t 3)
+
+let factory_polarity () =
+  let f = Stdcell.Library.factory cn_lib in
+  let n = f ~polarity:Device.Model.Nfet ~width_lambda:3 ~name:"n" in
+  let p = f ~polarity:Device.Model.Pfet ~width_lambda:3 ~name:"p" in
+  checkb "CNFET n = p drive" true
+    (n.Device.Model.i_d ~vgs:1. ~vds:1. = p.Device.Model.i_d ~vgs:1. ~vds:1.);
+  let fm = Stdcell.Library.factory cm_lib in
+  let nm = fm ~polarity:Device.Model.Nfet ~width_lambda:3 ~name:"n" in
+  let pm = fm ~polarity:Device.Model.Pfet ~width_lambda:3 ~name:"p" in
+  (* CMOS pMOS is drawn 1.4x wider but its k is 2x weaker *)
+  checkb "CMOS p weaker than n" true
+    (pm.Device.Model.i_d ~vgs:1. ~vds:1. < nm.Device.Model.i_d ~vgs:1. ~vds:1.)
+
+let sensitize_nand2 () =
+  let fn = Logic.Cell_fun.nand 2 in
+  Alcotest.(check (list (pair string bool)))
+    "B must be high" [ ("B", true) ]
+    (Stdcell.Characterize.sensitize fn ~input:"A")
+
+let sensitize_aoi21 () =
+  let fn = Logic.Cell_fun.aoi21 in
+  let side = Stdcell.Characterize.sensitize fn ~input:"B" in
+  (* B controls the output whenever A1*A2 = 0 *)
+  let a1 = List.assoc "A1" side and a2 = List.assoc "A2" side in
+  checkb "A1*A2 disabled" true (not (a1 && a2))
+
+let sensitize_impossible () =
+  (* an input that never controls the output: (A + A')-like cannot be
+     expressed positively, so use a function where C is redundant:
+     core = A*B + A*B*C has C redundant only when paired; simplest check:
+     sensitizing an unknown name raises *)
+  let fn = Logic.Cell_fun.nand 2 in
+  checkb "unknown input raises" true
+    (try
+       ignore (Stdcell.Characterize.sensitize fn ~input:"Z");
+       false
+     with Not_found -> true)
+
+let characterize_inv () =
+  let e = Stdcell.Library.find cn_lib ~name:"INV" ~drive:1 in
+  let a = Stdcell.Characterize.arc ~lib:cn_lib e ~input:"A" ~load_inv1x:4 in
+  checkb "delay positive" true (a.Stdcell.Characterize.avg_delay_s > 0.);
+  checkb "delay < 1ns" true (a.Stdcell.Characterize.avg_delay_s < 1e-9);
+  checkb "energy positive" true (a.Stdcell.Characterize.energy_per_cycle_j > 0.)
+
+let characterize_load_dependence () =
+  let e = Stdcell.Library.find cn_lib ~name:"INV" ~drive:1 in
+  let d load =
+    (Stdcell.Characterize.arc ~lib:cn_lib e ~input:"A" ~load_inv1x:load)
+      .Stdcell.Characterize.avg_delay_s
+  in
+  checkb "more load, more delay" true (d 8 > d 1)
+
+let characterize_nand2_all_arcs () =
+  let e = Stdcell.Library.find cn_lib ~name:"NAND2" ~drive:1 in
+  let arcs = Stdcell.Characterize.all_arcs ~lib:cn_lib e ~load_inv1x:2 in
+  check_int "two arcs" 2 (List.length arcs);
+  checkb "worst delay sane" true
+    (Stdcell.Characterize.worst_delay arcs > 0.
+    && Stdcell.Characterize.worst_delay arcs < 1e-9);
+  checkb "mean energy positive" true (Stdcell.Characterize.total_energy arcs > 0.)
+
+let cnfet_faster_than_cmos () =
+  let arc lib =
+    let e = Stdcell.Library.find lib ~name:"INV" ~drive:1 in
+    Stdcell.Characterize.arc ~lib e ~input:"A" ~load_inv1x:4
+  in
+  let cn = arc cn_lib and cm = arc cm_lib in
+  checkb "CNFET INV faster" true
+    (cn.Stdcell.Characterize.avg_delay_s < cm.Stdcell.Characterize.avg_delay_s);
+  checkb "CNFET INV lower energy" true
+    (cn.Stdcell.Characterize.energy_per_cycle_j
+    < cm.Stdcell.Characterize.energy_per_cycle_j)
+
+let liberty_export () =
+  let e = Stdcell.Library.find cn_lib ~name:"INV" ~drive:1 in
+  let arcs = Stdcell.Characterize.all_arcs ~lib:cn_lib e ~load_inv1x:2 in
+  let text = Stdcell.Liberty.library_to_string ~lib:cn_lib [ (e, arcs) ] in
+  checkb "has library block" true (String.length text > 0);
+  let contains sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  checkb "mentions the cell" true (contains "INV_1X" text);
+  checkb "has timing" true (contains "related_pin" text);
+  checkb "has function" true (contains "function" text)
+
+let cell_height_standardization () =
+  let h = Stdcell.Library.cell_height_scheme1 cn_lib in
+  checkb "tallest cell defines the row" true
+    (List.for_all
+       (fun (e : Stdcell.Library.entry) ->
+         e.Stdcell.Library.scheme1.Layout.Cell.height <= h)
+       cn_lib.Stdcell.Library.entries)
+
+let suite =
+  [
+    Alcotest.test_case "library contents" `Quick library_contents;
+    Alcotest.test_case "entry layouts are functional" `Slow entries_have_layouts;
+    Alcotest.test_case "tubes_for widths" `Quick tubes_for_widths;
+    Alcotest.test_case "factory polarity" `Quick factory_polarity;
+    Alcotest.test_case "sensitize NAND2" `Quick sensitize_nand2;
+    Alcotest.test_case "sensitize AOI21" `Quick sensitize_aoi21;
+    Alcotest.test_case "sensitize unknown input" `Quick sensitize_impossible;
+    Alcotest.test_case "characterize INV" `Slow characterize_inv;
+    Alcotest.test_case "characterize load dependence" `Slow
+      characterize_load_dependence;
+    Alcotest.test_case "characterize NAND2 arcs" `Slow
+      characterize_nand2_all_arcs;
+    Alcotest.test_case "CNFET beats CMOS per cell" `Slow cnfet_faster_than_cmos;
+    Alcotest.test_case "liberty export" `Slow liberty_export;
+    Alcotest.test_case "scheme-1 height standardization" `Quick
+      cell_height_standardization;
+  ]
