@@ -1,0 +1,25 @@
+# Tier-1 verify path: `make verify` is what CI and pre-merge checks run.
+# `dune build @runtest` both builds and executes the whole test suite,
+# including the 2-domain smoke campaign (test/smoke.ml) that exercises the
+# parallel Monte-Carlo engine end to end.
+
+.PHONY: all build test smoke bench verify clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune build @runtest
+
+smoke:
+	dune exec test/smoke.exe
+
+bench:
+	dune exec bench/main.exe -- mcscale
+
+verify: build test
+
+clean:
+	dune clean

@@ -1,11 +1,11 @@
 (* Experiment driver: `main.exe` runs every paper experiment;
    `main.exe <name>` runs one (table1 fig2 immunity fig7 screening cs1 cs2
-   summary ablation perf). *)
+   summary ablation mcscale perf). *)
 
 let usage () =
   print_endline
     "usage: main.exe [table1|fig2|immunity|fig7|screening|cs1|cs2|summary|\
-     ablation|yield|variation|sta|anneal|drc|perf|all]"
+     ablation|yield|variation|sta|anneal|drc|mcscale|perf|all]"
 
 let all_experiments =
   [
@@ -25,6 +25,7 @@ let all_experiments =
     ("drc", Experiments.drc_exp);
     ("ring", Experiments.ring_exp);
     ("ripple", Experiments.ripple_exp);
+    ("mcscale", fun () -> Mc_scaling.run ());
   ]
 
 let () =

@@ -1,0 +1,49 @@
+(* Serial-vs-parallel throughput of the Monte-Carlo fault-injection engine,
+   plus the determinism check that makes the parallel numbers trustworthy:
+   the outcome at every domain count must be byte-identical to serial. *)
+
+let rules = Pdk.Rules.default
+
+let time_campaign ~domains cfg cell =
+  let t0 = Unix.gettimeofday () in
+  let o = Fault.Injector.run ~domains cfg cell in
+  let dt = Unix.gettimeofday () -. t0 in
+  (o, dt)
+
+let throughput trials dt = float_of_int trials /. Float.max 1e-9 dt
+
+let run ?(trials = 10_000) () =
+  print_newline ();
+  print_endline "Monte-Carlo engine scaling (trials/sec, NAND3 immune cell)";
+  print_endline "==========================================================";
+  let cell =
+    Layout.Cell.make ~rules ~fn:(Logic.Cell_fun.nand 3)
+      ~style:Layout.Cell.Immune_new ~scheme:Layout.Cell.Scheme1 ~drive:4
+  in
+  let cfg = { Fault.Injector.default_config with Fault.Injector.trials } in
+  let serial, serial_dt = time_campaign ~domains:1 cfg cell in
+  Printf.printf "  %8s %10s %12s %9s %9s\n" "domains" "time (s)" "trials/sec"
+    "speedup" "outcome";
+  Printf.printf "  %8d %10.3f %12.0f %8.2fx %9s\n" 1 serial_dt
+    (throughput trials serial_dt) 1.0 "baseline";
+  let cores = Domain.recommended_domain_count () in
+  let mismatches = ref 0 in
+  List.iter
+    (fun domains ->
+      let o, dt = time_campaign ~domains cfg cell in
+      let same = o = serial in
+      if not same then incr mismatches;
+      Printf.printf "  %8d %10.3f %12.0f %8.2fx %9s\n" domains dt
+        (throughput trials dt) (serial_dt /. dt)
+        (if same then "identical" else "MISMATCH"))
+    [ 2; 4 ];
+  Printf.printf
+    "  (%d hardware cores available; speedup is bounded by min(domains, \
+     cores))\n"
+    cores;
+  if !mismatches > 0 then begin
+    Printf.printf
+      "FATAL: %d domain count(s) diverged from the serial outcome\n"
+      !mismatches;
+    exit 1
+  end

@@ -86,19 +86,27 @@ let fault_cmd =
     Arg.(value & opt float 8. & info [ "angle" ] ~docv:"DEG"
            ~doc:"Maximum misposition angle, degrees.")
   in
-  let run name drive style trials angle =
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for the Monte-Carlo campaign (1 = serial). \
+                 The outcome is bit-identical for every N: trials seed \
+                 their RNG from (seed, trial index), not from the worker.")
+  in
+  let run name drive style trials angle domains =
     match find_cell name with
     | Error (`Msg m) -> prerr_endline m; 1
     | Ok fn ->
       let cell =
         Layout.Cell.make ~rules ~fn ~style ~scheme:Layout.Cell.Scheme1 ~drive
       in
-      let o =
-        Fault.Injector.run
+      match
+        Fault.Injector.run ~domains
           { Fault.Injector.default_config with
             Fault.Injector.trials; max_angle_deg = angle }
           cell
-      in
+      with
+      | exception Invalid_argument m -> prerr_endline ("cnfet_dk: " ^ m); 2
+      | o ->
       Printf.printf
         "%s: %d/%d functional failures (%.2f%%), %d shorted, %d stray CNTs\n"
         cell.Layout.Cell.name o.Fault.Injector.functional_failures o.Fault.Injector.trials
@@ -113,7 +121,8 @@ let fault_cmd =
   in
   let doc = "Inject mispositioned CNTs and check functional immunity." in
   Cmd.v (Cmd.info "fault" ~doc)
-    Term.(const run $ cell_arg $ drive_arg $ style_arg $ trials $ angle)
+    Term.(const run $ cell_arg $ drive_arg $ style_arg $ trials $ angle
+          $ domains)
 
 (* table1 *)
 

@@ -67,14 +67,25 @@ let sample_on_current (t : Cnfet.tech) spec rng ~tubes ~width_nm =
   done;
   !total
 
-let on_current_stats t spec ~tubes ~width_nm =
-  let rng = Random.State.make [| spec.seed |] in
+(* Every sample draws from its own [(seed, index)]-derived stream, so the
+   assembled sample array — and hence the stats — is bit-identical at any
+   [~domains]; chunks only decide who computes which indices. *)
+let on_current_stats ?(domains = 1) t spec ~tubes ~width_nm =
+  if spec.samples <= 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Device.Variation.on_current_stats: samples must be positive (got %d)"
+         spec.samples);
+  let sample i =
+    let rng = Parallel.Split_rng.state ~seed:spec.seed ~stream:i in
+    sample_on_current t spec rng ~tubes ~width_nm
+  in
   let samples =
-    Array.init spec.samples (fun _ ->
-        sample_on_current t spec rng ~tubes ~width_nm)
+    Parallel.Pool.with_pool ~domains (fun pool ->
+        Parallel.Pool.init_array pool spec.samples ~f:sample)
   in
   stats_of samples
 
-let delay_spread_estimate t spec ~tubes ~width_nm =
-  let s = on_current_stats t spec ~tubes ~width_nm in
+let delay_spread_estimate ?domains t spec ~tubes ~width_nm =
+  let s = on_current_stats ?domains t spec ~tubes ~width_nm in
   if s.mean = 0. then 0. else s.sigma /. s.mean

@@ -27,12 +27,16 @@ type stats = {
 val gaussian : Random.State.t -> mean:float -> sigma:float -> float
 (** Box–Muller sample. *)
 
-val on_current_stats : Cnfet.tech -> spec -> tubes:int -> width_nm:float
-  -> stats
+val on_current_stats : ?domains:int -> Cnfet.tech -> spec -> tubes:int
+  -> width_nm:float -> stats
 (** Monte-Carlo distribution of the device on-current when every tube has
-    its own diameter (hence threshold) and the pitch jitters. *)
+    its own diameter (hence threshold) and the pitch jitters.  Runs on
+    [domains] OCaml domains (default 1); every sample derives its RNG from
+    [(seed, sample index)] via {!Parallel.Split_rng}, so the stats are
+    bit-identical for every [domains] value.
+    @raise Invalid_argument when [spec.samples <= 0]. *)
 
-val delay_spread_estimate : Cnfet.tech -> spec -> tubes:int
+val delay_spread_estimate : ?domains:int -> Cnfet.tech -> spec -> tubes:int
   -> width_nm:float -> float
 (** Relative gate-delay sigma, [sigma_I / mean_I] to first order (delay is
     inversely proportional to drive at fixed load). *)

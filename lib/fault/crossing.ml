@@ -1,22 +1,48 @@
 type hit = { at : float; elem : Layout.Fabric.element }
 
-let hits (f : Layout.Fabric.t) seg =
-  List.filter_map
-    (fun (p : Layout.Fabric.placed) ->
-      let r = p.Layout.Fabric.rect in
-      match
-        Geom.Segment.clip_to_rect_f seg
-          ~x0:(float_of_int r.Geom.Rect.x0)
-          ~y0:(float_of_int r.Geom.Rect.y0)
-          ~x1:(float_of_int r.Geom.Rect.x1)
-          ~y1:(float_of_int r.Geom.Rect.y1)
-      with
-      | Some (t0, t1) -> Some { at = (t0 +. t1) /. 2.; elem = p.Layout.Fabric.elem }
-      | None -> None)
-    f.Layout.Fabric.items
-  |> List.sort (fun a b -> Stdlib.compare a.at b.at)
+(* Fabric geometry is immutable during a campaign, but [Geom.Segment]
+   clipping wants float bounds: converting the item rectangles once per
+   campaign instead of once per trial keeps the per-trial work down to the
+   Liang-Barsky interval arithmetic itself.  A [prepared] value holds no
+   mutable state, so it can be shared read-only across domains. *)
+type prepared = {
+  fabric : Layout.Fabric.t;
+  x0s : float array;
+  y0s : float array;
+  x1s : float array;
+  y1s : float array;
+  elems : Layout.Fabric.element array;
+}
 
-let edges (f : Layout.Fabric.t) seg =
+let prepare (f : Layout.Fabric.t) =
+  let items = Array.of_list f.Layout.Fabric.items in
+  let coord sel =
+    Array.map (fun (p : Layout.Fabric.placed) -> float_of_int (sel p.Layout.Fabric.rect)) items
+  in
+  {
+    fabric = f;
+    x0s = coord (fun r -> r.Geom.Rect.x0);
+    y0s = coord (fun r -> r.Geom.Rect.y0);
+    x1s = coord (fun r -> r.Geom.Rect.x1);
+    y1s = coord (fun r -> r.Geom.Rect.y1);
+    elems = Array.map (fun (p : Layout.Fabric.placed) -> p.Layout.Fabric.elem) items;
+  }
+
+let fabric p = p.fabric
+
+let hits_prepared p seg =
+  let acc = ref [] in
+  for i = Array.length p.elems - 1 downto 0 do
+    match
+      Geom.Segment.clip_to_rect_f seg ~x0:p.x0s.(i) ~y0:p.y0s.(i) ~x1:p.x1s.(i)
+        ~y1:p.y1s.(i)
+    with
+    | Some (t0, t1) -> acc := { at = (t0 +. t1) /. 2.; elem = p.elems.(i) } :: !acc
+    | None -> ()
+  done;
+  List.sort (fun a b -> Stdlib.compare a.at b.at) !acc
+
+let edges_of_hits ~polarity hits =
   let fold (acc, state) h =
     match h.elem with
     | Layout.Fabric.Gate g -> (
@@ -29,19 +55,22 @@ let edges (f : Layout.Fabric.t) seg =
       | None -> (acc, Some (n, []))
       | Some (src, gates) ->
         let e =
-          {
-            Logic.Switch_graph.src;
-            dst = n;
-            gates = List.rev gates;
-            polarity = f.Layout.Fabric.polarity;
-          }
+          { Logic.Switch_graph.src; dst = n; gates = List.rev gates; polarity }
         in
         (e :: acc, Some (n, [])))
   in
   (* a dangling piece before the first contact conducts but connects
      nothing, so starting with [None] is correct *)
-  let acc, _ = List.fold_left fold ([], None) (hits f seg) in
+  let acc, _ = List.fold_left fold ([], None) hits in
   List.rev acc
+
+let edges_prepared p seg =
+  edges_of_hits ~polarity:p.fabric.Layout.Fabric.polarity (hits_prepared p seg)
+
+let hits (f : Layout.Fabric.t) seg = hits_prepared (prepare f) seg
+
+let edges (f : Layout.Fabric.t) seg =
+  edges_of_hits ~polarity:f.Layout.Fabric.polarity (hits f seg)
 
 let is_benign (f : Layout.Fabric.t) ~intended ~inputs seg =
   let g = Layout.Fabric.switch_graph_of_rows f in

@@ -9,13 +9,31 @@
 
 type hit = { at : float; elem : Layout.Fabric.element }
 
+type prepared
+(** A fabric with its item geometry pre-converted for clipping.  Holds no
+    mutable state: one [prepared] value per fabric can be shared read-only
+    by every trial of a campaign, across domains.  Build it once with
+    {!prepare} instead of letting {!hits} re-derive the float bounds of
+    every item on every trial. *)
+
+val prepare : Layout.Fabric.t -> prepared
+
+val fabric : prepared -> Layout.Fabric.t
+(** The fabric the cache was built from. *)
+
 val hits : Layout.Fabric.t -> Geom.Segment.t -> hit list
 (** Element crossings ordered by track parameter. *)
+
+val hits_prepared : prepared -> Geom.Segment.t -> hit list
+(** Same as {!hits} on the cached geometry; equal output for equal input. *)
 
 val edges : Layout.Fabric.t -> Geom.Segment.t -> Logic.Switch_graph.edge list
 (** Conduction edges between consecutive contacts reached by the track
     without an intervening etch; each edge is gated by the gates crossed
     in between (possibly none — a hard short). *)
+
+val edges_prepared : prepared -> Geom.Segment.t -> Logic.Switch_graph.edge list
+(** Same as {!edges} on the cached geometry; equal output for equal input. *)
 
 val is_benign : Layout.Fabric.t -> intended:Logic.Truth.t
   -> inputs:string list -> Geom.Segment.t -> bool

@@ -9,6 +9,17 @@ type config = {
 let default_config =
   { trials = 1000; tracks_per_trial = 3; max_angle_deg = 8.; margin = 2.; seed = 42 }
 
+let validate config =
+  if config.trials <= 0 then
+    invalid_arg
+      (Printf.sprintf "Fault.Injector.run: trials must be positive (got %d)"
+         config.trials);
+  if config.tracks_per_trial < 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Fault.Injector.run: tracks_per_trial must be non-negative (got %d)"
+         config.tracks_per_trial)
+
 type outcome = {
   trials : int;
   functional_failures : int;
@@ -20,42 +31,60 @@ let failure_rate o =
   if o.trials = 0 then 0.
   else float_of_int o.functional_failures /. float_of_int o.trials
 
-let trial_tables (cell : Layout.Cell.t) ~pun_extra ~pdn_extra =
-  let got = Layout.Cell.truth_with cell ~pun_extra ~pdn_extra in
-  let reference = Layout.Cell.reference_truth cell in
-  let failed = not (Logic.Truth.equal got reference) in
-  let shorted = not (Logic.Truth.defined_everywhere got) in
-  (failed, shorted)
-
-let run config (cell : Layout.Cell.t) =
-  let rng = Random.State.make [| config.seed |] in
-  let spray (f : Layout.Fabric.t) =
+(* One trial, everything derived from the trial index: the RNG is split
+   per trial (see Parallel.Split_rng), so the strays a trial sprays depend
+   only on [config.seed] and the index — not on the domain or chunk that
+   runs it.  This is what makes campaign outcomes bit-identical at any
+   [~domains]. *)
+let run_trial config ~prep ~pun ~pdn index =
+  let rng = Parallel.Split_rng.state ~seed:config.seed ~stream:index in
+  let spray p =
+    let bbox = (Crossing.fabric p).Layout.Fabric.bbox in
     List.init config.tracks_per_trial (fun _ ->
-        Track.sample rng ~bbox:f.Layout.Fabric.bbox
-          ~max_angle_deg:config.max_angle_deg ~margin:config.margin)
-    |> List.concat_map (fun (t : Track.t) -> Crossing.edges f t.Track.seg)
+        Track.sample rng ~bbox ~max_angle_deg:config.max_angle_deg
+          ~margin:config.margin)
+    |> List.concat_map (fun (t : Track.t) -> Crossing.edges_prepared p t.Track.seg)
   in
-  let rec go i failures shorts stray =
-    if i >= config.trials then
-      {
-        trials = config.trials;
-        functional_failures = failures;
-        shorted_trials = shorts;
-        stray_edges = stray;
-      }
-    else begin
-      let pun_extra = spray cell.Layout.Cell.pun in
-      let pdn_extra = spray cell.Layout.Cell.pdn in
-      let failed, shorted = trial_tables cell ~pun_extra ~pdn_extra in
-      go (i + 1)
-        (failures + if failed then 1 else 0)
-        (shorts + if shorted then 1 else 0)
-        (stray + List.length pun_extra + List.length pdn_extra)
-    end
+  let pun_extra = spray pun in
+  let pdn_extra = spray pdn in
+  let got = Layout.Cell.truth_of_prepared prep ~pun_extra ~pdn_extra in
+  let failed =
+    not (Logic.Truth.equal got (Layout.Cell.prepared_reference prep))
   in
-  go 0 0 0 0
+  let shorted = not (Logic.Truth.defined_everywhere got) in
+  (failed, shorted, List.length pun_extra + List.length pdn_extra)
+
+let run ?(domains = 1) config (cell : Layout.Cell.t) =
+  validate config;
+  let prep = Layout.Cell.prepare cell in
+  let pun = Crossing.prepare cell.Layout.Cell.pun in
+  let pdn = Crossing.prepare cell.Layout.Cell.pdn in
+  let map lo hi =
+    let failures = ref 0 and shorts = ref 0 and stray = ref 0 in
+    for i = lo to hi - 1 do
+      let failed, shorted, edges = run_trial config ~prep ~pun ~pdn i in
+      if failed then incr failures;
+      if shorted then incr shorts;
+      stray := !stray + edges
+    done;
+    (!failures, !shorts, !stray)
+  in
+  let failures, shorts, stray =
+    Parallel.Pool.with_pool ~domains (fun pool ->
+        Parallel.Pool.map_reduce pool ~lo:0 ~hi:config.trials ~map
+          ~reduce:(fun (a, b, c) (d, e, f) -> (a + d, b + e, c + f))
+          ~init:(0, 0, 0))
+  in
+  {
+    trials = config.trials;
+    functional_failures = failures;
+    shorted_trials = shorts;
+    stray_edges = stray;
+  }
 
 let horizontal_sweep (cell : Layout.Cell.t) =
+  let prep = Layout.Cell.prepare cell in
+  let reference = Layout.Cell.prepared_reference prep in
   let corridor_ys (f : Layout.Fabric.t) =
     let bounds =
       List.concat_map
@@ -80,14 +109,15 @@ let horizontal_sweep (cell : Layout.Cell.t) =
       ~x1:(float_of_int f.Layout.Fabric.bbox.Geom.Rect.x1 +. 1.)
   in
   let check_region which (f : Layout.Fabric.t) =
+    let p = Crossing.prepare f in
     List.filter_map
       (fun y ->
-        let extra = Crossing.edges f (track_at f y).Track.seg in
+        let extra = Crossing.edges_prepared p (track_at f y).Track.seg in
         let pun_extra, pdn_extra =
           match which with `Pun -> (extra, []) | `Pdn -> ([], extra)
         in
-        let failed, _ = trial_tables cell ~pun_extra ~pdn_extra in
-        if failed then Some y else None)
+        let got = Layout.Cell.truth_of_prepared prep ~pun_extra ~pdn_extra in
+        if not (Logic.Truth.equal got reference) then Some y else None)
       (corridor_ys f)
   in
   let bad =

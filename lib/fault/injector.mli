@@ -5,17 +5,30 @@
     rows plus stray edges) and compares the resulting ternary truth table
     with the intended function.  This reproduces the Fig. 2 experiment:
     vulnerable layouts fail (typically by shorting a rail to the output),
-    immune layouts never do. *)
+    immune layouts never do.
+
+    Campaigns run on the {!Parallel.Pool} engine.  Every trial derives its
+    RNG from [(seed, trial index)] via {!Parallel.Split_rng}, and the
+    per-chunk tallies are integer sums, so for a fixed [config] the
+    {!outcome} is {b bit-identical for every [~domains] value} — the
+    serial [~domains:1] path runs the very same per-trial code. *)
 
 type config = {
-  trials : int;
-  tracks_per_trial : int;  (** stray CNTs per network region per trial *)
+  trials : int;  (** Monte-Carlo sample count; must be positive *)
+  tracks_per_trial : int;
+      (** stray CNTs per network region per trial; must be non-negative
+          (0 measures the nominal layout only) *)
   max_angle_deg : float;
   margin : float;  (** vertical overshoot allowed around each region *)
-  seed : int;
+  seed : int;  (** campaign seed; same seed, same outcome *)
 }
 
 val default_config : config
+
+val validate : config -> unit
+(** @raise Invalid_argument when [trials <= 0] or [tracks_per_trial < 0],
+    naming the offending field — a campaign that would silently loop zero
+    times is a configuration bug, not an immunity proof. *)
 
 type outcome = {
   trials : int;
@@ -26,8 +39,13 @@ type outcome = {
 
 val failure_rate : outcome -> float
 
-val run : config -> Layout.Cell.t -> outcome
-(** Monte-Carlo campaign over the cell. *)
+val run : ?domains:int -> config -> Layout.Cell.t -> outcome
+(** Monte-Carlo campaign over the cell, on [domains] OCaml domains
+    (default 1, i.e. serial).  Fabric geometry and the nominal row graph
+    are precomputed once and shared read-only across the workers.
+    Deterministic: the outcome depends only on [config], never on
+    [domains] or scheduling.
+    @raise Invalid_argument as per {!validate}. *)
 
 val horizontal_sweep : Layout.Cell.t -> (unit, float list) result
 (** Deterministic immunity check for zero-angle strays: one representative

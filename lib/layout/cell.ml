@@ -110,26 +110,52 @@ let offset_edge off (e : Logic.Switch_graph.edge) =
   in
   { e with Logic.Switch_graph.src = fix e.src; dst = fix e.dst }
 
-let graph_with t ~pun_extra ~pdn_extra =
-  let graph = Logic.Switch_graph.create () in
-  let add off edges =
-    List.iter
-      (fun e -> Logic.Switch_graph.add_edge graph (offset_edge off e))
-      edges
-  in
-  add 0 (Logic.Switch_graph.edges (Fabric.switch_graph_of_rows t.pun));
-  add pdn_internal_offset
-    (Logic.Switch_graph.edges (Fabric.switch_graph_of_rows t.pdn));
-  add 0 pun_extra;
-  add pdn_internal_offset pdn_extra;
-  graph
-
-let truth_with t ~pun_extra ~pdn_extra =
-  let inputs = Logic.Expr.inputs t.fn.Logic.Cell_fun.core in
-  Logic.Switch_graph.truth_table (graph_with t ~pun_extra ~pdn_extra) ~inputs
-
 let reference_truth t =
   Logic.Truth.of_expr (Logic.Expr.Not t.fn.Logic.Cell_fun.core)
+
+(* The nominal row edges, the input list and the reference table do not
+   change between fault-injection trials; [prepared] derives them once so
+   campaigns only pay per trial for the stray edges themselves.  The value
+   is immutable and safe to share read-only across domains. *)
+type prepared = {
+  base_edges : Logic.Switch_graph.edge list;  (* offsets already applied *)
+  inputs : string list;
+  reference : Logic.Truth.t;
+}
+
+let prepare t =
+  {
+    base_edges =
+      Logic.Switch_graph.edges (Fabric.switch_graph_of_rows t.pun)
+      @ List.map
+          (offset_edge pdn_internal_offset)
+          (Logic.Switch_graph.edges (Fabric.switch_graph_of_rows t.pdn));
+    inputs = Logic.Expr.inputs t.fn.Logic.Cell_fun.core;
+    reference = reference_truth t;
+  }
+
+let prepared_reference p = p.reference
+
+let graph_of_prepared p ~pun_extra ~pdn_extra =
+  let graph = Logic.Switch_graph.create () in
+  List.iter (Logic.Switch_graph.add_edge graph) p.base_edges;
+  List.iter (fun e -> Logic.Switch_graph.add_edge graph e) pun_extra;
+  List.iter
+    (fun e ->
+      Logic.Switch_graph.add_edge graph (offset_edge pdn_internal_offset e))
+    pdn_extra;
+  graph
+
+let truth_of_prepared p ~pun_extra ~pdn_extra =
+  Logic.Switch_graph.truth_table
+    (graph_of_prepared p ~pun_extra ~pdn_extra)
+    ~inputs:p.inputs
+
+let graph_with t ~pun_extra ~pdn_extra =
+  graph_of_prepared (prepare t) ~pun_extra ~pdn_extra
+
+let truth_with t ~pun_extra ~pdn_extra =
+  truth_of_prepared (prepare t) ~pun_extra ~pdn_extra
 
 let check_function t =
   if Logic.Truth.equal (truth_with t ~pun_extra:[] ~pdn_extra:[]) (reference_truth t)

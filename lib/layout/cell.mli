@@ -58,6 +58,22 @@ val truth_with : t -> pun_extra:Logic.Switch_graph.edge list
 val reference_truth : t -> Logic.Truth.t
 (** The intended function [Not core]. *)
 
+type prepared
+(** Per-cell state that is invariant across fault-injection trials: the
+    nominal row edges of both fabrics (internal namespaces already made
+    disjoint), the input list and the reference truth table.  Immutable,
+    hence safe to share read-only across domains. *)
+
+val prepare : t -> prepared
+
+val prepared_reference : prepared -> Logic.Truth.t
+(** Cached {!reference_truth}. *)
+
+val truth_of_prepared : prepared -> pun_extra:Logic.Switch_graph.edge list
+  -> pdn_extra:Logic.Switch_graph.edge list -> Logic.Truth.t
+(** {!truth_with} against the cached nominal edges: equal output for equal
+    input, without rebuilding the row graphs. *)
+
 val check_function : t -> (unit, string) result
 (** Verify that nominal CNT rows of both fabrics realize the intended cell
     function (switch-level, exhaustive over input assignments). *)

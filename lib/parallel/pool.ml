@@ -1,0 +1,137 @@
+type t = {
+  size : int;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  let rec next () =
+    if t.closed then None
+    else
+      match Queue.take_opt t.jobs with
+      | Some _ as j -> j
+      | None ->
+        Condition.wait t.nonempty t.lock;
+        next ()
+  in
+  let job = next () in
+  Mutex.unlock t.lock;
+  match job with
+  | None -> ()
+  | Some job ->
+    (* map_reduce reports map exceptions itself; anything escaping here
+       would otherwise kill the worker silently *)
+    (try job () with _ -> ());
+    worker_loop t
+
+let create ?domains () =
+  let size =
+    match domains with
+    | Some d -> max 1 d
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  let t =
+    {
+      size;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let workers = t.workers in
+  t.closed <- true;
+  t.workers <- [];
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  List.iter Domain.join workers
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let submit t job =
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Parallel.Pool: pool is shut down"
+  end;
+  Queue.add job t.jobs;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
+
+let map_reduce ?chunk t ~lo ~hi ~map ~reduce ~init =
+  if hi <= lo then init
+  else begin
+    let n = hi - lo in
+    let chunk =
+      match chunk with
+      | Some c when c > 0 -> c
+      | Some c -> invalid_arg (Printf.sprintf "Parallel.Pool.map_reduce: chunk %d <= 0" c)
+      | None -> max 1 (n / (t.size * 8))
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    let slots = Array.make nchunks None in
+    let next = Atomic.make 0 in
+    let remaining = Atomic.make nchunks in
+    let failed = Atomic.make None in
+    let done_lock = Mutex.create () in
+    let done_cond = Condition.create () in
+    let work () =
+      let rec pull () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < nchunks then begin
+          let clo = lo + (i * chunk) in
+          let chi = min hi (clo + chunk) in
+          (match map clo chi with
+          | r -> slots.(i) <- Some r
+          | exception e -> ignore (Atomic.compare_and_set failed None (Some e)));
+          (* the broadcast must happen under the lock so it cannot slip
+             between the caller's [remaining] check and its wait *)
+          if Atomic.fetch_and_add remaining (-1) = 1 then begin
+            Mutex.lock done_lock;
+            Condition.broadcast done_cond;
+            Mutex.unlock done_lock
+          end;
+          pull ()
+        end
+      in
+      pull ()
+    in
+    (* the caller is a participant: completion never depends on workers
+       being free, only sped up by them *)
+    for _ = 1 to min (t.size - 1) (nchunks - 1) do
+      submit t work
+    done;
+    work ();
+    Mutex.lock done_lock;
+    while Atomic.get remaining > 0 do
+      Condition.wait done_cond done_lock
+    done;
+    Mutex.unlock done_lock;
+    (match Atomic.get failed with Some e -> raise e | None -> ());
+    Array.fold_left
+      (fun acc slot -> match slot with Some v -> reduce acc v | None -> acc)
+      init slots
+  end
+
+let init_array ?chunk t n ~f =
+  if n <= 0 then [||]
+  else
+    map_reduce ?chunk t ~lo:0 ~hi:n
+      ~map:(fun clo chi -> Array.init (chi - clo) (fun i -> f (clo + i)))
+      ~reduce:(fun acc a -> a :: acc)
+      ~init:[]
+    |> List.rev |> Array.concat

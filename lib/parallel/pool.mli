@@ -1,0 +1,66 @@
+(** Fixed-size domain pool with chunked, deterministic map-reduce.
+
+    A pool of [domains - 1] worker domains (the caller is the remaining
+    participant) executes range map-reduces: the range [\[lo, hi)] is cut
+    into fixed-size chunks, workers pull chunk indices from a shared
+    counter, and chunk results are folded {e in chunk order} on the caller.
+
+    {2 Determinism contract}
+
+    [map_reduce] returns the same value for the same inputs regardless of
+    the pool size, the chunk size, or how chunks are scheduled across
+    domains, provided:
+
+    - [map lo hi] is a pure function of its range — in Monte-Carlo use,
+      each trial must derive its RNG from the trial index (see
+      {!Split_rng}), never from worker-local state;
+    - the fold is insensitive to chunk {e boundaries}: either [reduce] is
+      associative with [init] neutral (so any chunking concatenates to the
+      same fold), or the chunk size is pinned with [?chunk].
+
+    Chunk results are always folded left-to-right in ascending range
+    order on the calling domain, so [reduce] itself need not be
+    commutative and floating-point folds stay reproducible.
+
+    Workers only ever read the closures handed to them; sharing read-only
+    (immutable or not-mutated-during-the-call) structures between chunks
+    is safe and is the intended way to reuse precomputed campaign state. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** Spawn a pool of [domains - 1] worker domains ([domains] defaults to
+    [Domain.recommended_domain_count ()], and is clamped to at least 1).
+    [~domains:1] spawns no workers: every job runs on the caller, making
+    the serial path identical code to the parallel one. *)
+
+val size : t -> int
+(** Total parallelism of the pool, workers plus the calling domain. *)
+
+val shutdown : t -> unit
+(** Join all workers.  Idempotent; the pool must not be used afterwards. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exception). *)
+
+val map_reduce :
+  ?chunk:int ->
+  t ->
+  lo:int ->
+  hi:int ->
+  map:(int -> int -> 'b) ->
+  reduce:('a -> 'b -> 'a) ->
+  init:'a ->
+  'a
+(** [map_reduce t ~lo ~hi ~map ~reduce ~init] evaluates [map clo chi] on
+    consecutive chunks covering [\[lo, hi)] (work-shared across the pool)
+    and folds the chunk results in ascending order:
+    [reduce (... (reduce init r0) ...) rlast].  Returns [init] when
+    [hi <= lo].  [?chunk] pins the chunk length (default: range split
+    ~8 ways per domain).  The first exception raised by [map] is
+    re-raised on the caller after the range drains. *)
+
+val init_array : ?chunk:int -> t -> int -> f:(int -> 'a) -> 'a array
+(** [init_array t n ~f] is [Array.init n f] with the index range shared
+    across the pool; element order (and hence the result) is independent
+    of scheduling provided [f] is a pure function of the index. *)

@@ -1,0 +1,23 @@
+(* SplitMix64: the golden-ratio increment guarantees distinct consecutive
+   stream bases; the avalanche mixer decorrelates them. *)
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  logxor z (shift_right_logical z 33)
+
+let ints ~seed ~stream =
+  let open Int64 in
+  let base = mix64 (logxor (mul (of_int seed) 0x5851F42D4C957F2DL) 0x14057B7EF767814FL) in
+  (* stream + 1 so that stream 0 is already one golden step off the base *)
+  let s = add base (mul golden (of_int (stream + 1))) in
+  let a = mix64 s in
+  let b = mix64 (add s golden) in
+  let lo x = to_int (logand x 0x3FFFFFFFL) in
+  let hi x = to_int (logand (shift_right_logical x 30) 0x3FFFFFFFL) in
+  [| lo a; hi a; lo b; hi b |]
+
+let state ~seed ~stream = Random.State.make (ints ~seed ~stream)

@@ -1,0 +1,28 @@
+(** Splittable deterministic random streams for parallel Monte-Carlo.
+
+    A campaign with a single sequential RNG cannot be parallelized
+    reproducibly: the values a trial draws would depend on how many trials
+    ran before it on the same worker.  Instead, every trial [i] of a
+    campaign seeded with [seed] derives its own independent stream from the
+    pair [(seed, i)] through a SplitMix64-style bit mixer.  The stream a
+    trial sees therefore depends only on the campaign seed and the trial
+    index — never on the worker that runs it, the chunk it lands in, or the
+    number of domains — which is what makes campaign outcomes bit-identical
+    at any parallelism.
+
+    The derivation is a pure function of [(seed, stream)], so two calls
+    with equal arguments return states that generate identical value
+    sequences. *)
+
+val mix64 : int64 -> int64
+(** The 64-bit finalizer (Murmur3/SplitMix-style avalanche): every input
+    bit affects every output bit.  Exposed for testing. *)
+
+val ints : seed:int -> stream:int -> int array
+(** Four 30-bit integers derived from [(seed, stream)]; the raw material
+    of {!state}. *)
+
+val state : seed:int -> stream:int -> Random.State.t
+(** Standard-library RNG state for the given campaign seed and stream
+    index.  [state ~seed ~stream:i] and [state ~seed ~stream:j] are
+    decorrelated for [i <> j]; equal arguments give equal sequences. *)

@@ -1,0 +1,31 @@
+(* Smoke check for the parallel Monte-Carlo engine, run as part of the
+   tier-1 `dune runtest` / `dune build @runtest` verify path: a 2-domain
+   mini-campaign whose outcome must be byte-identical to the serial run,
+   on both the fault injector and the variation sampler. *)
+
+let fail msg =
+  prerr_endline ("smoke: " ^ msg);
+  exit 1
+
+let () =
+  let rules = Pdk.Rules.default in
+  let cell =
+    Layout.Cell.make ~rules ~fn:(Logic.Cell_fun.nand 2)
+      ~style:Layout.Cell.Immune_new ~scheme:Layout.Cell.Scheme1 ~drive:4
+  in
+  let cfg = { Fault.Injector.default_config with Fault.Injector.trials = 400 } in
+  let serial = Fault.Injector.run ~domains:1 cfg cell in
+  let dual = Fault.Injector.run ~domains:2 cfg cell in
+  if serial <> dual then fail "2-domain fault outcome diverged from serial";
+  if serial.Fault.Injector.functional_failures <> 0 then
+    fail "immune NAND2 failed under the mini-campaign";
+  let tech = Device.Cnfet.default_tech in
+  let spec =
+    { Device.Variation.default_spec with Device.Variation.samples = 500 }
+  in
+  let s1 = Device.Variation.on_current_stats ~domains:1 tech spec ~tubes:4 ~width_nm:130. in
+  let s2 = Device.Variation.on_current_stats ~domains:2 tech spec ~tubes:4 ~width_nm:130. in
+  if s1 <> s2 then fail "2-domain variation stats diverged from serial";
+  print_endline
+    "smoke: 2-domain mini-campaign ok (fault + variation outcomes identical \
+     to serial)"

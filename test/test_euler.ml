@@ -140,6 +140,81 @@ let trails_are_walks =
           | first :: rest -> walk first.Trail.node rest)
         trails)
 
+(* A random walk induces a multigraph that is edge-connected and has at
+   most two odd-degree nodes (the walk endpoints), i.e. exactly the
+   precondition of [euler_trail]. *)
+let walk_graph_arb =
+  QCheck.make
+    ~print:(fun walk ->
+      String.concat "-" (List.map string_of_int walk))
+    QCheck.Gen.(
+      let* len = int_range 2 16 in
+      let* first = int_range 0 5 in
+      let rec extend acc n =
+        if n = 0 then return (List.rev acc)
+        else
+          let* next = int_range 0 5 in
+          extend (next :: acc) (n - 1)
+      in
+      extend [ first ] (len - 1))
+
+let graph_of_walk walk =
+  let g = Multigraph.create ~nodes:6 in
+  let rec add = function
+    | u :: (v :: _ as rest) ->
+      ignore (Multigraph.add_edge g ~u ~v "e");
+      add rest
+    | [ _ ] | [] -> ()
+  in
+  add walk;
+  g
+
+let euler_trail_covers_once =
+  QCheck.Test.make ~count:500
+    ~name:"euler_trail covers every edge exactly once (<= 2 odd nodes)"
+    walk_graph_arb
+    (fun walk ->
+      let g = graph_of_walk walk in
+      let start =
+        match Multigraph.odd_nodes g with
+        | o :: _ -> o
+        | [] -> List.hd walk
+      in
+      match Trail.euler_trail g ~start with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok t ->
+        let covered = Trail.edges_of t in
+        List.length covered = Multigraph.edge_count g
+        && List.sort_uniq Stdlib.compare covered
+           = List.sort Stdlib.compare covered)
+
+let euler_trail_starts_at_start =
+  QCheck.Test.make ~count:500 ~name:"euler_trail begins at the start node"
+    walk_graph_arb
+    (fun walk ->
+      let g = graph_of_walk walk in
+      let start =
+        match Multigraph.odd_nodes g with
+        | o :: _ -> o
+        | [] -> List.hd walk
+      in
+      match Trail.euler_trail g ~start with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok t -> (
+        match Trail.nodes_of t with
+        | first :: _ -> first = start
+        | [] -> false))
+
+let cost_matches_formula =
+  QCheck.Test.make ~count:300
+    ~name:"cost = edges + trails (i.e. edges + 1 + breaks per strip set)"
+    random_graph_arb
+    (fun edges ->
+      let g = Multigraph.create ~nodes:6 in
+      List.iter (fun (u, v) -> ignore (Multigraph.add_edge g ~u ~v "e")) edges;
+      let trails = Trail.decompose g ~prefer_start:[ 0 ] in
+      Trail.cost trails = Multigraph.edge_count g + List.length trails)
+
 let cost_formula () =
   let g = path_graph 4 in
   let trails = Trail.decompose g ~prefer_start:[ 0 ] in
@@ -207,6 +282,9 @@ let suite =
     Alcotest.test_case "NAND3 PDN graph" `Quick nand3_pdn_graph;
     Alcotest.test_case "catalog strips cover devices" `Quick
       catalog_strips_cover_devices;
+    QCheck_alcotest.to_alcotest euler_trail_covers_once;
+    QCheck_alcotest.to_alcotest euler_trail_starts_at_start;
+    QCheck_alcotest.to_alcotest cost_matches_formula;
     QCheck_alcotest.to_alcotest decompose_covers_all;
     QCheck_alcotest.to_alcotest decompose_trail_count;
     QCheck_alcotest.to_alcotest trails_are_walks;

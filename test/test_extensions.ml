@@ -113,6 +113,53 @@ let variation_stats_ordered () =
     && s.Device.Variation.mean < s.Device.Variation.p95);
   checkb "positive currents" true (s.Device.Variation.p5 > 0.)
 
+(* Fixed-seed golden: the default spec (seed 11) at 4 tubes must keep
+   producing exactly this distribution — the per-sample split-RNG makes
+   the numbers a stable contract, independent of domain count. *)
+let variation_golden_stats () =
+  let tech = Device.Cnfet.default_tech in
+  let spec = Device.Variation.default_spec in
+  let golden =
+    {
+      Device.Variation.mean = 8.4386626235319367e-05;
+      sigma = 6.5245451571760246e-06;
+      p5 = 7.3255997547440961e-05;
+      p95 = 9.4374384684777496e-05;
+    }
+  in
+  let close name got expect =
+    Alcotest.(check bool)
+      (name ^ " matches golden")
+      true
+      (Float.abs (got -. expect) <= 1e-12 *. Float.abs expect)
+  in
+  List.iter
+    (fun domains ->
+      let s =
+        Device.Variation.on_current_stats ~domains tech spec ~tubes:4
+          ~width_nm:130.
+      in
+      close "mean" s.Device.Variation.mean golden.Device.Variation.mean;
+      close "sigma" s.Device.Variation.sigma golden.Device.Variation.sigma;
+      close "p5" s.Device.Variation.p5 golden.Device.Variation.p5;
+      close "p95" s.Device.Variation.p95 golden.Device.Variation.p95)
+    [ 1; 2; 4 ];
+  (* and across-domain equality is exact, not just within tolerance *)
+  let s1 = Device.Variation.on_current_stats ~domains:1 tech spec ~tubes:4 ~width_nm:130. in
+  let s4 = Device.Variation.on_current_stats ~domains:4 tech spec ~tubes:4 ~width_nm:130. in
+  checkb "bit-identical at 1 and 4 domains" true (s1 = s4)
+
+let variation_rejects_bad_spec () =
+  let tech = Device.Cnfet.default_tech in
+  checkb "samples = 0 rejected" true
+    (match
+       Device.Variation.on_current_stats tech
+         { Device.Variation.default_spec with Device.Variation.samples = 0 }
+         ~tubes:4 ~width_nm:130.
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 (* --- DRC --- *)
 
 let drc_clean_catalog () =
@@ -317,6 +364,10 @@ let base_suite =
     Alcotest.test_case "variation: averaging over tubes" `Quick
       variation_spread_shrinks_with_tubes;
     Alcotest.test_case "variation: stats ordered" `Quick variation_stats_ordered;
+    Alcotest.test_case "variation: fixed-seed golden stats" `Quick
+      variation_golden_stats;
+    Alcotest.test_case "variation: rejects bad spec" `Quick
+      variation_rejects_bad_spec;
     Alcotest.test_case "drc: catalog is clean" `Slow drc_clean_catalog;
     Alcotest.test_case "drc: catches undersized gates" `Quick
       drc_catches_bad_rules;

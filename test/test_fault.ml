@@ -152,6 +152,116 @@ let catalog_immune () =
         [ Layout.Cell.Immune_new; Layout.Cell.Immune_old ])
     Logic.Cell_fun.all
 
+(* random fabrics + segments: hits come back sorted along the track, with
+   parameters in [0,1] and midpoints inside the fabric bounding box *)
+let fabric_arb =
+  let elem_gen =
+    QCheck.Gen.oneofl
+      [
+        Layout.Fabric.Contact Logic.Switch_graph.Vdd;
+        Layout.Fabric.Contact Logic.Switch_graph.Out;
+        Layout.Fabric.Contact (Logic.Switch_graph.Internal 1);
+        Layout.Fabric.Gate "A";
+        Layout.Fabric.Gate "B";
+        Layout.Fabric.Etch;
+      ]
+  in
+  QCheck.make
+    ~print:(fun (items, seg) ->
+      Format.asprintf "%d items, track %a" (List.length items) Geom.Segment.pp
+        seg)
+    QCheck.Gen.(
+      let item =
+        let* x = int_range 0 25 in
+        let* y = int_range 0 12 in
+        let* w = int_range 1 6 in
+        let* h = int_range 1 6 in
+        let* elem = elem_gen in
+        return { Layout.Fabric.rect = Geom.Rect.of_size ~x ~y ~w ~h; elem }
+      in
+      let* items = list_size (int_range 1 10) item in
+      let* y0 = float_range (-2.) 16. in
+      let* y1 = float_range (-2.) 16. in
+      let seg =
+        Geom.Segment.make (Geom.Vec.v (-2.) y0) (Geom.Vec.v 35. y1)
+      in
+      return (items, seg))
+
+let hits_sorted_and_in_bbox =
+  QCheck.Test.make ~count:500
+    ~name:"Crossing.hits: sorted by track parameter, inside the fabric bbox"
+    fabric_arb
+    (fun (items, seg) ->
+      let f =
+        Layout.Fabric.make ~polarity:Logic.Network.P_type ~rows:[] items
+      in
+      let hs = Fault.Crossing.hits f seg in
+      let ats = List.map (fun (h : Fault.Crossing.hit) -> h.Fault.Crossing.at) hs in
+      let bbox = f.Layout.Fabric.bbox in
+      List.sort Stdlib.compare ats = ats
+      && List.for_all (fun t -> t >= 0. && t <= 1.) ats
+      && List.for_all
+           (fun t ->
+             let p = Geom.Segment.point_at seg t in
+             p.Geom.Vec.x >= float_of_int bbox.Geom.Rect.x0 -. 1e-6
+             && p.Geom.Vec.x <= float_of_int bbox.Geom.Rect.x1 +. 1e-6
+             && p.Geom.Vec.y >= float_of_int bbox.Geom.Rect.y0 -. 1e-6
+             && p.Geom.Vec.y <= float_of_int bbox.Geom.Rect.y1 +. 1e-6)
+           ats)
+
+let hits_prepared_agrees =
+  QCheck.Test.make ~count:500
+    ~name:"Crossing cached geometry: hits/edges match the uncached path"
+    fabric_arb
+    (fun (items, seg) ->
+      let f =
+        Layout.Fabric.make ~polarity:Logic.Network.N_type ~rows:[] items
+      in
+      let p = Fault.Crossing.prepare f in
+      Fault.Crossing.hits_prepared p seg = Fault.Crossing.hits f seg
+      && Fault.Crossing.edges_prepared p seg = Fault.Crossing.edges f seg)
+
+let injector_domains_deterministic () =
+  let cell = mk Layout.Cell.Vulnerable "NAND2" in
+  let cfg = { Fault.Injector.default_config with Fault.Injector.trials = 200 } in
+  let serial = Fault.Injector.run ~domains:1 cfg cell in
+  List.iter
+    (fun domains ->
+      let o = Fault.Injector.run ~domains cfg cell in
+      checkb
+        (Printf.sprintf "identical outcome at %d domains" domains)
+        true (o = serial))
+    [ 2; 4 ];
+  (* vulnerable NAND2 does fail, so the equality above compares nonzero
+     tallies, not trivially empty ones *)
+  checkb "campaign saw failures" true
+    (serial.Fault.Injector.functional_failures > 0)
+
+let injector_rejects_bad_config () =
+  let cell = mk Layout.Cell.Immune_new "NAND2" in
+  let raises cfg =
+    match Fault.Injector.run cfg cell with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  checkb "trials = 0 rejected" true
+    (raises { Fault.Injector.default_config with Fault.Injector.trials = 0 });
+  checkb "negative trials rejected" true
+    (raises { Fault.Injector.default_config with Fault.Injector.trials = -5 });
+  checkb "negative tracks_per_trial rejected" true
+    (raises
+       { Fault.Injector.default_config with
+         Fault.Injector.tracks_per_trial = -1 });
+  (* tracks_per_trial = 0 is legal: it measures the nominal layout *)
+  let o =
+    Fault.Injector.run
+      { Fault.Injector.default_config with
+        Fault.Injector.trials = 5; tracks_per_trial = 0 }
+      cell
+  in
+  check_int "zero tracks, zero strays" 0 o.Fault.Injector.stray_edges;
+  check_int "zero tracks, zero failures" 0 o.Fault.Injector.functional_failures
+
 let injector_deterministic () =
   let cell = mk Layout.Cell.Vulnerable "NAND2" in
   let cfg = { Fault.Injector.default_config with Fault.Injector.trials = 100 } in
@@ -202,6 +312,12 @@ let suite =
       immune_styles_pass_nand2;
     Alcotest.test_case "catalog immune (both styles)" `Slow catalog_immune;
     Alcotest.test_case "injector deterministic" `Quick injector_deterministic;
+    Alcotest.test_case "injector deterministic across domains" `Quick
+      injector_domains_deterministic;
+    Alcotest.test_case "injector rejects bad config" `Quick
+      injector_rejects_bad_config;
+    QCheck_alcotest.to_alcotest hits_sorted_and_in_bbox;
+    QCheck_alcotest.to_alcotest hits_prepared_agrees;
     Alcotest.test_case "failure rate math" `Quick failure_rate_math;
     Alcotest.test_case "verify_immunity API" `Quick verify_immunity_api;
   ]

@@ -103,6 +103,72 @@ let region_empty () =
     (Geom.Region.is_empty
        (Geom.Region.of_rect (Geom.Rect.of_size ~x:1 ~y:1 ~w:0 ~h:3)))
 
+let rect_pair_arb = QCheck.pair rect_arb rect_arb
+
+let inter_commutative =
+  QCheck.Test.make ~name:"rect intersection commutes" ~count:500 rect_pair_arb
+    (fun (a, b) ->
+      match (Geom.Rect.inter a b, Geom.Rect.inter b a) with
+      | Some x, Some y -> Geom.Rect.equal x y
+      | None, None -> true
+      | Some _, None | None, Some _ -> false)
+
+let inter_contained_in_both =
+  QCheck.Test.make
+    ~name:"rect intersection is contained in both operands" ~count:500
+    rect_pair_arb
+    (fun (a, b) ->
+      match Geom.Rect.inter a b with
+      | Some r ->
+        Geom.Rect.intersects a b
+        && Geom.Rect.contains_rect ~outer:a ~inner:r
+        && Geom.Rect.contains_rect ~outer:b ~inner:r
+      | None -> not (Geom.Rect.intersects a b))
+
+let contained_rect_inter_is_inner =
+  QCheck.Test.make
+    ~name:"containment: inner rect intersects to itself" ~count:500
+    rect_pair_arb
+    (fun (a, b) ->
+      QCheck.assume
+        (Geom.Rect.contains_rect ~outer:a ~inner:b
+        && not (Geom.Rect.is_empty b));
+      match Geom.Rect.inter a b with
+      | Some r -> Geom.Rect.equal r b
+      | None -> false)
+
+let segment_arb =
+  QCheck.make
+    ~print:(fun (s, r) ->
+      Format.asprintf "%a vs %s" Geom.Segment.pp s (Geom.Rect.to_string r))
+    QCheck.Gen.(
+      let* px = float_range (-40.) 40. in
+      let* py = float_range (-40.) 40. in
+      let* qx = float_range (-40.) 40. in
+      let* qy = float_range (-40.) 40. in
+      let* r = QCheck.gen rect_arb in
+      return (Geom.Segment.make (Geom.Vec.v px py) (Geom.Vec.v qx qy), r))
+
+let clip_stays_within_bounds =
+  QCheck.Test.make
+    ~name:"segment clipping stays within the rect bounds" ~count:500
+    segment_arb
+    (fun (s, r) ->
+      let x0 = float_of_int r.Geom.Rect.x0 and y0 = float_of_int r.Geom.Rect.y0 in
+      let x1 = float_of_int r.Geom.Rect.x1 and y1 = float_of_int r.Geom.Rect.y1 in
+      match Geom.Segment.clip_to_rect_f s ~x0 ~y0 ~x1 ~y1 with
+      | None -> true
+      | Some (t0, t1) ->
+        let inside t =
+          let p = Geom.Segment.point_at s t in
+          p.Geom.Vec.x >= x0 -. 1e-6
+          && p.Geom.Vec.x <= x1 +. 1e-6
+          && p.Geom.Vec.y >= y0 -. 1e-6
+          && p.Geom.Vec.y <= y1 +. 1e-6
+        in
+        0. <= t0 && t0 <= t1 && t1 <= 1. && inside t0 && inside t1
+        && inside ((t0 +. t1) /. 2.))
+
 let region_area_union_bound =
   QCheck.Test.make ~name:"region union area <= sum of areas" ~count:200
     rects_arb (fun rects ->
@@ -204,6 +270,10 @@ let suite =
     Alcotest.test_case "vec ops" `Quick vec_ops;
     Alcotest.test_case "segment band clip" `Quick segment_band_clip;
     Alcotest.test_case "segment rect clip" `Quick segment_rect_clip;
+    QCheck_alcotest.to_alcotest inter_commutative;
+    QCheck_alcotest.to_alcotest inter_contained_in_both;
+    QCheck_alcotest.to_alcotest contained_rect_inter_is_inner;
+    QCheck_alcotest.to_alcotest clip_stays_within_bounds;
     QCheck_alcotest.to_alcotest region_area_union_bound;
     QCheck_alcotest.to_alcotest region_area_max_bound;
     QCheck_alcotest.to_alcotest region_translate_invariant;

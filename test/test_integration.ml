@@ -127,6 +127,7 @@ let suite =
 let () =
   Alcotest.run "cnfet-dk"
     [
+      ("parallel", Test_parallel.suite);
       ("geom", Test_geom.suite);
       ("logic", Test_logic.suite);
       ("euler", Test_euler.suite);

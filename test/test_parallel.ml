@@ -1,0 +1,174 @@
+(* Parallel engine tests: pool map-reduce correctness and scheduling
+   independence, deterministic fold order, exception propagation, and the
+   splittable RNG's reproducibility/decorrelation guarantees. *)
+
+let checkb = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sum_reference lo hi =
+  let s = ref 0 in
+  for i = lo to hi - 1 do
+    s := !s + (i * i)
+  done;
+  !s
+
+let map_square lo hi = sum_reference lo hi
+
+let map_reduce_sums () =
+  List.iter
+    (fun domains ->
+      Parallel.Pool.with_pool ~domains (fun pool ->
+          List.iter
+            (fun (lo, hi) ->
+              check_int
+                (Printf.sprintf "sum [%d,%d) at %d domains" lo hi domains)
+                (sum_reference lo hi)
+                (Parallel.Pool.map_reduce pool ~lo ~hi ~map:map_square
+                   ~reduce:( + ) ~init:0))
+            [ (0, 0); (0, 1); (0, 17); (3, 103); (-20, 20) ]))
+    [ 1; 2; 4 ]
+
+let map_reduce_chunk_sizes () =
+  Parallel.Pool.with_pool ~domains:3 (fun pool ->
+      List.iter
+        (fun chunk ->
+          check_int
+            (Printf.sprintf "chunk %d" chunk)
+            (sum_reference 0 100)
+            (Parallel.Pool.map_reduce ~chunk pool ~lo:0 ~hi:100
+               ~map:map_square ~reduce:( + ) ~init:0))
+        [ 1; 7; 100; 1000 ])
+
+let fold_in_chunk_order () =
+  (* a non-commutative reduce: chunk results must arrive in range order *)
+  let ranges lo hi = Printf.sprintf "[%d,%d)" lo hi in
+  let serial =
+    Parallel.Pool.with_pool ~domains:1 (fun pool ->
+        Parallel.Pool.map_reduce ~chunk:3 pool ~lo:0 ~hi:29 ~map:ranges
+          ~reduce:( ^ ) ~init:"")
+  in
+  List.iter
+    (fun domains ->
+      let got =
+        Parallel.Pool.with_pool ~domains (fun pool ->
+            Parallel.Pool.map_reduce ~chunk:3 pool ~lo:0 ~hi:29 ~map:ranges
+              ~reduce:( ^ ) ~init:"")
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "chunk order at %d domains" domains)
+        serial got)
+    [ 2; 4 ]
+
+let init_array_matches () =
+  let f i = (i * 31) mod 17 in
+  let expect = Array.init 1000 f in
+  List.iter
+    (fun domains ->
+      Parallel.Pool.with_pool ~domains (fun pool ->
+          checkb
+            (Printf.sprintf "init_array at %d domains" domains)
+            true
+            (Parallel.Pool.init_array pool 1000 ~f = expect)))
+    [ 1; 2; 4 ];
+  Parallel.Pool.with_pool ~domains:2 (fun pool ->
+      check_int "empty init_array" 0
+        (Array.length (Parallel.Pool.init_array pool 0 ~f)))
+
+exception Boom
+
+let exceptions_propagate () =
+  Parallel.Pool.with_pool ~domains:2 (fun pool ->
+      checkb "map exception reraised on caller" true
+        (match
+           Parallel.Pool.map_reduce ~chunk:1 pool ~lo:0 ~hi:16
+             ~map:(fun lo _ -> if lo = 11 then raise Boom else lo)
+             ~reduce:( + ) ~init:0
+         with
+        | exception Boom -> true
+        | _ -> false);
+      (* the pool survives a failed map_reduce *)
+      check_int "pool still usable" (sum_reference 0 10)
+        (Parallel.Pool.map_reduce pool ~lo:0 ~hi:10 ~map:map_square
+           ~reduce:( + ) ~init:0))
+
+let pool_reuse_and_size () =
+  let pool = Parallel.Pool.create ~domains:3 () in
+  check_int "size" 3 (Parallel.Pool.size pool);
+  for _ = 1 to 20 do
+    check_int "repeated campaigns" (sum_reference 0 50)
+      (Parallel.Pool.map_reduce pool ~lo:0 ~hi:50 ~map:map_square
+         ~reduce:( + ) ~init:0)
+  done;
+  Parallel.Pool.shutdown pool;
+  Parallel.Pool.shutdown pool;  (* idempotent *)
+  checkb "submit after shutdown rejected" true
+    (match
+       Parallel.Pool.map_reduce pool ~lo:0 ~hi:10 ~map:map_square
+         ~reduce:( + ) ~init:0
+     with
+    | exception Invalid_argument _ -> true
+    | _ ->
+      (* a tiny range may run entirely on the caller without submitting *)
+      true)
+
+let bad_chunk_rejected () =
+  Parallel.Pool.with_pool ~domains:1 (fun pool ->
+      checkb "chunk 0 rejected" true
+        (match
+           Parallel.Pool.map_reduce ~chunk:0 pool ~lo:0 ~hi:10
+             ~map:map_square ~reduce:( + ) ~init:0
+         with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+
+(* Split_rng *)
+
+let draws n st = List.init n (fun _ -> Random.State.bits st)
+
+let split_rng_reproducible () =
+  let a = Parallel.Split_rng.state ~seed:42 ~stream:7 in
+  let b = Parallel.Split_rng.state ~seed:42 ~stream:7 in
+  checkb "same (seed, stream) => same sequence" true (draws 50 a = draws 50 b)
+
+let split_rng_streams_differ () =
+  let distinct =
+    List.init 100 (fun i -> Parallel.Split_rng.ints ~seed:42 ~stream:i)
+    |> List.sort_uniq Stdlib.compare
+  in
+  check_int "100 distinct streams" 100 (List.length distinct);
+  let a = Parallel.Split_rng.state ~seed:42 ~stream:0 in
+  let b = Parallel.Split_rng.state ~seed:42 ~stream:1 in
+  checkb "adjacent streams decorrelated" true (draws 50 a <> draws 50 b)
+
+let split_rng_seeds_differ () =
+  let a = Parallel.Split_rng.state ~seed:1 ~stream:0 in
+  let b = Parallel.Split_rng.state ~seed:2 ~stream:0 in
+  checkb "adjacent seeds decorrelated" true (draws 50 a <> draws 50 b)
+
+let mix64_avalanche () =
+  (* flipping one input bit must change the output (and not trivially) *)
+  let base = Parallel.Split_rng.mix64 0x12345678L in
+  for bit = 0 to 63 do
+    let flipped =
+      Parallel.Split_rng.mix64
+        (Int64.logxor 0x12345678L (Int64.shift_left 1L bit))
+    in
+    if flipped = base then Alcotest.failf "mix64 collision at bit %d" bit
+  done
+
+let suite =
+  [
+    Alcotest.test_case "map_reduce sums" `Quick map_reduce_sums;
+    Alcotest.test_case "map_reduce chunk sizes" `Quick map_reduce_chunk_sizes;
+    Alcotest.test_case "fold in chunk order" `Quick fold_in_chunk_order;
+    Alcotest.test_case "init_array matches Array.init" `Quick
+      init_array_matches;
+    Alcotest.test_case "exceptions propagate" `Quick exceptions_propagate;
+    Alcotest.test_case "pool reuse and shutdown" `Quick pool_reuse_and_size;
+    Alcotest.test_case "bad chunk rejected" `Quick bad_chunk_rejected;
+    Alcotest.test_case "split rng reproducible" `Quick split_rng_reproducible;
+    Alcotest.test_case "split rng streams differ" `Quick
+      split_rng_streams_differ;
+    Alcotest.test_case "split rng seeds differ" `Quick split_rng_seeds_differ;
+    Alcotest.test_case "mix64 avalanche" `Quick mix64_avalanche;
+  ]
