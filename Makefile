@@ -3,7 +3,7 @@
 # including the 2-domain smoke campaign (test/smoke.ml) that exercises the
 # parallel Monte-Carlo engine end to end.
 
-.PHONY: all build test smoke bench verify clean
+.PHONY: all build test smoke bench verify fmt-check clean
 
 all: build
 
@@ -19,7 +19,20 @@ smoke:
 bench:
 	dune exec bench/main.exe -- mcscale
 
-verify: build test
+# Formatting gate: uses ocamlformat via dune when installed; otherwise
+# falls back to cheap hygiene checks (tabs and trailing whitespace in
+# source files) so the target is meaningful on minimal toolchains too.
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; checking whitespace hygiene"; \
+	  ! grep -rnP '[ \t]+$$' --include='*.ml' --include='*.mli' \
+	      lib bin test bench examples || \
+	    { echo 'fmt-check: trailing whitespace found'; exit 1; }; \
+	fi
+
+verify: build test fmt-check
 
 clean:
 	dune clean

@@ -5,7 +5,7 @@
 let usage () =
   print_endline
     "usage: main.exe [table1|fig2|immunity|fig7|screening|cs1|cs2|summary|\
-     ablation|yield|variation|sta|anneal|drc|mcscale|perf|all]"
+     ablation|yield|variation|sta|anneal|drc|mcscale|flowbench|perf|all]"
 
 let all_experiments =
   [
@@ -26,6 +26,7 @@ let all_experiments =
     ("ring", Experiments.ring_exp);
     ("ripple", Experiments.ripple_exp);
     ("mcscale", fun () -> Mc_scaling.run ());
+    ("flowbench", Flowbench.run);
   ]
 
 let () =

@@ -17,7 +17,7 @@ let run ?(trials = 10_000) () =
   print_endline "Monte-Carlo engine scaling (trials/sec, NAND3 immune cell)";
   print_endline "==========================================================";
   let cell =
-    Layout.Cell.make ~rules ~fn:(Logic.Cell_fun.nand 3)
+    Layout.Cell.make_exn ~rules ~fn:(Logic.Cell_fun.nand 3)
       ~style:Layout.Cell.Immune_new ~scheme:Layout.Cell.Scheme1 ~drive:4
   in
   let cfg = { Fault.Injector.default_config with Fault.Injector.trials } in

@@ -12,7 +12,7 @@ let bench_layout_synthesis =
   Test.make ~name:"layout/aoi31_immune_cell"
     (Staged.stage (fun () ->
          ignore
-           (Layout.Cell.make ~rules ~fn ~style:Layout.Cell.Immune_new
+           (Layout.Cell.make_exn ~rules ~fn ~style:Layout.Cell.Immune_new
               ~scheme:Layout.Cell.Scheme1 ~drive:4)))
 
 let bench_euler =
@@ -25,7 +25,7 @@ let bench_euler =
 let bench_fault_trial =
   let fn = Logic.Cell_fun.nand 3 in
   let cell =
-    Layout.Cell.make ~rules ~fn ~style:Layout.Cell.Immune_new
+    Layout.Cell.make_exn ~rules ~fn ~style:Layout.Cell.Immune_new
       ~scheme:Layout.Cell.Scheme1 ~drive:4
   in
   let cfg = { Fault.Injector.default_config with Fault.Injector.trials = 10 } in
@@ -50,7 +50,7 @@ let bench_transient =
 let bench_gds =
   let fn = Logic.Cell_fun.nand 3 in
   let cell =
-    Layout.Cell.make ~rules ~fn ~style:Layout.Cell.Immune_new
+    Layout.Cell.make_exn ~rules ~fn ~style:Layout.Cell.Immune_new
       ~scheme:Layout.Cell.Scheme1 ~drive:4
   in
   let lib =

@@ -41,9 +41,18 @@ let gds_arg =
   Arg.(value & opt (some string) None & info [ "gds" ] ~docv:"FILE" ~doc)
 
 let find_cell name =
-  match Logic.Cell_fun.find name with
-  | fn -> Ok fn
-  | exception Not_found -> Error (`Msg ("unknown cell " ^ name))
+  match Logic.Cell_fun.find_opt name with
+  | Some fn -> Ok fn
+  | None -> Error (`Msg ("unknown cell " ^ name))
+
+(* Structured errors from the libraries surface as [Diag] values; the CLI
+   prints them and maps them to exit code 2. *)
+let diag_exit d =
+  prerr_endline ("cnfet_dk: " ^ Core.Diag.to_string d);
+  2
+
+let or_diag_exit f =
+  try f () with Core.Diag.Failure d -> diag_exit d
 
 (* layout *)
 
@@ -52,7 +61,9 @@ let layout_cmd =
     match find_cell name with
     | Error (`Msg m) -> prerr_endline m; 1
     | Ok fn ->
-      let cell = Layout.Cell.make ~rules ~fn ~style ~scheme ~drive in
+      match Layout.Cell.make ~rules ~fn ~style ~scheme ~drive with
+      | Error d -> diag_exit d
+      | Ok cell ->
       print_endline (Layout.Render.cell cell);
       Printf.printf
         "\ncell %s: %dx%d lambda, active %d lambda^2, footprint %d lambda^2\n"
@@ -96,9 +107,11 @@ let fault_cmd =
     match find_cell name with
     | Error (`Msg m) -> prerr_endline m; 1
     | Ok fn ->
-      let cell =
+      match
         Layout.Cell.make ~rules ~fn ~style ~scheme:Layout.Cell.Scheme1 ~drive
-      in
+      with
+      | Error d -> diag_exit d
+      | Ok cell ->
       match
         Fault.Injector.run ~domains
           { Fault.Injector.default_config with
@@ -128,6 +141,7 @@ let fault_cmd =
 
 let table1_cmd =
   let run () =
+    or_diag_exit @@ fun () ->
     List.iter
       (fun (name, paper_row) ->
         let fn = Logic.Cell_fun.find name in
@@ -156,27 +170,32 @@ let characterize_cmd =
     Arg.(value & flag & info [ "cmos" ] ~doc:"Use the CMOS reference library.")
   in
   let run name drive load use_cmos =
-    let lib =
+    let lib_r =
       if use_cmos then Stdcell.Library.cmos ~drives:[ drive ] ()
       else Stdcell.Library.cnfet ~drives:[ drive ] ()
     in
-    match Stdcell.Library.find lib ~name ~drive with
-    | exception Not_found ->
-      Printf.eprintf "cell %s_%dX not in the library\n" name drive;
-      1
-    | entry ->
-      let arcs = Stdcell.Characterize.all_arcs ~lib entry ~load_inv1x:load in
-      Printf.printf "%s (load %d x INV1X):\n" entry.Stdcell.Library.cell_name load;
-      List.iter
-        (fun (a : Stdcell.Characterize.arc) ->
-          Printf.printf
-            "  pin %-3s rise %6.1f ps, fall %6.1f ps, energy %6.2f fJ/cycle\n"
-            a.Stdcell.Characterize.input
-            (a.Stdcell.Characterize.rise_delay_s *. 1e12)
-            (a.Stdcell.Characterize.fall_delay_s *. 1e12)
-            (a.Stdcell.Characterize.energy_per_cycle_j *. 1e15))
-        arcs;
-      0
+    match lib_r with
+    | Error d -> diag_exit d
+    | Ok lib -> (
+      match Stdcell.Library.find lib ~name ~drive with
+      | Error d -> diag_exit d
+      | Ok entry -> (
+        match Stdcell.Characterize.all_arcs ~lib entry ~load_inv1x:load with
+        | Error d -> diag_exit d
+        | Ok arcs ->
+          Printf.printf "%s (load %d x INV1X):\n"
+            entry.Stdcell.Library.cell_name load;
+          List.iter
+            (fun (a : Stdcell.Characterize.arc) ->
+              Printf.printf
+                "  pin %-3s rise %6.1f ps, fall %6.1f ps, energy %6.2f \
+                 fJ/cycle\n"
+                a.Stdcell.Characterize.input
+                (a.Stdcell.Characterize.rise_delay_s *. 1e12)
+                (a.Stdcell.Characterize.fall_delay_s *. 1e12)
+                (a.Stdcell.Characterize.energy_per_cycle_j *. 1e15))
+            arcs;
+          0))
   in
   let doc = "Simulate timing/energy arcs of a library cell." in
   Cmd.v (Cmd.info "characterize" ~doc)
@@ -186,8 +205,10 @@ let characterize_cmd =
 
 let flow_cmd =
   let netlist_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST"
-           ~doc:"Structural netlist file (see Flow.Netlist_ir format).")
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"NETLIST"
+           ~doc:"Structural netlist file (see Flow.Netlist_ir format). \
+                 Without it, the paper's Figure-8 full-adder case study is \
+                 run.")
   in
   let gds_out =
     Arg.(value & opt string "design.gds" & info [ "o" ] ~docv:"FILE"
@@ -195,42 +216,75 @@ let flow_cmd =
   in
   let scheme2 = Arg.(value & flag & info [ "scheme2" ]
                        ~doc:"Use scheme-2 shelf packing.") in
-  let run path gds_out scheme2 =
-    let ic = open_in path in
-    let n = in_channel_length ic in
-    let text = really_input_string ic n in
-    close_in ic;
-    match Flow.Netlist_ir.of_string text with
-    | Error e -> prerr_endline e; 1
-    | Ok netlist -> (
-      match Flow.Netlist_ir.validate netlist with
-      | Error e -> prerr_endline e; 1
-      | Ok () ->
-        let drives =
-          List.sort_uniq Stdlib.compare
-            (List.map
-               (fun (i : Flow.Netlist_ir.instance) -> i.Flow.Netlist_ir.drive)
-               netlist.Flow.Netlist_ir.instances)
-        in
-        let lib = Stdcell.Library.cnfet ~drives () in
-        let p, scheme =
-          if scheme2 then (Flow.Placer.shelves ~lib netlist, `S2)
-          else (Flow.Placer.rows ~lib netlist, `S1)
-        in
-        Printf.printf "%s: %d cells, die %dx%d lambda, utilization %.2f\n"
-          netlist.Flow.Netlist_ir.design
-          (List.length p.Flow.Placer.cells)
-          p.Flow.Placer.die_width p.Flow.Placer.die_height
-          (Flow.Placer.utilization p);
-        Gds.Stream.write_file gds_out
-          (Flow.Gds_export.placement ~lib ~scheme
-             ~name:netlist.Flow.Netlist_ir.design p);
-        Printf.printf "wrote %s\n" gds_out;
-        0)
+  let report =
+    Arg.(value & opt ~vopt:(Some `Text) (some (enum
+           [ ("text", `Text); ("json", `Json) ])) None
+         & info [ "report" ] ~docv:"FORMAT"
+             ~doc:"Print the per-pass timing/counter report (text or json).")
   in
-  let doc = "Place a structural netlist and stream it to GDSII." in
+  let trace =
+    Arg.(value & flag & info [ "trace" ]
+           ~doc:"Log pass enter/exit events to stderr.")
+  in
+  let run path gds_out scheme2 report trace =
+    let netlist_r =
+      match path with
+      | None -> Ok (Flow.Full_adder.netlist ())
+      | Some p ->
+        let ic = open_in p in
+        let n = in_channel_length ic in
+        let text = really_input_string ic n in
+        close_in ic;
+        Flow.Netlist_ir.of_string text
+    in
+    match netlist_r with
+    | Error d -> diag_exit d
+    | Ok netlist -> (
+      let drives =
+        List.sort_uniq Stdlib.compare
+          (List.map
+             (fun (i : Flow.Netlist_ir.instance) -> i.Flow.Netlist_ir.drive)
+             netlist.Flow.Netlist_ir.instances)
+      in
+      match Stdcell.Library.cnfet ~drives () with
+      | Error d -> diag_exit d
+      | Ok lib ->
+        let scheme = if scheme2 then `S2 else `S1 in
+        let spec = Flow.Pipeline.spec_of_netlist ~scheme ~lib netlist in
+        let trace_fn =
+          if trace then
+            Some
+              (fun e ->
+                prerr_endline ("trace: " ^ Core.Pass.trace_event_to_string e))
+          else None
+        in
+        let result, rep = Flow.Pipeline.run ?trace:trace_fn spec in
+        (match result with
+        | Error d ->
+          (match report with
+          | Some `Text -> print_string (Core.Pass.report_to_text rep)
+          | Some `Json | None -> ());
+          diag_exit d
+        | Ok r ->
+          let p = r.Flow.Pipeline.placement in
+          Printf.printf "%s: %d cells, die %dx%d lambda, utilization %.2f\n"
+            netlist.Flow.Netlist_ir.design
+            (List.length p.Flow.Placer.cells)
+            p.Flow.Placer.die_width p.Flow.Placer.die_height
+            (Flow.Placer.utilization p);
+          let oc = open_out_bin gds_out in
+          output_string oc r.Flow.Pipeline.gds_bytes;
+          close_out oc;
+          Printf.printf "wrote %s\n" gds_out;
+          (match report with
+          | Some `Text -> print_string (Core.Pass.report_to_text rep)
+          | Some `Json -> print_endline (Core.Pass.report_to_json rep)
+          | None -> ());
+          0))
+  in
+  let doc = "Run the staged logic-to-GDSII flow on a netlist." in
   Cmd.v (Cmd.info "flow" ~doc)
-    Term.(const run $ netlist_arg $ gds_out $ scheme2)
+    Term.(const run $ netlist_arg $ gds_out $ scheme2 $ report $ trace)
 
 (* fo4 *)
 

@@ -5,28 +5,32 @@
 
    Run with: dune exec examples/adder_flow.exe *)
 
+let ok r = Core.Diag.ok_exn r
+
 let () =
   (* 1. logic: either the paper's hand structure or the generic mapper *)
   let fa = Flow.Full_adder.netlist () in
   (match Flow.Full_adder.check () with
   | Ok () -> print_endline "full adder structure verified (9x NAND2 + buffers)"
-  | Error e -> failwith e);
+  | Error e -> failwith (Core.Diag.to_string e));
   let mapped =
-    Flow.Mapper.map_exprs ~design:"fa_mapped"
-      [ ("SUM", Flow.Full_adder.sum_expr); ("COUT", Flow.Full_adder.cout_expr) ]
+    ok
+      (Flow.Mapper.map_exprs ~design:"fa_mapped"
+         [ ("SUM", Flow.Full_adder.sum_expr);
+           ("COUT", Flow.Full_adder.cout_expr) ])
   in
   Printf.printf "hand netlist: %d cells; generic NAND2/INV mapping: %d cells\n"
     (List.length fa.Flow.Netlist_ir.instances)
     (List.length mapped.Flow.Netlist_ir.instances);
 
   (* 2. libraries *)
-  let cn = Stdcell.Library.cnfet ~drives:[ 1; 2; 4; 7; 9 ] () in
-  let cm = Stdcell.Library.cmos ~drives:[ 1; 2; 4; 7; 9 ] () in
+  let cn = Stdcell.Library.cnfet_exn ~drives:[ 1; 2; 4; 7; 9 ] () in
+  let cm = Stdcell.Library.cmos_exn ~drives:[ 1; 2; 4; 7; 9 ] () in
 
   (* 3. placement under the two schemes + the CMOS reference *)
-  let p1 = Flow.Placer.rows ~lib:cn fa in
-  let p2 = Flow.Placer.shelves ~lib:cn fa in
-  let pc = Flow.Placer.rows ~lib:cm fa in
+  let p1 = ok (Flow.Placer.rows ~lib:cn fa) in
+  let p2 = ok (Flow.Placer.shelves ~lib:cn fa) in
+  let pc = ok (Flow.Placer.rows ~lib:cm fa) in
   let report label p =
     Printf.printf "  %-16s die %5d x %4d = %7d lambda^2, utilization %.2f\n"
       label p.Flow.Placer.die_width p.Flow.Placer.die_height
@@ -42,12 +46,12 @@ let () =
 
   (* 4. characterization of the cells actually used, exported as Liberty *)
   let entries =
-    [ Stdcell.Library.find cn ~name:"NAND2" ~drive:2;
-      Stdcell.Library.find cn ~name:"INV" ~drive:4 ]
+    [ Stdcell.Library.find_exn cn ~name:"NAND2" ~drive:2;
+      Stdcell.Library.find_exn cn ~name:"INV" ~drive:4 ]
   in
   let characterized =
     List.map
-      (fun e -> (e, Stdcell.Characterize.all_arcs ~lib:cn e ~load_inv1x:4))
+      (fun e -> (e, Stdcell.Characterize.all_arcs_exn ~lib:cn e ~load_inv1x:4))
       entries
   in
   Stdcell.Liberty.write_file "cnfet_cells.lib" ~lib:cn characterized;
@@ -55,7 +59,7 @@ let () =
 
   (* 5. GDSII stream out *)
   Gds.Stream.write_file "full_adder_s2.gds"
-    (Flow.Gds_export.placement ~lib:cn ~scheme:`S2 ~name:"fa" p2);
+    (ok (Flow.Gds_export.placement ~lib:cn ~scheme:`S2 ~name:"fa" p2));
   (match Gds.Stream.read_file "full_adder_s2.gds" with
   | Ok g ->
     Printf.printf "wrote full_adder_s2.gds: %d structures, %d boundaries in top\n"

@@ -9,7 +9,7 @@ let rules = Pdk.Rules.default
 let () =
   let fn = Logic.Cell_fun.nand 2 in
   let mk style =
-    Layout.Cell.make ~rules ~fn ~style ~scheme:Layout.Cell.Scheme1 ~drive:4
+    Layout.Cell.make_exn ~rules ~fn ~style ~scheme:Layout.Cell.Scheme1 ~drive:4
   in
   let vulnerable = mk Layout.Cell.Vulnerable in
   let immune_old = mk Layout.Cell.Immune_old in

@@ -8,7 +8,7 @@ type row = {
 
 let row ?(rules = Pdk.Rules.default) fn ~size =
   let mk style =
-    Layout.Cell.make ~rules ~fn ~style ~scheme:Layout.Cell.Scheme1 ~drive:size
+    Layout.Cell.make_exn ~rules ~fn ~style ~scheme:Layout.Cell.Scheme1 ~drive:size
   in
   let area_new = Layout.Cell.active_area (mk Layout.Cell.Immune_new) in
   let area_old = Layout.Cell.active_area (mk Layout.Cell.Immune_old) in
@@ -60,7 +60,7 @@ type footprint = {
 let inverter_footprint ?(rules = Pdk.Rules.default) ~width () =
   let fn = Logic.Cell_fun.inv in
   let mk style =
-    Layout.Cell.make ~rules ~fn ~style ~scheme:Layout.Cell.Scheme1 ~drive:width
+    Layout.Cell.make_exn ~rules ~fn ~style ~scheme:Layout.Cell.Scheme1 ~drive:width
   in
   let cnfet_area = Layout.Cell.footprint_area (mk Layout.Cell.Immune_new) in
   let cmos_area = Layout.Cell.footprint_area (mk Layout.Cell.Cmos) in

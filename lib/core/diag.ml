@@ -1,0 +1,90 @@
+type severity = Error | Warning | Info
+
+type t = {
+  stage : string;
+  severity : severity;
+  message : string;
+  context : (string * string) list;
+}
+
+exception Failure of t
+
+let make ?(severity = Error) ?(context = []) ~stage message =
+  { stage; severity; message; context }
+
+let error ?context ~stage message = make ?context ~severity:Error ~stage message
+
+let errorf ?context ~stage fmt =
+  Format.kasprintf (fun message -> error ?context ~stage message) fmt
+
+let fail ?context ~stage message = Stdlib.Error (error ?context ~stage message)
+
+let failf ?context ~stage fmt =
+  Format.kasprintf (fun message -> fail ?context ~stage message) fmt
+
+let with_context pairs d = { d with context = d.context @ pairs }
+
+let with_stage stage d =
+  if d.stage = stage then d
+  else { d with stage; context = d.context @ [ ("origin", d.stage) ] }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let to_string d =
+  let ctx =
+    match d.context with
+    | [] -> ""
+    | pairs ->
+      " ("
+      ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) pairs)
+      ^ ")"
+  in
+  Printf.sprintf "%s: %s: %s%s" d.stage (severity_to_string d.severity)
+    d.message ctx
+
+(* Minimal JSON string escaping: quotes, backslashes and control chars. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let field k v = Printf.sprintf "\"%s\":\"%s\"" k (json_escape v) in
+  let ctx =
+    d.context
+    |> List.map (fun (k, v) -> field (json_escape k) v)
+    |> String.concat ","
+  in
+  Printf.sprintf "{%s,%s,%s,\"context\":{%s}}" (field "stage" d.stage)
+    (field "severity" (severity_to_string d.severity))
+    (field "message" d.message)
+    ctx
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)
+
+let ok_exn = function Ok x -> x | Stdlib.Error d -> raise (Failure d)
+
+let of_msg ~stage = function
+  | Ok _ as ok -> ok
+  | Stdlib.Error msg -> fail ~stage msg
+
+let map_error r ~stage = of_msg ~stage r
+
+let () =
+  Printexc.register_printer (function
+    | Failure d -> Some ("Diag.Failure: " ^ to_string d)
+    | _ -> None)

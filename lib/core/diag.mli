@@ -1,0 +1,70 @@
+(** Structured diagnostics for the logic-to-GDSII flow.
+
+    Every fallible public API in [lib/flow], [lib/layout] and [lib/stdcell]
+    returns [('a, Diag.t) result] instead of raising.  A diagnostic records
+    which pipeline stage produced it, how severe it is, a human-readable
+    message, and a list of key/value context pairs (net names, cell names,
+    parameter values) that callers can inspect programmatically.
+
+    The only sanctioned way back into exception land is {!ok_exn} /
+    {!Failure}, intended for the CLI boundary and for tests that assert a
+    computation cannot fail. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  stage : string;  (** pipeline stage or module that produced the diagnostic *)
+  severity : severity;
+  message : string;
+  context : (string * string) list;  (** ordered key/value details *)
+}
+
+exception Failure of t
+(** Raised by {!ok_exn} and by the [_exn] shims at the CLI boundary. *)
+
+val make : ?severity:severity -> ?context:(string * string) list ->
+  stage:string -> string -> t
+(** [make ~stage msg] builds a diagnostic; [severity] defaults to [Error]. *)
+
+val error : ?context:(string * string) list -> stage:string -> string -> t
+(** [error ~stage msg] = [make ~severity:Error ~stage msg]. *)
+
+val errorf : ?context:(string * string) list -> stage:string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+(** Printf-style {!error}. *)
+
+val fail : ?context:(string * string) list -> stage:string -> string ->
+  ('a, t) result
+(** [fail ~stage msg] = [Error (error ~stage msg)]. *)
+
+val failf : ?context:(string * string) list -> stage:string ->
+  ('b, Format.formatter, unit, ('a, t) result) format4 -> 'b
+(** Printf-style {!fail}. *)
+
+val with_context : (string * string) list -> t -> t
+(** Append context pairs to an existing diagnostic. *)
+
+val with_stage : string -> t -> t
+(** [with_stage s d] re-labels [d] as originating from stage [s] if the
+    original stage is recorded in the context (the original stage is kept
+    under the ["origin"] context key when it differs). *)
+
+val severity_to_string : severity -> string
+
+val to_string : t -> string
+(** One-line rendering: [stage: severity: message (k=v, ...)]. *)
+
+val to_json : t -> string
+(** Stable JSON object rendering (hand-rolled; no external dependency). *)
+
+val pp : Format.formatter -> t -> unit
+
+val ok_exn : ('a, t) result -> 'a
+(** [ok_exn (Ok x)] is [x]; [ok_exn (Error d)] raises [Failure d].  Thin
+    exception shim for the CLI boundary and for tests. *)
+
+val of_msg : stage:string -> ('a, string) result -> ('a, t) result
+(** Lift a plain [string]-error result into a diagnostic one. *)
+
+val map_error : ('a, string) result -> stage:string -> ('a, t) result
+(** Alias of {!of_msg} with the label last, for pipelining. *)

@@ -20,12 +20,12 @@ let of_expr ~name expr =
   }
 
 let immune_cell r =
-  Layout.Cell.make ~rules:r.rules ~fn:r.fn ~style:Layout.Cell.Immune_new
+  Layout.Cell.make_exn ~rules:r.rules ~fn:r.fn ~style:Layout.Cell.Immune_new
     ~scheme:r.scheme ~drive:r.drive
 
 let reference_cells r =
   let mk style =
-    Layout.Cell.make ~rules:r.rules ~fn:r.fn ~style ~scheme:r.scheme
+    Layout.Cell.make_exn ~rules:r.rules ~fn:r.fn ~style ~scheme:r.scheme
       ~drive:r.drive
   in
   (mk Layout.Cell.Immune_old, mk Layout.Cell.Vulnerable, mk Layout.Cell.Cmos)

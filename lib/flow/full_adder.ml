@@ -55,18 +55,24 @@ let netlist () =
 let check () =
   let n = netlist () in
   match Netlist_ir.validate n with
-  | Error e -> Error e
+  | Error _ as e -> e
   | Ok () ->
     let specs = [ ("SUM", sum_expr); ("COUT", cout_expr) ] in
     let rec check_all = function
       | [] -> Ok ()
-      | (out, spec) :: rest ->
-        let got = Netlist_ir.truth_of_output n ~output:out in
-        let want =
-          Logic.Truth.of_fun ~inputs:n.Netlist_ir.inputs (fun env ->
-              if Logic.Expr.eval env spec then Logic.Truth.T else Logic.Truth.F)
-        in
-        if Logic.Truth.equal got want then check_all rest
-        else Error (out ^ " is wrong")
+      | (out, spec) :: rest -> (
+        match Netlist_ir.truth_of_output n ~output:out with
+        | Error _ as e -> e
+        | Ok got ->
+          let want =
+            Logic.Truth.of_fun ~inputs:n.Netlist_ir.inputs (fun env ->
+                if Logic.Expr.eval env spec then Logic.Truth.T
+                else Logic.Truth.F)
+          in
+          if Logic.Truth.equal got want then check_all rest
+          else
+            Core.Diag.failf ~stage:"full_adder"
+              ~context:[ ("output", out) ]
+              "%s deviates from the full-adder specification" out)
     in
     check_all specs

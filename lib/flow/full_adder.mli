@@ -8,5 +8,5 @@ val netlist : unit -> Netlist_ir.t
 val sum_expr : Logic.Expr.t
 val cout_expr : Logic.Expr.t
 
-val check : unit -> (unit, string) result
+val check : unit -> (unit, Core.Diag.t) result
 (** Verify the structure implements a full adder exhaustively. *)

@@ -3,31 +3,41 @@ let cell_library ~rules ~name cells =
     (List.map (fun (c : Layout.Cell.t) -> (c.Layout.Cell.name, Layout.Cell.layers c)) cells)
 
 let placement ~lib ~scheme ~name (p : Placer.t) =
+  let ( let* ) = Result.bind in
   let rules = lib.Stdcell.Library.rules in
   let layout_of inst =
-    let e = Placer.entry_for lib inst in
-    match scheme with
-    | `S1 -> e.Stdcell.Library.scheme1
-    | `S2 -> e.Stdcell.Library.scheme2
+    let* e = Placer.entry_for lib inst in
+    Ok
+      (match scheme with
+      | `S1 -> e.Stdcell.Library.scheme1
+      | `S2 -> e.Stdcell.Library.scheme2)
+  in
+  (* resolve every placed instance once, stopping at the first error *)
+  let* layouts =
+    List.fold_left
+      (fun acc (c : Placer.placed_cell) ->
+        let* acc = acc in
+        let* l = layout_of c.Placer.inst in
+        Ok ((c, l) :: acc))
+      (Ok []) p.Placer.cells
+    |> Result.map List.rev
   in
   (* referenced cells, unique by name *)
   let uniq =
     List.fold_left
-      (fun acc (c : Placer.placed_cell) ->
-        let l = layout_of c.Placer.inst in
+      (fun acc ((_ : Placer.placed_cell), (l : Layout.Cell.t)) ->
         if List.mem_assoc l.Layout.Cell.name acc then acc
         else (l.Layout.Cell.name, l) :: acc)
-      [] p.Placer.cells
+      [] layouts
   in
   let top_layers =
     List.concat_map
-      (fun (c : Placer.placed_cell) ->
-        let l = layout_of c.Placer.inst in
+      (fun ((c : Placer.placed_cell), l) ->
         List.map
           (fun (layer, region) ->
             (layer, Geom.Region.translate ~dx:c.Placer.x ~dy:c.Placer.y region))
           (Layout.Cell.layers l))
-      p.Placer.cells
+      layouts
   in
   (* merge per layer *)
   let merged =
@@ -38,6 +48,7 @@ let placement ~lib ~scheme ~name (p : Placer.t) =
         | None -> (layer, region) :: acc)
       [] top_layers
   in
-  Gds.Stream.library ~rules ~name
-    ((name ^ "_top", merged)
-    :: List.map (fun (n, l) -> (n, Layout.Cell.layers l)) (List.rev uniq))
+  Ok
+    (Gds.Stream.library ~rules ~name
+       ((name ^ "_top", merged)
+       :: List.map (fun (n, l) -> (n, Layout.Cell.layers l)) (List.rev uniq)))

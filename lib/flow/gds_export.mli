@@ -5,6 +5,8 @@ val cell_library : rules:Pdk.Rules.t -> name:string -> Layout.Cell.t list
 (** One GDS structure per cell. *)
 
 val placement : lib:Stdcell.Library.t
-  -> scheme:[ `S1 | `S2 ] -> name:string -> Placer.t -> Gds.Stream.library
+  -> scheme:[ `S1 | `S2 ] -> name:string -> Placer.t
+  -> (Gds.Stream.library, Core.Diag.t) result
 (** The placed design flattened into one top structure (plus one structure
-    per referenced cell). *)
+    per referenced cell).  Errors when a placed instance has no library
+    cell. *)

@@ -1,4 +1,10 @@
-let map_exprs ~design ?(drive = 2) specs =
+let stage = "mapper"
+
+(* Internal escape hatch for the recursive decomposition; converted to an
+   [Error] before leaving [map_exprs]. *)
+exception Unmappable of Core.Diag.t
+
+let map_exprs_validated ~design ~drive specs =
   let inputs =
     List.concat_map (fun (_, e) -> Logic.Expr.inputs e) specs
     |> List.sort_uniq Stdlib.compare
@@ -31,14 +37,23 @@ let map_exprs ~design ?(drive = 2) specs =
         match e with
         | Logic.Expr.Var v -> v
         | Logic.Expr.Const _ ->
-          invalid_arg "Mapper: constant outputs are not supported"
+          raise
+            (Unmappable
+               (Core.Diag.error ~stage
+                  ~context:[ ("design", design) ]
+                  "constant outputs are not supported"))
         | Logic.Expr.Not (Logic.Expr.And [ a; b ]) ->
           emit "NAND2" [ ("A", net_of a); ("B", net_of b) ]
         | Logic.Expr.Not inner -> emit "INV" [ ("A", net_of inner) ]
         | Logic.Expr.And es -> (
           (* a*b = ((a*b)')' *)
           match es with
-          | [] -> invalid_arg "Mapper: empty And"
+          | [] ->
+            raise
+              (Unmappable
+                 (Core.Diag.error ~stage
+                    ~context:[ ("design", design) ]
+                    "empty And expression"))
           | [ single ] -> net_of single
           | a :: rest ->
             let ab =
@@ -49,7 +64,12 @@ let map_exprs ~design ?(drive = 2) specs =
         | Logic.Expr.Or es -> (
           (* a+b = (a' * b')' *)
           match es with
-          | [] -> invalid_arg "Mapper: empty Or"
+          | [] ->
+            raise
+              (Unmappable
+                 (Core.Diag.error ~stage
+                    ~context:[ ("design", design) ]
+                    "empty Or expression"))
           | [ single ] -> net_of single
           | a :: rest ->
             emit "NAND2"
@@ -113,17 +133,31 @@ let map_exprs ~design ?(drive = 2) specs =
     instances = List.rev !instances;
   }
 
+let map_exprs ~design ?(drive = 2) specs =
+  if drive <= 0 then
+    Core.Diag.failf ~stage
+      ~context:[ ("design", design); ("drive", string_of_int drive) ]
+      "drive must be >= 1, got %d" drive
+  else
+    try Ok (map_exprs_validated ~design ~drive specs)
+    with Unmappable d -> Error d
+
 let check_equivalence netlist specs =
   let rec check = function
     | [] -> Ok ()
-    | (name, e) :: rest ->
+    | (name, e) :: rest -> (
       let inputs = netlist.Netlist_ir.inputs in
       let spec_tt =
         Logic.Truth.of_fun ~inputs (fun env ->
             if Logic.Expr.eval env e then Logic.Truth.T else Logic.Truth.F)
       in
-      let got = Netlist_ir.truth_of_output netlist ~output:name in
-      if Logic.Truth.equal got spec_tt then check rest
-      else Error (Printf.sprintf "output %s differs from its specification" name)
+      match Netlist_ir.truth_of_output netlist ~output:name with
+      | Error d -> Error (Core.Diag.with_stage stage d)
+      | Ok got ->
+        if Logic.Truth.equal got spec_tt then check rest
+        else
+          Core.Diag.failf ~stage
+            ~context:[ ("design", netlist.Netlist_ir.design); ("output", name) ]
+            "output %s differs from its specification" name)
   in
   check specs

@@ -6,10 +6,14 @@
     combinational designs the paper evaluates. *)
 
 val map_exprs : design:string -> ?drive:int -> (string * Logic.Expr.t) list
-  -> Netlist_ir.t
+  -> (Netlist_ir.t, Core.Diag.t) result
 (** [(output_name, expr)] pairs over shared primary inputs; every generated
-    instance uses [drive] (default 2, the paper's 2X gates). *)
+    instance uses [drive] (default 2, the paper's 2X gates).  Rejected with
+    a [Diag] error: [drive <= 0], constant outputs, and empty And/Or
+    expressions. *)
 
 val check_equivalence : Netlist_ir.t -> (string * Logic.Expr.t) list
-  -> (unit, string) result
-(** Exhaustively compare each mapped output against its specification. *)
+  -> (unit, Core.Diag.t) result
+(** Exhaustively compare each mapped output against its specification; a
+    mismatch is an [Error] naming the differing output in its message and
+    under the ["output"] context key. *)

@@ -13,6 +13,8 @@ type t = {
   instances : instance list;
 }
 
+let stage = "netlist"
+
 let drivers t =
   List.map (fun i -> (i.output, i)) t.instances
 
@@ -27,7 +29,10 @@ let validate t =
     find sorted
   in
   match dup with
-  | Some net -> Error (Printf.sprintf "net %s has multiple drivers" net)
+  | Some net ->
+    Core.Diag.failf ~stage
+      ~context:[ ("net", net) ]
+      "net %s has multiple drivers" net
   | None ->
     let known net = List.mem net t.inputs || List.mem net driver_nets in
     let missing_in =
@@ -40,76 +45,136 @@ let validate t =
     in
     (match missing_in with
     | (inst, net) :: _ ->
-      Error (Printf.sprintf "instance %s reads undriven net %s" inst net)
+      Core.Diag.failf ~stage
+        ~context:[ ("instance", inst); ("net", net) ]
+        "instance %s reads undriven net %s" inst net
     | [] -> (
       match List.find_opt (fun o -> not (known o)) t.outputs with
-      | Some o -> Error (Printf.sprintf "design output %s is undriven" o)
+      | Some o ->
+        Core.Diag.failf ~stage
+          ~context:[ ("output", o) ]
+          "design output %s is undriven" o
       | None -> (
-        (* cycle check via depth-bounded evaluation ordering *)
-        let table = drivers t in
-        let rec depth seen net =
-          if List.mem net t.inputs then Ok 0
-          else if List.mem net seen then Error net
+        match
+          List.find_opt
+            (fun i -> Option.is_none (Logic.Cell_fun.find_opt i.cell))
+            t.instances
+        with
+        | Some i ->
+          Core.Diag.failf ~stage
+            ~context:[ ("instance", i.inst_name); ("cell", i.cell) ]
+            "instance %s uses unknown cell %s" i.inst_name i.cell
+        | None -> (
+          (* every formal input of each instance's cell must be bound *)
+          let unbound =
+            List.find_map
+              (fun i ->
+                match Logic.Cell_fun.find_opt i.cell with
+                | None -> None
+                | Some fn ->
+                  Logic.Expr.inputs fn.Logic.Cell_fun.core
+                  |> List.find_map (fun pin ->
+                         if List.mem_assoc pin i.conns then None
+                         else Some (i.inst_name, pin)))
+              t.instances
+          in
+          match unbound with
+          | Some (inst, pin) ->
+            Core.Diag.failf ~stage
+              ~context:[ ("instance", inst); ("pin", pin) ]
+              "instance %s leaves pin %s unbound" inst pin
+          | None -> (
+          (* cycle check via depth-bounded evaluation ordering *)
+          let table = drivers t in
+          let rec depth seen net =
+            if List.mem net t.inputs then Ok 0
+            else if List.mem net seen then Error net
+            else
+              match List.assoc_opt net table with
+              | None -> Ok 0
+              | Some i ->
+                List.fold_left
+                  (fun acc (_, n) ->
+                    match acc with
+                    | Error _ -> acc
+                    | Ok d -> (
+                      match depth (net :: seen) n with
+                      | Ok d' -> Ok (max d (d' + 1))
+                      | Error e -> Error e))
+                  (Ok 0) i.conns
+          in
+          match
+            List.fold_left
+              (fun acc o ->
+                match acc with Error _ -> acc | Ok () -> (
+                  match depth [] o with
+                  | Ok _ -> Ok ()
+                  | Error net -> Error net))
+              (Ok ()) t.outputs
+          with
+          | Ok () -> Ok ()
+          | Error net ->
+            Core.Diag.failf ~stage
+              ~context:[ ("net", net) ]
+              "combinational cycle through net %s" net)))))
+
+(* Evaluation against an already-validated netlist.  Validation guarantees
+   every instance input is driven or primary and every cell name resolves,
+   so the only open case is a top-level query for a net with no driver —
+   that reads from [env], like a primary input. *)
+let eval_validated t =
+  let table = drivers t in
+  fun env net ->
+    let memo = Hashtbl.create 32 in
+    let rec value net =
+      match Hashtbl.find_opt memo net with
+      | Some v -> v
+      | None ->
+        let v =
+          if List.mem net t.inputs then env net
           else
             match List.assoc_opt net table with
-            | None -> Ok 0
+            | None -> env net
             | Some i ->
-              List.fold_left
-                (fun acc (_, n) ->
-                  match acc with
-                  | Error _ -> acc
-                  | Ok d -> (
-                    match depth (net :: seen) n with
-                    | Ok d' -> Ok (max d (d' + 1))
-                    | Error e -> Error e))
-                (Ok 0) i.conns
+              let fn = Logic.Cell_fun.find i.cell in
+              let inner name =
+                match List.assoc_opt name i.conns with
+                | Some n -> value n
+                | None -> env name
+              in
+              Logic.Expr.eval inner (Logic.Cell_fun.output_expr fn)
         in
-        match
-          List.fold_left
-            (fun acc o ->
-              match acc with Error _ -> acc | Ok () -> (
-                match depth [] o with
-                | Ok _ -> Ok ()
-                | Error net -> Error net))
-            (Ok ()) t.outputs
-        with
-        | Ok () -> Ok ()
-        | Error net ->
-          Error (Printf.sprintf "combinational cycle through net %s" net))))
+        Hashtbl.replace memo net v;
+        v
+    in
+    value net
 
-let eval t env =
-  (match validate t with Ok () -> () | Error e -> failwith e);
-  let table = drivers t in
-  let memo = Hashtbl.create 32 in
-  let rec value net =
-    match Hashtbl.find_opt memo net with
-    | Some v -> v
-    | None ->
-      let v =
-        if List.mem net t.inputs then env net
-        else
-          match List.assoc_opt net table with
-          | None -> failwith ("Netlist_ir.eval: unknown net " ^ net)
-          | Some i ->
-            let fn = Logic.Cell_fun.find i.cell in
-            let inner name =
-              match List.assoc_opt name i.conns with
-              | Some n -> value n
-              | None ->
-                failwith
-                  (Printf.sprintf "Netlist_ir.eval: %s pin %s unbound"
-                     i.inst_name name)
-            in
-            Logic.Expr.eval inner (Logic.Cell_fun.output_expr fn)
-      in
-      Hashtbl.replace memo net v;
-      v
-  in
-  value
+let evaluator t =
+  match validate t with
+  | Error _ as e -> e
+  | Ok () -> Ok (eval_validated t)
+
+let eval t env net =
+  match evaluator t with
+  | Error _ as e -> e
+  | Ok f -> Ok (f env net)
 
 let truth_of_output t ~output =
-  Logic.Truth.of_fun ~inputs:t.inputs (fun env ->
-      if eval t env output then Logic.Truth.T else Logic.Truth.F)
+  match evaluator t with
+  | Error _ as e -> e
+  | Ok f ->
+    let known =
+      List.mem output t.inputs
+      || List.exists (fun i -> i.output = output) t.instances
+    in
+    if not known then
+      Core.Diag.failf ~stage
+        ~context:[ ("output", output); ("design", t.design) ]
+        "no net %s in design %s" output t.design
+    else
+      Ok
+        (Logic.Truth.of_fun ~inputs:t.inputs (fun env ->
+             if f env output then Logic.Truth.T else Logic.Truth.F))
 
 let stats t =
   let tbl = Hashtbl.create 8 in
@@ -187,4 +252,6 @@ let of_string s =
         outputs = !outputs;
         instances = List.rev !instances;
       }
-  with Bad msg -> Error msg
+  with Bad msg -> Core.Diag.fail ~stage:"netlist-parse" msg
+
+let digest t = Digest.to_hex (Digest.string (to_string t))

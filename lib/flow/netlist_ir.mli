@@ -1,5 +1,8 @@
 (** Structural gate-level netlists: the hand-off format between logic
-    synthesis, placement and GDSII export. *)
+    synthesis, placement and GDSII export.
+
+    All fallible operations return [('a, Core.Diag.t) result]; diagnostics
+    carry the offending instance/net names in their context. *)
 
 type instance = {
   inst_name : string;
@@ -16,16 +19,24 @@ type t = {
   instances : instance list;
 }
 
-val validate : t -> (unit, string) result
+val validate : t -> (unit, Core.Diag.t) result
 (** Single driver per net, no dangling instance inputs, every design output
-    driven, no combinational cycles. *)
+    driven, all instance cells known, no combinational cycles. *)
 
-val eval : t -> (string -> bool) -> string -> bool
-(** Evaluate a net under primary-input values (topological, memoized).
-    @raise Failure on validation errors or unknown nets. *)
+val evaluator : t -> ((string -> bool) -> string -> bool, Core.Diag.t) result
+(** [evaluator t] validates [t] once and returns a total evaluation
+    function [f env net] (topological, memoized per [env] application).
+    A queried net with no driver reads from [env], like a primary input.
+    Use this in exhaustive-simulation loops: validation cost is paid once,
+    not per input vector. *)
 
-val truth_of_output : t -> output:string -> Logic.Truth.t
-(** Tabulate one design output over the primary inputs. *)
+val eval : t -> (string -> bool) -> string -> (bool, Core.Diag.t) result
+(** One-shot {!evaluator}: validates on every call.  Convenience for tests
+    and single lookups. *)
+
+val truth_of_output : t -> output:string -> (Logic.Truth.t, Core.Diag.t) result
+(** Tabulate one design output over the primary inputs.  Errors when the
+    netlist does not validate or [output] is not a net of the design. *)
 
 val stats : t -> (string * int) list
 (** Instance count per [cell_drive] name, sorted. *)
@@ -33,7 +44,11 @@ val stats : t -> (string * int) list
 val to_string : t -> string
 (** Human-readable single-file dump (also the on-disk format). *)
 
-val of_string : string -> (t, string) result
+val of_string : string -> (t, Core.Diag.t) result
 (** Parse {!to_string}'s format: [design NAME], [input A B ...],
     [output S ...], and one [inst name cell drive out=net a=net ...] line
     per instance; ['#'] starts a comment. *)
+
+val digest : t -> string
+(** Stable fingerprint of the netlist content (for the pass-manager
+    artifact cache). *)

@@ -1,0 +1,204 @@
+type spec = {
+  source : [ `Text of string | `Netlist of Netlist_ir.t ];
+  lib : Stdcell.Library.t;
+  scheme : [ `S1 | `S2 ];
+  top_name : string;
+  aspect : float;
+  anneal : Anneal.config option;
+}
+
+let spec_of_netlist ?(scheme = `S2) ?top_name ?(aspect = 1.0) ?anneal ~lib n =
+  {
+    source = `Netlist n;
+    lib;
+    scheme;
+    top_name = Option.value top_name ~default:n.Netlist_ir.design;
+    aspect;
+    anneal;
+  }
+
+let spec_of_text ?(scheme = `S2) ?(top_name = "top") ?(aspect = 1.0) ?anneal
+    ~lib text =
+  { source = `Text text; lib; scheme; top_name; aspect; anneal }
+
+type result_t = {
+  netlist : Netlist_ir.t;
+  placement : Placer.t;
+  cells : Layout.Cell.t list;
+  gds : Gds.Stream.library;
+  gds_bytes : string;
+}
+
+(* Digest helpers: each pass is keyed by what actually feeds it, so an
+   edit to a late-stage parameter (scheme, aspect, anneal) leaves the
+   upstream digests — and hence their cached artifacts — untouched. *)
+
+let lib_digest (lib : Stdcell.Library.t) =
+  lib.Stdcell.Library.lib_name ^ "/"
+  ^ String.concat ","
+      (List.map
+         (fun (e : Stdcell.Library.entry) -> e.Stdcell.Library.cell_name)
+         lib.Stdcell.Library.entries)
+
+let source_digest = function
+  | `Text t -> Digest.to_hex (Digest.string t)
+  | `Netlist n -> Netlist_ir.digest n
+
+let scheme_string = function `S1 -> "S1" | `S2 -> "S2"
+
+let place_params s =
+  Printf.sprintf "%s:%s:%g:%s" (lib_digest s.lib) (scheme_string s.scheme)
+    s.aspect
+    (match s.anneal with
+    | None -> "noanneal"
+    | Some c ->
+      Printf.sprintf "anneal:%d:%g:%d" c.Anneal.iterations c.Anneal.start_temp
+        c.Anneal.seed)
+
+(* Stage artifacts thread the spec along so downstream passes see their
+   parameters without the passes themselves being parameterized (they must
+   be top-level values for the artifact cache to work across runs). *)
+
+type staged = { spec : spec; netlist : Netlist_ir.t }
+type placed = { s : staged; placement : Placer.t }
+type laid_out = { p : placed; cells : Layout.Cell.t list }
+
+(* Each pass's digest deliberately covers only part of its input, so the
+   refresh hooks re-thread the *current* spec through cache-served
+   artifacts: a parse hit must not resurrect the spec (scheme, aspect,
+   anneal, top name) that was live when the artifact was stored. *)
+
+let parse_pass =
+  Core.Pass.make ~name:"parse"
+    ~digest:(fun s -> source_digest s.source)
+    ~refresh:(fun s st -> { st with spec = s })
+    ~counters:(fun st ->
+      [ ("instances", List.length st.netlist.Netlist_ir.instances) ])
+    (fun s ->
+      match s.source with
+      | `Netlist n -> Ok { spec = s; netlist = n }
+      | `Text t -> (
+        match Netlist_ir.of_string t with
+        | Ok n -> Ok { spec = s; netlist = n }
+        | Error d -> Error d))
+
+let validate_pass =
+  Core.Pass.make ~name:"validate"
+    ~digest:(fun st -> Netlist_ir.digest st.netlist)
+    ~refresh:(fun st _cached -> st)
+    ~counters:(fun st ->
+      [
+        ("instances", List.length st.netlist.Netlist_ir.instances);
+        ("nets",
+         List.length st.netlist.Netlist_ir.inputs
+         + List.length st.netlist.Netlist_ir.instances);
+      ])
+    (fun st ->
+      match Netlist_ir.validate st.netlist with
+      | Ok () -> Ok st
+      | Error _ as e -> e)
+
+let place_pass =
+  Core.Pass.make ~name:"place"
+    ~digest:(fun st ->
+      Digest.to_hex
+        (Digest.string (Netlist_ir.digest st.netlist ^ place_params st.spec)))
+    ~refresh:(fun st p -> { p with s = st })
+    ~counters:(fun p ->
+      [
+        ("cells", List.length p.placement.Placer.cells);
+        ("die_area", Placer.die_area p.placement);
+        ("hpwl", Placer.wirelength_estimate p.placement p.s.netlist);
+      ])
+    (fun st ->
+      let place =
+        match st.spec.scheme with
+        | `S1 -> Placer.rows ~lib:st.spec.lib ~aspect:st.spec.aspect
+        | `S2 -> Placer.shelves ~lib:st.spec.lib ~aspect:st.spec.aspect
+      in
+      match place st.netlist with
+      | Error _ as e -> e
+      | Ok placement ->
+        let placement =
+          match st.spec.anneal with
+          | None -> placement
+          | Some config ->
+            let refined, _, _ = Anneal.refine ~config placement st.netlist in
+            refined
+        in
+        Ok { s = st; placement })
+
+let layout_pass =
+  Core.Pass.make ~name:"layout"
+    ~digest:(fun p ->
+      Digest.to_hex
+        (Digest.string (Netlist_ir.digest p.s.netlist ^ place_params p.s.spec)))
+    ~refresh:(fun p l -> { l with p })
+    ~counters:(fun l ->
+      [
+        ("unique_cells", List.length l.cells);
+        ("layers",
+         List.fold_left
+           (fun acc c -> acc + List.length (Layout.Cell.layers c))
+           0 l.cells);
+      ])
+    (fun p ->
+      let ( let* ) = Result.bind in
+      let* cells =
+        List.fold_left
+          (fun acc (c : Placer.placed_cell) ->
+            let* acc = acc in
+            let* e = Placer.entry_for p.s.spec.lib c.Placer.inst in
+            let l =
+              match p.s.spec.scheme with
+              | `S1 -> e.Stdcell.Library.scheme1
+              | `S2 -> e.Stdcell.Library.scheme2
+            in
+            if
+              List.exists
+                (fun (k : Layout.Cell.t) ->
+                  k.Layout.Cell.name = l.Layout.Cell.name)
+                acc
+            then Ok acc
+            else Ok (l :: acc))
+          (Ok []) p.placement.Placer.cells
+      in
+      Ok { p; cells = List.rev cells })
+
+let export_pass =
+  Core.Pass.make ~name:"export"
+    ~digest:(fun l ->
+      Digest.to_hex
+        (Digest.string
+           (Netlist_ir.digest l.p.s.netlist ^ place_params l.p.s.spec ^ ":"
+          ^ l.p.s.spec.top_name)))
+    ~counters:(fun r ->
+      [
+        ("structures", List.length r.gds.Gds.Stream.structures);
+        ("gds_bytes", String.length r.gds_bytes);
+      ])
+    (fun l ->
+      let s = l.p.s.spec in
+      match
+        Gds_export.placement ~lib:s.lib ~scheme:s.scheme ~name:s.top_name
+          l.p.placement
+      with
+      | Error _ as e -> e
+      | Ok gds ->
+        Ok
+          {
+            netlist = l.p.s.netlist;
+            placement = l.p.placement;
+            cells = l.cells;
+            gds;
+            gds_bytes = Gds.Stream.to_bytes gds;
+          })
+
+let flow =
+  Core.Pass.(
+    pass parse_pass >>> validate_pass >>> place_pass >>> layout_pass
+    >>> export_pass)
+
+let pass_names = Core.Pass.names flow
+
+let run ?cache ?trace s = Core.Pass.execute ?cache ?trace flow s

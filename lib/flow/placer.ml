@@ -20,24 +20,42 @@ let utilization t =
   let da = die_area t in
   if da = 0 then 0. else float_of_int t.cell_area /. float_of_int da
 
+let ( let* ) = Result.bind
+
 let entry_for lib (inst : Netlist_ir.instance) =
-  Stdcell.Library.find lib ~name:inst.Netlist_ir.cell ~drive:inst.Netlist_ir.drive
+  Result.map_error
+    (fun d ->
+      Core.Diag.with_context
+        [ ("instance", inst.Netlist_ir.inst_name) ]
+        (Core.Diag.with_stage "placer" d))
+    (Stdcell.Library.find lib ~name:inst.Netlist_ir.cell
+       ~drive:inst.Netlist_ir.drive)
 
 let dims lib scheme inst =
-  let e = entry_for lib inst in
+  let* e = entry_for lib inst in
   let c =
     match scheme with
     | `S1 -> e.Stdcell.Library.scheme1
     | `S2 -> e.Stdcell.Library.scheme2
   in
-  (c.Layout.Cell.width, c.Layout.Cell.height)
+  Ok (c.Layout.Cell.width, c.Layout.Cell.height)
+
+(* Size every instance, stopping at the first missing library cell. *)
+let sized_instances lib scheme instances =
+  List.fold_left
+    (fun acc i ->
+      let* acc = acc in
+      let* d = dims lib scheme i in
+      Ok ((i, d) :: acc))
+    (Ok []) instances
+  |> Result.map List.rev
 
 let target_row_width cells_area aspect =
   max 1 (int_of_float (sqrt (float_of_int cells_area *. aspect)))
 
 let rows ~lib ?(aspect = 1.0) netlist =
   let instances = netlist.Netlist_ir.instances in
-  let sized = List.map (fun i -> (i, dims lib `S1 i)) instances in
+  let* sized = sized_instances lib `S1 instances in
   let row_h =
     List.fold_left (fun acc (_, (_, h)) -> max acc h) 0 sized
   in
@@ -57,18 +75,19 @@ let rows ~lib ?(aspect = 1.0) netlist =
   let cell_area =
     List.fold_left (fun acc c -> acc + (c.cell_width * c.cell_height)) 0 cells
   in
-  {
-    scheme = `Rows;
-    cells = List.rev cells;
-    die_width = max_x;
-    die_height = last_y + row_h;
-    cell_area;
-  }
+  Ok
+    {
+      scheme = `Rows;
+      cells = List.rev cells;
+      die_width = max_x;
+      die_height = last_y + row_h;
+      cell_area;
+    }
 
 (* First-fit decreasing height shelf packing. *)
 let shelves ~lib ?(aspect = 1.0) netlist =
   let instances = netlist.Netlist_ir.instances in
-  let sized = List.map (fun i -> (i, dims lib `S2 i)) instances in
+  let* sized = sized_instances lib `S2 instances in
   let spacing = 1 in
   let total_area =
     List.fold_left (fun acc (_, (w, h)) -> acc + ((w + spacing) * h)) 0 sized
@@ -107,7 +126,7 @@ let shelves ~lib ?(aspect = 1.0) netlist =
   let cell_area =
     List.fold_left (fun acc c -> acc + (c.cell_width * c.cell_height)) 0 cells
   in
-  { scheme = `Shelves; cells; die_width; die_height; cell_area }
+  Ok { scheme = `Shelves; cells; die_width; die_height; cell_area }
 
 let wirelength_estimate t netlist =
   let pin_positions net =

@@ -28,14 +28,19 @@ val die_area : t -> int
 val utilization : t -> float
 (** [cell_area / die_area]. *)
 
-val entry_for : Stdcell.Library.t -> Netlist_ir.instance -> Stdcell.Library.entry
-(** Library entry matching an instance. @raise Not_found. *)
+val entry_for : Stdcell.Library.t -> Netlist_ir.instance
+  -> (Stdcell.Library.entry, Core.Diag.t) result
+(** Library entry matching an instance; an unknown cell/drive pair is a
+    [Diag] error naming the instance. *)
 
-val rows : lib:Stdcell.Library.t -> ?aspect:float -> Netlist_ir.t -> t
+val rows : lib:Stdcell.Library.t -> ?aspect:float -> Netlist_ir.t
+  -> (t, Core.Diag.t) result
 (** Scheme-1 (and CMOS) row placement using the scheme-1 layouts;
-    [aspect] is the target width/height ratio of the die. *)
+    [aspect] is the target width/height ratio of the die.  Errors when an
+    instance has no library cell. *)
 
-val shelves : lib:Stdcell.Library.t -> ?aspect:float -> Netlist_ir.t -> t
+val shelves : lib:Stdcell.Library.t -> ?aspect:float -> Netlist_ir.t
+  -> (t, Core.Diag.t) result
 (** Scheme-2 shelf packing using the scheme-2 layouts. *)
 
 val wirelength_estimate : t -> Netlist_ir.t -> int

@@ -6,8 +6,14 @@ let rename_instance ~prefix ~net_map (i : Netlist_ir.instance) =
     conns = List.map (fun (f, n) -> (f, net_map n)) i.Netlist_ir.conns;
   }
 
+let stage = "ripple_adder"
+
 let netlist ~bits =
-  if bits < 1 then invalid_arg "Ripple_adder.netlist: bits must be >= 1";
+  if bits < 1 then
+    Core.Diag.failf ~stage
+      ~context:[ ("bits", string_of_int bits) ]
+      "bits must be >= 1, got %d" bits
+  else
   let fa = Full_adder.netlist () in
   let instances =
     List.concat_map
@@ -25,61 +31,62 @@ let netlist ~bits =
         List.map (rename_instance ~prefix ~net_map) fa.Netlist_ir.instances)
       (List.init bits Fun.id)
   in
-  {
-    Netlist_ir.design = Printf.sprintf "ripple%d" bits;
-    inputs =
-      List.init bits (Printf.sprintf "A%d")
-      @ List.init bits (Printf.sprintf "B%d")
-      @ [ "CIN" ];
-    outputs = List.init bits (Printf.sprintf "S%d") @ [ "COUT" ];
-    instances;
-  }
+  Ok
+    {
+      Netlist_ir.design = Printf.sprintf "ripple%d" bits;
+      inputs =
+        List.init bits (Printf.sprintf "A%d")
+        @ List.init bits (Printf.sprintf "B%d")
+        @ [ "CIN" ];
+      outputs = List.init bits (Printf.sprintf "S%d") @ [ "COUT" ];
+      instances;
+    }
 
 let check ~bits =
-  if bits > 6 then Error "exhaustive check limited to 6 bits"
-  else begin
-    let n = netlist ~bits in
-    match Netlist_ir.validate n with
-    | Error e -> Error e
-    | Ok () ->
-      let exception Bad of string in
-      (try
-         for a = 0 to (1 lsl bits) - 1 do
-           for b = 0 to (1 lsl bits) - 1 do
-             for cin = 0 to 1 do
-               let env name =
-                 let bit v k = (v lsr k) land 1 = 1 in
-                 let index () =
-                   int_of_string (String.sub name 1 (String.length name - 1))
-                 in
-                 if name = "CIN" then cin = 1
-                 else if name.[0] = 'A' then bit a (index ())
-                 else bit b (index ())
-               in
-               let expected = a + b + cin in
-               let got_sum =
-                 List.fold_left
-                   (fun acc k ->
-                     acc
-                     lor
-                     if Netlist_ir.eval n env (Printf.sprintf "S%d" k) then
-                       1 lsl k
-                     else 0)
-                   0
-                   (List.init bits Fun.id)
-               in
-               let got =
-                 got_sum
-                 lor if Netlist_ir.eval n env "COUT" then 1 lsl bits else 0
-               in
-               if got <> expected then
-                 raise
-                   (Bad
-                      (Printf.sprintf "%d + %d + %d = %d, adder says %d" a b
-                         cin expected got))
-             done
-           done
-         done;
-         Ok ()
-       with Bad m -> Error m)
-  end
+  let ( let* ) = Result.bind in
+  if bits > 6 then
+    Core.Diag.failf ~stage
+      ~context:[ ("bits", string_of_int bits) ]
+      "exhaustive check limited to 6 bits, got %d" bits
+  else
+    let* n = netlist ~bits in
+    (* validate once; the returned evaluator is total across all vectors *)
+    let* eval = Netlist_ir.evaluator n in
+    let exception Bad of string in
+    try
+      for a = 0 to (1 lsl bits) - 1 do
+        for b = 0 to (1 lsl bits) - 1 do
+          for cin = 0 to 1 do
+            let env name =
+              let bit v k = (v lsr k) land 1 = 1 in
+              let index () =
+                int_of_string (String.sub name 1 (String.length name - 1))
+              in
+              if name = "CIN" then cin = 1
+              else if name.[0] = 'A' then bit a (index ())
+              else bit b (index ())
+            in
+            let expected = a + b + cin in
+            let got_sum =
+              List.fold_left
+                (fun acc k ->
+                  acc
+                  lor
+                  if eval env (Printf.sprintf "S%d" k) then 1 lsl k else 0)
+                0
+                (List.init bits Fun.id)
+            in
+            let got =
+              got_sum lor if eval env "COUT" then 1 lsl bits else 0
+            in
+            if got <> expected then
+              raise
+                (Bad
+                   (Printf.sprintf "%d + %d + %d = %d, adder says %d" a b cin
+                      expected got))
+          done
+        done
+      done;
+      Ok ()
+    with Bad m ->
+      Core.Diag.fail ~stage ~context:[ ("bits", string_of_int bits) ] m

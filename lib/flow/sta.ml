@@ -9,9 +9,9 @@ type report = {
 }
 
 let analyze table (n : Netlist_ir.t) =
-  (match Netlist_ir.validate n with
-  | Ok () -> ()
-  | Error e -> failwith ("Sta.analyze: " ^ e));
+  match Netlist_ir.validate n with
+  | Error d -> Error (Core.Diag.with_stage "sta" d)
+  | Ok () ->
   let drivers =
     List.map (fun (i : Netlist_ir.instance) -> (i.Netlist_ir.output, i))
       n.Netlist_ir.instances
@@ -34,7 +34,10 @@ let analyze table (n : Netlist_ir.t) =
           (0., [ { through = "input:" ^ net; net; at = 0. } ])
         else
           match List.assoc_opt net drivers with
-          | None -> failwith ("Sta.analyze: undriven net " ^ net)
+          | None ->
+            (* unreachable: validation guarantees every traversed net is a
+               primary input or instance-driven *)
+            assert false
           | Some i ->
             let worst_in, worst_path =
               List.fold_left
@@ -63,11 +66,12 @@ let analyze table (n : Netlist_ir.t) =
       arrivals
   in
   ignore critical_out;
-  {
-    arrival = List.map (fun (o, (a, _)) -> (o, a)) arrivals;
-    critical_path;
-    critical_delay;
-  }
+  Ok
+    {
+      arrival = List.map (fun (o, (a, _)) -> (o, a)) arrivals;
+      critical_path;
+      critical_delay;
+    }
 
 let table_of_characterization entries ~fanout_slope ~cell ~drive ~fanout =
   match

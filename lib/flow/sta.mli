@@ -18,8 +18,8 @@ type report = {
   critical_delay : float;
 }
 
-val analyze : delay_table -> Netlist_ir.t -> report
-(** @raise Failure on invalid netlists (see {!Netlist_ir.validate}). *)
+val analyze : delay_table -> Netlist_ir.t -> (report, Core.Diag.t) result
+(** Errors when the netlist does not validate (see {!Netlist_ir.validate}). *)
 
 val table_of_characterization :
   (string * int * float) list -> fanout_slope:float -> delay_table

@@ -22,7 +22,18 @@ let fabric_of ~rules ~style ~polarity ~widths net =
   | Vulnerable ->
     Immune_old.strip ~rules ~polarity ~widths ~isolation:Immune_old.Bare net
 
+let ( let* ) = Result.bind
+
 let make ~rules ~fn ~style ~scheme ~drive =
+  let stage = "cell" in
+  let* () =
+    if drive >= 1 then Ok ()
+    else
+      Core.Diag.failf ~stage
+        ~context:
+          [ ("cell", fn.Logic.Cell_fun.name); ("drive", string_of_int drive) ]
+        "drive must be >= 1, got %d" drive
+  in
   let r : Pdk.Rules.t = rules in
   let core = fn.Logic.Cell_fun.core in
   let pdn_net = Logic.Network.of_expr core in
@@ -37,13 +48,18 @@ let make ~rules ~fn ~style ~scheme ~drive =
   in
   let pdn_w = Sizing.widths ~base:nbase pdn_net in
   let pun_w = Sizing.widths ~base:pbase pun_net in
-  let pdn =
-    fabric_of ~rules ~style ~polarity:Logic.Network.N_type ~widths:pdn_w
-      pdn_net
+  let relabel d =
+    Core.Diag.with_context [ ("cell", fn.Logic.Cell_fun.name) ] d
   in
-  let pun =
-    fabric_of ~rules ~style ~polarity:Logic.Network.P_type ~widths:pun_w
-      pun_net
+  let* pdn =
+    Result.map_error relabel
+      (fabric_of ~rules ~style ~polarity:Logic.Network.N_type ~widths:pdn_w
+         pdn_net)
+  in
+  let* pun =
+    Result.map_error relabel
+      (fabric_of ~rules ~style ~polarity:Logic.Network.P_type ~widths:pun_w
+         pun_net)
   in
   let sep =
     match style with
@@ -75,7 +91,10 @@ let make ~rules ~fn ~style ~scheme ~drive =
       | Vulnerable -> "vuln"
       | Cmos -> "cmos")
   in
-  { name; fn; style; scheme; rules; drive; pun; pdn; width; height }
+  Ok { name; fn; style; scheme; rules; drive; pun; pdn; width; height }
+
+let make_exn ~rules ~fn ~style ~scheme ~drive =
+  Core.Diag.ok_exn (make ~rules ~fn ~style ~scheme ~drive)
 
 let active_area t = Fabric.area t.pun + Fabric.area t.pdn
 let footprint_area t = t.width * t.height

@@ -29,11 +29,17 @@ type t = {
 }
 
 val make : rules:Pdk.Rules.t -> fn:Logic.Cell_fun.t -> style:style
-  -> scheme:scheme -> drive:int -> t
+  -> scheme:scheme -> drive:int -> (t, Core.Diag.t) result
 (** Build the cell.  [drive] is the base (unit-path) transistor width in
-    lambda; series paths are widened per {!Sizing.widths}.  CMOS cells draw
-    pMOS [cmos_pn_ratio] times wider than nMOS and use the CMOS PUN/PDN
-    separation. *)
+    lambda and must be at least 1; series paths are widened per
+    {!Sizing.widths}.  CMOS cells draw pMOS [cmos_pn_ratio] times wider
+    than nMOS and use the CMOS PUN/PDN separation.  Errors (invalid drive,
+    fabric construction failures) arrive as [Diag] values. *)
+
+val make_exn : rules:Pdk.Rules.t -> fn:Logic.Cell_fun.t -> style:style
+  -> scheme:scheme -> drive:int -> t
+(** {!make}, raising [Core.Diag.Failure] on error.  Thin shim for the CLI
+    boundary, tests and benches. *)
 
 val active_area : t -> int
 (** PUN + PDN active area including via overheads — the Table 1 metric. *)

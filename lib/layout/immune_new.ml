@@ -72,7 +72,7 @@ let columns_of_trails ~polarity ~widths ~default_h ng trails =
   in
   join trails
 
-let strip_of_graph ?(uniform = true) ~rules ~polarity ~widths ng =
+let strip_of_graph_unsafe ?(uniform = true) ~rules ~polarity ~widths ng =
   let r : Pdk.Rules.t = rules in
   let sp = r.Pdk.Rules.gate_contact_sp in
   let default_h = max r.Pdk.Rules.min_width (Sizing.strip_width widths) in
@@ -160,6 +160,23 @@ let strip_of_graph ?(uniform = true) ~rules ~polarity ~widths ng =
       placed
   in
   Fabric.make ~polarity ~rows items
+
+let check_widths ~stage widths =
+  match List.find_opt (fun (_, w) -> w <= 0) widths with
+  | Some (g, w) ->
+    Core.Diag.failf ~stage
+      ~context:[ ("device", g); ("width", string_of_int w) ]
+      "device width must be positive, got %d for %s" w g
+  | None -> Ok ()
+
+let strip_of_graph ?uniform ~rules ~polarity ~widths ng =
+  match check_widths ~stage:"immune_new" widths with
+  | Error _ as e -> e
+  | Ok () -> (
+    try Ok (strip_of_graph_unsafe ?uniform ~rules ~polarity ~widths ng)
+    with exn ->
+      Core.Diag.failf ~stage:"immune_new" "strip construction failed: %s"
+        (Printexc.to_string exn))
 
 let strip ?uniform ~rules ~polarity ~widths net =
   strip_of_graph ?uniform ~rules ~polarity ~widths

@@ -10,16 +10,17 @@
 
 val strip : ?uniform:bool -> rules:Pdk.Rules.t
   -> polarity:Logic.Network.polarity -> widths:(string * int) list
-  -> Logic.Network.t -> Fabric.t
+  -> Logic.Network.t -> (Fabric.t, Core.Diag.t) result
 (** Single-strip immune layout of one network.  [widths] gives the drawn
     width (strip height) of each input's device, typically from
-    {!Sizing.widths}.  With [uniform] (default) all devices are drawn at
-    the strip's tallest width; a non-uniform strip is smaller in drawn
-    active but loses immunity margin against slanted CNTs at height steps
-    (the ablation benchmark quantifies this). *)
+    {!Sizing.widths}; a non-positive width is rejected with a [Diag]
+    error.  With [uniform] (default) all devices are drawn at the strip's
+    tallest width; a non-uniform strip is smaller in drawn active but
+    loses immunity margin against slanted CNTs at height steps (the
+    ablation benchmark quantifies this). *)
 
 val strip_of_graph : ?uniform:bool -> rules:Pdk.Rules.t
   -> polarity:Logic.Network.polarity -> widths:(string * int) list
-  -> Euler.Net_graph.t -> Fabric.t
+  -> Euler.Net_graph.t -> (Fabric.t, Core.Diag.t) result
 (** Same, from a pre-built contact/gate graph (lets tests exercise custom
     graphs). *)

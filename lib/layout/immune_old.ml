@@ -51,7 +51,7 @@ let rec count_gates = function
   | Logic.Network.Series ns | Logic.Network.Parallel ns ->
     List.fold_left (fun a n -> a + count_gates n) 0 ns
 
-let strip ~rules ~polarity ~widths ~isolation net =
+let strip_unsafe ~rules ~polarity ~widths ~isolation net =
   let r : Pdk.Rules.t = rules in
   let sp = r.Pdk.Rules.gate_contact_sp in
   let lc = r.Pdk.Rules.contact_len in
@@ -283,3 +283,17 @@ let strip ~rules ~polarity ~widths ~isolation net =
       items @ extra
   in
   Fabric.make ~polarity ~via_overhead ~rows items
+
+let strip ~rules ~polarity ~widths ~isolation net =
+  match
+    List.find_opt (fun ((_ : string), w) -> w <= 0) widths
+  with
+  | Some (g, w) ->
+    Core.Diag.failf ~stage:"immune_old"
+      ~context:[ ("device", g); ("width", string_of_int w) ]
+      "device width must be positive, got %d for %s" w g
+  | None -> (
+    try Ok (strip_unsafe ~rules ~polarity ~widths ~isolation net)
+    with exn ->
+      Core.Diag.failf ~stage:"immune_old" "strip construction failed: %s"
+        (Printexc.to_string exn))

@@ -17,5 +17,6 @@ type isolation =
 
 val strip : rules:Pdk.Rules.t -> polarity:Logic.Network.polarity
   -> widths:(string * int) list -> isolation:isolation -> Logic.Network.t
-  -> Fabric.t
-(** Stacked-row layout of one network. *)
+  -> (Fabric.t, Core.Diag.t) result
+(** Stacked-row layout of one network.  A non-positive device width is
+    rejected with a [Diag] error. *)

@@ -66,9 +66,12 @@ let all =
   [ inv; nand 2; nand 3; nand 4; nor 2; nor 3; nor 4; aoi21; aoi22; oai21;
     oai22; aoi31; aoi211; oai211; aoi222; maj3_inv ]
 
-let find name =
+let find_opt name =
   let up = String.uppercase_ascii name in
-  List.find (fun c -> c.name = up) all
+  List.find_opt (fun c -> c.name = up) all
+
+let find name =
+  match find_opt name with Some c -> c | None -> raise Not_found
 
 let output_expr c = Expr.Not c.core
 let truth c = Truth.of_expr (output_expr c)

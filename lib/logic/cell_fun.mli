@@ -48,6 +48,9 @@ val all : t list
     extended with NAND4/NOR4, AOI211/OAI211, AOI222 and the inverted
     majority gate. *)
 
+val find_opt : string -> t option
+(** Look up by name (case-insensitive). *)
+
 val find : string -> t
 (** Look up by name (case-insensitive). @raise Not_found. *)
 

@@ -99,24 +99,41 @@ let arc ~lib (entry : Library.entry) ~input ~load_inv1x =
   let d_rise_in = d_after Circuit.Waveform.Rising in
   let d_fall_in = d_after Circuit.Waveform.Falling in
   if Float.is_nan d_rise_in && Float.is_nan d_fall_in then
-    failwith
-      (Printf.sprintf "Characterize.arc: %s/%s never switched"
-         entry.Library.cell_name input);
-  let energy = Circuit.Transient.energy_from r vdd_meas /. 3. in
-  let rise_delay_s = d_fall_in and fall_delay_s = d_rise_in in
-  {
-    input;
-    load_inv1x;
-    rise_delay_s;
-    fall_delay_s;
-    avg_delay_s = mean (List.filter (fun x -> not (Float.is_nan x)) [ rise_delay_s; fall_delay_s ]);
-    energy_per_cycle_j = energy;
-  }
+    Core.Diag.failf ~stage:"characterize"
+      ~context:[ ("cell", entry.Library.cell_name); ("pin", input) ]
+      "output of %s never switched when toggling %s" entry.Library.cell_name
+      input
+  else begin
+    let energy = Circuit.Transient.energy_from r vdd_meas /. 3. in
+    let rise_delay_s = d_fall_in and fall_delay_s = d_rise_in in
+    Ok
+      {
+        input;
+        load_inv1x;
+        rise_delay_s;
+        fall_delay_s;
+        avg_delay_s =
+          mean
+            (List.filter
+               (fun x -> not (Float.is_nan x))
+               [ rise_delay_s; fall_delay_s ]);
+        energy_per_cycle_j = energy;
+      }
+  end
 
 let all_arcs ~lib entry ~load_inv1x =
-  List.map
-    (fun input -> arc ~lib entry ~input ~load_inv1x)
+  let ( let* ) = Result.bind in
+  List.fold_left
+    (fun acc input ->
+      let* acc = acc in
+      let* a = arc ~lib entry ~input ~load_inv1x in
+      Ok (a :: acc))
+    (Ok [])
     (Logic.Expr.inputs entry.Library.fn.Logic.Cell_fun.core)
+  |> Result.map List.rev
+
+let all_arcs_exn ~lib entry ~load_inv1x =
+  Core.Diag.ok_exn (all_arcs ~lib entry ~load_inv1x)
 
 let worst_delay arcs =
   List.fold_left (fun acc a -> Float.max acc a.avg_delay_s) 0. arcs

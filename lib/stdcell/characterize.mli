@@ -20,11 +20,17 @@ val sensitize : Logic.Cell_fun.t -> input:string -> (string * bool) list
     @raise Not_found when the input cannot control the output. *)
 
 val arc : lib:Library.t -> Library.entry -> input:string -> load_inv1x:int
-  -> arc
-(** Simulate one pin.  @raise Failure when the output never switches. *)
+  -> (arc, Core.Diag.t) result
+(** Simulate one pin.  An output that never switches is a [Diag] error
+    naming the cell and the pin. *)
 
-val all_arcs : lib:Library.t -> Library.entry -> load_inv1x:int -> arc list
-(** One arc per input pin. *)
+val all_arcs : lib:Library.t -> Library.entry -> load_inv1x:int
+  -> (arc list, Core.Diag.t) result
+(** One arc per input pin; the first failing pin aborts with its error. *)
+
+val all_arcs_exn : lib:Library.t -> Library.entry -> load_inv1x:int
+  -> arc list
+(** {!all_arcs}, raising [Core.Diag.Failure].  CLI/test boundary shim. *)
 
 val worst_delay : arc list -> float
 val total_energy : arc list -> float

@@ -44,58 +44,113 @@ let factory t ~polarity ~width_lambda ~name =
       let width_nm = Pdk.Rules.nm_of_lambda t.rules width_lambda *. scale in
       Device.Mosfet.make tech ~name ~polarity ~width_nm ())
 
+let ( let* ) = Result.bind
+
 let entry_of ~rules ~technology ~style fn drive =
   let base = drive * base_width_lambda in
-  let scheme1 =
+  let* scheme1 =
     Layout.Cell.make ~rules ~fn ~style ~scheme:Layout.Cell.Scheme1 ~drive:base
   in
-  let scheme2 =
+  let* scheme2 =
     Layout.Cell.make ~rules ~fn ~style ~scheme:Layout.Cell.Scheme2 ~drive:base
   in
-  {
-    cell_name = Printf.sprintf "%s_%dX" fn.Logic.Cell_fun.name drive;
-    fn;
-    drive;
-    technology;
-    scheme1;
-    scheme2;
-    width_lambda_base = base;
-  }
+  Ok
+    {
+      cell_name = Printf.sprintf "%s_%dX" fn.Logic.Cell_fun.name drive;
+      fn;
+      drive;
+      technology;
+      scheme1;
+      scheme2;
+      width_lambda_base = base;
+    }
 
 let catalog = Logic.Cell_fun.all
 
+(* Sequence a list of fallible builds, keeping the order. *)
+let collect xs =
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      let* x = x in
+      Ok (x :: acc))
+    (Ok []) xs
+  |> Result.map List.rev
+
 let build ~lib_name ~rules ~technology ~style ~drives =
   let sized_fns = [ Logic.Cell_fun.inv; Logic.Cell_fun.nand 2 ] in
-  let sized =
-    List.concat_map
-      (fun fn ->
-        List.map (fun d -> entry_of ~rules ~technology ~style fn d) drives)
-      sized_fns
+  let* sized =
+    collect
+      (List.concat_map
+         (fun fn ->
+           List.map (fun d -> entry_of ~rules ~technology ~style fn d) drives)
+         sized_fns)
   in
-  let table1 =
-    List.filter_map
-      (fun fn ->
-        if List.exists (fun f -> f.Logic.Cell_fun.name = fn.Logic.Cell_fun.name) sized_fns
-        then None
-        else Some (entry_of ~rules ~technology ~style fn 1))
-      catalog
+  let* table1 =
+    collect
+      (List.filter_map
+         (fun fn ->
+           if
+             List.exists
+               (fun f -> f.Logic.Cell_fun.name = fn.Logic.Cell_fun.name)
+               sized_fns
+           then None
+           else Some (entry_of ~rules ~technology ~style fn 1))
+         catalog)
   in
-  { lib_name; rules; entries = sized @ table1 }
+  Ok { lib_name; rules; entries = sized @ table1 }
+
+let relabel lib_name r =
+  Result.map_error
+    (fun d ->
+      Core.Diag.with_context [ ("library", lib_name) ]
+        (Core.Diag.with_stage "library" d))
+    r
 
 let cnfet ?(tech = Device.Cnfet.default_tech) ?(rules = Pdk.Rules.default)
     ~drives () =
-  build ~lib_name:"cnfet65" ~rules ~technology:(Cnfet_tech tech)
-    ~style:Layout.Cell.Immune_new ~drives
+  relabel "cnfet65"
+    (build ~lib_name:"cnfet65" ~rules ~technology:(Cnfet_tech tech)
+       ~style:Layout.Cell.Immune_new ~drives)
+
+let cnfet_exn ?tech ?rules ~drives () =
+  Core.Diag.ok_exn (cnfet ?tech ?rules ~drives ())
 
 let cmos ?(tech = Device.Mosfet.default_tech) ?(rules = Pdk.Rules.default)
     ~drives () =
-  build ~lib_name:"cmos65" ~rules ~technology:(Cmos_tech tech)
-    ~style:Layout.Cell.Cmos ~drives
+  relabel "cmos65"
+    (build ~lib_name:"cmos65" ~rules ~technology:(Cmos_tech tech)
+       ~style:Layout.Cell.Cmos ~drives)
+
+let cmos_exn ?tech ?rules ~drives () =
+  Core.Diag.ok_exn (cmos ?tech ?rules ~drives ())
 
 let find t ~name ~drive =
-  List.find
-    (fun e -> e.fn.Logic.Cell_fun.name = String.uppercase_ascii name && e.drive = drive)
-    t.entries
+  let wanted = String.uppercase_ascii name in
+  match
+    List.find_opt
+      (fun e -> e.fn.Logic.Cell_fun.name = wanted && e.drive = drive)
+      t.entries
+  with
+  | Some e -> Ok e
+  | None ->
+    let available =
+      t.entries
+      |> List.filter (fun e -> e.fn.Logic.Cell_fun.name = wanted)
+      |> List.map (fun e -> string_of_int e.drive)
+      |> String.concat ","
+    in
+    Core.Diag.failf ~stage:"library"
+      ~context:
+        [
+          ("library", t.lib_name);
+          ("cell", wanted);
+          ("drive", string_of_int drive);
+          ("available_drives", available);
+        ]
+      "no cell %s at drive %d in library %s" wanted drive t.lib_name
+
+let find_exn t ~name ~drive = Core.Diag.ok_exn (find t ~name ~drive)
 
 let cell_height_scheme1 t =
   List.fold_left (fun acc e -> max acc e.scheme1.Layout.Cell.height) 0 t.entries

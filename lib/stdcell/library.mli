@@ -37,15 +37,29 @@ val factory : t -> Gate_netlist.factory
     by the rules' P/N ratio. *)
 
 val cnfet : ?tech:Device.Cnfet.tech -> ?rules:Pdk.Rules.t -> drives:int list
-  -> unit -> t
+  -> unit -> (t, Core.Diag.t) result
 (** CNFET library over INV and NAND2 plus the Table 1 catalog at drive 1,
-    and all [drives] for INV/NAND2 (the full-adder case study sizes). *)
+    and all [drives] for INV/NAND2 (the full-adder case study sizes).
+    Invalid drives (and any cell-construction failure) arrive as [Diag]
+    errors. *)
+
+val cnfet_exn : ?tech:Device.Cnfet.tech -> ?rules:Pdk.Rules.t
+  -> drives:int list -> unit -> t
+(** {!cnfet}, raising [Core.Diag.Failure].  CLI/test boundary shim. *)
 
 val cmos : ?tech:Device.Mosfet.tech -> ?rules:Pdk.Rules.t -> drives:int list
-  -> unit -> t
+  -> unit -> (t, Core.Diag.t) result
 
-val find : t -> name:string -> drive:int -> entry
-(** @raise Not_found. *)
+val cmos_exn : ?tech:Device.Mosfet.tech -> ?rules:Pdk.Rules.t
+  -> drives:int list -> unit -> t
+(** {!cmos}, raising [Core.Diag.Failure].  CLI/test boundary shim. *)
+
+val find : t -> name:string -> drive:int -> (entry, Core.Diag.t) result
+(** Look up a cell by name (case-insensitive) and drive; an absent entry
+    is a [Diag] error naming the cell and the drives actually present. *)
+
+val find_exn : t -> name:string -> drive:int -> entry
+(** {!find}, raising [Core.Diag.Failure].  CLI/test boundary shim. *)
 
 val cell_height_scheme1 : t -> int
 (** Standardized scheme-1 cell height: the tallest scheme-1 cell. *)

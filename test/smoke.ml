@@ -10,7 +10,7 @@ let fail msg =
 let () =
   let rules = Pdk.Rules.default in
   let cell =
-    Layout.Cell.make ~rules ~fn:(Logic.Cell_fun.nand 2)
+    Layout.Cell.make_exn ~rules ~fn:(Logic.Cell_fun.nand 2)
       ~style:Layout.Cell.Immune_new ~scheme:Layout.Cell.Scheme1 ~drive:4
   in
   let cfg = { Fault.Injector.default_config with Fault.Injector.trials = 400 } in

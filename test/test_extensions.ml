@@ -6,7 +6,7 @@ let check_int = Alcotest.(check int)
 let rules = Pdk.Rules.default
 
 let mk ?(style = Layout.Cell.Immune_new) name drive =
-  Layout.Cell.make ~rules ~fn:(Logic.Cell_fun.find name) ~style
+  Layout.Cell.make_exn ~rules ~fn:(Logic.Cell_fun.find name) ~style
     ~scheme:Layout.Cell.Scheme1 ~drive
 
 (* --- metallic CNT yield --- *)
@@ -168,7 +168,7 @@ let drc_clean_catalog () =
       List.iter
         (fun style ->
           let c =
-            Layout.Cell.make ~rules ~fn ~style ~scheme:Layout.Cell.Scheme1
+            Layout.Cell.make_exn ~rules ~fn ~style ~scheme:Layout.Cell.Scheme1
               ~drive:4
           in
           match Layout.Drc.check_cell c with
@@ -184,7 +184,7 @@ let drc_catches_bad_rules () =
   (* generating with a 1-lambda gate length must trip the gate.width rule *)
   let bad = { rules with Pdk.Rules.gate_len = 1 } in
   let c =
-    Layout.Cell.make ~rules:bad ~fn:(Logic.Cell_fun.nand 2)
+    Layout.Cell.make_exn ~rules:bad ~fn:(Logic.Cell_fun.nand 2)
       ~style:Layout.Cell.Immune_new ~scheme:Layout.Cell.Scheme1 ~drive:4
   in
   (* check against the good rules *)
@@ -274,7 +274,7 @@ let sta_chain () =
     }
   in
   let table ~cell:_ ~drive:_ ~fanout:_ = 10e-12 in
-  let r = Flow.Sta.analyze table n in
+  let r = Core.Diag.ok_exn (Flow.Sta.analyze table n) in
   Alcotest.(check (float 1e-15)) "3 stages" 30e-12 r.Flow.Sta.critical_delay;
   check_int "path length (input + 3 gates)" 4
     (List.length r.Flow.Sta.critical_path)
@@ -284,7 +284,7 @@ let sta_full_adder_structure () =
   let table ~cell ~drive:_ ~fanout:_ =
     match cell with "NAND2" -> 8e-12 | _ -> 4e-12
   in
-  let r = Flow.Sta.analyze table fa in
+  let r = Core.Diag.ok_exn (Flow.Sta.analyze table fa) in
   (* deepest cone: 6 NAND levels (n1 n2 n4 n5 n6 n8) + 2 buffers = 56 ps *)
   Alcotest.(check (float 1e-15)) "critical depth" 56e-12
     r.Flow.Sta.critical_delay;
@@ -307,7 +307,7 @@ let sta_fanout_dependence () =
 
 let anneal_improves_or_keeps () =
   let fa = Flow.Full_adder.netlist () in
-  let lib = Stdcell.Library.cnfet ~drives:[ 1; 2; 4; 7; 9 ] () in
+  let lib = Stdcell.Library.cnfet_exn ~drives:[ 1; 2; 4; 7; 9 ] () in
   List.iter
     (fun p ->
       let refined, before, after = Flow.Anneal.refine p fa in
@@ -329,12 +329,13 @@ let anneal_improves_or_keeps () =
           && pairs rest
       in
       checkb "no overlaps after refinement" true (pairs refined.Flow.Placer.cells))
-    [ Flow.Placer.rows ~lib fa; Flow.Placer.shelves ~lib fa ]
+    [ Core.Diag.ok_exn (Flow.Placer.rows ~lib fa);
+      Core.Diag.ok_exn (Flow.Placer.shelves ~lib fa) ]
 
 let anneal_preserves_instances () =
   let fa = Flow.Full_adder.netlist () in
-  let lib = Stdcell.Library.cnfet ~drives:[ 1; 2; 4; 7; 9 ] () in
-  let p = Flow.Placer.shelves ~lib fa in
+  let lib = Stdcell.Library.cnfet_exn ~drives:[ 1; 2; 4; 7; 9 ] () in
+  let p = Core.Diag.ok_exn (Flow.Placer.shelves ~lib fa) in
   let refined, _, _ = Flow.Anneal.refine p fa in
   let names pl =
     List.map
@@ -447,11 +448,11 @@ let ripple_arithmetic () =
     (fun bits ->
       match Flow.Ripple_adder.check ~bits with
       | Ok () -> ()
-      | Error e -> Alcotest.failf "%d bits: %s" bits e)
+      | Error e -> Alcotest.failf "%d bits: %s" bits (Core.Diag.to_string e))
     [ 1; 2; 3; 4 ]
 
 let ripple_structure () =
-  let n = Flow.Ripple_adder.netlist ~bits:4 in
+  let n = Core.Diag.ok_exn (Flow.Ripple_adder.netlist ~bits:4) in
   checkb "validates" true (Flow.Netlist_ir.validate n = Ok ());
   check_int "4x the FA cells" 52 (List.length n.Flow.Netlist_ir.instances);
   check_int "outputs" 5 (List.length n.Flow.Netlist_ir.outputs);
@@ -459,9 +460,9 @@ let ripple_structure () =
     (match Flow.Ripple_adder.check ~bits:7 with Error _ -> true | Ok () -> false)
 
 let ripple_places () =
-  let lib = Stdcell.Library.cnfet ~drives:[ 1; 2; 4; 7; 9 ] () in
-  let n = Flow.Ripple_adder.netlist ~bits:4 in
-  let p = Flow.Placer.shelves ~lib n in
+  let lib = Stdcell.Library.cnfet_exn ~drives:[ 1; 2; 4; 7; 9 ] () in
+  let n = Core.Diag.ok_exn (Flow.Ripple_adder.netlist ~bits:4) in
+  let p = Core.Diag.ok_exn (Flow.Placer.shelves ~lib n) in
   check_int "all placed" 52 (List.length p.Flow.Placer.cells);
   checkb "utilization healthy" true (Flow.Placer.utilization p > 0.5)
 

@@ -19,7 +19,7 @@ let tables_lookup () =
 
 let cell_parasitics_positive () =
   let cell =
-    Layout.Cell.make ~rules ~fn:(Logic.Cell_fun.nand 2)
+    Layout.Cell.make_exn ~rules ~fn:(Logic.Cell_fun.nand 2)
       ~style:Layout.Cell.Immune_new ~scheme:Layout.Cell.Scheme1 ~drive:4
   in
   let p = Extract.Extractor.cell cell in
@@ -34,7 +34,7 @@ let cell_parasitics_positive () =
 let parasitics_grow_with_drive () =
   let p drive =
     Extract.Extractor.cell
-      (Layout.Cell.make ~rules ~fn:(Logic.Cell_fun.nand 2)
+      (Layout.Cell.make_exn ~rules ~fn:(Logic.Cell_fun.nand 2)
          ~style:Layout.Cell.Immune_new ~scheme:Layout.Cell.Scheme1 ~drive)
   in
   let small = p 3 and big = p 10 in
@@ -49,7 +49,7 @@ let new_layout_duplicates_out_contacts () =
      stacked layout has a single tall Out contact *)
   let out_contacts style =
     let c =
-      Layout.Cell.make ~rules ~fn:(Logic.Cell_fun.nand 3) ~style
+      Layout.Cell.make_exn ~rules ~fn:(Logic.Cell_fun.nand 3) ~style
         ~scheme:Layout.Cell.Scheme1 ~drive:4
     in
     Layout.Fabric.contacts c.Layout.Cell.pun

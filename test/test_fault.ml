@@ -6,7 +6,7 @@ let check_int = Alcotest.(check int)
 let rules = Pdk.Rules.default
 
 let mk style name =
-  Layout.Cell.make ~rules ~fn:(Logic.Cell_fun.find name) ~style
+  Layout.Cell.make_exn ~rules ~fn:(Logic.Cell_fun.find name) ~style
     ~scheme:Layout.Cell.Scheme1 ~drive:4
 
 (* a tiny hand-made fabric: [C_Vdd][gA][C_Out] with a row *)
@@ -133,7 +133,7 @@ let catalog_immune () =
       List.iter
         (fun style ->
           let cell =
-            Layout.Cell.make ~rules ~fn ~style ~scheme:Layout.Cell.Scheme1
+            Layout.Cell.make_exn ~rules ~fn ~style ~scheme:Layout.Cell.Scheme1
               ~drive:4
           in
           (match Fault.Injector.horizontal_sweep cell with

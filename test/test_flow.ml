@@ -3,6 +3,7 @@
 
 let checkb = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
+let ok r = Core.Diag.ok_exn r
 
 let inst name cell drive output conns =
   { Flow.Netlist_ir.inst_name = name; cell; drive; output; conns }
@@ -54,8 +55,8 @@ let validate_cycle () =
 
 let eval_buffer () =
   let n = simple_netlist () in
-  checkb "buffer of true" true (Flow.Netlist_ir.eval n (fun _ -> true) "Z");
-  checkb "buffer of false" false (Flow.Netlist_ir.eval n (fun _ -> false) "Z")
+  checkb "buffer of true" true (ok (Flow.Netlist_ir.eval n (fun _ -> true) "Z"));
+  checkb "buffer of false" false (ok (Flow.Netlist_ir.eval n (fun _ -> false) "Z"))
 
 let stats_census () =
   let fa = Flow.Full_adder.netlist () in
@@ -66,7 +67,7 @@ let stats_census () =
 let parse_roundtrip () =
   let n = Flow.Full_adder.netlist () in
   match Flow.Netlist_ir.of_string (Flow.Netlist_ir.to_string n) with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Core.Diag.to_string e)
   | Ok back ->
     Alcotest.(check string) "design" n.Flow.Netlist_ir.design
       back.Flow.Netlist_ir.design;
@@ -76,8 +77,8 @@ let parse_roundtrip () =
       (List.length back.Flow.Netlist_ir.instances);
     checkb "still a full adder" true
       (Logic.Truth.equal
-         (Flow.Netlist_ir.truth_of_output back ~output:"COUT")
-         (Flow.Netlist_ir.truth_of_output n ~output:"COUT"))
+         (ok (Flow.Netlist_ir.truth_of_output back ~output:"COUT"))
+         (ok (Flow.Netlist_ir.truth_of_output n ~output:"COUT")))
 
 let parse_errors () =
   checkb "garbage rejected" true
@@ -98,7 +99,7 @@ let full_adder_correct () =
 
 let mapper_simple () =
   let spec = [ ("Z", Logic.Expr.(And [ var "A"; var "B"; var "C" ])) ] in
-  let n = Flow.Mapper.map_exprs ~design:"and3" spec in
+  let n = ok (Flow.Mapper.map_exprs ~design:"and3" spec) in
   checkb "validates" true (Flow.Netlist_ir.validate n = Ok ());
   checkb "equivalent" true (Flow.Mapper.check_equivalence n spec = Ok ());
   checkb "uses only NAND2 and INV" true
@@ -112,9 +113,56 @@ let mapper_xor_sharing () =
   let spec =
     [ ("S", Flow.Full_adder.sum_expr); ("CO", Flow.Full_adder.cout_expr) ]
   in
-  let n = Flow.Mapper.map_exprs ~design:"fa_mapped" spec in
+  let n = ok (Flow.Mapper.map_exprs ~design:"fa_mapped" spec) in
   checkb "validates" true (Flow.Netlist_ir.validate n = Ok ());
   checkb "equivalent" true (Flow.Mapper.check_equivalence n spec = Ok ())
+
+let mapper_rejects_bad_drive () =
+  let spec = [ ("Z", Logic.Expr.(And [ var "A"; var "B" ])) ] in
+  List.iter
+    (fun drive ->
+      match Flow.Mapper.map_exprs ~design:"bad" ~drive spec with
+      | Ok _ -> Alcotest.failf "drive %d accepted" drive
+      | Error d ->
+        Alcotest.(check string) "mapper stage" "mapper" d.Core.Diag.stage;
+        checkb "drive in context" true
+          (List.assoc_opt "drive" d.Core.Diag.context
+          = Some (string_of_int drive)))
+    [ 0; -1; -7 ];
+  (* the smallest legal drive still maps *)
+  checkb "drive 1 accepted" true
+    (Result.is_ok (Flow.Mapper.map_exprs ~design:"ok" ~drive:1 spec))
+
+let equivalence_names_mismatching_output () =
+  let spec =
+    [ ("Z1", Logic.Expr.(And [ var "A"; var "B" ]));
+      ("Z2", Logic.Expr.(Or [ var "A"; var "B" ])) ]
+  in
+  let n = ok (Flow.Mapper.map_exprs ~design:"duo" spec) in
+  (* corrupt the netlist: rewire Z2's driver so it computes NAND(A,B)
+     instead of OR(A,B) — the structure still validates *)
+  let corrupted =
+    { n with
+      Flow.Netlist_ir.instances =
+        List.map
+          (fun (i : Flow.Netlist_ir.instance) ->
+            if i.Flow.Netlist_ir.output = "Z2" then
+              { i with
+                Flow.Netlist_ir.cell = "NAND2";
+                conns = [ ("A", "A"); ("B", "B") ] }
+            else i)
+          n.Flow.Netlist_ir.instances }
+  in
+  checkb "corrupted netlist still validates" true
+    (Flow.Netlist_ir.validate corrupted = Ok ());
+  match Flow.Mapper.check_equivalence corrupted spec with
+  | Ok () -> Alcotest.fail "corruption not detected"
+  | Error d ->
+    Alcotest.(check string) "mapper stage" "mapper" d.Core.Diag.stage;
+    checkb "names the mismatching output" true
+      (List.assoc_opt "output" d.Core.Diag.context = Some "Z2");
+    checkb "does not blame the good output" true
+      (List.assoc_opt "output" d.Core.Diag.context <> Some "Z1")
 
 let positive_expr_gen =
   QCheck.Gen.(
@@ -143,12 +191,12 @@ let mapper_random_equivalence =
       | Logic.Expr.Const _ -> true
       | _ ->
         let spec = [ ("Z", e) ] in
-        let n = Flow.Mapper.map_exprs ~design:"rnd" spec in
+        let n = ok (Flow.Mapper.map_exprs ~design:"rnd" spec) in
         Flow.Netlist_ir.validate n = Ok ()
         && Flow.Mapper.check_equivalence n spec = Ok ())
 
-let lib = Stdcell.Library.cnfet ~drives:[ 1; 2; 4; 7; 9 ] ()
-let cm_lib = Stdcell.Library.cmos ~drives:[ 1; 2; 4; 7; 9 ] ()
+let lib = Stdcell.Library.cnfet_exn ~drives:[ 1; 2; 4; 7; 9 ] ()
+let cm_lib = Stdcell.Library.cmos_exn ~drives:[ 1; 2; 4; 7; 9 ] ()
 
 let no_overlaps (p : Flow.Placer.t) =
   let rect (c : Flow.Placer.placed_cell) =
@@ -165,7 +213,7 @@ let no_overlaps (p : Flow.Placer.t) =
 
 let placer_rows () =
   let fa = Flow.Full_adder.netlist () in
-  let p = Flow.Placer.rows ~lib fa in
+  let p = ok (Flow.Placer.rows ~lib fa) in
   check_int "all cells placed" 13 (List.length p.Flow.Placer.cells);
   checkb "no overlaps" true (no_overlaps p);
   checkb "utilization in (0,1]" true
@@ -180,30 +228,31 @@ let placer_rows () =
 
 let placer_shelves () =
   let fa = Flow.Full_adder.netlist () in
-  let p = Flow.Placer.shelves ~lib fa in
+  let p = ok (Flow.Placer.shelves ~lib fa) in
   check_int "all cells placed" 13 (List.length p.Flow.Placer.cells);
   checkb "no overlaps" true (no_overlaps p);
   checkb "better utilization than rows" true
-    (Flow.Placer.utilization p > Flow.Placer.utilization (Flow.Placer.rows ~lib fa))
+    (Flow.Placer.utilization p
+    > Flow.Placer.utilization (ok (Flow.Placer.rows ~lib fa)))
 
 let placer_scheme_gains () =
   let fa = Flow.Full_adder.netlist () in
-  let s1 = Flow.Placer.die_area (Flow.Placer.rows ~lib fa) in
-  let s2 = Flow.Placer.die_area (Flow.Placer.shelves ~lib fa) in
-  let cmos = Flow.Placer.die_area (Flow.Placer.rows ~lib:cm_lib fa) in
+  let s1 = Flow.Placer.die_area (ok (Flow.Placer.rows ~lib fa)) in
+  let s2 = Flow.Placer.die_area (ok (Flow.Placer.shelves ~lib fa)) in
+  let cmos = Flow.Placer.die_area (ok (Flow.Placer.rows ~lib:cm_lib fa)) in
   checkb "scheme1 beats CMOS (paper ~1.4x)" true
     (float_of_int cmos /. float_of_int s1 > 1.2);
   checkb "scheme2 beats scheme1 (paper: 1.6x vs 1.4x)" true (s2 < s1)
 
 let wirelength_positive () =
   let fa = Flow.Full_adder.netlist () in
-  let p = Flow.Placer.rows ~lib fa in
+  let p = ok (Flow.Placer.rows ~lib fa) in
   checkb "positive wirelength" true (Flow.Placer.wirelength_estimate p fa > 0)
 
 let gds_export_placement () =
   let fa = Flow.Full_adder.netlist () in
-  let p = Flow.Placer.shelves ~lib fa in
-  let g = Flow.Gds_export.placement ~lib ~scheme:`S2 ~name:"fa" p in
+  let p = ok (Flow.Placer.shelves ~lib fa) in
+  let g = ok (Flow.Gds_export.placement ~lib ~scheme:`S2 ~name:"fa" p) in
   (* top + unique cells: INV_{4,7,9}X + NAND2_2X = 5 structures *)
   check_int "structures" 5 (List.length g.Gds.Stream.structures);
   match Gds.Stream.of_bytes (Gds.Stream.to_bytes g) with
@@ -224,6 +273,10 @@ let suite =
     Alcotest.test_case "full adder correct" `Quick full_adder_correct;
     Alcotest.test_case "mapper AND3" `Quick mapper_simple;
     Alcotest.test_case "mapper shares XOR cone" `Quick mapper_xor_sharing;
+    Alcotest.test_case "mapper rejects bad drive" `Quick
+      mapper_rejects_bad_drive;
+    Alcotest.test_case "equivalence names mismatching output" `Quick
+      equivalence_names_mismatching_output;
     Alcotest.test_case "placer rows" `Quick placer_rows;
     Alcotest.test_case "placer shelves" `Quick placer_shelves;
     Alcotest.test_case "scheme area gains" `Quick placer_scheme_gains;

@@ -110,6 +110,76 @@ let stream_roundtrip_random =
                s.Gds.Stream.elements rects
         | _ -> false))
 
+(* Arbitrary records over every record kind and a spread of payload shapes
+   and sizes; encode then decode must reproduce the records exactly. *)
+let record_arb =
+  let open QCheck in
+  let rtype_gen =
+    Gen.oneofl
+      Gds.Record.
+        [ Header; Bgnlib; Libname; Units; Endlib; Bgnstr; Strname; Endstr;
+          Boundary; Layer; Datatype; Xy; Endel; Sref; Sname; Text; String_;
+          Texttype; Presentation ]
+  in
+  let payload_gen =
+    Gen.oneof
+      [
+        Gen.return Gds.Record.No_data;
+        Gen.map
+          (fun l -> Gds.Record.I16 l)
+          Gen.(list_size (int_range 1 8) (int_range (-32768) 32767));
+        Gen.map
+          (fun l -> Gds.Record.I32 l)
+          Gen.(list_size (int_range 1 8) (int_range (-1073741824) 1073741823));
+        Gen.map
+          (fun l -> Gds.Record.Real8 (List.map float_of_int l))
+          Gen.(list_size (int_range 1 4) (int_range (-100000) 100000));
+        Gen.map
+          (fun s -> Gds.Record.Ascii s)
+          Gen.(
+            string_size
+              ~gen:(Gen.map Char.chr (int_range 97 122))
+              (int_range 1 16));
+      ]
+  in
+  let record_gen =
+    Gen.map2
+      (fun rtype payload -> { Gds.Record.rtype; payload })
+      rtype_gen payload_gen
+  in
+  let print (r : Gds.Record.t) =
+    Printf.sprintf "%d:%s"
+      (Gds.Record.type_code r.Gds.Record.rtype)
+      (match r.Gds.Record.payload with
+      | Gds.Record.No_data -> "nodata"
+      | Gds.Record.I16 l ->
+        "i16[" ^ String.concat ";" (List.map string_of_int l) ^ "]"
+      | Gds.Record.I32 l ->
+        "i32[" ^ String.concat ";" (List.map string_of_int l) ^ "]"
+      | Gds.Record.Real8 l ->
+        "r8[" ^ String.concat ";" (List.map string_of_float l) ^ "]"
+      | Gds.Record.Ascii s -> "ascii:" ^ s)
+  in
+  QCheck.make ~print:(QCheck.Print.list print)
+    QCheck.Gen.(list_size (int_range 1 12) record_gen)
+
+let record_roundtrip_random =
+  QCheck.Test.make ~name:"record round-trip over kinds and payloads"
+    ~count:300 record_arb (fun records ->
+      let buf = Buffer.create 256 in
+      List.iter (Gds.Record.encode buf) records;
+      let s = Buffer.contents buf in
+      let rec decode_all pos acc =
+        if pos >= String.length s then Some (List.rev acc)
+        else
+          match Gds.Record.decode s ~pos with
+          | Ok (r, next) -> decode_all next (r :: acc)
+          | Error _ -> None
+      in
+      match decode_all 0 [] with
+      | Some back -> back = records
+      | None -> false)
+
 let stream_units () =
   let lib =
     Gds.Stream.library ~rules:Pdk.Rules.default ~name:"units" []
@@ -123,7 +193,7 @@ let stream_units () =
 
 let stream_cell_export () =
   let cell =
-    Layout.Cell.make ~rules:Pdk.Rules.default ~fn:(Logic.Cell_fun.nand 3)
+    Layout.Cell.make_exn ~rules:Pdk.Rules.default ~fn:(Logic.Cell_fun.nand 3)
       ~style:Layout.Cell.Immune_new ~scheme:Layout.Cell.Scheme1 ~drive:4
   in
   let bytes =
@@ -175,5 +245,6 @@ let suite =
     Alcotest.test_case "cell export" `Quick stream_cell_export;
     Alcotest.test_case "file round-trip" `Quick file_roundtrip;
     QCheck_alcotest.to_alcotest real8_roundtrip;
+    QCheck_alcotest.to_alcotest record_roundtrip_random;
     QCheck_alcotest.to_alcotest stream_roundtrip_random;
   ]

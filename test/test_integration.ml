@@ -4,6 +4,7 @@
 let checkb = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let rules = Pdk.Rules.default
+let ok r = Core.Diag.ok_exn r
 
 (* spec -> map -> validate -> place (both schemes) -> stream -> parse *)
 let logic_to_gdsii () =
@@ -13,13 +14,13 @@ let logic_to_gdsii () =
       ("Z2", Logic.Expr.(And [ Or [ var "A"; var "C" ]; var "B" ]));
     ]
   in
-  let netlist = Flow.Mapper.map_exprs ~design:"duo" spec in
+  let netlist = ok (Flow.Mapper.map_exprs ~design:"duo" spec) in
   checkb "mapped netlist validates" true (Flow.Netlist_ir.validate netlist = Ok ());
   checkb "mapped netlist equivalent" true
     (Flow.Mapper.check_equivalence netlist spec = Ok ());
-  let lib = Stdcell.Library.cnfet ~drives:[ 1; 2 ] () in
-  let p1 = Flow.Placer.rows ~lib netlist in
-  let p2 = Flow.Placer.shelves ~lib netlist in
+  let lib = Stdcell.Library.cnfet_exn ~drives:[ 1; 2 ] () in
+  let p1 = ok (Flow.Placer.rows ~lib netlist) in
+  let p2 = ok (Flow.Placer.shelves ~lib netlist) in
   check_int "rows place everything"
     (List.length netlist.Flow.Netlist_ir.instances)
     (List.length p1.Flow.Placer.cells);
@@ -27,7 +28,8 @@ let logic_to_gdsii () =
     (List.length netlist.Flow.Netlist_ir.instances)
     (List.length p2.Flow.Placer.cells);
   let bytes =
-    Gds.Stream.to_bytes (Flow.Gds_export.placement ~lib ~scheme:`S1 ~name:"duo" p1)
+    Gds.Stream.to_bytes
+      (ok (Flow.Gds_export.placement ~lib ~scheme:`S1 ~name:"duo" p1))
   in
   match Gds.Stream.of_bytes bytes with
   | Ok g -> checkb "gds parses back" true (List.length g.Gds.Stream.structures >= 2)
@@ -41,14 +43,14 @@ let three_level_agreement () =
         if Logic.Expr.eval env Flow.Full_adder.cout_expr then Logic.Truth.T
         else Logic.Truth.F)
   in
-  let gate_cout = Flow.Netlist_ir.truth_of_output fa ~output:"COUT" in
+  let gate_cout = ok (Flow.Netlist_ir.truth_of_output fa ~output:"COUT") in
   checkb "gate level = spec" true (Logic.Truth.equal gate_cout spec_cout);
   (* every cell used by the FA has a layout whose switch-level truth equals
      the cell function *)
-  let lib = Stdcell.Library.cnfet ~drives:[ 2; 4; 7; 9 ] () in
+  let lib = Stdcell.Library.cnfet_exn ~drives:[ 2; 4; 7; 9 ] () in
   List.iter
     (fun (i : Flow.Netlist_ir.instance) ->
-      let e = Flow.Placer.entry_for lib i in
+      let e = ok (Flow.Placer.entry_for lib i) in
       checkb (e.Stdcell.Library.cell_name ^ " layout truth") true
         (Layout.Cell.check_function e.Stdcell.Library.scheme1 = Ok ()))
     fa.Flow.Netlist_ir.instances
@@ -71,11 +73,11 @@ let immunity_end_to_end () =
 
 (* characterization sees the same ordering as the raw FO4 experiment *)
 let characterization_consistent_with_fo4 () =
-  let cn = Stdcell.Library.cnfet ~drives:[ 1 ] () in
-  let cm = Stdcell.Library.cmos ~drives:[ 1 ] () in
+  let cn = Stdcell.Library.cnfet_exn ~drives:[ 1 ] () in
+  let cm = Stdcell.Library.cmos_exn ~drives:[ 1 ] () in
   let d lib =
-    let e = Stdcell.Library.find lib ~name:"INV" ~drive:1 in
-    (Stdcell.Characterize.arc ~lib e ~input:"A" ~load_inv1x:4)
+    let e = Stdcell.Library.find_exn lib ~name:"INV" ~drive:1 in
+    (ok (Stdcell.Characterize.arc ~lib e ~input:"A" ~load_inv1x:4))
       .Stdcell.Characterize.avg_delay_s
   in
   let gain = d cm /. d cn in
@@ -85,7 +87,7 @@ let characterization_consistent_with_fo4 () =
 let monotone_scaling () =
   let metrics drive =
     let c =
-      Layout.Cell.make ~rules ~fn:(Logic.Cell_fun.nand 2)
+      Layout.Cell.make_exn ~rules ~fn:(Logic.Cell_fun.nand 2)
         ~style:Layout.Cell.Immune_new ~scheme:Layout.Cell.Scheme1 ~drive
     in
     (Layout.Cell.footprint_area c, (Extract.Extractor.cell c).Extract.Extractor.out_cap_f)
@@ -107,10 +109,10 @@ let netlist_file_flow () =
   close_in ic;
   Sys.remove tmp;
   match Flow.Netlist_ir.of_string s with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Core.Diag.to_string e)
   | Ok back ->
-    let lib = Stdcell.Library.cnfet ~drives:[ 2; 4; 7; 9 ] () in
-    let p = Flow.Placer.shelves ~lib back in
+    let lib = Stdcell.Library.cnfet_exn ~drives:[ 2; 4; 7; 9 ] () in
+    let p = ok (Flow.Placer.shelves ~lib back) in
     check_int "placed from file" 13 (List.length p.Flow.Placer.cells)
 
 let suite =
@@ -128,6 +130,7 @@ let () =
   Alcotest.run "cnfet-dk"
     [
       ("parallel", Test_parallel.suite);
+      ("pass", Test_pass.suite);
       ("geom", Test_geom.suite);
       ("logic", Test_logic.suite);
       ("euler", Test_euler.suite);

@@ -16,7 +16,7 @@ let all_styles =
 
 let mk ?(style = Layout.Cell.Immune_new) ?(scheme = Layout.Cell.Scheme1)
     ?(drive = 4) name =
-  Layout.Cell.make ~rules ~fn:(Logic.Cell_fun.find name) ~style ~scheme ~drive
+  Layout.Cell.make_exn ~rules ~fn:(Logic.Cell_fun.find name) ~style ~scheme ~drive
 
 (* Sizing *)
 
@@ -55,7 +55,9 @@ let nand3_new_pun_geometry () =
   let pun = Logic.Network.dual (Logic.Network.of_expr fn.Logic.Cell_fun.core) in
   let widths = Layout.Sizing.widths ~base:4 pun in
   let f =
-    Layout.Immune_new.strip ~rules ~polarity:Logic.Network.P_type ~widths pun
+    Core.Diag.ok_exn
+      (Layout.Immune_new.strip ~rules ~polarity:Logic.Network.P_type ~widths
+         pun)
   in
   (* paper Fig 3(b): C g C g C g C = 4 contacts, 3 gates, width 20, height 4 *)
   check_int "four contacts" 4 (List.length (Layout.Fabric.contacts f));
@@ -70,8 +72,9 @@ let nand3_old_pun_geometry () =
   let pun = Logic.Network.dual (Logic.Network.of_expr fn.Logic.Cell_fun.core) in
   let widths = Layout.Sizing.widths ~base:4 pun in
   let f =
-    Layout.Immune_old.strip ~rules ~polarity:Logic.Network.P_type ~widths
-      ~isolation:Layout.Immune_old.Etched pun
+    Core.Diag.ok_exn
+      (Layout.Immune_old.strip ~rules ~polarity:Logic.Network.P_type ~widths
+         ~isolation:Layout.Immune_old.Etched pun)
   in
   (* stacked rows: 2 shared contacts, 3 gate rows, 2 etched strips *)
   check_int "two contacts" 2 (List.length (Layout.Fabric.contacts f));
@@ -85,7 +88,9 @@ let nand2_pdn_shared_diffusion () =
   let pdn = Logic.Network.of_expr fn.Logic.Cell_fun.core in
   let widths = Layout.Sizing.widths ~base:4 pdn in
   let f =
-    Layout.Immune_new.strip ~rules ~polarity:Logic.Network.N_type ~widths pdn
+    Core.Diag.ok_exn
+      (Layout.Immune_new.strip ~rules ~polarity:Logic.Network.N_type ~widths
+         pdn)
   in
   (* series chain shares diffusion: only the two end contacts *)
   check_int "two contacts" 2 (List.length (Layout.Fabric.contacts f));
@@ -111,7 +116,7 @@ let nominal_function_all () =
           List.iter
             (fun scheme ->
               let c =
-                Layout.Cell.make ~rules ~fn ~style ~scheme ~drive:4
+                Layout.Cell.make_exn ~rules ~fn ~style ~scheme ~drive:4
               in
               match Layout.Cell.check_function c with
               | Ok () -> ()
@@ -127,7 +132,7 @@ let nominal_function_drives () =
       List.iter
         (fun fn ->
           let c =
-            Layout.Cell.make ~rules ~fn ~style:Layout.Cell.Immune_new
+            Layout.Cell.make_exn ~rules ~fn ~style:Layout.Cell.Immune_new
               ~scheme:Layout.Cell.Scheme1 ~drive
           in
           checkb
@@ -200,7 +205,7 @@ let pins_cover_inputs () =
   List.iter
     (fun fn ->
       let c =
-        Layout.Cell.make ~rules ~fn ~style:Layout.Cell.Immune_new
+        Layout.Cell.make_exn ~rules ~fn ~style:Layout.Cell.Immune_new
           ~scheme:Layout.Cell.Scheme1 ~drive:4
       in
       let pins = Layout.Cell.pins c in
@@ -242,9 +247,10 @@ let render_fabric_nonempty () =
   let fn = Logic.Cell_fun.nand 2 in
   let pun = Logic.Network.dual (Logic.Network.of_expr fn.Logic.Cell_fun.core) in
   let f =
-    Layout.Immune_new.strip ~rules ~polarity:Logic.Network.P_type
-      ~widths:(Layout.Sizing.widths ~base:4 pun)
-      pun
+    Core.Diag.ok_exn
+      (Layout.Immune_new.strip ~rules ~polarity:Logic.Network.P_type
+         ~widths:(Layout.Sizing.widths ~base:4 pun)
+         pun)
   in
   checkb "fabric art nonempty" true (String.length (Layout.Render.fabric f) > 0)
 
@@ -257,8 +263,9 @@ let uniform_flag_area_invariant () =
       let widths = Layout.Sizing.widths ~base:4 pdn in
       let area uniform =
         Layout.Fabric.area
-          (Layout.Immune_new.strip ~uniform ~rules
-             ~polarity:Logic.Network.N_type ~widths pdn)
+          (Core.Diag.ok_exn
+             (Layout.Immune_new.strip ~uniform ~rules
+                ~polarity:Logic.Network.N_type ~widths pdn))
       in
       check_int (name ^ " bbox area invariant") (area true) (area false))
     [ "AOI31"; "AOI21"; "NAND3" ]
@@ -271,7 +278,7 @@ let custom_expression_cell () =
         Or [ And [ var "A"; var "B"; var "C" ]; var "D" ])
   in
   let c =
-    Layout.Cell.make ~rules ~fn ~style:Layout.Cell.Immune_new
+    Layout.Cell.make_exn ~rules ~fn ~style:Layout.Cell.Immune_new
       ~scheme:Layout.Cell.Scheme1 ~drive:4
   in
   checkb "custom cell correct" true (Layout.Cell.check_function c = Ok ())

@@ -5,25 +5,27 @@
 let checkb = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-let cn_lib = Stdcell.Library.cnfet ~drives:[ 1; 2; 4 ] ()
-let cm_lib = Stdcell.Library.cmos ~drives:[ 1; 2; 4 ] ()
+let cn_lib = Stdcell.Library.cnfet_exn ~drives:[ 1; 2; 4 ] ()
+let cm_lib = Stdcell.Library.cmos_exn ~drives:[ 1; 2; 4 ] ()
 
 let library_contents () =
   checkb "has INV_1X" true
     (match Stdcell.Library.find cn_lib ~name:"INV" ~drive:1 with
-    | _ -> true);
+    | Ok _ -> true
+    | Error _ -> false);
   checkb "has NAND2_4X" true
     (match Stdcell.Library.find cn_lib ~name:"nand2" ~drive:4 with
-    | _ -> true);
-  checkb "missing drive raises" true
-    (try
-       ignore (Stdcell.Library.find cn_lib ~name:"INV" ~drive:99);
-       false
-     with Not_found -> true);
+    | Ok _ -> true
+    | Error _ -> false);
+  checkb "missing drive is a diagnostic" true
+    (match Stdcell.Library.find cn_lib ~name:"INV" ~drive:99 with
+    | Error d ->
+      List.mem_assoc "available_drives" d.Core.Diag.context
+    | Ok _ -> false);
   (* the Table-1 catalog is present at drive 1 *)
   List.iter
     (fun name ->
-      ignore (Stdcell.Library.find cn_lib ~name ~drive:1))
+      ignore (Stdcell.Library.find_exn cn_lib ~name ~drive:1))
     [ "NAND3"; "NOR2"; "AOI21"; "AOI22"; "OAI21"; "AOI31" ]
 
 let entries_have_layouts () =
@@ -83,23 +85,27 @@ let sensitize_impossible () =
      with Not_found -> true)
 
 let characterize_inv () =
-  let e = Stdcell.Library.find cn_lib ~name:"INV" ~drive:1 in
-  let a = Stdcell.Characterize.arc ~lib:cn_lib e ~input:"A" ~load_inv1x:4 in
+  let e = Stdcell.Library.find_exn cn_lib ~name:"INV" ~drive:1 in
+  let a =
+    Core.Diag.ok_exn
+      (Stdcell.Characterize.arc ~lib:cn_lib e ~input:"A" ~load_inv1x:4)
+  in
   checkb "delay positive" true (a.Stdcell.Characterize.avg_delay_s > 0.);
   checkb "delay < 1ns" true (a.Stdcell.Characterize.avg_delay_s < 1e-9);
   checkb "energy positive" true (a.Stdcell.Characterize.energy_per_cycle_j > 0.)
 
 let characterize_load_dependence () =
-  let e = Stdcell.Library.find cn_lib ~name:"INV" ~drive:1 in
+  let e = Stdcell.Library.find_exn cn_lib ~name:"INV" ~drive:1 in
   let d load =
-    (Stdcell.Characterize.arc ~lib:cn_lib e ~input:"A" ~load_inv1x:load)
+    (Core.Diag.ok_exn
+       (Stdcell.Characterize.arc ~lib:cn_lib e ~input:"A" ~load_inv1x:load))
       .Stdcell.Characterize.avg_delay_s
   in
   checkb "more load, more delay" true (d 8 > d 1)
 
 let characterize_nand2_all_arcs () =
-  let e = Stdcell.Library.find cn_lib ~name:"NAND2" ~drive:1 in
-  let arcs = Stdcell.Characterize.all_arcs ~lib:cn_lib e ~load_inv1x:2 in
+  let e = Stdcell.Library.find_exn cn_lib ~name:"NAND2" ~drive:1 in
+  let arcs = Stdcell.Characterize.all_arcs_exn ~lib:cn_lib e ~load_inv1x:2 in
   check_int "two arcs" 2 (List.length arcs);
   checkb "worst delay sane" true
     (Stdcell.Characterize.worst_delay arcs > 0.
@@ -108,8 +114,8 @@ let characterize_nand2_all_arcs () =
 
 let cnfet_faster_than_cmos () =
   let arc lib =
-    let e = Stdcell.Library.find lib ~name:"INV" ~drive:1 in
-    Stdcell.Characterize.arc ~lib e ~input:"A" ~load_inv1x:4
+    let e = Stdcell.Library.find_exn lib ~name:"INV" ~drive:1 in
+    Core.Diag.ok_exn (Stdcell.Characterize.arc ~lib e ~input:"A" ~load_inv1x:4)
   in
   let cn = arc cn_lib and cm = arc cm_lib in
   checkb "CNFET INV faster" true
@@ -119,8 +125,8 @@ let cnfet_faster_than_cmos () =
     < cm.Stdcell.Characterize.energy_per_cycle_j)
 
 let liberty_export () =
-  let e = Stdcell.Library.find cn_lib ~name:"INV" ~drive:1 in
-  let arcs = Stdcell.Characterize.all_arcs ~lib:cn_lib e ~load_inv1x:2 in
+  let e = Stdcell.Library.find_exn cn_lib ~name:"INV" ~drive:1 in
+  let arcs = Stdcell.Characterize.all_arcs_exn ~lib:cn_lib e ~load_inv1x:2 in
   let text = Stdcell.Liberty.library_to_string ~lib:cn_lib [ (e, arcs) ] in
   checkb "has library block" true (String.length text > 0);
   let contains sub s =
