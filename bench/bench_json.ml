@@ -1,0 +1,26 @@
+(* Machine-readable benchmark records.  Each bench writes its results to
+   BENCH_<bench>.json in the working directory — one flat array of
+   {name, wall_ms, throughput} objects — so the perf trajectory can be
+   diffed across PRs (and archived as CI artifacts) without scraping the
+   human-readable tables. *)
+
+type entry = { name : string; wall_ms : float; throughput : float }
+
+let entry ~name ~wall_ms ~throughput = { name; wall_ms; throughput }
+
+let json_float f = if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
+
+let write ~bench entries =
+  let file = Printf.sprintf "BENCH_%s.json" bench in
+  let oc = open_out file in
+  output_string oc "[\n";
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc "  {\"name\":\"%s\",\"wall_ms\":%s,\"throughput\":%s}%s\n"
+        e.name (json_float e.wall_ms)
+        (json_float e.throughput)
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" file

@@ -1,13 +1,15 @@
 (* Per-pass timing of the staged logic-to-GDSII flow, on the full-adder
    case study and the 8-bit ripple adder: cold run, fully-cached rerun, and
-   an incremental rerun after editing only the placement parameters. *)
+   an incremental rerun after editing only the placement parameters.
+   Wall times and placement throughput (cells/sec) also land in
+   BENCH_flowbench.json for cross-PR tracking. *)
 
 let ok r = Core.Diag.ok_exn r
 
 let line title report =
   Printf.printf "%s\n%s" title (Core.Pass.report_to_text report)
 
-let bench_design name netlist =
+let bench_design name slug netlist =
   Printf.printf "\n-- %s --\n" name;
   let drives =
     List.sort_uniq Stdlib.compare
@@ -16,19 +18,31 @@ let bench_design name netlist =
            (fun (i : Flow.Netlist_ir.instance) -> i.Flow.Netlist_ir.drive)
            netlist.Flow.Netlist_ir.instances)
   in
+  let cells = List.length netlist.Flow.Netlist_ir.instances in
   let lib = Stdcell.Library.cnfet_exn ~drives () in
   let cache = Core.Pass.cache_create () in
   let spec = Flow.Pipeline.spec_of_netlist ~scheme:`S2 ~lib netlist in
+  let record run_name (report : Core.Pass.report) =
+    let wall_ms = 1000. *. report.Core.Pass.total_s in
+    Bench_json.entry
+      ~name:(Printf.sprintf "flowbench.%s.%s" slug run_name)
+      ~wall_ms
+      ~throughput:(float_of_int cells /. Float.max 1e-9 report.Core.Pass.total_s)
+  in
   let r, cold = Flow.Pipeline.run ~cache spec in
   ignore (ok r);
   line "cold run:" cold;
   let _, warm = Flow.Pipeline.run ~cache spec in
   line "cached rerun (same spec):" warm;
   let _, incr = Flow.Pipeline.run ~cache { spec with Flow.Pipeline.scheme = `S1 } in
-  line "incremental rerun (scheme edited):" incr
+  line "incremental rerun (scheme edited):" incr;
+  [ record "cold" cold; record "cached" warm; record "incremental" incr ]
 
 let run () =
   print_endline "== flowbench: per-pass cost of the logic-to-GDSII flow ==";
-  bench_design "full adder (13 cells)" (Flow.Full_adder.netlist ());
-  bench_design "8-bit ripple adder (104 cells)"
-    (ok (Flow.Ripple_adder.netlist ~bits:8))
+  let entries =
+    bench_design "full adder (13 cells)" "full_adder" (Flow.Full_adder.netlist ())
+    @ bench_design "8-bit ripple adder (104 cells)" "ripple8"
+        (ok (Flow.Ripple_adder.netlist ~bits:8))
+  in
+  Bench_json.write ~bench:"flowbench" entries

@@ -1,6 +1,7 @@
 (* Serial-vs-parallel throughput of the Monte-Carlo fault-injection engine,
    plus the determinism check that makes the parallel numbers trustworthy:
-   the outcome at every domain count must be byte-identical to serial. *)
+   the outcome at every domain count must be byte-identical to serial.
+   Results also land in BENCH_mcscale.json for cross-PR tracking. *)
 
 let rules = Pdk.Rules.default
 
@@ -26,6 +27,11 @@ let run ?(trials = 10_000) () =
     "speedup" "outcome";
   Printf.printf "  %8d %10.3f %12.0f %8.2fx %9s\n" 1 serial_dt
     (throughput trials serial_dt) 1.0 "baseline";
+  let records =
+    ref
+      [ Bench_json.entry ~name:"mcscale.domains1" ~wall_ms:(1000. *. serial_dt)
+          ~throughput:(throughput trials serial_dt) ]
+  in
   let cores = Domain.recommended_domain_count () in
   let mismatches = ref 0 in
   List.iter
@@ -33,6 +39,11 @@ let run ?(trials = 10_000) () =
       let o, dt = time_campaign ~domains cfg cell in
       let same = o = serial in
       if not same then incr mismatches;
+      records :=
+        Bench_json.entry
+          ~name:(Printf.sprintf "mcscale.domains%d" domains)
+          ~wall_ms:(1000. *. dt) ~throughput:(throughput trials dt)
+        :: !records;
       Printf.printf "  %8d %10.3f %12.0f %8.2fx %9s\n" domains dt
         (throughput trials dt) (serial_dt /. dt)
         (if same then "identical" else "MISMATCH"))
@@ -41,6 +52,7 @@ let run ?(trials = 10_000) () =
     "  (%d hardware cores available; speedup is bounded by min(domains, \
      cores))\n"
     cores;
+  Bench_json.write ~bench:"mcscale" (List.rev !records);
   if !mismatches > 0 then begin
     Printf.printf
       "FATAL: %d domain count(s) diverged from the serial outcome\n"

@@ -54,6 +54,56 @@ let diag_exit d =
 let or_diag_exit f =
   try f () with Core.Diag.Failure d -> diag_exit d
 
+(* Telemetry flags shared by the fault and flow subcommands: --telemetry
+   prints the merged metrics/span summary after the run, --trace-out
+   writes a Chrome trace_event file (about://tracing, Perfetto).  Either
+   flag switches recording on; without both, telemetry stays a no-op. *)
+
+let telemetry_arg =
+  let doc =
+    "Record telemetry (spans + metrics) and print the summary after the \
+     run, as $(docv) (text or json).  Plain --telemetry means text."
+  in
+  Arg.(value
+       & opt ~vopt:(Some `Text)
+           (some (enum [ ("text", `Text); ("json", `Json) ]))
+           None
+       & info [ "telemetry" ] ~docv:"FORMAT" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Write a Chrome trace_event JSON of the run to $(docv) (open in \
+     about://tracing or Perfetto).  Implies telemetry recording."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let telemetry_wanted telemetry trace_out =
+  telemetry <> None || trace_out <> None
+
+let telemetry_start telemetry trace_out =
+  if telemetry_wanted telemetry trace_out then begin
+    Telemetry.reset ();
+    Telemetry.enable ()
+  end
+
+let telemetry_finish telemetry trace_out =
+  if telemetry_wanted telemetry trace_out then begin
+    Telemetry.disable ();
+    let snap = Telemetry.collect () in
+    (match trace_out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Telemetry.chrome_trace snap);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote trace %s\n" path
+    | None -> ());
+    match telemetry with
+    | Some `Text -> print_string (Telemetry.summary_to_text snap)
+    | Some `Json -> print_endline (Telemetry.summary_to_json snap)
+    | None -> ()
+  end
+
 (* layout *)
 
 let layout_cmd =
@@ -103,7 +153,7 @@ let fault_cmd =
                  The outcome is bit-identical for every N: trials seed \
                  their RNG from (seed, trial index), not from the worker.")
   in
-  let run name drive style trials angle domains =
+  let run name drive style trials angle domains telemetry trace_out =
     match find_cell name with
     | Error (`Msg m) -> prerr_endline m; 1
     | Ok fn ->
@@ -112,6 +162,7 @@ let fault_cmd =
       with
       | Error d -> diag_exit d
       | Ok cell ->
+      telemetry_start telemetry trace_out;
       match
         Fault.Injector.run ~domains
           { Fault.Injector.default_config with
@@ -130,12 +181,13 @@ let fault_cmd =
       | Error ys ->
         Printf.printf "horizontal sweep: FAILS in %d corridors\n"
           (List.length ys));
+      telemetry_finish telemetry trace_out;
       if o.Fault.Injector.functional_failures = 0 then 0 else 1
   in
   let doc = "Inject mispositioned CNTs and check functional immunity." in
   Cmd.v (Cmd.info "fault" ~doc)
     Term.(const run $ cell_arg $ drive_arg $ style_arg $ trials $ angle
-          $ domains)
+          $ domains $ telemetry_arg $ trace_out_arg)
 
 (* table1 *)
 
@@ -226,7 +278,7 @@ let flow_cmd =
     Arg.(value & flag & info [ "trace" ]
            ~doc:"Log pass enter/exit events to stderr.")
   in
-  let run path gds_out scheme2 report trace =
+  let run path gds_out scheme2 report trace telemetry trace_out =
     let netlist_r =
       match path with
       | None -> Ok (Flow.Full_adder.netlist ())
@@ -258,12 +310,14 @@ let flow_cmd =
                 prerr_endline ("trace: " ^ Core.Pass.trace_event_to_string e))
           else None
         in
+        telemetry_start telemetry trace_out;
         let result, rep = Flow.Pipeline.run ?trace:trace_fn spec in
         (match result with
         | Error d ->
           (match report with
           | Some `Text -> print_string (Core.Pass.report_to_text rep)
           | Some `Json | None -> ());
+          telemetry_finish telemetry trace_out;
           diag_exit d
         | Ok r ->
           let p = r.Flow.Pipeline.placement in
@@ -280,11 +334,13 @@ let flow_cmd =
           | Some `Text -> print_string (Core.Pass.report_to_text rep)
           | Some `Json -> print_endline (Core.Pass.report_to_json rep)
           | None -> ());
+          telemetry_finish telemetry trace_out;
           0))
   in
   let doc = "Run the staged logic-to-GDSII flow on a netlist." in
   Cmd.v (Cmd.info "flow" ~doc)
-    Term.(const run $ netlist_arg $ gds_out $ scheme2 $ report $ trace)
+    Term.(const run $ netlist_arg $ gds_out $ scheme2 $ report $ trace
+          $ telemetry_arg $ trace_out_arg)
 
 (* fo4 *)
 

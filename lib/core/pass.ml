@@ -48,14 +48,23 @@ type report = { passes : pass_report list; total_s : float }
 
 type trace_event =
   | Enter of string
-  | Exit of string * float
-  | Cache_hit of string
+  | Exit of string * float * (string * int) list
+  | Cache_hit of string * (string * int) list
   | Failed of string * Diag.t
+
+let counters_to_string = function
+  | [] -> ""
+  | cs ->
+    " "
+    ^ String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) cs)
 
 let trace_event_to_string = function
   | Enter n -> Printf.sprintf "-> %s" n
-  | Exit (n, s) -> Printf.sprintf "<- %s (%.3f ms)" n (1000. *. s)
-  | Cache_hit n -> Printf.sprintf "== %s (cache hit)" n
+  | Exit (n, s, cs) ->
+    Printf.sprintf "<- %s (%.3f ms) cached=no%s" n (1000. *. s)
+      (counters_to_string cs)
+  | Cache_hit (n, cs) ->
+    Printf.sprintf "== %s cached=yes%s" n (counters_to_string cs)
   | Failed (n, d) -> Printf.sprintf "!! %s: %s" n (Diag.to_string d)
 
 type cache = (string, string * univ) Hashtbl.t
@@ -95,10 +104,10 @@ let step (type a b) ?cache ~trace (p : (a, b) t) (x : a) :
     let artifact =
       match p.refresh with Some f -> f x artifact | None -> artifact
     in
-    trace (Cache_hit p.name);
     let counters =
       match p.counters with Some f -> f artifact | None -> []
     in
+    trace (Cache_hit (p.name, counters));
     (Ok artifact, { pass_name = p.name; wall_s = 0.; cached = true; counters })
   | None -> (
     trace (Enter p.name);
@@ -107,7 +116,6 @@ let step (type a b) ?cache ~trace (p : (a, b) t) (x : a) :
     let wall_s = Unix.gettimeofday () -. t0 in
     match result with
     | Ok artifact ->
-      trace (Exit (p.name, wall_s));
       (match (cache, p.digest) with
       | Some c, Some digest ->
         Hashtbl.replace c p.name (digest x, p.inject artifact)
@@ -115,6 +123,7 @@ let step (type a b) ?cache ~trace (p : (a, b) t) (x : a) :
       let counters =
         match p.counters with Some f -> f artifact | None -> []
       in
+      trace (Exit (p.name, wall_s, counters));
       (Ok artifact, { pass_name = p.name; wall_s; cached = false; counters })
     | Error d ->
       trace (Failed (p.name, d));

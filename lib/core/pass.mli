@@ -68,11 +68,17 @@ type report = {
 
 type trace_event =
   | Enter of string  (** pass entered *)
-  | Exit of string * float  (** pass finished normally, with wall seconds *)
-  | Cache_hit of string  (** pass skipped, artifact served from cache *)
+  | Exit of string * float * (string * int) list
+      (** pass finished normally: wall seconds and the pass's
+          artifact-size counters *)
+  | Cache_hit of string * (string * int) list
+      (** pass skipped, artifact (with its counters) served from cache *)
   | Failed of string * Diag.t  (** pass returned an error *)
 
 val trace_event_to_string : trace_event -> string
+(** Self-describing one-liner: [Exit]/[Cache_hit] include the cached flag
+    and every artifact-size counter ([k=v ...]), so a text trace alone
+    reconstructs what each pass produced. *)
 
 (** {1 Artifact cache} *)
 

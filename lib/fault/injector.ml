@@ -54,12 +54,42 @@ let run_trial config ~prep ~pun ~pdn index =
   let shorted = not (Logic.Truth.defined_everywhere got) in
   (failed, shorted, List.length pun_extra + List.length pdn_extra)
 
+let style_slug = function
+  | Layout.Cell.Immune_new -> "immune_new"
+  | Layout.Cell.Immune_old -> "immune_old"
+  | Layout.Cell.Vulnerable -> "vulnerable"
+  | Layout.Cell.Cmos -> "cmos"
+
+(* Chunking is pinned to the workload, never to the domain count, so the
+   per-chunk telemetry spans form the same tree at any [~domains] — the
+   outcome was already domain-independent (integer sums), this extends
+   the guarantee to the observability output. *)
+let chunk_for trials = max 1 ((trials + 31) / 32)
+
 let run ?(domains = 1) config (cell : Layout.Cell.t) =
   validate config;
+  let style = style_slug cell.Layout.Cell.style in
+  Telemetry.with_span "fault.campaign"
+    ~attrs:
+      [
+        ("cell", Telemetry.String cell.Layout.Cell.name);
+        ("style", Telemetry.String style);
+        ("trials", Telemetry.Int config.trials);
+        ("tracks_per_trial", Telemetry.Int config.tracks_per_trial);
+        ("seed", Telemetry.Int config.seed);
+        ("domains", Telemetry.Int domains);
+      ]
+  @@ fun () ->
   let prep = Layout.Cell.prepare cell in
   let pun = Crossing.prepare cell.Layout.Cell.pun in
   let pdn = Crossing.prepare cell.Layout.Cell.pdn in
   let map lo hi =
+    (* Worker domains have an empty span stack, so the chunk's parent is
+       pinned explicitly to keep the span tree identical at any domain
+       count. *)
+    Telemetry.with_span ~parent:"fault.campaign" "fault.chunk"
+      ~attrs:[ ("lo", Telemetry.Int lo); ("hi", Telemetry.Int hi) ]
+    @@ fun () ->
     let failures = ref 0 and shorts = ref 0 and stray = ref 0 in
     for i = lo to hi - 1 do
       let failed, shorted, edges = run_trial config ~prep ~pun ~pdn i in
@@ -67,11 +97,18 @@ let run ?(domains = 1) config (cell : Layout.Cell.t) =
       if shorted then incr shorts;
       stray := !stray + edges
     done;
+    let n = hi - lo in
+    Telemetry.counter_add "fault.trials" n;
+    Telemetry.counter_add "fault.crossings_tested"
+      (2 * config.tracks_per_trial * n);
+    Telemetry.counter_add ("fault." ^ style ^ ".failed") !failures;
+    Telemetry.counter_add ("fault." ^ style ^ ".immune") (n - !failures);
     (!failures, !shorts, !stray)
   in
   let failures, shorts, stray =
     Parallel.Pool.with_pool ~domains (fun pool ->
-        Parallel.Pool.map_reduce pool ~lo:0 ~hi:config.trials ~map
+        Parallel.Pool.map_reduce ~chunk:(chunk_for config.trials) pool ~lo:0
+          ~hi:config.trials ~map
           ~reduce:(fun (a, b, c) (d, e, f) -> (a + d, b + e, c + f))
           ~init:(0, 0, 0))
   in

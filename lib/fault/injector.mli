@@ -45,6 +45,14 @@ val run : ?domains:int -> config -> Layout.Cell.t -> outcome
     are precomputed once and shared read-only across the workers.
     Deterministic: the outcome depends only on [config], never on
     [domains] or scheduling.
+
+    When {!Telemetry.enabled}, the campaign records a [fault.campaign]
+    span with one [fault.chunk] child per work chunk (chunking is pinned
+    to [config.trials], so the span tree is identical at any [domains]),
+    plus counters [fault.trials], [fault.crossings_tested]
+    ([= 2 * tracks_per_trial * trials], one per region crossing query)
+    and [fault.<style>.immune] / [fault.<style>.failed] keyed by the
+    cell's layout style.
     @raise Invalid_argument as per {!validate}. *)
 
 val horizontal_sweep : Layout.Cell.t -> (unit, float list) result

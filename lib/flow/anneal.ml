@@ -21,7 +21,19 @@ let swap cells i j =
 
 let hpwl (p : Placer.t) netlist = Placer.wirelength_estimate p netlist
 
+(* Acceptance rates are observed per window (iterations/64) so the
+   histogram shows the cooling trajectory, not one global average. *)
+let acceptance_buckets =
+  [| 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 |]
+
 let refine ?(config = default_config) (p : Placer.t) netlist =
+  Telemetry.with_span "anneal.refine"
+    ~attrs:
+      [
+        ("iterations", Telemetry.Int config.iterations);
+        ("seed", Telemetry.Int config.seed);
+      ]
+  @@ fun () ->
   let cells = Array.of_list p.Placer.cells in
   let n = Array.length cells in
   if n < 2 then (p, hpwl p netlist, hpwl p netlist)
@@ -32,6 +44,10 @@ let refine ?(config = default_config) (p : Placer.t) netlist =
     let initial = !cost in
     let best = ref !cost in
     let best_cells = ref (Array.copy cells) in
+    let telemetry = Telemetry.enabled () in
+    let window = max 1 (config.iterations / 64) in
+    let win_attempts = ref 0 and win_accepts = ref 0 in
+    let accepted_total = ref 0 in
     for it = 0 to config.iterations - 1 do
       let i = Random.State.int rng n and j = Random.State.int rng n in
       if i <> j && can_swap cells.(i) cells.(j) then begin
@@ -48,7 +64,10 @@ let refine ?(config = default_config) (p : Placer.t) netlist =
              && Random.State.float rng 1.
                 < exp (-.float_of_int (c - !cost) /. temp))
         in
+        incr win_attempts;
         if accept then begin
+          incr win_accepts;
+          incr accepted_total;
           current := candidate;
           cost := c;
           if c < !best then begin
@@ -57,8 +76,21 @@ let refine ?(config = default_config) (p : Placer.t) netlist =
           end
         end
         else swap cells i j (* revert *)
+      end;
+      if telemetry && (it + 1) mod window = 0 then begin
+        if !win_attempts > 0 then
+          Telemetry.histogram_observe "anneal.acceptance_rate"
+            ~buckets:acceptance_buckets
+            (float_of_int !win_accepts /. float_of_int !win_attempts);
+        Telemetry.gauge_set "anneal.temp"
+          (config.start_temp
+          *. (1. -. (float_of_int it /. float_of_int config.iterations)));
+        win_attempts := 0;
+        win_accepts := 0
       end
     done;
+    Telemetry.counter_add "anneal.iterations" config.iterations;
+    Telemetry.counter_add "anneal.swaps_accepted" !accepted_total;
     let final = { p with Placer.cells = Array.to_list !best_cells } in
     (final, initial, !best)
   end

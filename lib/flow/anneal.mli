@@ -18,4 +18,10 @@ val default_config : config
 
 val refine : ?config:config -> Placer.t -> Netlist_ir.t -> Placer.t * int * int
 (** [(placement, initial_hpwl, final_hpwl)] — cells re-ordered within their
-    slots to reduce the wirelength estimate. *)
+    slots to reduce the wirelength estimate.
+
+    When {!Telemetry.enabled}, the run records an [anneal.refine] span,
+    counters [anneal.iterations] / [anneal.swaps_accepted], a windowed
+    [anneal.acceptance_rate] histogram (one observation per
+    [iterations/64] window, so the cooling trajectory is visible) and an
+    [anneal.temp] gauge. *)

@@ -201,4 +201,47 @@ let flow =
 
 let pass_names = Core.Pass.names flow
 
-let run ?cache ?trace s = Core.Pass.execute ?cache ?trace flow s
+(* Bridge the pass manager's callback-style trace events into telemetry
+   spans: Enter/Exit become a span (with the artifact counters as
+   attributes), a cache hit becomes an instant event, a failure closes
+   the span with the diagnostic attached.  Everything lands on the
+   calling domain, so the spans nest naturally under the "flow" root. *)
+
+let counter_attrs cs = List.map (fun (k, v) -> (k, Telemetry.Int v)) cs
+
+let telemetry_trace = function
+  | Core.Pass.Enter n -> Telemetry.span_begin n
+  | Core.Pass.Exit (n, _, cs) ->
+    Telemetry.span_end
+      ~attrs:(("cached", Telemetry.Bool false) :: counter_attrs cs)
+      n
+  | Core.Pass.Cache_hit (n, cs) ->
+    Telemetry.counter_add "flow.cache_hits" 1;
+    Telemetry.instant
+      ~attrs:(("cached", Telemetry.Bool true) :: counter_attrs cs)
+      n
+  | Core.Pass.Failed (n, d) ->
+    Telemetry.counter_add "flow.pass_failures" 1;
+    Telemetry.span_end
+      ~attrs:[ ("error", Telemetry.String (Core.Diag.to_string d)) ]
+      n
+
+let run ?cache ?trace s =
+  if not (Telemetry.enabled ()) then Core.Pass.execute ?cache ?trace flow s
+  else
+    Telemetry.with_span "flow"
+      ~attrs:
+        [
+          ("top", Telemetry.String s.top_name);
+          ("scheme", Telemetry.String (scheme_string s.scheme));
+        ]
+    @@ fun () ->
+    let trace =
+      match trace with
+      | None -> telemetry_trace
+      | Some t ->
+        fun e ->
+          t e;
+          telemetry_trace e
+    in
+    Core.Pass.execute ?cache ~trace flow s

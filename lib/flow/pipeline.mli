@@ -42,7 +42,18 @@ val pass_names : string list
 (** The pass names in execution order:
     ["parse"; "validate"; "place"; "layout"; "export"]. *)
 
+val telemetry_trace : Core.Pass.trace_event -> unit
+(** Bridge from pass-manager trace events to {!Telemetry} spans: each
+    Enter/Exit pair becomes a span carrying the pass's artifact counters
+    and cached flag as attributes, cache hits become instant events (and
+    bump the [flow.cache_hits] counter), failures close the span with the
+    diagnostic attached and bump [flow.pass_failures].  {!run} installs
+    this automatically whenever telemetry is enabled. *)
+
 val run : ?cache:Core.Pass.cache -> ?trace:(Core.Pass.trace_event -> unit)
   -> spec -> (result_t, Core.Diag.t) result * Core.Pass.report
 (** Execute the flow.  The report always covers the passes that ran, also
-    on error. *)
+    on error.  When {!Telemetry.enabled}, the whole run is wrapped in a
+    ["flow"] span and every pass event is mirrored through
+    {!telemetry_trace} (composed with [?trace] if both are given), so one
+    Chrome trace covers parse→export. *)

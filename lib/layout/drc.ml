@@ -116,6 +116,13 @@ let etch_rules (r : Pdk.Rules.t) (f : Fabric.t) =
       components []
   end
 
+(* Violations-by-rule counters: each violation bumps its rule's counter,
+   so a telemetry summary shows which rules fire across a whole run. *)
+let tally vs =
+  if Telemetry.enabled () then
+    List.iter (fun t -> Telemetry.counter_add ("drc.violations." ^ t.rule) 1) vs;
+  vs
+
 let check_fabric ~rules (f : Fabric.t) =
   let widths = List.concat_map (width_rules rules) f.Fabric.items in
   let rec pairs acc = function
@@ -123,7 +130,8 @@ let check_fabric ~rules (f : Fabric.t) =
     | p :: rest ->
       pairs (acc @ List.concat_map (pair_rules rules p) rest) rest
   in
-  widths @ etch_rules rules f @ pairs [] f.Fabric.items
+  Telemetry.counter_add "drc.fabrics_checked" 1;
+  tally (widths @ etch_rules rules f @ pairs [] f.Fabric.items)
 
 let check_cell (c : Cell.t) =
   let rules = c.Cell.rules in
@@ -152,7 +160,8 @@ let check_cell (c : Cell.t) =
           pun_b ]
     else []
   in
-  check_fabric ~rules c.Cell.pun @ check_fabric ~rules c.Cell.pdn @ sep
+  Telemetry.counter_add "drc.cells_checked" 1;
+  check_fabric ~rules c.Cell.pun @ check_fabric ~rules c.Cell.pdn @ tally sep
 
 let pp_violation ppf t =
   Format.fprintf ppf "%s: %s at %a" t.rule t.detail Geom.Rect.pp t.where

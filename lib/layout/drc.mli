@@ -12,10 +12,14 @@ type violation = {
 }
 
 val check_fabric : rules:Pdk.Rules.t -> Fabric.t -> violation list
-(** Empty list means clean. *)
+(** Empty list means clean.  When {!Telemetry.enabled}, bumps
+    [drc.fabrics_checked] and one [drc.violations.<rule>] counter per
+    violation found. *)
 
 val check_cell : Cell.t -> violation list
 (** Both fabrics plus the inter-network separation rule (6 lambda for
-    CNFET schemes, 10 lambda for CMOS, scheme-dependent direction). *)
+    CNFET schemes, 10 lambda for CMOS, scheme-dependent direction).
+    Telemetry: [drc.cells_checked] plus the per-rule violation counters
+    of {!check_fabric}. *)
 
 val pp_violation : Format.formatter -> violation -> unit

@@ -83,6 +83,8 @@ let map_reduce ?chunk t ~lo ~hi ~map ~reduce ~init =
       | None -> max 1 (n / (t.size * 8))
     in
     let nchunks = (n + chunk - 1) / chunk in
+    Telemetry.counter_add "pool.map_reduce_calls" 1;
+    Telemetry.counter_add "pool.chunks" nchunks;
     let slots = Array.make nchunks None in
     let next = Atomic.make 0 in
     let remaining = Atomic.make nchunks in
@@ -90,14 +92,26 @@ let map_reduce ?chunk t ~lo ~hi ~map ~reduce ~init =
     let done_lock = Mutex.create () in
     let done_cond = Condition.create () in
     let work () =
+      (* Busy/idle split per participating domain: busy is time inside
+         [map], idle is everything else this domain spent in the call
+         (pulling chunks, waiting on the shared counter).  Recorded as
+         per-shard gauges so domains never touch a common table. *)
+      let telemetry = Telemetry.enabled () in
+      let entered = if telemetry then Telemetry.now_ns () else 0L in
+      let busy = ref 0L in
       let rec pull () =
         let i = Atomic.fetch_and_add next 1 in
         if i < nchunks then begin
           let clo = lo + (i * chunk) in
           let chi = min hi (clo + chunk) in
+          let t0 = if telemetry then Telemetry.now_ns () else 0L in
           (match map clo chi with
           | r -> slots.(i) <- Some r
           | exception e -> ignore (Atomic.compare_and_set failed None (Some e)));
+          if telemetry then begin
+            busy := Int64.add !busy (Int64.sub (Telemetry.now_ns ()) t0);
+            Telemetry.counter_add "pool.chunks_run" 1
+          end;
           (* the broadcast must happen under the lock so it cannot slip
              between the caller's [remaining] check and its wait *)
           if Atomic.fetch_and_add remaining (-1) = 1 then begin
@@ -108,7 +122,17 @@ let map_reduce ?chunk t ~lo ~hi ~map ~reduce ~init =
           pull ()
         end
       in
-      pull ()
+      pull ();
+      if telemetry then begin
+        let total = Int64.sub (Telemetry.now_ns ()) entered in
+        let sid = Telemetry.shard_id () in
+        Telemetry.gauge_set
+          (Printf.sprintf "pool.shard%d.busy_s" sid)
+          (Int64.to_float !busy /. 1e9);
+        Telemetry.gauge_set
+          (Printf.sprintf "pool.shard%d.idle_s" sid)
+          (Int64.to_float (Int64.sub total !busy) /. 1e9)
+      end
     in
     (* the caller is a participant: completion never depends on workers
        being free, only sped up by them *)

@@ -24,7 +24,15 @@
 
     Workers only ever read the closures handed to them; sharing read-only
     (immutable or not-mutated-during-the-call) structures between chunks
-    is safe and is the intended way to reuse precomputed campaign state. *)
+    is safe and is the intended way to reuse precomputed campaign state.
+
+    {2 Telemetry}
+
+    When {!Telemetry.enabled}, [map_reduce] records chunk counters
+    ([pool.map_reduce_calls], [pool.chunks], [pool.chunks_run]) and a
+    busy/idle wall-time gauge pair per participating domain
+    ([pool.shard<id>.busy_s] / [.idle_s]) on that domain's own shard —
+    no cross-domain contention, and strictly zero work when disabled. *)
 
 type t
 

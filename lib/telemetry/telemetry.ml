@@ -1,0 +1,429 @@
+type value = Int of int | Float of float | String of string | Bool of bool
+type attrs = (string * value) list
+
+type span = {
+  name : string;
+  parent : string option;
+  start_ns : int64;
+  dur_ns : int64;
+  attrs : attrs;
+  shard : int;
+  instant : bool;
+}
+
+module Hist = struct
+  type t = {
+    buckets : float array;
+    counts : int array;
+    count : int;
+    sum : float;
+  }
+
+  let create ~buckets =
+    { buckets; counts = Array.make (Array.length buckets + 1) 0; count = 0;
+      sum = 0. }
+
+  let bucket_index buckets v =
+    let n = Array.length buckets in
+    let rec go i = if i >= n || v <= buckets.(i) then i else go (i + 1) in
+    go 0
+
+  let observe t v =
+    let counts = Array.copy t.counts in
+    let i = bucket_index t.buckets v in
+    counts.(i) <- counts.(i) + 1;
+    { t with counts; count = t.count + 1; sum = t.sum +. v }
+
+  let merge a b =
+    if a.buckets <> b.buckets then
+      invalid_arg "Telemetry.Hist.merge: differing bucket bounds";
+    {
+      buckets = a.buckets;
+      counts = Array.map2 ( + ) a.counts b.counts;
+      count = a.count + b.count;
+      sum = a.sum +. b.sum;
+    }
+end
+
+(* --- the switch --- *)
+
+let switch = Atomic.make false
+let enabled () = Atomic.get switch
+let enable () = Atomic.set switch true
+let disable () = Atomic.set switch false
+
+(* --- monotonised clock --- *)
+
+(* gettimeofday can step backwards (NTP); clamping to the latest value
+   already handed out keeps every duration non-negative process-wide. *)
+let last_ns = Atomic.make 0L
+
+let now_ns () =
+  let raw = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+  let rec bump () =
+    let prev = Atomic.get last_ns in
+    if Int64.compare raw prev > 0 then
+      if Atomic.compare_and_set last_ns prev raw then raw else bump ()
+    else prev
+  in
+  bump ()
+
+(* --- shards ---
+
+   One shard per domain, created on first use and registered globally so
+   [collect] can read it after the domain is gone (pool workers are joined
+   before campaigns return).  All writes are domain-local; the registry
+   lock is only taken on shard creation, reset and collect. *)
+
+type shard = {
+  id : int;
+  mutable spans : span list;  (* reverse recording order *)
+  mutable stack : (string * int64) list;  (* open spans: name, start *)
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float * int64) Hashtbl.t;
+  hists : (string, Hist.t ref) Hashtbl.t;
+}
+
+let registry_lock = Mutex.create ()
+let registry : shard list ref = ref []
+let next_shard = Atomic.make 0
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        {
+          id = Atomic.fetch_and_add next_shard 1;
+          spans = [];
+          stack = [];
+          counters = Hashtbl.create 16;
+          gauges = Hashtbl.create 8;
+          hists = Hashtbl.create 8;
+        }
+      in
+      Mutex.lock registry_lock;
+      registry := s :: !registry;
+      Mutex.unlock registry_lock;
+      s)
+
+let shard () = Domain.DLS.get shard_key
+let shard_id () = (shard ()).id
+
+let reset () =
+  Mutex.lock registry_lock;
+  List.iter
+    (fun s ->
+      s.spans <- [];
+      s.stack <- [];
+      Hashtbl.reset s.counters;
+      Hashtbl.reset s.gauges;
+      Hashtbl.reset s.hists)
+    !registry;
+  Mutex.unlock registry_lock
+
+(* --- metrics --- *)
+
+let counter_add name n =
+  if enabled () then begin
+    let s = shard () in
+    match Hashtbl.find_opt s.counters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace s.counters name (ref n)
+  end
+
+let gauge_set name v =
+  if enabled () then Hashtbl.replace (shard ()).gauges name (v, now_ns ())
+
+let histogram_observe name ~buckets v =
+  if enabled () then begin
+    let s = shard () in
+    match Hashtbl.find_opt s.hists name with
+    | Some r -> r := Hist.observe !r v
+    | None -> Hashtbl.replace s.hists name (ref (Hist.observe (Hist.create ~buckets) v))
+  end
+
+(* --- spans --- *)
+
+let span_begin name =
+  if enabled () then begin
+    let s = shard () in
+    s.stack <- (name, now_ns ()) :: s.stack
+  end
+
+let span_end ?parent ?(attrs = []) name =
+  if enabled () then begin
+    let s = shard () in
+    match s.stack with
+    | [] -> ()
+    | (_, start_ns) :: rest ->
+      s.stack <- rest;
+      let parent =
+        match parent with
+        | Some _ as p -> p
+        | None -> (match rest with (p, _) :: _ -> Some p | [] -> None)
+      in
+      let dur_ns = Int64.sub (now_ns ()) start_ns in
+      s.spans <-
+        { name; parent; start_ns; dur_ns; attrs; shard = s.id;
+          instant = false }
+        :: s.spans
+  end
+
+let with_span ?parent ?(attrs = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    span_begin name;
+    match f () with
+    | v ->
+      span_end ?parent ~attrs name;
+      v
+    | exception e ->
+      span_end ?parent ~attrs:(("error", Bool true) :: attrs) name;
+      raise e
+  end
+
+let instant ?(attrs = []) name =
+  if enabled () then begin
+    let s = shard () in
+    let parent = match s.stack with (p, _) :: _ -> Some p | [] -> None in
+    s.spans <-
+      { name; parent; start_ns = now_ns (); dur_ns = 0L; attrs;
+        shard = s.id; instant = true }
+      :: s.spans
+  end
+
+(* --- collection --- *)
+
+type snapshot = {
+  spans : span list;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  hists : (string * Hist.t) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+(* Canonicalise (sort by name, sum duplicates) before zipping, so the
+   merge is associative/commutative on arbitrary assoc lists. *)
+let canon_counters l =
+  let rec squash = function
+    | (k1, v1) :: (k2, v2) :: rest when String.equal k1 k2 ->
+      squash ((k1, v1 + v2) :: rest)
+    | kv :: rest -> kv :: squash rest
+    | [] -> []
+  in
+  squash (List.stable_sort by_name l)
+
+let merge_counters a b = canon_counters (a @ b)
+
+let collect () =
+  Mutex.lock registry_lock;
+  let shards = !registry in
+  Mutex.unlock registry_lock;
+  let spans =
+    List.concat_map (fun (s : shard) -> s.spans) shards
+    |> List.sort (fun a b ->
+           compare (a.start_ns, a.shard, a.name) (b.start_ns, b.shard, b.name))
+  in
+  let counters =
+    List.fold_left
+      (fun acc (s : shard) ->
+        merge_counters acc
+          (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) s.counters []))
+      [] shards
+  in
+  let gauges =
+    let best : (string, float * int64) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (s : shard) ->
+        Hashtbl.iter
+          (fun k (v, ts) ->
+            match Hashtbl.find_opt best k with
+            | Some (_, ts') when Int64.compare ts' ts >= 0 -> ()
+            | _ -> Hashtbl.replace best k (v, ts))
+          s.gauges)
+      shards;
+    Hashtbl.fold (fun k (v, _) acc -> (k, v) :: acc) best []
+    |> List.sort by_name
+  in
+  let hists =
+    let tbl : (string, Hist.t) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (s : shard) ->
+        Hashtbl.iter
+          (fun k r ->
+            match Hashtbl.find_opt tbl k with
+            | Some h -> Hashtbl.replace tbl k (Hist.merge h !r)
+            | None -> Hashtbl.replace tbl k !r)
+          s.hists)
+      shards;
+    Hashtbl.fold (fun k h acc -> (k, h) :: acc) tbl [] |> List.sort by_name
+  in
+  { spans; counters; gauges; hists }
+
+let span_shape snap =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun sp ->
+      let key = (sp.parent, sp.name) in
+      Hashtbl.replace tbl key
+        (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0))
+    snap.spans;
+  Hashtbl.fold (fun (p, n) c acc -> (p, n, c) :: acc) tbl []
+  |> List.sort compare
+
+(* --- exporters --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
+
+let value_to_json = function
+  | Int i -> string_of_int i
+  | Float f -> json_float f
+  | String s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Bool b -> string_of_bool b
+
+let attrs_to_json attrs =
+  attrs
+  |> List.map (fun (k, v) ->
+         Printf.sprintf "\"%s\":%s" (json_escape k) (value_to_json v))
+  |> String.concat ","
+
+(* Aggregate spans by name for the summaries. *)
+let span_rollup snap =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun sp ->
+      if not sp.instant then begin
+        let count, total =
+          Option.value (Hashtbl.find_opt tbl sp.name) ~default:(0, 0L)
+        in
+        Hashtbl.replace tbl sp.name (count + 1, Int64.add total sp.dur_ns)
+      end)
+    snap.spans;
+  Hashtbl.fold (fun name (c, t) acc -> (name, c, t) :: acc) tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let ms_of_ns ns = Int64.to_float ns /. 1e6
+
+let summary_to_text snap =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "== telemetry summary ==\n";
+  let rollup = span_rollup snap in
+  if rollup <> [] then begin
+    add "spans (by name):\n";
+    let w =
+      List.fold_left (fun w (n, _, _) -> max w (String.length n)) 4 rollup
+    in
+    add "  %-*s  %7s  %12s  %12s\n" w "name" "count" "total-ms" "mean-ms";
+    List.iter
+      (fun (name, count, total) ->
+        add "  %-*s  %7d  %12.3f  %12.3f\n" w name count (ms_of_ns total)
+          (ms_of_ns total /. float_of_int count))
+      rollup
+  end;
+  if snap.counters <> [] then begin
+    add "counters:\n";
+    List.iter (fun (k, v) -> add "  %-40s %d\n" k v) snap.counters
+  end;
+  if snap.gauges <> [] then begin
+    add "gauges:\n";
+    List.iter (fun (k, v) -> add "  %-40s %g\n" k v) snap.gauges
+  end;
+  if snap.hists <> [] then begin
+    add "histograms:\n";
+    List.iter
+      (fun (k, (h : Hist.t)) ->
+        add "  %s: count=%d sum=%g\n" k h.Hist.count h.Hist.sum;
+        Array.iteri
+          (fun i c ->
+            if c > 0 then
+              if i < Array.length h.Hist.buckets then
+                add "    <= %-10g %d\n" h.Hist.buckets.(i) c
+              else add "    >  %-10g %d\n"
+                     h.Hist.buckets.(Array.length h.Hist.buckets - 1) c)
+          h.Hist.counts)
+      snap.hists
+  end;
+  Buffer.contents buf
+
+let summary_to_json snap =
+  let rollup =
+    span_rollup snap
+    |> List.map (fun (name, count, total) ->
+           Printf.sprintf "{\"name\":\"%s\",\"count\":%d,\"total_ms\":%s}"
+             (json_escape name) count
+             (json_float (ms_of_ns total)))
+    |> String.concat ","
+  in
+  let counters =
+    snap.counters
+    |> List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v)
+    |> String.concat ","
+  in
+  let gauges =
+    snap.gauges
+    |> List.map (fun (k, v) ->
+           Printf.sprintf "\"%s\":%s" (json_escape k) (json_float v))
+    |> String.concat ","
+  in
+  let hists =
+    snap.hists
+    |> List.map (fun (k, (h : Hist.t)) ->
+           Printf.sprintf
+             "\"%s\":{\"buckets\":[%s],\"counts\":[%s],\"count\":%d,\"sum\":%s}"
+             (json_escape k)
+             (String.concat ","
+                (Array.to_list (Array.map json_float h.Hist.buckets)))
+             (String.concat ","
+                (Array.to_list (Array.map string_of_int h.Hist.counts)))
+             h.Hist.count (json_float h.Hist.sum))
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "{\"spans\":[%s],\"counters\":{%s},\"gauges\":{%s},\"histograms\":{%s}}"
+    rollup counters gauges hists
+
+let chrome_trace snap =
+  let t0 =
+    match snap.spans with [] -> 0L | sp :: _ -> sp.start_ns
+  in
+  let us_of ns = Int64.to_float (Int64.sub ns t0) /. 1e3 in
+  let event sp =
+    let args =
+      match sp.parent with
+      | Some p -> ("parent", String p) :: sp.attrs
+      | None -> sp.attrs
+    in
+    if sp.instant then
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"cnfet\",\"ph\":\"i\",\"s\":\"t\",\
+         \"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{%s}}"
+        (json_escape sp.name) (us_of sp.start_ns) sp.shard
+        (attrs_to_json args)
+    else
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"cnfet\",\"ph\":\"X\",\"ts\":%.3f,\
+         \"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{%s}}"
+        (json_escape sp.name) (us_of sp.start_ns)
+        (Int64.to_float sp.dur_ns /. 1e3)
+        sp.shard (attrs_to_json args)
+  in
+  Printf.sprintf "{\"traceEvents\":[%s]}"
+    (String.concat ",\n" (List.map event snap.spans))

@@ -131,6 +131,7 @@ let () =
     [
       ("parallel", Test_parallel.suite);
       ("pass", Test_pass.suite);
+      ("telemetry", Test_telemetry.suite);
       ("geom", Test_geom.suite);
       ("logic", Test_logic.suite);
       ("euler", Test_euler.suite);

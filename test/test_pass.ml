@@ -133,7 +133,24 @@ let trace_events () =
   ignore (Core.Pass.execute ~trace pl 2);
   let events = List.rev !seen in
   check_int "enter/exit per pass" 4 (List.length events);
-  checkb "first is enter double" true (contains "double" (List.hd events))
+  checkb "first is enter double" true (contains "double" (List.hd events));
+  (* exit lines are self-describing: cached flag + artifact counters *)
+  let exit_double = List.nth events 1 in
+  checkb "exit has cached flag" true (contains "cached=no" exit_double);
+  checkb "exit has counters" true (contains "value=4" exit_double)
+
+let trace_cache_hit_counters () =
+  let cache = Core.Pass.cache_create () in
+  let pl = Core.Pass.pass double_pass in
+  ignore (Core.Pass.execute ~cache pl 3);
+  let seen = ref [] in
+  let trace e = seen := Core.Pass.trace_event_to_string e :: !seen in
+  ignore (Core.Pass.execute ~cache ~trace pl 3);
+  match !seen with
+  | [ hit ] ->
+    checkb "hit marked cached" true (contains "cached=yes" hit);
+    checkb "hit carries counters" true (contains "value=6" hit)
+  | evs -> Alcotest.failf "expected one cache-hit event, got %d" (List.length evs)
 
 let report_rendering () =
   let pl = Core.Pass.(pass double_pass >>> incr_pass) in
@@ -227,6 +244,8 @@ let suite =
     Alcotest.test_case "pipeline stops on error" `Quick pipeline_stops_on_error;
     Alcotest.test_case "pipeline cache hits" `Quick pipeline_cache_hits;
     Alcotest.test_case "trace events" `Quick trace_events;
+    Alcotest.test_case "trace cache-hit counters" `Quick
+      trace_cache_hit_counters;
     Alcotest.test_case "report rendering" `Quick report_rendering;
     Alcotest.test_case "flow runs" `Slow flow_runs;
     Alcotest.test_case "flow cache skips upstream" `Slow

@@ -1,0 +1,228 @@
+(* Telemetry layer tests: deterministic span structure across domain
+   counts, workload-exact counters, histogram invariants (QCheck),
+   registry-merge associativity (QCheck), exporter well-formedness, and
+   the pass-manager bridge. *)
+
+let checkb = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let rules = Pdk.Rules.default
+
+(* Every test records into the process-global registry, so each one runs
+   inside a reset/enable ... disable/reset bracket to stay independent of
+   test order (and of instrumented code under test elsewhere). *)
+let recording f =
+  Telemetry.reset ();
+  Telemetry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.reset ())
+    f
+
+let campaign ~domains ~trials () =
+  let cell =
+    Layout.Cell.make_exn ~rules ~fn:(Logic.Cell_fun.nand 2)
+      ~style:Layout.Cell.Immune_new ~scheme:Layout.Cell.Scheme1 ~drive:4
+  in
+  Fault.Injector.run ~domains
+    { Fault.Injector.default_config with Fault.Injector.trials }
+    cell
+
+(* --- span structure --- *)
+
+let shape_testable =
+  Alcotest.(list (triple (option string) string int))
+
+let span_shape_domain_independent () =
+  let shape_at domains =
+    recording (fun () ->
+        ignore (campaign ~domains ~trials:200 ());
+        Telemetry.span_shape (Telemetry.collect ()))
+  in
+  let s1 = shape_at 1 and s4 = shape_at 4 in
+  Alcotest.check shape_testable "same span tree at 1 and 4 domains" s1 s4;
+  (* and the tree is what the injector promises: one campaign root plus
+     its chunk children *)
+  checkb "has campaign root" true
+    (List.exists (fun (p, n, c) -> p = None && n = "fault.campaign" && c = 1) s1);
+  checkb "chunks parented to campaign" true
+    (List.exists
+       (fun (p, n, c) -> p = Some "fault.campaign" && n = "fault.chunk" && c > 1)
+       s1)
+
+let counters_match_workload () =
+  recording (fun () ->
+      ignore (campaign ~domains:3 ~trials:123 ());
+      let snap = Telemetry.collect () in
+      let counter name =
+        Option.value (List.assoc_opt name snap.Telemetry.counters) ~default:0
+      in
+      check_int "trials counter" 123 (counter "fault.trials");
+      check_int "crossings = 2 regions * 3 tracks * trials" (2 * 3 * 123)
+        (counter "fault.crossings_tested");
+      check_int "immune + failed = trials" 123
+        (counter "fault.immune_new.immune" + counter "fault.immune_new.failed"))
+
+let disabled_records_nothing () =
+  Telemetry.reset ();
+  Telemetry.disable ();
+  ignore (campaign ~domains:2 ~trials:50 ());
+  Telemetry.with_span "ghost" (fun () -> ());
+  Telemetry.counter_add "ghost.counter" 1;
+  let snap = Telemetry.collect () in
+  check_int "no spans" 0 (List.length snap.Telemetry.spans);
+  check_int "no counters" 0 (List.length snap.Telemetry.counters);
+  Telemetry.reset ()
+
+let nesting_parents () =
+  recording (fun () ->
+      Telemetry.with_span "outer" (fun () ->
+          Telemetry.with_span "inner" (fun () -> ()));
+      let shape = Telemetry.span_shape (Telemetry.collect ()) in
+      Alcotest.check shape_testable "stack parenting"
+        [ (None, "outer", 1); (Some "outer", "inner", 1) ]
+        (List.sort compare shape))
+
+(* --- pass-manager bridge --- *)
+
+let lib = Stdcell.Library.cnfet_exn ~drives:[ 2; 4; 7; 9 ] ()
+
+let pipeline_bridge () =
+  recording (fun () ->
+      let cache = Core.Pass.cache_create () in
+      let spec = Flow.Pipeline.spec_of_netlist ~lib (Flow.Full_adder.netlist ()) in
+      let r, _ = Flow.Pipeline.run ~cache spec in
+      (match r with
+      | Error d -> Alcotest.fail (Core.Diag.to_string d)
+      | Ok _ -> ());
+      let snap = Telemetry.collect () in
+      let shape = Telemetry.span_shape snap in
+      List.iter
+        (fun pass ->
+          checkb (pass ^ " span under flow") true
+            (List.mem (Some "flow", pass, 1) shape))
+        Flow.Pipeline.pass_names;
+      (* a cached rerun turns passes into instants + a cache-hit counter *)
+      let _ = Flow.Pipeline.run ~cache spec in
+      let snap = Telemetry.collect () in
+      let hits =
+        Option.value
+          (List.assoc_opt "flow.cache_hits" snap.Telemetry.counters)
+          ~default:0
+      in
+      checkb "cache hits counted" true (hits > 0);
+      checkb "cache hits recorded as instants" true
+        (List.exists (fun sp -> sp.Telemetry.instant) snap.Telemetry.spans))
+
+(* --- exporters --- *)
+
+let exporters_well_formed () =
+  recording (fun () ->
+      ignore (campaign ~domains:2 ~trials:64 ());
+      Telemetry.histogram_observe "h" ~buckets:[| 1.; 2. |] 1.5;
+      let snap = Telemetry.collect () in
+      let text = Telemetry.summary_to_text snap in
+      checkb "text has counters" true (contains "fault.trials" text);
+      let json = Telemetry.summary_to_json snap in
+      checkb "json has counters" true (contains "\"fault.trials\":64" json);
+      let trace = Telemetry.chrome_trace snap in
+      checkb "trace has traceEvents" true (contains "\"traceEvents\"" trace);
+      checkb "trace has complete events" true (contains "\"ph\":\"X\"" trace);
+      (* braces/brackets balance — cheap well-formedness proxy *)
+      let balance open_c close_c s =
+        String.fold_left
+          (fun acc c ->
+            if c = open_c then acc + 1 else if c = close_c then acc - 1 else acc)
+          0 s
+      in
+      check_int "braces balance" 0 (balance '{' '}' trace);
+      check_int "brackets balance" 0 (balance '[' ']' trace))
+
+(* --- QCheck properties --- *)
+
+let float_list =
+  QCheck.(list_of_size Gen.(int_range 0 200) (map (fun i -> float_of_int i /. 7.) small_int))
+
+let hist_of obs =
+  List.fold_left Telemetry.Hist.observe
+    (Telemetry.Hist.create ~buckets:[| 1.; 5.; 25. |])
+    obs
+
+let hist_counts_sum =
+  QCheck.Test.make ~count:200 ~name:"histogram bucket counts sum to count"
+    float_list (fun obs ->
+      let h = hist_of obs in
+      Array.fold_left ( + ) 0 h.Telemetry.Hist.counts = List.length obs
+      && h.Telemetry.Hist.count = List.length obs)
+
+let hist_registry_sum =
+  QCheck.Test.make ~count:50
+    ~name:"registry histogram counts sum to observation count" float_list
+    (fun obs ->
+      Telemetry.reset ();
+      Telemetry.enable ();
+      Fun.protect
+        ~finally:(fun () ->
+          Telemetry.disable ();
+          Telemetry.reset ())
+        (fun () ->
+          List.iter
+            (Telemetry.histogram_observe "q.hist" ~buckets:[| 1.; 5.; 25. |])
+            obs;
+          let snap = Telemetry.collect () in
+          match List.assoc_opt "q.hist" snap.Telemetry.hists with
+          | None -> obs = []
+          | Some h ->
+            Array.fold_left ( + ) 0 h.Telemetry.Hist.counts = List.length obs))
+
+let hist_merge_associative =
+  QCheck.Test.make ~count:200 ~name:"histogram merge is associative"
+    QCheck.(triple float_list float_list float_list)
+    (fun (a, b, c) ->
+      let open Telemetry.Hist in
+      let ha = hist_of a and hb = hist_of b and hc = hist_of c in
+      let l = merge (merge ha hb) hc and r = merge ha (merge hb hc) in
+      l.buckets = r.buckets && l.counts = r.counts && l.count = r.count
+      && Float.abs (l.sum -. r.sum) <= 1e-6 *. (1. +. Float.abs l.sum))
+
+let counters_gen =
+  QCheck.(
+    list_of_size
+      Gen.(int_range 0 20)
+      (pair (oneofl [ "a"; "b"; "c"; "d.e"; "f" ]) small_signed_int))
+
+let counter_merge_associative =
+  QCheck.Test.make ~count:500 ~name:"counter merge is associative"
+    QCheck.(triple counters_gen counters_gen counters_gen)
+    (fun (a, b, c) ->
+      Telemetry.merge_counters (Telemetry.merge_counters a b) c
+      = Telemetry.merge_counters a (Telemetry.merge_counters b c))
+
+let counter_merge_commutative =
+  QCheck.Test.make ~count:500 ~name:"counter merge is commutative"
+    QCheck.(pair counters_gen counters_gen)
+    (fun (a, b) ->
+      Telemetry.merge_counters a b = Telemetry.merge_counters b a)
+
+let suite =
+  [
+    Alcotest.test_case "span shape domain-independent" `Quick
+      span_shape_domain_independent;
+    Alcotest.test_case "counters match workload" `Quick counters_match_workload;
+    Alcotest.test_case "disabled records nothing" `Quick
+      disabled_records_nothing;
+    Alcotest.test_case "span nesting parents" `Quick nesting_parents;
+    Alcotest.test_case "pipeline bridge" `Quick pipeline_bridge;
+    Alcotest.test_case "exporters well-formed" `Quick exporters_well_formed;
+    QCheck_alcotest.to_alcotest hist_counts_sum;
+    QCheck_alcotest.to_alcotest hist_registry_sum;
+    QCheck_alcotest.to_alcotest hist_merge_associative;
+    QCheck_alcotest.to_alcotest counter_merge_associative;
+    QCheck_alcotest.to_alcotest counter_merge_commutative;
+  ]
