@@ -1,12 +1,20 @@
-(* Machine-readable benchmark records.  Each bench writes its results to
-   BENCH_<bench>.json in the working directory — one flat array of
-   {name, wall_ms, throughput} objects — so the perf trajectory can be
-   diffed across PRs (and archived as CI artifacts) without scraping the
-   human-readable tables. *)
+(* Machine-readable benchmark records.  Every bench writes its results
+   through this one emitter to BENCH_<bench>.json in the working directory
+   — one flat array of {name, wall_ms, throughput, extras} objects — so
+   the perf trajectory can be diffed across PRs (and archived as CI
+   artifacts) without scraping the human-readable tables, and tooling can
+   rely on a single schema across benches. *)
 
-type entry = { name : string; wall_ms : float; throughput : float }
+type entry = {
+  name : string;
+  wall_ms : float;
+  throughput : float;
+  extras : (string * float) list;
+      (* bench-specific numeric facts (cell counts, cache hits, ...) *)
+}
 
-let entry ~name ~wall_ms ~throughput = { name; wall_ms; throughput }
+let entry ?extras ~name ~wall_ms ~throughput () =
+  { name; wall_ms; throughput; extras = Option.value extras ~default:[] }
 
 let json_float f = if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
 
@@ -16,9 +24,16 @@ let write ~bench entries =
   output_string oc "[\n";
   List.iteri
     (fun i e ->
-      Printf.fprintf oc "  {\"name\":\"%s\",\"wall_ms\":%s,\"throughput\":%s}%s\n"
+      let extras =
+        String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "\"%s\":%s" k (json_float v))
+             e.extras)
+      in
+      Printf.fprintf oc
+        "  {\"name\":\"%s\",\"wall_ms\":%s,\"throughput\":%s,\"extras\":{%s}}%s\n"
         e.name (json_float e.wall_ms)
-        (json_float e.throughput)
+        (json_float e.throughput) extras
         (if i = List.length entries - 1 then "" else ","))
     entries;
   output_string oc "]\n";

@@ -25,9 +25,12 @@ let bench_design name slug netlist =
   let record run_name (report : Core.Pass.report) =
     let wall_ms = 1000. *. report.Core.Pass.total_s in
     Bench_json.entry
+      ~extras:[ ("cells", float_of_int cells) ]
       ~name:(Printf.sprintf "flowbench.%s.%s" slug run_name)
       ~wall_ms
-      ~throughput:(float_of_int cells /. Float.max 1e-9 report.Core.Pass.total_s)
+      ~throughput:
+        (float_of_int cells /. Float.max 1e-9 report.Core.Pass.total_s)
+      ()
   in
   let r, cold = Flow.Pipeline.run ~cache spec in
   ignore (ok r);

@@ -5,7 +5,8 @@
 let usage () =
   print_endline
     "usage: main.exe [table1|fig2|immunity|fig7|screening|cs1|cs2|summary|\
-     ablation|yield|variation|sta|anneal|drc|mcscale|flowbench|perf|all]"
+     ablation|yield|variation|sta|anneal|drc|mcscale|flowbench|service|\
+     perf|all]"
 
 let all_experiments =
   [
@@ -27,6 +28,7 @@ let all_experiments =
     ("ripple", Experiments.ripple_exp);
     ("mcscale", fun () -> Mc_scaling.run ());
     ("flowbench", Flowbench.run);
+    ("service", Service_bench.run);
   ]
 
 let () =

@@ -29,8 +29,10 @@ let run ?(trials = 10_000) () =
     (throughput trials serial_dt) 1.0 "baseline";
   let records =
     ref
-      [ Bench_json.entry ~name:"mcscale.domains1" ~wall_ms:(1000. *. serial_dt)
-          ~throughput:(throughput trials serial_dt) ]
+      [ Bench_json.entry
+          ~extras:[ ("domains", 1.); ("trials", float_of_int trials) ]
+          ~name:"mcscale.domains1" ~wall_ms:(1000. *. serial_dt)
+          ~throughput:(throughput trials serial_dt) () ]
   in
   let cores = Domain.recommended_domain_count () in
   let mismatches = ref 0 in
@@ -41,8 +43,11 @@ let run ?(trials = 10_000) () =
       if not same then incr mismatches;
       records :=
         Bench_json.entry
+          ~extras:
+            [ ("domains", float_of_int domains);
+              ("trials", float_of_int trials) ]
           ~name:(Printf.sprintf "mcscale.domains%d" domains)
-          ~wall_ms:(1000. *. dt) ~throughput:(throughput trials dt)
+          ~wall_ms:(1000. *. dt) ~throughput:(throughput trials dt) ()
         :: !records;
       Printf.printf "  %8d %10.3f %12.0f %8.2fx %9s\n" domains dt
         (throughput trials dt) (serial_dt /. dt)

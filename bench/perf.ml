@@ -45,7 +45,7 @@ let bench_transient =
     }
   in
   Test.make ~name:"circuit/fo4_chain_transient"
-    (Staged.stage (fun () -> ignore (Circuit.Inverter_chain.fo4 ~vdd:1.0 inv)))
+    (Staged.stage (fun () -> ignore (Circuit.Inverter_chain.fo4_exn ~vdd:1.0 inv)))
 
 let bench_gds =
   let fn = Logic.Cell_fun.nand 3 in

@@ -1,0 +1,69 @@
+(* Throughput of the job scheduler: jobs/sec over a batch of distinct
+   fault campaigns, at 1 vs 4 worker domains, cold cache vs warm
+   (immediate resubmission of the same batch).  The warm rows measure pure
+   scheduler + cache-lookup overhead — every job is answered from the
+   digest-keyed result cache without running.  Results land in
+   BENCH_service.json for cross-PR tracking. *)
+
+let jobs =
+  (* distinct seeds -> distinct digests -> no accidental cache hits on
+     the cold pass *)
+  List.init 6 (fun i ->
+      Service.Job.fault ~trials:600 ~seed:(1000 + i) "NAND3")
+
+let batch sched =
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun job ->
+      match Service.Scheduler.submit sched job with
+      | Ok _ -> ()
+      | Error d -> failwith (Core.Diag.to_string d))
+    jobs;
+  let completions = Service.Scheduler.drain sched in
+  let dt = Unix.gettimeofday () -. t0 in
+  List.iter
+    (fun (c : Service.Scheduler.completion) ->
+      match c.Service.Scheduler.outcome with
+      | Service.Scheduler.Done _ -> ()
+      | _ -> failwith "service bench job did not complete")
+    completions;
+  dt
+
+let run () =
+  print_newline ();
+  print_endline "Job-scheduler throughput (6 fault campaigns, NAND3)";
+  print_endline "===================================================";
+  Printf.printf "  %8s %6s %10s %10s %11s\n" "domains" "cache" "time (s)"
+    "jobs/sec" "cache hits";
+  let n = List.length jobs in
+  let records =
+    List.concat_map
+      (fun domains ->
+        let config =
+          { Service.Scheduler.default_config with domains }
+        in
+        Service.Scheduler.with_scheduler ~config (fun sched ->
+            let row label dt =
+              let s = Service.Scheduler.stats sched in
+              Printf.printf "  %8d %6s %10.3f %10.1f %11d\n" domains label dt
+                (float_of_int n /. Float.max 1e-9 dt)
+                s.Service.Scheduler.cache_hits;
+              Bench_json.entry
+                ~extras:
+                  [
+                    ("domains", float_of_int domains);
+                    ("jobs", float_of_int n);
+                    ("cache_hits",
+                     float_of_int s.Service.Scheduler.cache_hits);
+                    ("executed", float_of_int s.Service.Scheduler.executed);
+                  ]
+                ~name:(Printf.sprintf "service.%s.domains%d" label domains)
+                ~wall_ms:(1000. *. dt)
+                ~throughput:(float_of_int n /. Float.max 1e-9 dt) ()
+            in
+            let cold = row "cold" (batch sched) in
+            let warm = row "warm" (batch sched) in
+            [ cold; warm ]))
+      [ 1; 4 ]
+  in
+  Bench_json.write ~bench:"service" records

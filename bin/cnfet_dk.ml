@@ -354,7 +354,7 @@ let fo4_cmd =
     let tech = Device.Cnfet.default_tech in
     let mos = Device.Mosfet.default_tech in
     let cn =
-      Circuit.Inverter_chain.fo4 ~vdd:1.0 (fun () ->
+      Circuit.Inverter_chain.fo4_exn ~vdd:1.0 (fun () ->
           {
             Circuit.Inverter_chain.pull_up =
               Device.Cnfet.make tech ~polarity:Device.Model.Pfet ~tubes
@@ -365,7 +365,7 @@ let fo4_cmd =
           })
     in
     let cm =
-      Circuit.Inverter_chain.fo4 ~vdd:1.0 (fun () ->
+      Circuit.Inverter_chain.fo4_exn ~vdd:1.0 (fun () ->
           {
             Circuit.Inverter_chain.pull_up =
               Device.Mosfet.make mos ~polarity:Device.Model.Pfet
@@ -392,6 +392,96 @@ let fo4_cmd =
   let doc = "FO4 inverter-chain comparison (case study 1)." in
   Cmd.v (Cmd.info "fo4" ~doc) Term.(const run $ tubes)
 
+(* serve *)
+
+let serve_cmd =
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for intra-job parallelism (campaign \
+                 map-reduce, sweep fan-out).  Job results are \
+                 bit-identical for every N.")
+  in
+  let capacity =
+    Arg.(value & opt int 64 & info [ "capacity" ] ~docv:"N"
+           ~doc:"Maximum queued jobs; further submissions are rejected \
+                 with a structured diagnostic (backpressure, not a hang).")
+  in
+  let cache_dir =
+    Arg.(value & opt string "_artifacts/service_cache"
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Directory for the persisted result cache (one JSON \
+                   file per job digest).")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ]
+           ~doc:"Disable the persisted result cache (the in-memory cache \
+                 still deduplicates within the session).")
+  in
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Serve on a Unix-domain socket at $(docv) instead of \
+                 stdin/stdout.")
+  in
+  let connections =
+    Arg.(value & opt int 1 & info [ "connections" ] ~docv:"N"
+           ~doc:"With --socket: number of sequential connections to \
+                 serve before exiting (the result cache persists across \
+                 them).")
+  in
+  let replay =
+    Arg.(value & flag & info [ "replay" ]
+           ~doc:"Deterministic mode: drive the scheduler on a virtual \
+                 clock so queue waits, timestamps and completion records \
+                 are exact functions of the request stream.")
+  in
+  let run domains capacity cache_dir no_cache socket connections replay
+      telemetry trace_out =
+    or_diag_exit @@ fun () ->
+    telemetry_start telemetry trace_out;
+    let config =
+      {
+        Service.Scheduler.default_config with
+        domains;
+        capacity;
+        cache_dir = (if no_cache then None else Some cache_dir);
+        clock =
+          (if replay then Service.Scheduler.Virtual
+           else Service.Scheduler.Wall);
+      }
+    in
+    Service.Scheduler.with_scheduler ~config (fun sched ->
+        match socket with
+        | Some path ->
+          Service.Server.serve_socket ~connections sched ~path
+        | None -> Service.Server.serve sched stdin stdout);
+    (* stdout is the NDJSON stream; the telemetry summary goes to stderr *)
+    if telemetry_wanted telemetry trace_out then begin
+      Telemetry.disable ();
+      let snap = Telemetry.collect () in
+      (match trace_out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Telemetry.chrome_trace snap);
+        output_char oc '\n';
+        close_out oc;
+        Printf.eprintf "wrote trace %s\n" path
+      | None -> ());
+      match telemetry with
+      | Some `Text -> prerr_string (Telemetry.summary_to_text snap)
+      | Some `Json -> prerr_endline (Telemetry.summary_to_json snap)
+      | None -> ()
+    end;
+    0
+  in
+  let doc =
+    "Serve design-kit jobs over NDJSON (one JSON request per line on \
+     stdin, one response per line on stdout; see DESIGN.md for the \
+     protocol).  Exits cleanly when input ends and the queue drains."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ domains $ capacity $ cache_dir $ no_cache $ socket
+          $ connections $ replay $ telemetry_arg $ trace_out_arg)
+
 let () =
   let doc = "CNFET design kit: imperfection-immune layouts, logic-to-GDSII." in
   let info = Cmd.info "cnfet_dk" ~version:"1.0.0" ~doc in
@@ -399,4 +489,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ layout_cmd; fault_cmd; table1_cmd; characterize_cmd; flow_cmd;
-            fo4_cmd ]))
+            fo4_cmd; serve_cmd ]))

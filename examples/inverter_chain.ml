@@ -18,7 +18,7 @@ let cmos () =
         Device.Mosfet.make mos ~polarity:Device.Model.Nfet ~width_nm ();
     }
   in
-  Circuit.Inverter_chain.fo4 ~vdd inv
+  Circuit.Inverter_chain.fo4_exn ~vdd inv
 
 let cnfet tubes =
   let tech = Device.Cnfet.default_tech in
@@ -30,7 +30,7 @@ let cnfet tubes =
         Device.Cnfet.make tech ~polarity:Device.Model.Nfet ~tubes ~width_nm ();
     }
   in
-  Circuit.Inverter_chain.fo4 ~vdd inv
+  Circuit.Inverter_chain.fo4_exn ~vdd inv
 
 let () =
   let cm = cmos () in

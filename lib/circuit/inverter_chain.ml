@@ -12,10 +12,20 @@ let mean = function
   | [] -> nan
   | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
 
+let stage_name = "circuit.fo4"
+
 let fo4 ?(stages = 5) ?(fanout = 4) ?(measured_stage = 3) ?(period = 1e-9)
     ?config ~vdd make_inverter =
-  if measured_stage < 1 || measured_stage > stages then
-    invalid_arg "Inverter_chain.fo4: measured stage out of range";
+  if stages < 1 then
+    Core.Diag.failf ~stage:stage_name "chain needs at least one stage, got %d"
+      stages
+  else if fanout < 1 then
+    Core.Diag.failf ~stage:stage_name "fanout must be >= 1, got %d" fanout
+  else if measured_stage < 1 || measured_stage > stages then
+    Core.Diag.failf ~stage:stage_name
+      ~context:[ ("stages", string_of_int stages) ]
+      "measured stage %d out of range" measured_stage
+  else begin
   let net = Netlist.create () in
   let vdd_node = Netlist.node net "vdd" in
   let vdd_meas = Netlist.node net "vdd_meas" in
@@ -74,19 +84,34 @@ let fo4 ?(stages = 5) ?(fanout = 4) ?(measured_stage = 3) ?(period = 1e-9)
   let rises = delays Waveform.Falling  (* falling input -> rising output *)
   and falls = delays Waveform.Rising in
   if rises = [] && falls = [] then
-    failwith "Inverter_chain.fo4: no output transitions observed";
-  let rise_delay = mean rises and fall_delay = mean falls in
-  let delay = mean (rises @ falls) in
-  (* two warm periods measured: energy per cycle is half the measured-stage
-     supply energy over those periods; subtract nothing — leakage is
-     negligible at these time scales *)
-  let energy_total = Transient.energy_from r vdd_meas in
-  let warmup_fraction = 1. /. 3. in
-  let energy_per_cycle = energy_total *. (1. -. warmup_fraction) /. 2. in
-  {
-    delay;
-    energy_per_cycle;
-    rise_delay;
-    fall_delay;
-    steps = r.Transient.steps;
-  }
+    Core.Diag.failf ~stage:stage_name
+      ~context:
+        [
+          ("period_s", Printf.sprintf "%g" period);
+          ("solver_steps", string_of_int r.Transient.steps);
+        ]
+      "no output transitions observed (broken model or period too short)"
+  else begin
+    let rise_delay = mean rises and fall_delay = mean falls in
+    let delay = mean (rises @ falls) in
+    (* two warm periods measured: energy per cycle is half the
+       measured-stage supply energy over those periods; subtract nothing —
+       leakage is negligible at these time scales *)
+    let energy_total = Transient.energy_from r vdd_meas in
+    let warmup_fraction = 1. /. 3. in
+    let energy_per_cycle = energy_total *. (1. -. warmup_fraction) /. 2. in
+    Ok
+      {
+        delay;
+        energy_per_cycle;
+        rise_delay;
+        fall_delay;
+        steps = r.Transient.steps;
+      }
+  end
+  end
+
+let fo4_exn ?stages ?fanout ?measured_stage ?period ?config ~vdd make_inverter
+    =
+  Core.Diag.ok_exn
+    (fo4 ?stages ?fanout ?measured_stage ?period ?config ~vdd make_inverter)

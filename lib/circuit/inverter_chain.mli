@@ -17,8 +17,16 @@ type measurement = {
 }
 
 val fo4 : ?stages:int -> ?fanout:int -> ?measured_stage:int -> ?period:float
-  -> ?config:Transient.config -> vdd:float -> (unit -> inverter) -> measurement
+  -> ?config:Transient.config -> vdd:float -> (unit -> inverter)
+  -> (measurement, Core.Diag.t) result
 (** Build, simulate and measure the chain.  Defaults: 5 stages, fanout 4,
     stage 3 measured, 1 ns input period (three periods simulated, first
-    discarded as warm-up).
-    @raise Failure when no output crossings are observed (broken model). *)
+    discarded as warm-up).  Errors — out-of-range parameters, or a run
+    with no output crossings (broken model, period too short) — are
+    structured diagnostics with stage ["circuit.fo4"]. *)
+
+val fo4_exn : ?stages:int -> ?fanout:int -> ?measured_stage:int
+  -> ?period:float -> ?config:Transient.config -> vdd:float
+  -> (unit -> inverter) -> measurement
+(** {!fo4}, raising [Core.Diag.Failure] on error.  For benches and tests
+    that assert the measurement cannot fail. *)

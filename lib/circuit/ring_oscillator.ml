@@ -4,9 +4,13 @@ type measurement = {
   periods_observed : int;
 }
 
+let stage_name = "circuit.ring"
+
 let run ?(stages = 5) ?(t_stop = 3e-9) ?config ~vdd make_inverter =
   if stages < 3 || stages mod 2 = 0 then
-    invalid_arg "Ring_oscillator.run: stages must be odd and >= 3";
+    Core.Diag.failf ~stage:stage_name "stages must be odd and >= 3, got %d"
+      stages
+  else begin
   let net = Netlist.create () in
   let vdd_node = Netlist.node net "vdd" in
   Netlist.add_vsource net vdd_node (Stimulus.dc vdd);
@@ -45,9 +49,17 @@ let run ?(stages = 5) ?(t_stop = 3e-9) ?config ~vdd make_inverter =
     let periods = List.length rest in
     let period = (last -. a) /. float_of_int periods in
     let frequency_hz = 1. /. period in
-    {
-      frequency_hz;
-      stage_delay_s = period /. (2. *. float_of_int stages);
-      periods_observed = periods;
-    }
-  | _ -> failwith "Ring_oscillator.run: no sustained oscillation observed"
+    Ok
+      {
+        frequency_hz;
+        stage_delay_s = period /. (2. *. float_of_int stages);
+        periods_observed = periods;
+      }
+  | _ ->
+    Core.Diag.failf ~stage:stage_name
+      ~context:[ ("t_stop_s", Printf.sprintf "%g" t_stop) ]
+      "no sustained oscillation observed (increase t_stop)"
+  end
+
+let run_exn ?stages ?t_stop ?config ~vdd make_inverter =
+  Core.Diag.ok_exn (run ?stages ?t_stop ?config ~vdd make_inverter)

@@ -10,7 +10,13 @@ type measurement = {
 }
 
 val run : ?stages:int -> ?t_stop:float -> ?config:Transient.config
-  -> vdd:float -> (unit -> Inverter_chain.inverter) -> measurement
+  -> vdd:float -> (unit -> Inverter_chain.inverter)
+  -> (measurement, Core.Diag.t) result
 (** Default 5 stages.  A small kick-start charge breaks the metastable
-    midpoint.  @raise Failure when fewer than two full oscillation periods
-    are observed (increase [t_stop]). *)
+    midpoint.  Errors — an even or too-short ring, or fewer than two full
+    oscillation periods observed (increase [t_stop]) — are structured
+    diagnostics with stage ["circuit.ring"]. *)
+
+val run_exn : ?stages:int -> ?t_stop:float -> ?config:Transient.config
+  -> vdd:float -> (unit -> Inverter_chain.inverter) -> measurement
+(** {!run}, raising [Core.Diag.Failure] on error. *)

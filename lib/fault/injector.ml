@@ -66,7 +66,7 @@ let style_slug = function
    the guarantee to the observability output. *)
 let chunk_for trials = max 1 ((trials + 31) / 32)
 
-let run ?(domains = 1) config (cell : Layout.Cell.t) =
+let run ?pool ?(domains = 1) config (cell : Layout.Cell.t) =
   validate config;
   let style = style_slug cell.Layout.Cell.style in
   Telemetry.with_span "fault.campaign"
@@ -105,12 +105,19 @@ let run ?(domains = 1) config (cell : Layout.Cell.t) =
     Telemetry.counter_add ("fault." ^ style ^ ".immune") (n - !failures);
     (!failures, !shorts, !stray)
   in
+  let campaign pool =
+    Parallel.Pool.map_reduce ~chunk:(chunk_for config.trials) pool ~lo:0
+      ~hi:config.trials ~map
+      ~reduce:(fun (a, b, c) (d, e, f) -> (a + d, b + e, c + f))
+      ~init:(0, 0, 0)
+  in
   let failures, shorts, stray =
-    Parallel.Pool.with_pool ~domains (fun pool ->
-        Parallel.Pool.map_reduce ~chunk:(chunk_for config.trials) pool ~lo:0
-          ~hi:config.trials ~map
-          ~reduce:(fun (a, b, c) (d, e, f) -> (a + d, b + e, c + f))
-          ~init:(0, 0, 0))
+    (* A caller-supplied pool (the job service's long-lived workers) is
+       reused as is; chunking stays pinned to the workload either way, so
+       the outcome and the span tree are identical on any pool. *)
+    match pool with
+    | Some pool -> campaign pool
+    | None -> Parallel.Pool.with_pool ~domains campaign
   in
   {
     trials = config.trials;

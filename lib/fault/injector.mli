@@ -39,12 +39,16 @@ type outcome = {
 
 val failure_rate : outcome -> float
 
-val run : ?domains:int -> config -> Layout.Cell.t -> outcome
+val run : ?pool:Parallel.Pool.t -> ?domains:int -> config -> Layout.Cell.t
+  -> outcome
 (** Monte-Carlo campaign over the cell, on [domains] OCaml domains
-    (default 1, i.e. serial).  Fabric geometry and the nominal row graph
-    are precomputed once and shared read-only across the workers.
-    Deterministic: the outcome depends only on [config], never on
-    [domains] or scheduling.
+    (default 1, i.e. serial).  When [?pool] is given the campaign runs on
+    that existing pool instead of spawning one ([domains] is then
+    ignored) — the job service reuses its long-lived workers this way.
+    Fabric geometry and the nominal row graph are precomputed once and
+    shared read-only across the workers.  Deterministic: the outcome
+    depends only on [config], never on [domains], the pool size or
+    scheduling.
 
     When {!Telemetry.enabled}, the campaign records a [fault.campaign]
     span with one [fault.chunk] child per work chunk (chunking is pinned

@@ -55,6 +55,11 @@ let place_params s =
       Printf.sprintf "anneal:%d:%g:%d" c.Anneal.iterations c.Anneal.start_temp
         c.Anneal.seed)
 
+let spec_digest s =
+  Digest.to_hex
+    (Digest.string
+       (source_digest s.source ^ ":" ^ place_params s ^ ":" ^ s.top_name))
+
 (* Stage artifacts thread the spec along so downstream passes see their
    parameters without the passes themselves being parameterized (they must
    be top-level values for the artifact cache to work across runs). *)

@@ -42,6 +42,17 @@ val pass_names : string list
 (** The pass names in execution order:
     ["parse"; "validate"; "place"; "layout"; "export"]. *)
 
+val source_digest : [ `Text of string | `Netlist of Netlist_ir.t ] -> string
+(** The fingerprint the [parse] pass is keyed on — exposed so callers
+    above the flow (the job service's result cache) can agree with the
+    pipeline on what "the same design source" means. *)
+
+val spec_digest : spec -> string
+(** Fingerprint of the complete spec: source digest plus every placement
+    parameter ([lib], [scheme], [aspect], [anneal], [top_name]).  Two
+    specs with equal digests produce identical flow results, so this is a
+    sound whole-run cache key. *)
+
 val telemetry_trace : Core.Pass.trace_event -> unit
 (** Bridge from pass-manager trace events to {!Telemetry} spans: each
     Enter/Exit pair becomes a span carrying the pass's artifact counters

@@ -1,0 +1,295 @@
+type flow_source =
+  | Full_adder
+  | Ripple of int
+  | Netlist_text of string
+
+type flow_job = {
+  source : flow_source;
+  scheme : [ `S1 | `S2 ];
+  aspect : float;
+}
+
+type fault_job = {
+  cell : string;
+  drive : int;
+  style : Layout.Cell.style;
+  trials : int;
+  tracks_per_trial : int;
+  max_angle_deg : float;
+  seed : int;
+}
+
+type characterize_job = {
+  char_cell : string;
+  char_drive : int;
+  loads : int list;
+}
+
+type t =
+  | Flow of flow_job
+  | Fault of fault_job
+  | Characterize of characterize_job
+
+let flow ?(scheme = `S2) ?(aspect = 1.0) source = Flow { source; scheme; aspect }
+
+let fault ?(drive = 4) ?(style = Layout.Cell.Immune_new) ?(trials = 1000)
+    ?(tracks_per_trial = 3) ?(max_angle_deg = 8.) ?(seed = 42) cell =
+  Fault { cell; drive; style; trials; tracks_per_trial; max_angle_deg; seed }
+
+let characterize ?(drive = 1) ?(loads = [ 1; 2; 4 ]) cell =
+  Characterize { char_cell = cell; char_drive = drive; loads }
+
+let kind = function
+  | Flow _ -> "flow"
+  | Fault _ -> "fault"
+  | Characterize _ -> "characterize"
+
+let scheme_string = function `S1 -> "s1" | `S2 -> "s2"
+
+let style_string = function
+  | Layout.Cell.Immune_new -> "new"
+  | Layout.Cell.Immune_old -> "old"
+  | Layout.Cell.Vulnerable -> "vulnerable"
+  | Layout.Cell.Cmos -> "cmos"
+
+let style_of_string = function
+  | "new" -> Some Layout.Cell.Immune_new
+  | "old" -> Some Layout.Cell.Immune_old
+  | "vulnerable" -> Some Layout.Cell.Vulnerable
+  | "cmos" -> Some Layout.Cell.Cmos
+  | _ -> None
+
+let source_describe = function
+  | Full_adder -> "full_adder"
+  | Ripple bits -> Printf.sprintf "ripple%d" bits
+  | Netlist_text _ -> "netlist"
+
+let describe = function
+  | Flow j ->
+    Printf.sprintf "flow %s scheme=%s aspect=%g" (source_describe j.source)
+      (scheme_string j.scheme) j.aspect
+  | Fault j ->
+    Printf.sprintf "fault %s_%dX style=%s trials=%d" j.cell j.drive
+      (style_string j.style) j.trials
+  | Characterize j ->
+    Printf.sprintf "characterize %s_%dX loads=%s" j.char_cell j.char_drive
+      (String.concat "," (List.map string_of_int j.loads))
+
+let stage = "service.job"
+
+let validate = function
+  | Flow j ->
+    if j.aspect <= 0. || not (Float.is_finite j.aspect) then
+      Core.Diag.failf ~stage
+        ~context:[ ("aspect", string_of_float j.aspect) ]
+        "flow job: aspect must be positive and finite"
+    else (
+      match j.source with
+      | Ripple bits when bits < 1 || bits > 64 ->
+        Core.Diag.failf ~stage
+          ~context:[ ("bits", string_of_int bits) ]
+          "flow job: ripple bits must be in 1..64"
+      | Netlist_text "" ->
+        Core.Diag.fail ~stage "flow job: empty netlist text"
+      | _ -> Ok ())
+  | Fault j ->
+    if Logic.Cell_fun.find_opt j.cell = None then
+      Core.Diag.failf ~stage
+        ~context:[ ("cell", j.cell) ]
+        "fault job: unknown cell function %s" j.cell
+    else if j.drive < 1 then
+      Core.Diag.failf ~stage
+        ~context:[ ("drive", string_of_int j.drive) ]
+        "fault job: drive must be positive"
+    else if j.trials <= 0 then
+      Core.Diag.failf ~stage
+        ~context:[ ("trials", string_of_int j.trials) ]
+        "fault job: trials must be positive"
+    else if j.tracks_per_trial < 0 then
+      Core.Diag.failf ~stage
+        ~context:[ ("tracks_per_trial", string_of_int j.tracks_per_trial) ]
+        "fault job: tracks_per_trial must be non-negative"
+    else Ok ()
+  | Characterize j ->
+    if Logic.Cell_fun.find_opt j.char_cell = None then
+      Core.Diag.failf ~stage
+        ~context:[ ("cell", j.char_cell) ]
+        "characterize job: unknown cell function %s" j.char_cell
+    else if j.char_drive < 1 then
+      Core.Diag.failf ~stage
+        ~context:[ ("drive", string_of_int j.char_drive) ]
+        "characterize job: drive must be positive"
+    else if j.loads = [] then
+      Core.Diag.fail ~stage "characterize job: empty load sweep"
+    else (
+      match List.find_opt (fun l -> l < 0) j.loads with
+      | Some l ->
+        Core.Diag.failf ~stage
+          ~context:[ ("load", string_of_int l) ]
+          "characterize job: loads must be non-negative"
+      | None -> Ok ())
+
+(* The cache key: a stable fingerprint of every field that affects the
+   result.  Flow jobs reuse the pipeline's own source digests so the
+   service and a direct Flow.Pipeline run agree on input identity. *)
+let digest t =
+  let canonical =
+    match t with
+    | Flow j ->
+      let src =
+        match j.source with
+        | Full_adder ->
+          Flow.Pipeline.source_digest (`Netlist (Flow.Full_adder.netlist ()))
+        | Ripple bits -> Printf.sprintf "ripple:%d" bits
+        | Netlist_text text -> Flow.Pipeline.source_digest (`Text text)
+      in
+      Printf.sprintf "flow:%s:%s:%g" src (scheme_string j.scheme) j.aspect
+    | Fault j ->
+      Printf.sprintf "fault:%s:%d:%s:%d:%d:%g:%d" j.cell j.drive
+        (style_string j.style) j.trials j.tracks_per_trial j.max_angle_deg
+        j.seed
+    | Characterize j ->
+      Printf.sprintf "characterize:%s:%d:%s" j.char_cell j.char_drive
+        (String.concat "," (List.map string_of_int j.loads))
+  in
+  kind t ^ "-" ^ Digest.to_hex (Digest.string canonical)
+
+let to_json t =
+  match t with
+  | Flow j ->
+    let source_fields =
+      match j.source with
+      | Full_adder -> [ ("design", Json.Str "full_adder") ]
+      | Ripple bits -> [ ("design", Json.Str "ripple"); ("bits", Json.int bits) ]
+      | Netlist_text text ->
+        [ ("design", Json.Str "netlist"); ("text", Json.Str text) ]
+    in
+    Json.Obj
+      ((("kind", Json.Str "flow") :: source_fields)
+      @ [
+          ("scheme", Json.Str (scheme_string j.scheme));
+          ("aspect", Json.Num j.aspect);
+        ])
+  | Fault j ->
+    Json.Obj
+      [
+        ("kind", Json.Str "fault");
+        ("cell", Json.Str j.cell);
+        ("drive", Json.int j.drive);
+        ("style", Json.Str (style_string j.style));
+        ("trials", Json.int j.trials);
+        ("tracks_per_trial", Json.int j.tracks_per_trial);
+        ("max_angle_deg", Json.Num j.max_angle_deg);
+        ("seed", Json.int j.seed);
+      ]
+  | Characterize j ->
+    Json.Obj
+      [
+        ("kind", Json.Str "characterize");
+        ("cell", Json.Str j.char_cell);
+        ("drive", Json.int j.char_drive);
+        ("loads", Json.Arr (List.map Json.int j.loads));
+      ]
+
+(* Decoding helpers: each accessor failure names the member, so protocol
+   errors pin down exactly which field was missing or ill-typed. *)
+
+let get_field name conv what j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None ->
+    Core.Diag.failf ~stage:"service.protocol"
+      ~context:[ ("member", name) ]
+      "job: missing or ill-typed member %S (expected %s)" name what
+
+let get_default name conv what default j =
+  match Json.member name j with
+  | None -> Ok default
+  | Some _ -> get_field name conv what j
+
+let ( let* ) = Result.bind
+
+let of_json j =
+  let* k = get_field "kind" Json.to_str "string" j in
+  match k with
+  | "flow" ->
+    let* design = get_default "design" Json.to_str "string" "full_adder" j in
+    let* source =
+      match design with
+      | "full_adder" -> Ok Full_adder
+      | "ripple" ->
+        let* bits = get_default "bits" Json.to_int "int" 8 j in
+        Ok (Ripple bits)
+      | "netlist" ->
+        let* text = get_field "text" Json.to_str "string" j in
+        Ok (Netlist_text text)
+      | other ->
+        Core.Diag.failf ~stage:"service.protocol"
+          ~context:[ ("design", other) ]
+          "flow job: unknown design %S (expected full_adder, ripple or \
+           netlist)"
+          other
+    in
+    let* scheme_s = get_default "scheme" Json.to_str "string" "s2" j in
+    let* scheme =
+      match String.lowercase_ascii scheme_s with
+      | "s1" | "1" -> Ok `S1
+      | "s2" | "2" -> Ok `S2
+      | other ->
+        Core.Diag.failf ~stage:"service.protocol"
+          ~context:[ ("scheme", other) ]
+          "flow job: unknown scheme %S (expected s1 or s2)" other
+    in
+    let* aspect = get_default "aspect" Json.to_float "number" 1.0 j in
+    Ok (Flow { source; scheme; aspect })
+  | "fault" ->
+    let* cell = get_field "cell" Json.to_str "string" j in
+    let* drive = get_default "drive" Json.to_int "int" 4 j in
+    let* style_s = get_default "style" Json.to_str "string" "new" j in
+    let* style =
+      match style_of_string style_s with
+      | Some s -> Ok s
+      | None ->
+        Core.Diag.failf ~stage:"service.protocol"
+          ~context:[ ("style", style_s) ]
+          "fault job: unknown style %S (expected new, old, vulnerable or \
+           cmos)"
+          style_s
+    in
+    let* trials = get_default "trials" Json.to_int "int" 1000 j in
+    let* tracks_per_trial =
+      get_default "tracks_per_trial" Json.to_int "int" 3 j
+    in
+    let* max_angle_deg =
+      get_default "max_angle_deg" Json.to_float "number" 8.0 j
+    in
+    let* seed = get_default "seed" Json.to_int "int" 42 j in
+    Ok
+      (Fault
+         { cell; drive; style; trials; tracks_per_trial; max_angle_deg; seed })
+  | "characterize" ->
+    let* char_cell = get_field "cell" Json.to_str "string" j in
+    let* char_drive = get_default "drive" Json.to_int "int" 1 j in
+    let* loads_json =
+      get_default "loads" Json.to_list "array"
+        [ Json.int 1; Json.int 2; Json.int 4 ]
+        j
+    in
+    let* loads =
+      List.fold_left
+        (fun acc x ->
+          let* acc = acc in
+          match Json.to_int x with
+          | Some l -> Ok (l :: acc)
+          | None ->
+            Core.Diag.fail ~stage:"service.protocol"
+              ~context:[ ("member", "loads") ]
+              "characterize job: loads must be an array of ints")
+        (Ok []) loads_json
+      |> Result.map List.rev
+    in
+    Ok (Characterize { char_cell; char_drive; loads })
+  | other ->
+    Core.Diag.failf ~stage:"service.protocol"
+      ~context:[ ("kind", other) ]
+      "job: unknown kind %S (expected flow, fault or characterize)" other

@@ -1,0 +1,85 @@
+(** Typed job descriptions for the design-kit service.
+
+    A job is a self-contained, serializable request for one of the
+    kit's heavy workloads: a {!Flow} run (netlist to GDSII), a {!Fault}
+    Monte-Carlo campaign, or a {!Characterize} load sweep.  Jobs carry
+    everything needed to reproduce the computation — the scheduler's
+    result cache is keyed on {!digest}, a stable fingerprint of the
+    description (flow jobs reuse the {!Flow.Pipeline} source digests, so
+    a job and a direct pipeline run agree on what "the same input"
+    means). *)
+
+type flow_source =
+  | Full_adder  (** the paper's Figure-8 case study *)
+  | Ripple of int  (** N-bit ripple-carry adder (flow scaling workload) *)
+  | Netlist_text of string  (** inline {!Flow.Netlist_ir.of_string} text *)
+
+type flow_job = {
+  source : flow_source;
+  scheme : [ `S1 | `S2 ];
+  aspect : float;  (** target die aspect ratio *)
+}
+
+type fault_job = {
+  cell : string;  (** cell-function name, e.g. "NAND2" *)
+  drive : int;
+  style : Layout.Cell.style;
+  trials : int;
+  tracks_per_trial : int;
+  max_angle_deg : float;
+  seed : int;
+}
+
+type characterize_job = {
+  char_cell : string;
+  char_drive : int;
+  loads : int list;  (** INV1X load sweep points, in order *)
+}
+
+type t =
+  | Flow of flow_job
+  | Fault of fault_job
+  | Characterize of characterize_job
+
+val flow : ?scheme:[ `S1 | `S2 ] -> ?aspect:float -> flow_source -> t
+(** Defaults: [`S2], aspect 1.0. *)
+
+val fault :
+  ?drive:int -> ?style:Layout.Cell.style -> ?trials:int ->
+  ?tracks_per_trial:int -> ?max_angle_deg:float -> ?seed:int -> string -> t
+(** Defaults mirror {!Fault.Injector.default_config} (drive 4, immune-new
+    style). *)
+
+val characterize : ?drive:int -> ?loads:int list -> string -> t
+(** Defaults: drive 1, loads [[1; 2; 4]]. *)
+
+val kind : t -> string
+(** ["flow"], ["fault"] or ["characterize"] — the cache-key prefix and the
+    protocol discriminator. *)
+
+val style_string : Layout.Cell.style -> string
+(** ["new"], ["old"], ["vulnerable"] or ["cmos"] — the protocol spelling
+    (matching the CLI's [--style] values). *)
+
+val style_of_string : string -> Layout.Cell.style option
+
+val describe : t -> string
+(** One-line human summary for logs and telemetry attributes. *)
+
+val validate : t -> (unit, Core.Diag.t) result
+(** Admission-control check: field domains a queued job would only
+    discover at run time (non-positive trials, empty load sweep, unknown
+    layout style never happens — it is typed — but unknown cells do).
+    Rejected submissions never enter the queue. *)
+
+val digest : t -> string
+(** Stable hex fingerprint of the full description; the result-cache
+    key.  Flow jobs incorporate {!Flow.Pipeline.source_digest} of their
+    resolved source, so the key agrees with the pipeline's own notion of
+    input identity. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, Core.Diag.t) result
+(** Protocol codec.  [of_json] validates shape only ({!validate} runs at
+    submission); unknown [kind]s and missing/ill-typed fields are
+    structured diagnostics naming the offending member. *)

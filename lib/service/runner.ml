@@ -1,0 +1,139 @@
+let ( let* ) = Result.bind
+
+let rules = Pdk.Rules.default
+
+(* Flow jobs: resolve the source to a netlist, build the library the
+   design needs, run the staged pipeline.  The result document carries
+   sizes and metrics, never timings — see the mli determinism note. *)
+
+let resolve_source = function
+  | Job.Full_adder -> Ok (Flow.Full_adder.netlist ())
+  | Job.Ripple bits -> Flow.Ripple_adder.netlist ~bits
+  | Job.Netlist_text text -> Flow.Netlist_ir.of_string text
+
+let run_flow ~pass_cache (j : Job.flow_job) =
+  let* netlist = resolve_source j.Job.source in
+  let drives =
+    List.sort_uniq Stdlib.compare
+      (List.map
+         (fun (i : Flow.Netlist_ir.instance) -> i.Flow.Netlist_ir.drive)
+         netlist.Flow.Netlist_ir.instances)
+  in
+  let* lib = Stdcell.Library.cnfet ~drives () in
+  let spec =
+    Flow.Pipeline.spec_of_netlist ~scheme:j.Job.scheme ~aspect:j.Job.aspect
+      ~lib netlist
+  in
+  let result, _report = Flow.Pipeline.run ~cache:pass_cache spec in
+  let* r = result in
+  let p = r.Flow.Pipeline.placement in
+  Ok
+    (Json.Obj
+       [
+         ("design", Json.Str netlist.Flow.Netlist_ir.design);
+         ("instances",
+          Json.int (List.length netlist.Flow.Netlist_ir.instances));
+         ("unique_cells", Json.int (List.length r.Flow.Pipeline.cells));
+         ("die_width", Json.int p.Flow.Placer.die_width);
+         ("die_height", Json.int p.Flow.Placer.die_height);
+         ("utilization", Json.Num (Flow.Placer.utilization p));
+         ("gds_bytes", Json.int (String.length r.Flow.Pipeline.gds_bytes));
+         ("spec_digest", Json.Str (Flow.Pipeline.spec_digest spec));
+       ])
+
+let run_fault ~pool (j : Job.fault_job) =
+  let* fn =
+    match Logic.Cell_fun.find_opt j.Job.cell with
+    | Some fn -> Ok fn
+    | None ->
+      Core.Diag.failf ~stage:"service.run"
+        ~context:[ ("cell", j.Job.cell) ]
+        "unknown cell function %s" j.Job.cell
+  in
+  let* cell =
+    Layout.Cell.make ~rules ~fn ~style:j.Job.style
+      ~scheme:Layout.Cell.Scheme1 ~drive:j.Job.drive
+  in
+  let config =
+    {
+      Fault.Injector.trials = j.Job.trials;
+      tracks_per_trial = j.Job.tracks_per_trial;
+      max_angle_deg = j.Job.max_angle_deg;
+      margin = Fault.Injector.default_config.Fault.Injector.margin;
+      seed = j.Job.seed;
+    }
+  in
+  let o = Fault.Injector.run ~pool config cell in
+  Ok
+    (Json.Obj
+       [
+         ("cell", Json.Str cell.Layout.Cell.name);
+         ("style", Json.Str (Job.style_string j.Job.style));
+         ("trials", Json.int o.Fault.Injector.trials);
+         ("functional_failures",
+          Json.int o.Fault.Injector.functional_failures);
+         ("shorted_trials", Json.int o.Fault.Injector.shorted_trials);
+         ("stray_edges", Json.int o.Fault.Injector.stray_edges);
+         ("failure_rate", Json.Num (Fault.Injector.failure_rate o));
+       ])
+
+let arc_json (a : Stdcell.Characterize.arc) =
+  Json.Obj
+    [
+      ("input", Json.Str a.Stdcell.Characterize.input);
+      ("rise_ps", Json.Num (a.Stdcell.Characterize.rise_delay_s *. 1e12));
+      ("fall_ps", Json.Num (a.Stdcell.Characterize.fall_delay_s *. 1e12));
+      ("avg_ps", Json.Num (a.Stdcell.Characterize.avg_delay_s *. 1e12));
+      ("energy_fj",
+       Json.Num (a.Stdcell.Characterize.energy_per_cycle_j *. 1e15));
+    ]
+
+let run_characterize ~pool (j : Job.characterize_job) =
+  let* lib = Stdcell.Library.cnfet ~drives:[ j.Job.char_drive ] () in
+  let* entry =
+    Stdcell.Library.find lib ~name:j.Job.char_cell ~drive:j.Job.char_drive
+  in
+  let* points =
+    Stdcell.Characterize.sweep ~pool ~lib entry ~loads:j.Job.loads
+  in
+  Ok
+    (Json.Obj
+       [
+         ("cell", Json.Str entry.Stdcell.Library.cell_name);
+         ("drive", Json.int j.Job.char_drive);
+         ("points",
+          Json.Arr
+            (List.map
+               (fun (load, arcs) ->
+                 Json.Obj
+                   [
+                     ("load", Json.int load);
+                     ("worst_delay_ps",
+                      Json.Num
+                        (Stdcell.Characterize.worst_delay arcs *. 1e12));
+                     ("arcs", Json.Arr (List.map arc_json arcs));
+                   ])
+               points));
+       ])
+
+let run ~pool ~pass_cache job =
+  match
+    match job with
+    | Job.Flow j -> run_flow ~pass_cache j
+    | Job.Fault j -> run_fault ~pool j
+    | Job.Characterize j -> run_characterize ~pool j
+  with
+  | r -> r
+  | exception Core.Diag.Failure d -> Error d
+  | exception Invalid_argument m ->
+    Core.Diag.fail ~stage:"service.run"
+      ~context:[ ("job", Job.describe job) ]
+      m
+  | exception Stdlib.Failure m ->
+    Core.Diag.fail ~stage:"service.run"
+      ~context:[ ("job", Job.describe job) ]
+      m
+  | exception e ->
+    Core.Diag.failf ~stage:"service.run"
+      ~context:[ ("job", Job.describe job) ]
+      "unexpected exception: %s" (Printexc.to_string e)

@@ -1,0 +1,20 @@
+(** Job execution: one {!Job.t} in, one JSON result document (or a
+    structured diagnostic) out.
+
+    Runners never raise — a served job must not kill a scheduler worker —
+    so every library exception surfacing from the kit ([Core.Diag.Failure]
+    shims, [Invalid_argument] validation, solver [Failure]s) is caught and
+    folded into the [Error] branch.  Jobs are pure functions of their
+    description: result documents contain no wall-clock readings, which is
+    what lets replay-mode completions compare bit-for-bit at any pool
+    size. *)
+
+val run :
+  pool:Parallel.Pool.t ->
+  pass_cache:Core.Pass.cache ->
+  Job.t ->
+  (Json.t, Core.Diag.t) result
+(** Execute the job.  Fault campaigns map-reduce on [pool];
+    characterization sweeps fan their load points out on it; flow runs
+    consult [pass_cache], so jobs sharing a design source skip the
+    unchanged upstream passes even when their result digests differ. *)

@@ -1,0 +1,460 @@
+type priority = High | Normal | Low
+
+type clock_mode = Wall | Virtual
+
+type config = {
+  domains : int;
+  capacity : int;
+  cache_dir : string option;
+  clock : clock_mode;
+  default_cost_ms : float;
+}
+
+let default_config =
+  {
+    domains = 1;
+    capacity = 64;
+    cache_dir = None;
+    clock = Wall;
+    default_cost_ms = 1.0;
+  }
+
+type terminal =
+  | Done of { cached : bool; wall_ms : float; result : Json.t }
+  | Failed of Core.Diag.t
+  | Cancelled
+  | Expired of { late_ms : float }
+
+type state = Queued | Running | Finished of terminal
+
+type completion = {
+  id : int;
+  job : Job.t;
+  priority : priority;
+  outcome : terminal;
+  queue_wait_ms : float;
+  finished_at_ms : float;
+}
+
+type stats = {
+  queued : int;
+  executed : int;
+  cache_hits : int;
+  done_ : int;
+  failed : int;
+  cancelled : int;
+  expired : int;
+  rejected : int;
+  capacity : int;
+}
+
+type jrec = {
+  jid : int;
+  jjob : Job.t;
+  jpriority : priority;
+  arrival_ms : float;
+  deadline_ms : float option;
+  cost_ms : float;
+  mutable jstate : state;
+}
+
+type t = {
+  config : config;
+  pool : Parallel.Pool.t;
+  pass_cache : Core.Pass.cache;
+  (* one FIFO per class; dequeue scans High, Normal, Low in order *)
+  q_high : jrec Queue.t;
+  q_normal : jrec Queue.t;
+  q_low : jrec Queue.t;
+  jobs : (int, jrec) Hashtbl.t;
+  mem_cache : (string, Json.t) Hashtbl.t;
+  mutable vnow_ms : float;  (* virtual clock; unused in Wall mode *)
+  mutable next_id : int;
+  mutable queued_count : int;
+  mutable executed : int;
+  mutable cache_hits : int;
+  mutable done_count : int;
+  mutable failed_count : int;
+  mutable cancelled_count : int;
+  mutable expired_count : int;
+  mutable rejected_count : int;
+  mutable closed : bool;
+}
+
+let stage = "service.scheduler"
+
+let priority_string = function High -> "high" | Normal -> "normal" | Low -> "low"
+
+let priority_of_string = function
+  | "high" -> Some High
+  | "normal" -> Some Normal
+  | "low" -> Some Low
+  | _ -> None
+
+let queue_for t = function
+  | High -> t.q_high
+  | Normal -> t.q_normal
+  | Low -> t.q_low
+
+let now_ms t =
+  match t.config.clock with
+  | Virtual -> t.vnow_ms
+  | Wall -> Int64.to_float (Telemetry.now_ns ()) /. 1e6
+
+let advance t ms =
+  match t.config.clock with
+  | Virtual -> t.vnow_ms <- t.vnow_ms +. ms
+  | Wall -> ()
+
+let mkdir_p dir =
+  (* cache dirs are shallow (_artifacts/service_cache); build each level *)
+  let rec build d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      build (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  build dir
+
+let create ?(config = default_config) () =
+  if config.domains < 1 then
+    invalid_arg "Scheduler.create: domains must be >= 1";
+  if config.capacity < 1 then
+    invalid_arg "Scheduler.create: capacity must be >= 1";
+  Option.iter mkdir_p config.cache_dir;
+  {
+    config;
+    pool = Parallel.Pool.create ~domains:config.domains ();
+    pass_cache = Core.Pass.cache_create ();
+    q_high = Queue.create ();
+    q_normal = Queue.create ();
+    q_low = Queue.create ();
+    jobs = Hashtbl.create 64;
+    mem_cache = Hashtbl.create 64;
+    vnow_ms = 0.;
+    next_id = 0;
+    queued_count = 0;
+    executed = 0;
+    cache_hits = 0;
+    done_count = 0;
+    failed_count = 0;
+    cancelled_count = 0;
+    expired_count = 0;
+    rejected_count = 0;
+    closed = false;
+  }
+
+let shutdown t =
+  if not t.closed then begin
+    t.closed <- true;
+    Parallel.Pool.shutdown t.pool
+  end
+
+let with_scheduler ?config f =
+  let t = create ?config () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                          *)
+
+let reject t diag =
+  t.rejected_count <- t.rejected_count + 1;
+  Telemetry.counter_add "service.rejected" 1;
+  Error diag
+
+let submit t ?(priority = Normal) ?deadline_ms ?cost_ms job =
+  if t.closed then
+    reject t (Core.Diag.error ~stage "scheduler is shut down")
+  else
+    match Job.validate job with
+    | Error d -> reject t (Core.Diag.with_stage stage d)
+    | Ok () ->
+      let bad_positive name v =
+        reject t
+          (Core.Diag.errorf ~stage
+             ~context:[ ("job", Job.describe job) ]
+             "%s must be positive and finite, got %g" name v)
+      in
+      (match (deadline_ms, cost_ms) with
+      | Some d, _ when not (d > 0. && Float.is_finite d) ->
+        bad_positive "deadline_ms" d
+      | _, Some c when not (c > 0. && Float.is_finite c) ->
+        bad_positive "cost_ms" c
+      | _ ->
+        if t.queued_count >= t.config.capacity then
+          reject t
+            (Core.Diag.errorf ~stage
+               ~context:
+                 [
+                   ("capacity", string_of_int t.config.capacity);
+                   ("queued", string_of_int t.queued_count);
+                   ("priority", priority_string priority);
+                   ("job", Job.describe job);
+                 ]
+               "queue full: %d of %d jobs waiting" t.queued_count
+               t.config.capacity)
+        else begin
+          let id = t.next_id in
+          t.next_id <- id + 1;
+          let r =
+            {
+              jid = id;
+              jjob = job;
+              jpriority = priority;
+              arrival_ms = now_ms t;
+              deadline_ms;
+              cost_ms =
+                Option.value cost_ms ~default:t.config.default_cost_ms;
+              jstate = Queued;
+            }
+          in
+          Hashtbl.replace t.jobs id r;
+          Queue.push r (queue_for t priority);
+          t.queued_count <- t.queued_count + 1;
+          Telemetry.counter_add "service.submitted" 1;
+          Ok id
+        end)
+
+let cancel t id =
+  match Hashtbl.find_opt t.jobs id with
+  | None -> Core.Diag.failf ~stage "unknown job id %d" id
+  | Some r -> (
+    match r.jstate with
+    | Queued ->
+      (* leave it in its FIFO; run_next skips non-Queued records *)
+      r.jstate <- Finished Cancelled;
+      t.queued_count <- t.queued_count - 1;
+      t.cancelled_count <- t.cancelled_count + 1;
+      Telemetry.counter_add "service.cancelled" 1;
+      Ok ()
+    | Running ->
+      Core.Diag.failf ~stage "job %d is already running (no preemption)" id
+    | Finished _ -> Core.Diag.failf ~stage "job %d already finished" id)
+
+let state t id =
+  match Hashtbl.find_opt t.jobs id with
+  | Some r -> Ok r.jstate
+  | None -> Core.Diag.failf ~stage "unknown job id %d" id
+
+(* ------------------------------------------------------------------ *)
+(* Result cache                                                       *)
+
+let cache_path t digest =
+  Option.map (fun dir -> Filename.concat dir (digest ^ ".json")) t.config.cache_dir
+
+let cache_lookup t digest =
+  match Hashtbl.find_opt t.mem_cache digest with
+  | Some _ as hit -> hit
+  | None -> (
+    match cache_path t digest with
+    | None -> None
+    | Some path when Sys.file_exists path -> (
+      let read () =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Json.of_string (read ()) with
+      | Ok v ->
+        Hashtbl.replace t.mem_cache digest v;
+        Some v
+      | Error _ | (exception Sys_error _) -> None)
+    | Some _ -> None)
+
+let cache_store t digest result =
+  Hashtbl.replace t.mem_cache digest result;
+  match cache_path t digest with
+  | None -> ()
+  | Some path -> (
+    try
+      let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Json.to_string result));
+      Sys.rename tmp path
+    with Sys_error _ | Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                          *)
+
+let wait_buckets = [| 1.; 10.; 100.; 1000.; 10_000. |]
+
+let dequeue t =
+  (* first still-Queued record in policy order; cancelled records are
+     dropped lazily here *)
+  let rec pop q =
+    match Queue.take_opt q with
+    | None -> None
+    | Some r -> if r.jstate = Queued then Some r else pop q
+  in
+  match pop t.q_high with
+  | Some _ as r -> r
+  | None -> (
+    match pop t.q_normal with Some _ as r -> r | None -> pop t.q_low)
+
+let finish t r outcome ~queue_wait_ms =
+  r.jstate <- Finished outcome;
+  (match outcome with
+  | Done _ -> t.done_count <- t.done_count + 1
+  | Failed _ -> t.failed_count <- t.failed_count + 1
+  | Cancelled -> t.cancelled_count <- t.cancelled_count + 1
+  | Expired _ ->
+    t.expired_count <- t.expired_count + 1;
+    Telemetry.counter_add "service.expired" 1);
+  {
+    id = r.jid;
+    job = r.jjob;
+    priority = r.jpriority;
+    outcome;
+    queue_wait_ms;
+    finished_at_ms = now_ms t;
+  }
+
+let execute t r ~queue_wait_ms =
+  let digest = Job.digest r.jjob in
+  match cache_lookup t digest with
+  | Some result ->
+    t.cache_hits <- t.cache_hits + 1;
+    Telemetry.counter_add "service.cache_hits" 1;
+    Telemetry.instant "service.cache_hit"
+      ~attrs:[ ("digest", Telemetry.String digest) ];
+    finish t r (Done { cached = true; wall_ms = 0.; result }) ~queue_wait_ms
+  | None ->
+    t.executed <- t.executed + 1;
+    let attrs =
+      [
+        ("job", Telemetry.String (Job.describe r.jjob));
+        ("kind", Telemetry.String (Job.kind r.jjob));
+        ("priority", Telemetry.String (priority_string r.jpriority));
+        ("queue_wait_ms", Telemetry.Float queue_wait_ms);
+      ]
+    in
+    let started = now_ms t in
+    let outcome =
+      Telemetry.with_span "service.job" ~attrs (fun () ->
+          Runner.run ~pool:t.pool ~pass_cache:t.pass_cache r.jjob)
+    in
+    advance t r.cost_ms;
+    let wall_ms =
+      match t.config.clock with
+      | Virtual -> r.cost_ms
+      | Wall -> now_ms t -. started
+    in
+    (match outcome with
+    | Ok result ->
+      cache_store t digest result;
+      finish t r (Done { cached = false; wall_ms; result }) ~queue_wait_ms
+    | Error d -> finish t r (Failed d) ~queue_wait_ms)
+
+let run_next t =
+  match dequeue t with
+  | None -> None
+  | Some r ->
+    t.queued_count <- t.queued_count - 1;
+    let queue_wait_ms = now_ms t -. r.arrival_ms in
+    Telemetry.histogram_observe "service.queue_wait_ms"
+      ~buckets:wait_buckets queue_wait_ms;
+    let completion =
+      match r.deadline_ms with
+      | Some d when queue_wait_ms > d ->
+        finish t r (Expired { late_ms = queue_wait_ms -. d }) ~queue_wait_ms
+      | _ ->
+        r.jstate <- Running;
+        execute t r ~queue_wait_ms
+    in
+    Some completion
+
+let drain ?on_completion t =
+  let rec loop acc =
+    match run_next t with
+    | None -> List.rev acc
+    | Some c ->
+      Option.iter (fun f -> f c) on_completion;
+      loop (c :: acc)
+  in
+  loop []
+
+let await t id =
+  let rec loop () =
+    match Hashtbl.find_opt t.jobs id with
+    | None -> Core.Diag.failf ~stage "unknown job id %d" id
+    | Some { jstate = Finished outcome; _ } -> Ok outcome
+    | Some _ -> (
+      match run_next t with
+      | Some _ -> loop ()
+      | None ->
+        (* queued but not in any FIFO: impossible unless state was
+           corrupted externally *)
+        Core.Diag.failf ~stage "job %d is stuck (queue empty)" id)
+  in
+  loop ()
+
+let stats t =
+  {
+    queued = t.queued_count;
+    executed = t.executed;
+    cache_hits = t.cache_hits;
+    done_ = t.done_count;
+    failed = t.failed_count;
+    cancelled = t.cancelled_count;
+    expired = t.expired_count;
+    rejected = t.rejected_count;
+    capacity = t.config.capacity;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                             *)
+
+type request = {
+  req_job : Job.t;
+  req_priority : priority;
+  req_deadline_ms : float option;
+  req_cost_ms : float option;
+}
+
+let request ?(priority = Normal) ?deadline_ms ?cost_ms job =
+  {
+    req_job = job;
+    req_priority = priority;
+    req_deadline_ms = deadline_ms;
+    req_cost_ms = cost_ms;
+  }
+
+type replay_result = {
+  completions : completion list;
+  rejections : (int * Core.Diag.t) list;
+}
+
+let shuffle ~seed arr =
+  let rng = Parallel.Split_rng.state ~seed ~stream:0 in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let replay ?(config = default_config) ~seed requests =
+  let config = { config with clock = Virtual } in
+  with_scheduler ~config (fun t ->
+      (* indices shuffled, not the requests, so rejections can report the
+         position in the arrival order *)
+      let order = Array.init (List.length requests) Fun.id in
+      shuffle ~seed order;
+      let reqs = Array.of_list requests in
+      let rejections = ref [] in
+      Array.iter
+        (fun i ->
+          let r = reqs.(i) in
+          (match
+             submit t ~priority:r.req_priority ?deadline_ms:r.req_deadline_ms
+               ?cost_ms:r.req_cost_ms r.req_job
+           with
+          | Ok _ -> ()
+          | Error d -> rejections := (i, d) :: !rejections);
+          advance t 1.0)
+        order;
+      let completions = drain t in
+      { completions; rejections = List.rev !rejections })

@@ -1,0 +1,180 @@
+(** The batched job scheduler: a bounded priority queue with FIFO
+    fairness per class, explicit backpressure, per-job deadlines, and a
+    digest-keyed result cache persisted under [_artifacts/].
+
+    {2 Execution model}
+
+    Jobs are {e batched}, not preemptive: {!drain} (or {!await}) pulls
+    one job at a time off the queue — strict priority across classes
+    ([High] before [Normal] before [Low]), FIFO within a class — and runs
+    it to completion on the calling domain.  Parallelism lives {e inside}
+    jobs: campaigns and sweeps map-reduce on the scheduler's
+    {!Parallel.Pool}, whose size is [config.domains].  Because job
+    results are domain-count-invariant (the PR-1 engine guarantee) and
+    the dequeue policy never consults the pool, the completion order and
+    every completion record are {b bit-identical at any [domains]} under
+    the virtual clock.
+
+    {2 Backpressure}
+
+    The queue holds at most [config.capacity] jobs across all classes.
+    Overload is a structured {!Core.Diag.t} rejection at submission time
+    — never a hang, never a silent drop; the diagnostic carries the
+    capacity, current depth and the rejected job's class.
+
+    {2 Deadlines}
+
+    A job may carry a relative deadline.  Deadlines are checked when the
+    job is {e dequeued}: a job whose queue wait already exceeds its
+    deadline is not run — it completes as [Expired] and is reported like
+    any other completion.  (Batched execution means a started job always
+    finishes; admission control plus expiry bound how stale its start
+    can be.)
+
+    {2 Clocks and replay}
+
+    [Wall] mode reads the real clock.  [Virtual] mode drives a
+    deterministic clock instead: submissions and completions advance it
+    by declared costs, so queue waits, expiries and completion records
+    are exact integers of the replayed schedule — {!replay} seeds a
+    submission order from {!Parallel.Split_rng} and returns records two
+    runs can compare with [=].
+
+    {2 Caching}
+
+    Results are cached by {!Job.digest}, in memory and (when
+    [cache_dir] is set) as one JSON document per digest on disk, written
+    atomically.  A hit completes the job as [Done { cached = true }]
+    without running it — across scheduler instances and process
+    restarts.  Flow jobs additionally share a {!Core.Pass.cache}, so two
+    different specs over one netlist still reuse parse/validate
+    artifacts. *)
+
+type priority = High | Normal | Low
+
+val priority_string : priority -> string
+(** ["high"], ["normal"] or ["low"] — the protocol spelling. *)
+
+val priority_of_string : string -> priority option
+
+type clock_mode = Wall | Virtual
+
+type config = {
+  domains : int;  (** pool size for intra-job parallelism (>= 1) *)
+  capacity : int;  (** max queued jobs across all classes (>= 1) *)
+  cache_dir : string option;
+      (** persisted result cache directory; created on demand *)
+  clock : clock_mode;
+  default_cost_ms : float;
+      (** virtual-clock advance for a job without an explicit cost *)
+}
+
+val default_config : config
+(** 1 domain, capacity 64, no persistence, wall clock, 1 ms cost. *)
+
+type terminal =
+  | Done of { cached : bool; wall_ms : float; result : Json.t }
+      (** [wall_ms] is 0 for cache hits, the declared cost under the
+          virtual clock, measured time otherwise *)
+  | Failed of Core.Diag.t
+  | Cancelled
+  | Expired of { late_ms : float }
+      (** queue wait exceeded the deadline by [late_ms] at dequeue *)
+
+type state = Queued | Running | Finished of terminal
+
+type completion = {
+  id : int;
+  job : Job.t;
+  priority : priority;
+  outcome : terminal;
+  queue_wait_ms : float;
+  finished_at_ms : float;  (** clock reading when the job completed *)
+}
+
+type stats = {
+  queued : int;  (** currently waiting, all classes *)
+  executed : int;  (** jobs actually run (cache misses) *)
+  cache_hits : int;
+  done_ : int;  (** completed with a result, cached or not *)
+  failed : int;
+  cancelled : int;
+  expired : int;
+  rejected : int;  (** submissions refused by admission control *)
+  capacity : int;
+}
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Spawn the worker pool and (if configured) create the cache
+    directory. *)
+
+val shutdown : t -> unit
+(** Join the pool.  Idempotent; further submissions are rejected. *)
+
+val with_scheduler : ?config:config -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exception). *)
+
+val submit :
+  t -> ?priority:priority -> ?deadline_ms:float -> ?cost_ms:float -> Job.t ->
+  (int, Core.Diag.t) result
+(** Enqueue a job; returns its id.  Rejections ({!Job.validate} failures,
+    non-positive deadline/cost, full queue, shut-down scheduler) are
+    structured diagnostics and are counted in {!stats}. *)
+
+val cancel : t -> int -> (unit, Core.Diag.t) result
+(** Cancel a queued job (it is skipped at dequeue and produces no
+    completion).  Running or finished jobs cannot be cancelled — batched
+    execution has no preemption — and unknown ids are diagnostics. *)
+
+val state : t -> int -> (state, Core.Diag.t) result
+
+val run_next : t -> completion option
+(** Dequeue and run (or expire) the single highest-priority job; [None]
+    when the queue is empty.  The building block of {!drain} and
+    {!await}. *)
+
+val drain : ?on_completion:(completion -> unit) -> t -> completion list
+(** Run until the queue is empty; completions in execution order.
+    [on_completion] fires as each job finishes — the serving layer
+    streams NDJSON events from it. *)
+
+val await : t -> int -> (terminal, Core.Diag.t) result
+(** Drive the scheduler until the given job reaches a terminal state
+    (jobs ahead of it in policy order run first), then return it — for a
+    job cancelled while queued that state is [Cancelled].  Unknown ids
+    are diagnostics. *)
+
+val stats : t -> stats
+
+val now_ms : t -> float
+(** Current clock reading (virtual or wall), for tests and servers. *)
+
+(** {1 Deterministic replay} *)
+
+type request = {
+  req_job : Job.t;
+  req_priority : priority;
+  req_deadline_ms : float option;
+  req_cost_ms : float option;
+}
+
+val request :
+  ?priority:priority -> ?deadline_ms:float -> ?cost_ms:float -> Job.t ->
+  request
+
+type replay_result = {
+  completions : completion list;
+  rejections : (int * Core.Diag.t) list;
+      (** positions (in the {e submitted} order) refused admission *)
+}
+
+val replay : ?config:config -> seed:int -> request list -> replay_result
+(** Deterministic scheduling harness: permute the requests with a
+    Fisher–Yates shuffle driven by {!Parallel.Split_rng} [(seed, 0)],
+    submit them against a fresh scheduler forced onto the virtual clock
+    (1 ms between arrivals), drain, shut down.  Every field of the result
+    — order, outcomes, queue waits, timestamps — depends only on [seed],
+    the requests and [config.capacity]/[default_cost_ms]; in particular
+    it is bit-for-bit identical at any [config.domains]. *)

@@ -1,0 +1,215 @@
+let stage = "service.protocol"
+
+let diag_json (d : Core.Diag.t) =
+  Json.Obj
+    [
+      ("stage", Json.Str d.Core.Diag.stage);
+      ("severity",
+       Json.Str (Core.Diag.severity_to_string d.Core.Diag.severity));
+      ("message", Json.Str d.Core.Diag.message);
+      ("context",
+       Json.Obj
+         (List.map (fun (k, v) -> (k, Json.Str v)) d.Core.Diag.context));
+    ]
+
+let error_event ?(event = "error") d =
+  Json.Obj
+    [ ("ok", Json.Bool false); ("event", Json.Str event);
+      ("error", diag_json d) ]
+
+let state_string = function
+  | Scheduler.Queued -> "queued"
+  | Scheduler.Running -> "running"
+  | Scheduler.Finished (Scheduler.Done _) -> "done"
+  | Scheduler.Finished (Scheduler.Failed _) -> "failed"
+  | Scheduler.Finished Scheduler.Cancelled -> "cancelled"
+  | Scheduler.Finished (Scheduler.Expired _) -> "expired"
+
+let event_of_completion (c : Scheduler.completion) =
+  let base =
+    [
+      ("ok", Json.Bool true);
+      ("event", Json.Str "done");
+      ("id", Json.int c.Scheduler.id);
+      ("kind", Json.Str (Job.kind c.Scheduler.job));
+      ("state", Json.Str (state_string (Scheduler.Finished c.Scheduler.outcome)));
+      ("queue_wait_ms", Json.Num c.Scheduler.queue_wait_ms);
+    ]
+  in
+  let tail =
+    match c.Scheduler.outcome with
+    | Scheduler.Done { cached; wall_ms; result } ->
+      [
+        ("cached", Json.Bool cached);
+        ("wall_ms", Json.Num wall_ms);
+        ("result", result);
+      ]
+    | Scheduler.Failed d -> [ ("error", diag_json d) ]
+    | Scheduler.Cancelled -> []
+    | Scheduler.Expired { late_ms } -> [ ("late_ms", Json.Num late_ms) ]
+  in
+  Json.Obj (base @ tail)
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                           *)
+
+let protocol_error fmt = Core.Diag.errorf ~stage fmt
+
+let handle_submit sched obj =
+  match Json.member "job" obj with
+  | None -> [ error_event ~event:"rejected" (protocol_error "missing member job") ]
+  | Some job_json -> (
+    match Job.of_json job_json with
+    | Error d -> [ error_event ~event:"rejected" d ]
+    | Ok job -> (
+      let str name = Option.bind (Json.member name obj) Json.to_str in
+      let num name = Option.bind (Json.member name obj) Json.to_float in
+      match
+        match str "priority" with
+        | None -> Ok Scheduler.Normal
+        | Some s -> (
+          match Scheduler.priority_of_string s with
+          | Some p -> Ok p
+          | None -> Error (protocol_error "unknown priority %S" s))
+      with
+      | Error d -> [ error_event ~event:"rejected" d ]
+      | Ok priority -> (
+        match
+          Scheduler.submit sched ~priority ?deadline_ms:(num "deadline_ms")
+            ?cost_ms:(num "cost_ms") job
+        with
+        | Ok id ->
+          [
+            Json.Obj
+              [
+                ("ok", Json.Bool true);
+                ("event", Json.Str "accepted");
+                ("id", Json.int id);
+                ("kind", Json.Str (Job.kind job));
+              ];
+          ]
+        | Error d -> [ error_event ~event:"rejected" d ])))
+
+let with_id obj f =
+  match Option.bind (Json.member "id" obj) Json.to_int with
+  | None -> [ error_event (protocol_error "missing or non-integer member id") ]
+  | Some id -> f id
+
+let handle_status sched obj =
+  with_id obj (fun id ->
+      match Scheduler.state sched id with
+      | Error d -> [ error_event d ]
+      | Ok st ->
+        [
+          Json.Obj
+            [
+              ("ok", Json.Bool true);
+              ("event", Json.Str "status");
+              ("id", Json.int id);
+              ("state", Json.Str (state_string st));
+            ];
+        ])
+
+let handle_cancel sched obj =
+  with_id obj (fun id ->
+      match Scheduler.cancel sched id with
+      | Error d -> [ error_event d ]
+      | Ok () ->
+        [
+          Json.Obj
+            [
+              ("ok", Json.Bool true);
+              ("event", Json.Str "cancelled");
+              ("id", Json.int id);
+            ];
+        ])
+
+let stats_event sched =
+  let s = Scheduler.stats sched in
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("event", Json.Str "stats");
+      ("queued", Json.int s.Scheduler.queued);
+      ("executed", Json.int s.Scheduler.executed);
+      ("cache_hits", Json.int s.Scheduler.cache_hits);
+      ("done", Json.int s.Scheduler.done_);
+      ("failed", Json.int s.Scheduler.failed);
+      ("cancelled", Json.int s.Scheduler.cancelled);
+      ("expired", Json.int s.Scheduler.expired);
+      ("rejected", Json.int s.Scheduler.rejected);
+      ("capacity", Json.int s.Scheduler.capacity);
+    ]
+
+let handle_drain ?on_event sched =
+  let events = ref [] in
+  let emit e =
+    match on_event with Some f -> f e | None -> events := e :: !events
+  in
+  let completions =
+    Scheduler.drain sched ~on_completion:(fun c ->
+        emit (event_of_completion c))
+  in
+  emit
+    (Json.Obj
+       [
+         ("ok", Json.Bool true);
+         ("event", Json.Str "drained");
+         ("jobs", Json.int (List.length completions));
+       ]);
+  List.rev !events
+
+let handle ?on_event sched line =
+  if String.trim line = "" then []
+  else
+    match Json.of_string line with
+    | Error msg -> [ error_event (protocol_error "invalid JSON: %s" msg) ]
+    | Ok req -> (
+      match Option.bind (Json.member "op" req) Json.to_str with
+      | None -> [ error_event (protocol_error "missing member op") ]
+      | Some "submit" -> handle_submit sched req
+      | Some "status" -> handle_status sched req
+      | Some "cancel" -> handle_cancel sched req
+      | Some "stats" -> [ stats_event sched ]
+      | Some "drain" -> handle_drain ?on_event sched
+      | Some op -> [ error_event (protocol_error "unknown op %S" op) ])
+
+let serve sched ic oc =
+  let emit e =
+    output_string oc (Json.to_string e);
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file ->
+      (* implicit drain: run what's queued, stream the done events, stop
+         (no trailing "drained" marker — the stream just ends cleanly) *)
+      ignore
+        (Scheduler.drain sched ~on_completion:(fun c ->
+             emit (event_of_completion c)))
+    | line ->
+      List.iter emit (handle ~on_event:emit sched line);
+      loop ()
+  in
+  loop ()
+
+let serve_socket ?(connections = 1) sched ~path =
+  if Sys.file_exists path then Sys.remove path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      for _ = 1 to connections do
+        let client, _addr = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr client in
+        let oc = Unix.out_channel_of_descr client in
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close client with Unix.Unix_error _ -> ())
+          (fun () -> serve sched ic oc)
+      done)

@@ -1,0 +1,64 @@
+(** NDJSON serving layer: one JSON document per line in, one per line
+    out, over stdio or a Unix-domain socket.
+
+    {2 Protocol}
+
+    Requests are objects discriminated on ["op"]:
+
+    {v
+    {"op":"submit","job":{"kind":"fault","cell":"NAND2"},"priority":"high"}
+    {"op":"status","id":3}
+    {"op":"cancel","id":3}
+    {"op":"stats"}
+    {"op":"drain"}
+    v}
+
+    [submit] optionally carries ["priority"] (["high"|"normal"|"low"]),
+    ["deadline_ms"] and ["cost_ms"]; the ["job"] member uses the
+    {!Job.of_json} schema.  Every response carries ["ok"] (bool) and
+    ["event"]:
+
+    - [submit] answers [{"ok":true,"event":"accepted","id":N}] or
+      [{"ok":false,"event":"rejected","error":{...}}] — backpressure is a
+      visible rejection, never a stalled connection;
+    - [status] answers [{"ok":true,"event":"status","id":N,"state":...}];
+    - [stats] answers [{"ok":true,"event":"stats",...counters...}];
+    - [drain] (and end-of-input) runs all queued jobs, streaming one
+      [{"ok":true,"event":"done","id":N,"state":"done|failed|expired",
+      "cached":b,"wall_ms":x,"queue_wait_ms":x,"result":{...}}] line per
+      completion, then (for the explicit op)
+      [{"ok":true,"event":"drained","jobs":N}];
+    - unparseable or unknown requests answer
+      [{"ok":false,"event":"error","error":{...}}] and the connection
+      stays up.
+
+    Errors embed {!Core.Diag.t} as
+    [{"stage","severity","message","context":{...}}].  Blank lines are
+    ignored.  The server is sequential: jobs run on {!Scheduler.drain},
+    so lines stream in arrival-completion order and the protocol needs no
+    interleaving discipline. *)
+
+val diag_json : Core.Diag.t -> Json.t
+
+val event_of_completion : Scheduler.completion -> Json.t
+(** The ["done"] event line for a completion (shared with tests). *)
+
+val handle :
+  ?on_event:(Json.t -> unit) -> Scheduler.t -> string -> Json.t list
+(** Process one request line, returning the response documents it
+    produces (several for [drain]).  When [on_event] is given, [drain]'s
+    per-completion events go through it {e as they happen} instead of
+    being collected — what lets {!serve} stream.  Exposed for tests;
+    {!serve} is this in a read-print loop. *)
+
+val serve : Scheduler.t -> in_channel -> out_channel -> unit
+(** Serve NDJSON until end-of-input, then drain the queue (streaming the
+    final ["done"] events) and return.  Each response line is flushed
+    before the next request is read. *)
+
+val serve_socket :
+  ?connections:int -> Scheduler.t -> path:string -> unit
+(** Bind a Unix-domain socket at [path] (replacing any stale socket
+    file) and serve [connections] (default 1) sequential connections
+    with {!serve}, then close and unlink.  The scheduler — and its
+    result cache — persists across connections. *)

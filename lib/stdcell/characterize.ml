@@ -135,6 +135,40 @@ let all_arcs ~lib entry ~load_inv1x =
 let all_arcs_exn ~lib entry ~load_inv1x =
   Core.Diag.ok_exn (all_arcs ~lib entry ~load_inv1x)
 
+let sweep ?pool ~lib (entry : Library.entry) ~loads =
+  if loads = [] then
+    Core.Diag.fail ~stage:"characterize"
+      ~context:[ ("cell", entry.Library.cell_name) ]
+      "empty load sweep"
+  else
+    match List.find_opt (fun l -> l < 0) loads with
+    | Some l ->
+      Core.Diag.failf ~stage:"characterize"
+        ~context:
+          [ ("cell", entry.Library.cell_name); ("load", string_of_int l) ]
+        "negative load point %d in sweep" l
+    | None ->
+      let points = Array.of_list loads in
+      let at i = all_arcs ~lib entry ~load_inv1x:points.(i) in
+      let results =
+        (* every point is a pure function of its load, so pool scheduling
+           cannot change the result array — only how fast it fills *)
+        match pool with
+        | Some pool -> Parallel.Pool.init_array pool (Array.length points) ~f:at
+        | None -> Array.init (Array.length points) at
+      in
+      (* first error in sweep order wins, identical at any pool size *)
+      Array.to_seq results |> List.of_seq
+      |> List.mapi (fun i r -> Result.map (fun arcs -> (points.(i), arcs)) r)
+      |> List.fold_left
+           (fun acc r ->
+             match (acc, r) with
+             | (Error _ as e), _ -> e
+             | Ok acc, Ok p -> Ok (p :: acc)
+             | Ok _, (Error _ as e) -> e)
+           (Ok [])
+      |> Result.map List.rev
+
 let worst_delay arcs =
   List.fold_left (fun acc a -> Float.max acc a.avg_delay_s) 0. arcs
 

@@ -32,6 +32,16 @@ val all_arcs_exn : lib:Library.t -> Library.entry -> load_inv1x:int
   -> arc list
 (** {!all_arcs}, raising [Core.Diag.Failure].  CLI/test boundary shim. *)
 
+val sweep : ?pool:Parallel.Pool.t -> lib:Library.t -> Library.entry
+  -> loads:int list -> ((int * arc list) list, Core.Diag.t) result
+(** Characterize the cell at every load point, in the order given:
+    [(load, arcs)] per point.  A zero load measures the unloaded cell
+    (only its own parasitics); an empty or negative sweep is a [Diag]
+    error naming the offending point.  With [?pool] the points are
+    simulated in parallel on the given {!Parallel.Pool}; results (and the
+    first error, in sweep order) are identical at any pool size, since
+    each point is a pure function of the load. *)
+
 val worst_delay : arc list -> float
 val total_energy : arc list -> float
 (** Mean switching energy over the arcs. *)

@@ -161,7 +161,7 @@ let fo4_measurement_sane () =
         Device.Cnfet.make tech ~polarity:Device.Model.Nfet ~tubes:4 ~width_nm:130. ();
     }
   in
-  let m = Circuit.Inverter_chain.fo4 ~vdd:1.0 inv in
+  let m = Circuit.Inverter_chain.fo4_exn ~vdd:1.0 inv in
   checkb "delay positive" true (m.Circuit.Inverter_chain.delay > 0.);
   checkb "delay sub-ns" true (m.Circuit.Inverter_chain.delay < 1e-9);
   checkb "energy positive" true (m.Circuit.Inverter_chain.energy_per_cycle > 0.);
@@ -180,7 +180,8 @@ let fo4_fanout_slows () =
     }
   in
   let d fanout =
-    (Circuit.Inverter_chain.fo4 ~vdd:1.0 ~fanout inv).Circuit.Inverter_chain.delay
+    (Circuit.Inverter_chain.fo4_exn ~vdd:1.0 ~fanout inv)
+      .Circuit.Inverter_chain.delay
   in
   checkb "FO8 slower than FO2" true (d 8 > 1.5 *. d 2)
 
@@ -194,10 +195,17 @@ let fo4_bad_stage_rejected () =
         Device.Cnfet.make tech ~polarity:Device.Model.Nfet ~tubes:1 ~width_nm:130. ();
     }
   in
-  Alcotest.check_raises "stage out of range"
-    (Invalid_argument "Inverter_chain.fo4: measured stage out of range")
-    (fun () ->
-      ignore (Circuit.Inverter_chain.fo4 ~measured_stage:9 ~vdd:1.0 inv))
+  (match Circuit.Inverter_chain.fo4 ~measured_stage:9 ~vdd:1.0 inv with
+  | Ok _ -> Alcotest.fail "out-of-range measured stage accepted"
+  | Error d ->
+    Alcotest.(check string) "diag stage" "circuit.fo4" d.Core.Diag.stage);
+  (* a period far below the device time constants leaves the output flat:
+     the chain must report a diagnostic, not raise *)
+  match Circuit.Inverter_chain.fo4 ~period:1e-15 ~vdd:1.0 inv with
+  | Ok _ -> Alcotest.fail "femtosecond period produced a measurement"
+  | Error d ->
+    Alcotest.(check string) "no-transition stage" "circuit.fo4"
+      d.Core.Diag.stage
 
 let suite =
   [

@@ -399,7 +399,7 @@ let ring_oscillates () =
           ~width_nm:130. ();
     }
   in
-  let m = Circuit.Ring_oscillator.run ~t_stop:1e-9 ~vdd:1.0 inv in
+  let m = Circuit.Ring_oscillator.run_exn ~t_stop:1e-9 ~vdd:1.0 inv in
   checkb "oscillates" true (m.Circuit.Ring_oscillator.periods_observed >= 2);
   checkb "GHz range" true
     (m.Circuit.Ring_oscillator.frequency_hz > 1e9
@@ -420,7 +420,7 @@ let ring_more_stages_slower () =
     }
   in
   let f stages =
-    (Circuit.Ring_oscillator.run ~stages ~t_stop:2e-9 ~vdd:1.0 inv)
+    (Circuit.Ring_oscillator.run_exn ~stages ~t_stop:2e-9 ~vdd:1.0 inv)
       .Circuit.Ring_oscillator.frequency_hz
   in
   checkb "7 stages slower than 3" true (f 7 < f 3)
@@ -437,9 +437,16 @@ let ring_rejects_even () =
           ~width_nm:130. ();
     }
   in
-  Alcotest.check_raises "even ring rejected"
-    (Invalid_argument "Ring_oscillator.run: stages must be odd and >= 3")
-    (fun () -> ignore (Circuit.Ring_oscillator.run ~stages:4 ~vdd:1.0 inv))
+  (match Circuit.Ring_oscillator.run ~stages:4 ~vdd:1.0 inv with
+  | Ok _ -> Alcotest.fail "even ring accepted"
+  | Error d ->
+    Alcotest.(check string) "diag stage" "circuit.ring" d.Core.Diag.stage);
+  (* a window too short for two full periods must be a diagnostic too *)
+  match Circuit.Ring_oscillator.run ~t_stop:1e-12 ~vdd:1.0 inv with
+  | Ok _ -> Alcotest.fail "picosecond window produced a measurement"
+  | Error d ->
+    Alcotest.(check string) "no-oscillation stage" "circuit.ring"
+      d.Core.Diag.stage
 
 (* --- ripple adder --- *)
 

@@ -146,5 +146,6 @@ let () =
       ("flow", Test_flow.suite);
       ("cnfet", Test_cnfet.suite);
       ("extensions", Test_extensions.suite);
+      ("service", Test_service.suite);
       ("integration", suite);
     ]

@@ -138,6 +138,93 @@ let liberty_export () =
   checkb "has timing" true (contains "related_pin" text);
   checkb "has function" true (contains "function" text)
 
+(* --- load sweeps --- *)
+
+let sweep_zero_load () =
+  (* a bare output (only the probe) is a legal sweep point: the cell still
+     drives its own intrinsic capacitance *)
+  let e = Stdcell.Library.find_exn cn_lib ~name:"INV" ~drive:1 in
+  match Stdcell.Characterize.sweep ~lib:cn_lib e ~loads:[ 0 ] with
+  | Error d -> Alcotest.failf "zero-load sweep: %s" (Core.Diag.to_string d)
+  | Ok [ (0, arcs) ] ->
+    checkb "one arc" true (List.length arcs = 1);
+    List.iter
+      (fun (a : Stdcell.Characterize.arc) ->
+        checkb "zero-load delay positive" true
+          (a.Stdcell.Characterize.avg_delay_s > 0.);
+        checkb "zero-load delay finite" true
+          (Float.is_finite a.Stdcell.Characterize.avg_delay_s))
+      arcs
+  | Ok pts -> Alcotest.failf "expected one point, got %d" (List.length pts)
+
+let sweep_single_point_matches_all_arcs () =
+  let e = Stdcell.Library.find_exn cn_lib ~name:"INV" ~drive:1 in
+  let direct = Stdcell.Characterize.all_arcs_exn ~lib:cn_lib e ~load_inv1x:4 in
+  match Stdcell.Characterize.sweep ~lib:cn_lib e ~loads:[ 4 ] with
+  | Error d -> Alcotest.failf "single-point sweep: %s" (Core.Diag.to_string d)
+  | Ok [ (4, arcs) ] ->
+    checkb "sweep point equals direct characterization" true (arcs = direct)
+  | Ok _ -> Alcotest.fail "wrong sweep shape"
+
+let sweep_rejects_bad_inputs () =
+  let e = Stdcell.Library.find_exn cn_lib ~name:"INV" ~drive:1 in
+  (match Stdcell.Characterize.sweep ~lib:cn_lib e ~loads:[] with
+  | Ok _ -> Alcotest.fail "empty sweep accepted"
+  | Error d ->
+    Alcotest.(check string) "stage" "characterize" d.Core.Diag.stage);
+  match Stdcell.Characterize.sweep ~lib:cn_lib e ~loads:[ 2; -1 ] with
+  | Ok _ -> Alcotest.fail "negative load accepted"
+  | Error d ->
+    checkb "names the load" true
+      (List.assoc_opt "load" d.Core.Diag.context = Some "-1")
+
+(* --- Liberty golden --- *)
+
+let mask_digits s =
+  (* collapse every maximal digit run to '#': the golden pins the full
+     structure (groups, pins, attribute spellings) while staying immune to
+     last-digit jitter in the simulated numbers *)
+  let b = Buffer.create (String.length s) in
+  let in_digits = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' ->
+        if not !in_digits then Buffer.add_char b '#';
+        in_digits := true
+      | c ->
+        in_digits := false;
+        Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let liberty_inverter_golden () =
+  let e = Stdcell.Library.find_exn cn_lib ~name:"INV" ~drive:1 in
+  let arcs = Stdcell.Characterize.all_arcs_exn ~lib:cn_lib e ~load_inv1x:2 in
+  let text = Stdcell.Liberty.cell_to_string ~lib:cn_lib e arcs in
+  let expected =
+    "  cell (INV_#X) {\n\
+    \    area : #.#;\n\
+    \    cell_footprint : \"INV\";\n\
+    \    pin (Z) {\n\
+    \      direction : output;\n\
+    \      function : \"(A)'\";\n\
+    \      timing () { related_pin : \"A\"; cell_rise : #.#; cell_fall : \
+     #.#; }\n\
+    \    }\n\
+    \    pin (A) { direction : input; internal_energy : #.#; }\n\
+    \  }\n"
+  in
+  Alcotest.(check string) "masked cell block" expected (mask_digits text);
+  (* and the numbers behind the mask are physical *)
+  let a = List.hd arcs in
+  checkb "rise delay in (0, 1ns)" true
+    (a.Stdcell.Characterize.rise_delay_s > 0.
+    && a.Stdcell.Characterize.rise_delay_s < 1e-9);
+  checkb "energy in (0, 1pJ)" true
+    (a.Stdcell.Characterize.energy_per_cycle_j > 0.
+    && a.Stdcell.Characterize.energy_per_cycle_j < 1e-12)
+
 let cell_height_standardization () =
   let h = Stdcell.Library.cell_height_scheme1 cn_lib in
   checkb "tallest cell defines the row" true
@@ -162,6 +249,12 @@ let suite =
       characterize_nand2_all_arcs;
     Alcotest.test_case "CNFET beats CMOS per cell" `Slow cnfet_faster_than_cmos;
     Alcotest.test_case "liberty export" `Slow liberty_export;
+    Alcotest.test_case "sweep zero load" `Slow sweep_zero_load;
+    Alcotest.test_case "sweep single point" `Slow
+      sweep_single_point_matches_all_arcs;
+    Alcotest.test_case "sweep rejects bad inputs" `Quick
+      sweep_rejects_bad_inputs;
+    Alcotest.test_case "liberty inverter golden" `Slow liberty_inverter_golden;
     Alcotest.test_case "scheme-1 height standardization" `Quick
       cell_height_standardization;
   ]
