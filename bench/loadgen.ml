@@ -1,0 +1,149 @@
+(* Concurrent-serving load generator: N socket clients, each submitting
+   the same M-job batch against one in-process `Server.serve_socket`
+   event loop, measuring per-completion latency and end-to-end
+   throughput.  The clients deliberately overlap (duplicate digests), so
+   the first occurrence of each job executes and the rest are answered
+   from the result cache — the workload pattern of many users hammering
+   the same design points.  Results land in BENCH_service_concurrent.json:
+   the acceptance gate is the 4-client row at >= 2x the 1-client
+   baseline's throughput on a 4-domain scheduler. *)
+
+module Json = Service.Json
+module Job = Service.Job
+module Scheduler = Service.Scheduler
+module Server = Service.Server
+
+let jobs_per_client = 4
+
+let job_set () =
+  List.init jobs_per_client (fun i ->
+      Job.fault ~trials:400 ~seed:(3000 + i) "NAND3")
+
+(* One client: connect, submit the batch, read until every "done" event
+   arrived, then half-close and disconnect.  Returns the latency (ms from
+   batch submission) of each completion. *)
+let client ~path () =
+  let rec connect tries =
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    try
+      Unix.connect sock (Unix.ADDR_UNIX path);
+      sock
+    with Unix.Unix_error _ when tries > 0 ->
+      Unix.close sock;
+      Thread.delay 0.02;
+      connect (tries - 1)
+  in
+  let sock = connect 200 in
+  let oc = Unix.out_channel_of_descr sock in
+  let ic = Unix.in_channel_of_descr sock in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun job ->
+      output_string oc
+        (Json.to_string
+           (Json.Obj [ ("op", Json.Str "submit"); ("job", Job.to_json job) ]));
+      output_char oc '\n')
+    (job_set ());
+  flush oc;
+  let lats = ref [] in
+  let done_seen = ref 0 in
+  (try
+     while !done_seen < jobs_per_client do
+       let line = input_line ic in
+       match Json.of_string line with
+       | Ok v when Json.member "event" v = Some (Json.Str "done") ->
+         incr done_seen;
+         lats := (1000. *. (Unix.gettimeofday () -. t0)) :: !lats
+       | Ok v when Json.member "ok" v = Some (Json.Bool false) ->
+         failwith ("loadgen: server error event: " ^ line)
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  if !done_seen < jobs_per_client then
+    failwith "loadgen: connection closed before all completions arrived";
+  Unix.close sock;
+  !lats
+
+let run_case ~clients ~domains =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cnfet_loadgen_%d_%d.sock" (Unix.getpid ()) clients)
+  in
+  let config = { Scheduler.default_config with domains } in
+  Scheduler.with_scheduler ~config (fun sched ->
+      let server_stats = ref None in
+      let server =
+        Thread.create
+          (fun () ->
+            server_stats :=
+              Some
+                (Server.serve_socket ~max_conns:clients ~connections:clients
+                   sched ~path))
+          ()
+      in
+      let lat = Array.make clients [] in
+      let t0 = Unix.gettimeofday () in
+      let threads =
+        List.init clients (fun k ->
+            Thread.create (fun () -> lat.(k) <- client ~path ()) ())
+      in
+      List.iter Thread.join threads;
+      Thread.join server;
+      let wall = Unix.gettimeofday () -. t0 in
+      let lats = List.concat (Array.to_list lat) in
+      (wall, lats, Scheduler.stats sched, Option.get !server_stats))
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float ((float_of_int (n - 1) *. p) +. 0.5)))
+
+let run () =
+  print_newline ();
+  Printf.printf
+    "Concurrent serving (loadgen: N clients x %d overlapping fault jobs)\n"
+    jobs_per_client;
+  print_endline
+    "===================================================================";
+  Printf.printf "  %8s %8s %10s %10s %9s %9s %9s\n" "clients" "domains"
+    "time (s)" "jobs/sec" "p50 ms" "p95 ms" "max ms";
+  let case ~clients ~domains =
+    let wall, lats, s, st = run_case ~clients ~domains in
+    let sorted = Array.of_list lats in
+    Array.sort compare sorted;
+    let completions = clients * jobs_per_client in
+    let tput = float_of_int completions /. Float.max 1e-9 wall in
+    let p50 = percentile sorted 0.5
+    and p95 = percentile sorted 0.95
+    and pmax = percentile sorted 1.0 in
+    Printf.printf "  %8d %8d %10.3f %10.1f %9.1f %9.1f %9.1f\n" clients
+      domains wall tput p50 p95 pmax;
+    ( tput,
+      Bench_json.entry
+        ~extras:
+          [
+            ("clients", float_of_int clients);
+            ("jobs_per_client", float_of_int jobs_per_client);
+            ("completions", float_of_int completions);
+            ("executed", float_of_int s.Scheduler.executed);
+            ("cache_hits", float_of_int s.Scheduler.cache_hits);
+            ("conn_errors", float_of_int st.Server.conn_errors);
+            ("latency_p50_ms", p50);
+            ("latency_p95_ms", p95);
+            ("latency_max_ms", pmax);
+          ]
+        ~name:
+          (Printf.sprintf "service_concurrent.clients%d.domains%d" clients
+             domains)
+        ~wall_ms:(1000. *. wall) ~throughput:tput () )
+  in
+  let base_tput, base = case ~clients:1 ~domains:4 in
+  let conc_tput, conc = case ~clients:4 ~domains:4 in
+  let speedup = conc_tput /. Float.max 1e-9 base_tput in
+  Printf.printf "  4-client speedup over 1-client baseline: %.2fx\n" speedup;
+  let speedup_entry =
+    Bench_json.entry
+      ~extras:[ ("baseline_clients", 1.); ("concurrent_clients", 4.) ]
+      ~name:"service_concurrent.speedup" ~wall_ms:0. ~throughput:speedup ()
+  in
+  Bench_json.write ~bench:"service_concurrent" [ base; conc; speedup_entry ]

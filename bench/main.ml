@@ -6,7 +6,7 @@ let usage () =
   print_endline
     "usage: main.exe [table1|fig2|immunity|fig7|screening|cs1|cs2|summary|\
      ablation|yield|variation|sta|anneal|drc|mcscale|flowbench|service|\
-     perf|all]"
+     loadgen|perf|all]"
 
 let all_experiments =
   [
@@ -29,6 +29,7 @@ let all_experiments =
     ("mcscale", fun () -> Mc_scaling.run ());
     ("flowbench", Flowbench.run);
     ("service", Service_bench.run);
+    ("loadgen", Loadgen.run);
   ]
 
 let () =

@@ -424,9 +424,23 @@ let serve_cmd =
   in
   let connections =
     Arg.(value & opt int 1 & info [ "connections" ] ~docv:"N"
-           ~doc:"With --socket: number of sequential connections to \
-                 serve before exiting (the result cache persists across \
-                 them).")
+           ~doc:"With --socket: total number of connections to serve \
+                 before exiting (the result cache persists across \
+                 them).  Connections are served concurrently, up to \
+                 --max-conns at a time.")
+  in
+  let max_conns =
+    Arg.(value & opt int 8 & info [ "max-conns" ] ~docv:"N"
+           ~doc:"With --socket: maximum simultaneous connections; \
+                 further clients wait in the listen backlog until a \
+                 slot frees up.")
+  in
+  let idle_timeout_ms =
+    Arg.(value & opt (some float) None
+         & info [ "idle-timeout-ms" ] ~docv:"MS"
+             ~doc:"With --socket: close a connection that has sent \
+                   nothing and has no job in flight for $(docv) \
+                   milliseconds.")
   in
   let replay =
     Arg.(value & flag & info [ "replay" ]
@@ -434,8 +448,8 @@ let serve_cmd =
                  clock so queue waits, timestamps and completion records \
                  are exact functions of the request stream.")
   in
-  let run domains capacity cache_dir no_cache socket connections replay
-      telemetry trace_out =
+  let run domains capacity cache_dir no_cache socket connections max_conns
+      idle_timeout_ms replay telemetry trace_out =
     or_diag_exit @@ fun () ->
     telemetry_start telemetry trace_out;
     let config =
@@ -452,7 +466,15 @@ let serve_cmd =
     Service.Scheduler.with_scheduler ~config (fun sched ->
         match socket with
         | Some path ->
-          Service.Server.serve_socket ~connections sched ~path
+          let st =
+            Service.Server.serve_socket ~max_conns ?idle_timeout_ms
+              ~connections sched ~path
+          in
+          (* the summary goes to stderr: stdout is pure NDJSON *)
+          Printf.eprintf
+            "serve: %d connections, %d errors, %d idle-closed\n%!"
+            st.Service.Server.accepted st.Service.Server.conn_errors
+            st.Service.Server.idle_closed
         | None -> Service.Server.serve sched stdin stdout);
     (* stdout is the NDJSON stream; the telemetry summary goes to stderr *)
     if telemetry_wanted telemetry trace_out then begin
@@ -480,7 +502,8 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ domains $ capacity $ cache_dir $ no_cache $ socket
-          $ connections $ replay $ telemetry_arg $ trace_out_arg)
+          $ connections $ max_conns $ idle_timeout_ms $ replay
+          $ telemetry_arg $ trace_out_arg)
 
 let () =
   let doc = "CNFET design kit: imperfection-immune layouts, logic-to-GDSII." in

@@ -3,6 +3,7 @@ type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
   jobs : (unit -> unit) Queue.t;
+  exceptions : int Atomic.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
 }
@@ -24,8 +25,20 @@ let rec worker_loop t =
   | None -> ()
   | Some job ->
     (* map_reduce reports map exceptions itself; anything escaping here
-       would otherwise kill the worker silently *)
-    (try job () with _ -> ());
+       would otherwise kill the worker.  Escapes are never invisible:
+       each one bumps [exceptions] (and the pool.job_exceptions telemetry
+       counter), and control-flow exceptions a caller certainly meant to
+       observe — Exit, Assert_failure — are additionally announced on
+       stderr instead of vanishing. *)
+    (try job ()
+     with e ->
+       Atomic.incr t.exceptions;
+       Telemetry.counter_add "pool.job_exceptions" 1;
+       (match e with
+       | Stdlib.Exit | Assert_failure _ ->
+         Printf.eprintf "Parallel.Pool: worker swallowed %s\n%!"
+           (Printexc.to_string e)
+       | _ -> ()));
     worker_loop t
 
 let create ?domains () =
@@ -40,6 +53,7 @@ let create ?domains () =
       lock = Mutex.create ();
       nonempty = Condition.create ();
       jobs = Queue.create ();
+      exceptions = Atomic.make 0;
       closed = false;
       workers = [];
     }
@@ -48,6 +62,7 @@ let create ?domains () =
   t
 
 let size t = t.size
+let job_exceptions t = Atomic.get t.exceptions
 
 let shutdown t =
   Mutex.lock t.lock;

@@ -45,6 +45,24 @@ val create : ?domains:int -> unit -> t
 val size : t -> int
 (** Total parallelism of the pool, workers plus the calling domain. *)
 
+val job_exceptions : t -> int
+(** Number of exceptions that escaped directly-{!submit}ted jobs on
+    worker domains so far.  Such escapes do not kill the worker, but they
+    are never silent either: each bumps this counter (and the
+    [pool.job_exceptions] telemetry counter when recording is on), and
+    [Exit] / [Assert_failure] are also reported on stderr.  Exceptions
+    raised by {!map_reduce}'s [map] are not counted here — map_reduce
+    re-raises them on the caller itself. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a bare job for some worker domain to run (the caller does not
+    participate and there is no completion handle — pair with your own
+    signalling if you need one).  An exception escaping the job is counted
+    per {!job_exceptions}, never re-raised.  Raises [Invalid_argument]
+    after {!shutdown}.  With [~domains:1] there are no workers, so
+    submitted jobs only run once a concurrent {!map_reduce} drains the
+    queue — prefer pools of at least 2 domains for direct submission. *)
+
 val shutdown : t -> unit
 (** Join all workers.  Idempotent; the pool must not be used afterwards. *)
 

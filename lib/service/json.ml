@@ -62,10 +62,22 @@ let of_string s =
     end
   in
   let hex4 () =
+    (* the 4 characters must each be a hex digit: [int_of_string "0x…"]
+       would also accept OCaml underscores ("1_23") and signs *)
     if !pos + 4 > n then err "truncated \\u escape";
-    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
-    pos := !pos + 4;
-    v
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> err "invalid \\u escape (expected 4 hex digits)"
+      in
+      v := (!v lsl 4) lor d;
+      advance ()
+    done;
+    !v
   in
   let parse_string () =
     expect '"';
@@ -218,11 +230,23 @@ let escape buf str =
       | c -> Buffer.add_char buf c)
     str
 
+let shortest_float f =
+  (* shortest decimal form that parses back to exactly [f]: 15
+     significant digits when they round-trip, else 16, else 17 (always
+     exact for a binary64).  "%.12g" here used to lose bits — e.g.
+     [0.1 +. 0.2] printed as a different double, so job digests and
+     persisted cache keys could mismatch across encode→decode. *)
+  let s15 = Printf.sprintf "%.15g" f in
+  if float_of_string s15 = f then s15
+  else
+    let s16 = Printf.sprintf "%.16g" f in
+    if float_of_string s16 = f then s16 else Printf.sprintf "%.17g" f
+
 let add_num buf f =
   if not (Float.is_finite f) then Buffer.add_string buf "null"
   else if Float.is_integer f && Float.abs f < 1e15 then
     Buffer.add_string buf (Printf.sprintf "%.0f" f)
-  else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+  else Buffer.add_string buf (shortest_float f)
 
 let to_string v =
   let buf = Buffer.create 256 in

@@ -28,8 +28,11 @@ val of_string : string -> (t, string) result
 val to_string : t -> string
 (** Compact single-line rendering (never emits a newline — one value is
     one NDJSON line).  Integral [Num]s print without a decimal point;
-    non-finite floats print as [null] (JSON has no representation for
-    them). *)
+    other finite floats print in shortest round-trip form (the fewest
+    significant digits that parse back to the identical double, so
+    [of_string (to_string v)] preserves every [Num] bit-for-bit and
+    digest/cache keys survive encode→decode); non-finite floats print as
+    [null] (JSON has no representation for them). *)
 
 (** {1 Accessors}
 

@@ -60,6 +60,11 @@ type jrec = {
 
 type t = {
   config : config;
+  (* serialises every public entry point: multiple connections (or
+     threads) drive one scheduler through the facade at the bottom of
+     this file.  All functions above that facade assume the lock is held
+     (or the scheduler is confined to one thread). *)
+  lock : Mutex.t;
   pool : Parallel.Pool.t;
   pass_cache : Core.Pass.cache;
   (* one FIFO per class; dequeue scans High, Normal, Low in order *)
@@ -124,6 +129,7 @@ let create ?(config = default_config) () =
   Option.iter mkdir_p config.cache_dir;
   {
     config;
+    lock = Mutex.create ();
     pool = Parallel.Pool.create ~domains:config.domains ();
     pass_cache = Core.Pass.cache_create ();
     q_high = Queue.create ();
@@ -145,10 +151,13 @@ let create ?(config = default_config) () =
   }
 
 let shutdown t =
-  if not t.closed then begin
-    t.closed <- true;
-    Parallel.Pool.shutdown t.pool
-  end
+  Mutex.lock t.lock;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Mutex.unlock t.lock;
+  (* join the pool outside the lock: a worker must never need it, but a
+     status query racing the shutdown should not block on the join *)
+  if not was_closed then Parallel.Pool.shutdown t.pool
 
 let with_scheduler ?config f =
   let t = create ?config () in
@@ -366,6 +375,30 @@ let run_next t =
     in
     Some completion
 
+(* ------------------------------------------------------------------ *)
+(* Thread-safe facade.
+
+   Everything above runs unlocked; the wrappers below shadow the entry
+   points with mutex-guarded versions, so several server connections (or
+   threads) can drive one scheduler without corrupting the queues or the
+   counters.  [run_next] holds the lock across the job it executes —
+   batched, one-at-a-time execution is the model (parallelism lives
+   inside jobs, on the pool), and it is what keeps replay deterministic.
+   [drain] and [await] take the lock once per step, never nesting it, so
+   they interleave fairly with concurrent submissions. *)
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let submit t ?priority ?deadline_ms ?cost_ms job =
+  with_lock t (fun () -> submit t ?priority ?deadline_ms ?cost_ms job)
+
+let cancel t id = with_lock t (fun () -> cancel t id)
+let state t id = with_lock t (fun () -> state t id)
+let run_next t = with_lock t (fun () -> run_next t)
+let now_ms t = with_lock t (fun () -> now_ms t)
+
 let drain ?on_completion t =
   let rec loop acc =
     match run_next t with
@@ -378,10 +411,10 @@ let drain ?on_completion t =
 
 let await t id =
   let rec loop () =
-    match Hashtbl.find_opt t.jobs id with
-    | None -> Core.Diag.failf ~stage "unknown job id %d" id
-    | Some { jstate = Finished outcome; _ } -> Ok outcome
-    | Some _ -> (
+    match state t id with
+    | Error d -> Error d
+    | Ok (Finished outcome) -> Ok outcome
+    | Ok _ -> (
       match run_next t with
       | Some _ -> loop ()
       | None ->
@@ -392,17 +425,18 @@ let await t id =
   loop ()
 
 let stats t =
-  {
-    queued = t.queued_count;
-    executed = t.executed;
-    cache_hits = t.cache_hits;
-    done_ = t.done_count;
-    failed = t.failed_count;
-    cancelled = t.cancelled_count;
-    expired = t.expired_count;
-    rejected = t.rejected_count;
-    capacity = t.config.capacity;
-  }
+  with_lock t (fun () ->
+      {
+        queued = t.queued_count;
+        executed = t.executed;
+        cache_hits = t.cache_hits;
+        done_ = t.done_count;
+        failed = t.failed_count;
+        cancelled = t.cancelled_count;
+        expired = t.expired_count;
+        rejected = t.rejected_count;
+        capacity = t.config.capacity;
+      })
 
 (* ------------------------------------------------------------------ *)
 (* Replay                                                             *)

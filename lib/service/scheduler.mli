@@ -15,6 +15,16 @@
     every completion record are {b bit-identical at any [domains]} under
     the virtual clock.
 
+    {2 Thread safety}
+
+    Every entry point below ([submit], [cancel], [state], [stats],
+    [run_next], [now_ms] — and [drain] / [await], which compose them) is
+    serialised on an internal mutex, so multiple server connections or
+    threads can drive one scheduler safely.  [run_next] holds the lock
+    for the whole job it executes: execution stays batched and
+    one-at-a-time (the replay-determinism model is unchanged), and
+    concurrent callers simply queue behind it.
+
     {2 Backpressure}
 
     The queue holds at most [config.capacity] jobs across all classes.

@@ -55,40 +55,62 @@ let event_of_completion (c : Scheduler.completion) =
 
 let protocol_error fmt = Core.Diag.errorf ~stage fmt
 
-let handle_submit sched obj =
+(* Optional request members must distinguish "absent" (fine, use the
+   default) from "present with the wrong type" (a visible rejection
+   naming the field) — [Option.bind … Json.to_float] used to collapse
+   both to [None], silently ignoring e.g. a string ["deadline_ms"]. *)
+let opt_member obj name conv ~expect =
+  match Json.member name obj with
+  | None -> Ok None
+  | Some v -> (
+    match conv v with
+    | Some x -> Ok (Some x)
+    | None -> Error (protocol_error "member %s must be %s" name expect))
+
+(* One submission: [Ok (id, accepted-event)] or [Error rejected-event].
+   The id is what lets the socket server route the job's completion back
+   to the connection that submitted it. *)
+let submit_request sched obj =
+  let reject d = Error (error_event ~event:"rejected" d) in
   match Json.member "job" obj with
-  | None -> [ error_event ~event:"rejected" (protocol_error "missing member job") ]
+  | None -> reject (protocol_error "missing member job")
   | Some job_json -> (
     match Job.of_json job_json with
-    | Error d -> [ error_event ~event:"rejected" d ]
-    | Ok job -> (
-      let str name = Option.bind (Json.member name obj) Json.to_str in
-      let num name = Option.bind (Json.member name obj) Json.to_float in
-      match
-        match str "priority" with
+    | Error d -> reject d
+    | Ok job ->
+      let ( let* ) r f = match r with Error d -> reject d | Ok x -> f x in
+      let* priority_str =
+        opt_member obj "priority" Json.to_str ~expect:"a string"
+      in
+      let* priority =
+        match priority_str with
         | None -> Ok Scheduler.Normal
         | Some s -> (
           match Scheduler.priority_of_string s with
           | Some p -> Ok p
           | None -> Error (protocol_error "unknown priority %S" s))
-      with
-      | Error d -> [ error_event ~event:"rejected" d ]
-      | Ok priority -> (
-        match
-          Scheduler.submit sched ~priority ?deadline_ms:(num "deadline_ms")
-            ?cost_ms:(num "cost_ms") job
-        with
-        | Ok id ->
-          [
+      in
+      let* deadline_ms =
+        opt_member obj "deadline_ms" Json.to_float ~expect:"a number"
+      in
+      let* cost_ms =
+        opt_member obj "cost_ms" Json.to_float ~expect:"a number"
+      in
+      match Scheduler.submit sched ~priority ?deadline_ms ?cost_ms job with
+      | Ok id ->
+        Ok
+          ( id,
             Json.Obj
               [
                 ("ok", Json.Bool true);
                 ("event", Json.Str "accepted");
                 ("id", Json.int id);
                 ("kind", Json.Str (Job.kind job));
-              ];
-          ]
-        | Error d -> [ error_event ~event:"rejected" d ])))
+              ] )
+      | Error d -> reject d)
+
+let handle_submit sched obj =
+  match submit_request sched obj with Ok (_, e) -> [ e ] | Error e -> [ e ]
 
 let with_id obj f =
   match Option.bind (Json.member "id" obj) Json.to_int with
@@ -194,7 +216,49 @@ let serve sched ic oc =
   in
   loop ()
 
-let serve_socket ?(connections = 1) sched ~path =
+(* ------------------------------------------------------------------ *)
+(* Concurrent socket server: a select-based event loop over the
+   listening socket and every live connection.  Connections are strictly
+   isolated — an I/O error (EPIPE from a client that vanished mid-write,
+   a reset, an oversized request line) closes only that connection and
+   bumps [conn_errors]; the loop, the other clients and the scheduler
+   keep going.  Jobs are pumped one per tick between I/O rounds, and
+   each completion is routed to the connection that submitted it. *)
+
+type serve_stats = { accepted : int; conn_errors : int; idle_closed : int }
+
+let read_chunk_bytes = 4096
+let max_line_bytes = 1 lsl 20 (* a request line beyond 1 MiB is an error *)
+let out_pause_bytes = 1 lsl 20 (* backpressure: stop reading above this *)
+let out_drop_bytes = 8 * (1 lsl 20) (* slow consumer: drop the connection *)
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  inbuf : Buffer.t; (* bytes of a not-yet-complete request line *)
+  outq : string Queue.t; (* response lines awaiting the socket *)
+  mutable out_off : int; (* bytes of the queue head already written *)
+  mutable out_bytes : int; (* total queued output, for backpressure *)
+  mutable eof : bool; (* peer half-closed; flush + finish its jobs *)
+  mutable dead : bool;
+  mutable last_in_ms : float;
+  mutable owned_jobs : int; (* submitted here and not yet completed *)
+  opened_ms : float;
+}
+
+let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1) sched
+    ~path =
+  if max_conns < 1 then
+    invalid_arg "Server.serve_socket: max_conns must be >= 1";
+  if connections < 1 then
+    invalid_arg "Server.serve_socket: connections must be >= 1";
+  (match idle_timeout_ms with
+  | Some t when not (t > 0. && Float.is_finite t) ->
+    invalid_arg "Server.serve_socket: idle_timeout_ms must be positive"
+  | _ -> ());
+  (* a client gone mid-write must surface as EPIPE, not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   if Sys.file_exists path then Sys.remove path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -203,13 +267,294 @@ let serve_socket ?(connections = 1) sched ~path =
       try Sys.remove path with Sys_error _ -> ())
     (fun () ->
       Unix.bind sock (Unix.ADDR_UNIX path);
-      Unix.listen sock 8;
-      for _ = 1 to connections do
-        let client, _addr = Unix.accept sock in
-        let ic = Unix.in_channel_of_descr client in
-        let oc = Unix.out_channel_of_descr client in
-        Fun.protect
-          ~finally:(fun () ->
-            try Unix.close client with Unix.Unix_error _ -> ())
-          (fun () -> serve sched ic oc)
-      done)
+      Unix.listen sock max_conns;
+      Unix.set_nonblock sock;
+      let now_ms () = Unix.gettimeofday () *. 1000. in
+      let conns = ref [] in
+      let owners : (int, conn) Hashtbl.t = Hashtbl.create 32 in
+      let accepted = ref 0 in
+      let conn_errors = ref 0 in
+      let idle_closed = ref 0 in
+      let gauge_active () =
+        Telemetry.gauge_set "service.conns_active"
+          (float_of_int (List.length !conns))
+      in
+      let enqueue c e =
+        if not c.dead then begin
+          let line = Json.to_string e ^ "\n" in
+          Queue.push line c.outq;
+          c.out_bytes <- c.out_bytes + String.length line;
+          Telemetry.counter_add "service.events_out" 1
+        end
+      in
+      let close_conn ?(error = false) ?(idle = false) c =
+        if not c.dead then begin
+          c.dead <- true;
+          (try Unix.close c.fd with Unix.Unix_error _ -> ());
+          if error then begin
+            incr conn_errors;
+            Telemetry.counter_add "service.conn_errors" 1
+          end;
+          if idle then begin
+            incr idle_closed;
+            Telemetry.counter_add "service.conn_idle_closed" 1
+          end;
+          Telemetry.instant "service.conn.close"
+            ~attrs:
+              [
+                ("conn", Telemetry.Int c.cid);
+                ("error", Telemetry.Bool error);
+                ("dur_ms", Telemetry.Float (now_ms () -. c.opened_ms));
+              ]
+        end
+      in
+      (* completions go to the connection that submitted the job; if it
+         died meanwhile the event is dropped (the job still ran, so the
+         cache and the stats stay warm for everyone else) *)
+      let route (comp : Scheduler.completion) =
+        match Hashtbl.find_opt owners comp.Scheduler.id with
+        | None -> ()
+        | Some c ->
+          Hashtbl.remove owners comp.Scheduler.id;
+          c.owned_jobs <- c.owned_jobs - 1;
+          enqueue c (event_of_completion comp)
+      in
+      let pump_one () =
+        match Scheduler.run_next sched with
+        | None -> ()
+        | Some comp -> route comp
+      in
+      let handle_line c line =
+        Telemetry.counter_add "service.lines_in" 1;
+        if String.trim line = "" then ()
+        else
+          match Json.of_string line with
+          | Error msg ->
+            enqueue c (error_event (protocol_error "invalid JSON: %s" msg))
+          | Ok req -> (
+            match Option.bind (Json.member "op" req) Json.to_str with
+            | None -> enqueue c (error_event (protocol_error "missing member op"))
+            | Some "submit" -> (
+              match submit_request sched req with
+              | Ok (id, e) ->
+                Hashtbl.replace owners id c;
+                c.owned_jobs <- c.owned_jobs + 1;
+                enqueue c e
+              | Error e -> enqueue c e)
+            | Some "status" -> List.iter (enqueue c) (handle_status sched req)
+            | Some "cancel" -> (
+              match Option.bind (Json.member "id" req) Json.to_int with
+              | None ->
+                enqueue c
+                  (error_event
+                     (protocol_error "missing or non-integer member id"))
+              | Some id -> (
+                match Scheduler.cancel sched id with
+                | Error d -> enqueue c (error_event d)
+                | Ok () ->
+                  (* cancelled jobs never produce a completion, so the
+                     submitter's in-flight count drops here *)
+                  (match Hashtbl.find_opt owners id with
+                  | Some oc ->
+                    Hashtbl.remove owners id;
+                    oc.owned_jobs <- oc.owned_jobs - 1
+                  | None -> ());
+                  enqueue c
+                    (Json.Obj
+                       [
+                         ("ok", Json.Bool true);
+                         ("event", Json.Str "cancelled");
+                         ("id", Json.int id);
+                       ])))
+            | Some "stats" -> enqueue c (stats_event sched)
+            | Some "drain" ->
+              (* run the whole queue (all clients' jobs), routing every
+                 completion to its owner; the requester is then told how
+                 many of its own jobs completed in this drain *)
+              let mine = ref 0 in
+              let rec go () =
+                match Scheduler.run_next sched with
+                | None -> ()
+                | Some comp ->
+                  (match Hashtbl.find_opt owners comp.Scheduler.id with
+                  | Some oc when oc == c -> incr mine
+                  | _ -> ());
+                  route comp;
+                  go ()
+              in
+              go ();
+              enqueue c
+                (Json.Obj
+                   [
+                     ("ok", Json.Bool true);
+                     ("event", Json.Str "drained");
+                     ("jobs", Json.int !mine);
+                   ])
+            | Some op ->
+              enqueue c (error_event (protocol_error "unknown op %S" op)))
+      in
+      let readbuf = Bytes.create read_chunk_bytes in
+      let read_conn c =
+        match Unix.read c.fd readbuf 0 read_chunk_bytes with
+        | 0 -> c.eof <- true
+        | nread ->
+          c.last_in_ms <- now_ms ();
+          Buffer.add_subbytes c.inbuf readbuf 0 nread;
+          let data = Buffer.contents c.inbuf in
+          let len = String.length data in
+          let rec lines start =
+            if c.dead then start
+            else
+              match String.index_from_opt data start '\n' with
+              | None -> start
+              | Some i ->
+                handle_line c (String.sub data start (i - start));
+                lines (i + 1)
+          in
+          let rest = lines 0 in
+          Buffer.clear c.inbuf;
+          if not c.dead && rest < len then begin
+            Buffer.add_substring c.inbuf data rest (len - rest);
+            if Buffer.length c.inbuf > max_line_bytes then begin
+              (* unframeable garbage; protocol error, drop the client *)
+              enqueue c
+                (error_event
+                   (protocol_error "request line exceeds %d bytes"
+                      max_line_bytes));
+              close_conn ~error:true c
+            end
+          end
+        | exception
+            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+          ()
+        | exception Unix.Unix_error (_, _, _) -> close_conn ~error:true c
+        | exception Sys_error _ -> close_conn ~error:true c
+      in
+      let write_conn c =
+        let progress = ref true in
+        while (not c.dead) && !progress && not (Queue.is_empty c.outq) do
+          let head = Queue.peek c.outq in
+          let remaining = String.length head - c.out_off in
+          match Unix.single_write_substring c.fd head c.out_off remaining with
+          | nwritten ->
+            c.out_bytes <- c.out_bytes - nwritten;
+            if nwritten = remaining then begin
+              ignore (Queue.pop c.outq);
+              c.out_off <- 0
+            end
+            else begin
+              c.out_off <- c.out_off + nwritten;
+              progress := false
+            end
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+            ->
+            progress := false
+          | exception Unix.Unix_error (_, _, _) -> close_conn ~error:true c
+          | exception Sys_error _ -> close_conn ~error:true c
+        done
+      in
+      let accept_ready () =
+        let continue = ref true in
+        while
+          !continue && !accepted < connections
+          && List.length !conns < max_conns
+        do
+          match Unix.accept sock with
+          | fd, _addr ->
+            Unix.set_nonblock fd;
+            incr accepted;
+            let now = now_ms () in
+            let c =
+              {
+                fd;
+                cid = !accepted;
+                inbuf = Buffer.create 256;
+                outq = Queue.create ();
+                out_off = 0;
+                out_bytes = 0;
+                eof = false;
+                dead = false;
+                last_in_ms = now;
+                owned_jobs = 0;
+                opened_ms = now;
+              }
+            in
+            conns := !conns @ [ c ];
+            Telemetry.counter_add "service.conns_accepted" 1;
+            Telemetry.instant "service.conn.open"
+              ~attrs:[ ("conn", Telemetry.Int c.cid) ];
+            gauge_active ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> () (* retry *)
+          | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> ()
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+            continue := false
+          | exception Unix.Unix_error (_, _, _) -> continue := false
+        done
+      in
+      let rec loop () =
+        (* reap: slow consumers, served-out peers, idle connections *)
+        let now = now_ms () in
+        List.iter
+          (fun c ->
+            if not c.dead then
+              if c.out_bytes > out_drop_bytes then close_conn ~error:true c
+              else if c.eof && c.owned_jobs = 0 && Queue.is_empty c.outq then
+                close_conn c
+              else
+                match idle_timeout_ms with
+                | Some limit
+                  when now -. c.last_in_ms > limit
+                       && c.owned_jobs = 0
+                       && Queue.is_empty c.outq ->
+                  close_conn ~idle:true c
+                | _ -> ())
+          !conns;
+        conns := List.filter (fun c -> not c.dead) !conns;
+        gauge_active ();
+        if !accepted >= connections && !conns = [] then
+          (* graceful shutdown: finish whatever is still queued so the
+             cache and the stats stay coherent; the owners are gone, so
+             the events have nowhere to go *)
+          ignore (Scheduler.drain sched)
+        else begin
+          let queued = (Scheduler.stats sched).Scheduler.queued > 0 in
+          let want_accept =
+            !accepted < connections && List.length !conns < max_conns
+          in
+          let rfds =
+            (if want_accept then [ sock ] else [])
+            @ List.filter_map
+                (fun c ->
+                  if c.eof || c.out_bytes > out_pause_bytes then None
+                  else Some c.fd)
+                !conns
+          in
+          let wfds =
+            List.filter_map
+              (fun c -> if Queue.is_empty c.outq then None else Some c.fd)
+              !conns
+          in
+          let timeout = if queued then 0. else 0.25 in
+          let r, w, _ =
+            try Unix.select rfds wfds [] timeout
+            with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+          in
+          if List.mem sock r then accept_ready ();
+          List.iter (fun c -> if (not c.dead) && List.mem c.fd r then read_conn c) !conns;
+          List.iter (fun c -> if (not c.dead) && List.mem c.fd w then write_conn c) !conns;
+          (* one job per tick keeps the loop responsive under load *)
+          if queued then pump_one ();
+          loop ()
+        end
+      in
+      loop ();
+      {
+        accepted = !accepted;
+        conn_errors = !conn_errors;
+        idle_closed = !idle_closed;
+      })

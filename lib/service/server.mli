@@ -34,9 +34,17 @@
 
     Errors embed {!Core.Diag.t} as
     [{"stage","severity","message","context":{...}}].  Blank lines are
-    ignored.  The server is sequential: jobs run on {!Scheduler.drain},
-    so lines stream in arrival-completion order and the protocol needs no
-    interleaving discipline. *)
+    ignored.
+
+    Over stdio ({!serve}) the server is sequential: jobs run on
+    {!Scheduler.drain}, so lines stream in arrival-completion order.
+    Over a socket ({!serve_socket}) the server is {e concurrent}: many
+    clients share one scheduler, jobs are pumped between I/O rounds, and
+    each ["done"] event streams to the connection that submitted the job
+    as soon as it completes — possibly before any ["drain"]; ["drain"]
+    then reports how many of {e the requester's} jobs finished in it.
+    Submissions carry no connection identity on the wire, so ids are
+    global and ["status"]/["stats"] see the shared scheduler. *)
 
 val diag_json : Core.Diag.t -> Json.t
 
@@ -56,9 +64,50 @@ val serve : Scheduler.t -> in_channel -> out_channel -> unit
     final ["done"] events) and return.  Each response line is flushed
     before the next request is read. *)
 
+type serve_stats = {
+  accepted : int;  (** connections accepted over the server's lifetime *)
+  conn_errors : int;
+      (** connections dropped on an I/O or protocol error (EPIPE mid
+          response, reset, oversized request line, slow consumer) *)
+  idle_closed : int;  (** connections closed by the idle timeout *)
+}
+
 val serve_socket :
-  ?connections:int -> Scheduler.t -> path:string -> unit
+  ?max_conns:int ->
+  ?idle_timeout_ms:float ->
+  ?connections:int ->
+  Scheduler.t ->
+  path:string ->
+  serve_stats
 (** Bind a Unix-domain socket at [path] (replacing any stale socket
-    file) and serve [connections] (default 1) sequential connections
-    with {!serve}, then close and unlink.  The scheduler — and its
-    result cache — persists across connections. *)
+    file) and serve up to [connections] (default 1) clients {e
+    concurrently} — at most [max_conns] (default 8) simultaneously —
+    on a [select]-based event loop, then drain the scheduler, close and
+    unlink.  The scheduler — and its result cache — is shared by every
+    connection (its entry points are mutex-guarded, see
+    {!Scheduler}).
+
+    Guarantees:
+
+    - {b incremental framing}: requests may arrive in arbitrary
+      fragments; a line over 1 MiB is a protocol error on that
+      connection only;
+    - {b backpressure}: responses queue per connection (bounded); a
+      connection over the high-water mark stops being read until it
+      drains, and one exceeding the hard cap is dropped as a slow
+      consumer;
+    - {b isolation}: an I/O error — a client closing its socket
+      mid-response, EPIPE, a reset — or a protocol error closes {e only}
+      that connection, bumps [conn_errors] (and the
+      [service.conn_errors] telemetry counter), and the loop keeps
+      serving everyone else ([SIGPIPE] is ignored for the process);
+    - {b routing}: each completion streams to the connection that
+      submitted the job; end-of-input from a client lets its outstanding
+      jobs finish, streams their events, then closes it (the implicit
+      drain of {!serve}, per connection);
+    - {b idle timeout}: with [idle_timeout_ms], a connection with no
+      input, no queued output and no job in flight for that long is
+      closed (counted in [idle_closed], not an error);
+    - {b graceful shutdown}: once [connections] clients have been served
+      and disconnected, any still-queued jobs run to completion (cache
+      and stats stay coherent) before the socket is unlinked. *)

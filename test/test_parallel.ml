@@ -111,6 +111,43 @@ let pool_reuse_and_size () =
       (* a tiny range may run entirely on the caller without submitting *)
       true)
 
+let submitted_job_exception_observable () =
+  (* an exception escaping a directly-submitted job must not kill the
+     worker, and must not vanish either: it is counted on the pool *)
+  Parallel.Pool.with_pool ~domains:2 (fun pool ->
+      check_int "no exceptions initially" 0
+        (Parallel.Pool.job_exceptions pool);
+      Parallel.Pool.submit pool (fun () -> failwith "boom");
+      Parallel.Pool.submit pool (fun () -> raise Stdlib.Exit);
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec wait_for n =
+        if Parallel.Pool.job_exceptions pool >= n then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.failf "swallowed exceptions not counted: %d of %d"
+            (Parallel.Pool.job_exceptions pool)
+            n
+        else begin
+          Unix.sleepf 0.005;
+          wait_for n
+        end
+      in
+      wait_for 2;
+      (* the worker survived: it still runs further jobs *)
+      let ran = Atomic.make false in
+      Parallel.Pool.submit pool (fun () -> Atomic.set ran true);
+      let rec wait_ran () =
+        if Atomic.get ran then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "worker dead after a raising job"
+        else begin
+          Unix.sleepf 0.005;
+          wait_ran ()
+        end
+      in
+      wait_ran ();
+      check_int "exactly the raising jobs counted" 2
+        (Parallel.Pool.job_exceptions pool))
+
 let bad_chunk_rejected () =
   Parallel.Pool.with_pool ~domains:1 (fun pool ->
       checkb "chunk 0 rejected" true
@@ -165,6 +202,8 @@ let suite =
       init_array_matches;
     Alcotest.test_case "exceptions propagate" `Quick exceptions_propagate;
     Alcotest.test_case "pool reuse and shutdown" `Quick pool_reuse_and_size;
+    Alcotest.test_case "submitted job exception observable" `Quick
+      submitted_job_exception_observable;
     Alcotest.test_case "bad chunk rejected" `Quick bad_chunk_rejected;
     Alcotest.test_case "split rng reproducible" `Quick split_rng_reproducible;
     Alcotest.test_case "split rng streams differ" `Quick

@@ -53,6 +53,50 @@ let json_numbers () =
   checkb "to_int rejects fractions" true (Json.to_int (Json.Num 1.5) = None);
   checkb "member on non-object" true (Json.member "k" (Json.int 3) = None)
 
+let reparse_num s f =
+  match Json.of_string (Json.to_string (Json.Num f)) with
+  | Ok (Json.Num f') -> checkb s true (Float.equal f f')
+  | _ -> Alcotest.failf "%s: did not reparse as a number" s
+
+let json_float_shortest_roundtrip () =
+  (* the satellite case: %.12g used to print 0.1 +. 0.2 as a different
+     double, so encode->decode changed job digests *)
+  reparse_num "0.1 + 0.2" (0.1 +. 0.2);
+  reparse_num "1/3" (1. /. 3.);
+  reparse_num "pi" (4. *. atan 1.);
+  reparse_num "smallest normal" 2.2250738585072014e-308;
+  reparse_num "huge integral" 1e306;
+  (* shortest form: simple decimals keep their short spelling *)
+  check_str "0.25 stays short" "0.25" (Json.to_string (Json.Num 0.25));
+  check_str "0.1 stays short" "0.1" (Json.to_string (Json.Num 0.1))
+
+let json_float_roundtrip_prop =
+  QCheck.Test.make ~name:"json float print/parse round-trips" ~count:2000
+    QCheck.float (fun f ->
+      QCheck.assume (Float.is_finite f);
+      match Json.of_string (Json.to_string (Json.Num f)) with
+      | Ok (Json.Num f') -> Float.equal f f'
+      | _ -> false)
+
+let json_unicode_escape_rejects () =
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Ok _ -> Alcotest.failf "accepted %S" bad
+      | Error e -> checkb bad true (String.length e > 0))
+    [
+      "\"\\u1_23\"" (* int_of_string's underscore syntax must not leak *);
+      "\"\\u12g4\"";
+      "\"\\u+123\"";
+      "\"\\u 123\"";
+      "\"\\u\"" (* lone \u before the closing quote *);
+      "\"\\u12\"" (* truncated at end of input *);
+      "\"\\u" (* lone \u at end of input *);
+    ];
+  match Json.of_string "\"\\u00E9\"" with
+  | Ok (Json.Str s) -> check_str "uppercase hex still fine" "\xc3\xa9" s
+  | _ -> Alcotest.fail "rejected a valid escape"
+
 (* --- jobs --- *)
 
 let job_codec_roundtrip () =
@@ -438,27 +482,96 @@ let protocol_backpressure_visible () =
           (Json.member "error" e <> None)
       | _ -> Alcotest.fail "one rejection event expected")
 
-let socket_roundtrip () =
-  let path =
-    Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "cnfet_svc_%d.sock" (Unix.getpid ()))
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* a wrongly-typed optional member is a visible rejection naming the
+   field, never a silent fallback to the default *)
+let submit_wrong_type_rejected () =
+  let config = { Scheduler.default_config with clock = Scheduler.Virtual } in
+  Scheduler.with_scheduler ~config (fun t ->
+      let req extra =
+        line_of
+          (Json.Obj
+             ([
+                ("op", Json.Str "submit");
+                ("job", Job.to_json (Job.fault ~trials:40 "NAND2"));
+              ]
+             @ extra))
+      in
+      let expect_rejection field extra =
+        match Server.handle t (req extra) with
+        | [ e ] ->
+          checkb (field ^ ": not ok") true
+            (Json.member "ok" e = Some (Json.Bool false));
+          check_str (field ^ ": rejected") "rejected"
+            (Option.get (Option.bind (Json.member "event" e) Json.to_str));
+          let message =
+            match Json.member "error" e with
+            | Some err ->
+              Option.value ~default:""
+                (Option.bind (Json.member "message" err) Json.to_str)
+            | None -> ""
+          in
+          checkb (field ^ ": named in the diagnostic") true
+            (contains ~sub:field message)
+        | es -> Alcotest.failf "%s: expected one event, got %d" field
+                  (List.length es)
+      in
+      expect_rejection "deadline_ms" [ ("deadline_ms", Json.Str "soon") ];
+      expect_rejection "cost_ms" [ ("cost_ms", Json.Bool true) ];
+      expect_rejection "priority" [ ("priority", Json.int 3) ];
+      check_int "nothing admitted" 0 (Scheduler.stats t).Scheduler.queued;
+      (* absent members still mean "use the default" *)
+      (match Server.handle t (req []) with
+      | [ e ] ->
+        check_str "absent members fine" "accepted"
+          (Option.get (Option.bind (Json.member "event" e) Json.to_str))
+      | _ -> Alcotest.fail "plain submit should be accepted");
+      (* and correctly-typed ones are honoured *)
+      match
+        Server.handle t
+          (req [ ("deadline_ms", Json.Num 50.); ("priority", Json.Str "low") ])
+      with
+      | [ e ] ->
+        check_str "typed members fine" "accepted"
+          (Option.get (Option.bind (Json.member "event" e) Json.to_str))
+      | _ -> Alcotest.fail "typed submit should be accepted")
+
+(* --- concurrent socket server --- *)
+
+let tmp_sock_path tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "cnfet_%s_%d.sock" tag (Unix.getpid ()))
+
+let connect_retry path =
+  let rec go tries =
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    try
+      Unix.connect sock (Unix.ADDR_UNIX path);
+      sock
+    with Unix.Unix_error _ when tries > 0 ->
+      Unix.close sock;
+      Thread.delay 0.05;
+      go (tries - 1)
   in
+  go 40
+
+let event_of_line line =
+  match Json.of_string line with
+  | Ok v -> Option.bind (Json.member "event" v) Json.to_str
+  | Error _ -> None
+
+let socket_roundtrip () =
+  let path = tmp_sock_path "svc" in
   let config = { Scheduler.default_config with clock = Scheduler.Virtual } in
   Scheduler.with_scheduler ~config (fun t ->
       let server =
         Thread.create (fun () -> Server.serve_socket t ~path) ()
       in
-      let rec connect tries =
-        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        try
-          Unix.connect sock (Unix.ADDR_UNIX path);
-          sock
-        with Unix.Unix_error _ when tries > 0 ->
-          Unix.close sock;
-          Thread.delay 0.05;
-          connect (tries - 1)
-      in
-      let sock = connect 40 in
+      let sock = connect_retry path in
       let oc = Unix.out_channel_of_descr sock in
       let ic = Unix.in_channel_of_descr sock in
       output_string oc
@@ -485,10 +598,134 @@ let socket_roundtrip () =
       Thread.join server;
       checkb "socket file removed" true (not (Sys.file_exists path)))
 
+(* a client that disappears mid-response must not take the server down:
+   the write raises EPIPE, the connection is reaped as an error, and the
+   next client is served normally *)
+let socket_client_killed_mid_response () =
+  let path = tmp_sock_path "kill" in
+  let config = { Scheduler.default_config with clock = Scheduler.Virtual } in
+  Scheduler.with_scheduler ~config (fun t ->
+      let stats = ref None in
+      let server =
+        Thread.create
+          (fun () ->
+            stats :=
+              Some (Server.serve_socket ~max_conns:2 ~connections:2 t ~path))
+          ()
+      in
+      (* rude client: submit, then vanish without reading the response *)
+      let rude = connect_retry path in
+      let oc = Unix.out_channel_of_descr rude in
+      output_string oc
+        "{\"op\":\"submit\",\"job\":{\"kind\":\"fault\",\"cell\":\"NAND2\",\
+         \"trials\":40}}\n";
+      flush oc;
+      Unix.close rude;
+      (* polite client: full round trip must still work *)
+      let sock = connect_retry path in
+      let oc = Unix.out_channel_of_descr sock in
+      let ic = Unix.in_channel_of_descr sock in
+      output_string oc
+        "{\"op\":\"submit\",\"job\":{\"kind\":\"fault\",\"cell\":\"NAND3\",\
+         \"trials\":40}}\n";
+      flush oc;
+      checkb "polite client accepted" true
+        (event_of_line (input_line ic) = Some "accepted");
+      Unix.shutdown sock Unix.SHUTDOWN_SEND;
+      checkb "polite client completion" true
+        (event_of_line (input_line ic) = Some "done");
+      Unix.close sock;
+      Thread.join server;
+      match !stats with
+      | None -> Alcotest.fail "server thread produced no stats"
+      | Some st ->
+        check_int "both connections served" 2 st.Server.accepted;
+        checkb "server survived and kept count" true (st.Server.conn_errors <= 1))
+
+(* four simultaneous clients submitting overlapping (duplicate-digest)
+   jobs: every client gets all its completions, each distinct job executes
+   once, the overlap is answered from the cache, and the scheduler's
+   ledger reconciles *)
+let concurrent_socket_clients () =
+  let n_clients = 4 and n_jobs = 3 in
+  let path = tmp_sock_path "conc" in
+  let config = { Scheduler.default_config with clock = Scheduler.Virtual } in
+  Scheduler.with_scheduler ~config (fun t ->
+      let stats = ref None in
+      let server =
+        Thread.create
+          (fun () ->
+            stats :=
+              Some
+                (Server.serve_socket ~max_conns:n_clients
+                   ~connections:n_clients t ~path))
+          ()
+      in
+      let results = Array.make n_clients (0, 0) in
+      let client k () =
+        let sock = connect_retry path in
+        let oc = Unix.out_channel_of_descr sock in
+        let ic = Unix.in_channel_of_descr sock in
+        (* every client submits the same job set: maximal overlap *)
+        for i = 1 to n_jobs do
+          output_string oc
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ("op", Json.Str "submit");
+                    ( "job",
+                      Job.to_json
+                        (Job.fault ~trials:40 ~seed:(100 + i) "NAND2") );
+                  ]));
+          output_char oc '\n'
+        done;
+        flush oc;
+        let accepted = ref 0 and completed = ref 0 in
+        (try
+           while !completed < n_jobs do
+             match event_of_line (input_line ic) with
+             | Some "accepted" -> incr accepted
+             | Some "done" -> incr completed
+             | _ -> ()
+           done
+         with End_of_file -> ());
+        Unix.close sock;
+        results.(k) <- (!accepted, !completed)
+      in
+      let threads =
+        List.init n_clients (fun k -> Thread.create (client k) ())
+      in
+      List.iter Thread.join threads;
+      Thread.join server;
+      Array.iteri
+        (fun k (accepted, completed) ->
+          check_int (Printf.sprintf "client %d accepted" k) n_jobs accepted;
+          check_int (Printf.sprintf "client %d completed" k) n_jobs completed)
+        results;
+      let s = Scheduler.stats t in
+      check_int "distinct jobs executed once" n_jobs s.Scheduler.executed;
+      check_int "overlap answered from cache"
+        ((n_clients - 1) * n_jobs)
+        s.Scheduler.cache_hits;
+      check_int "ledger reconciles: done = executed + hits"
+        (s.Scheduler.executed + s.Scheduler.cache_hits)
+        s.Scheduler.done_;
+      check_int "no failures" 0 s.Scheduler.failed;
+      match !stats with
+      | None -> Alcotest.fail "server thread produced no stats"
+      | Some st ->
+        check_int "all clients accepted" n_clients st.Server.accepted;
+        check_int "no connection errors" 0 st.Server.conn_errors)
+
 let suite =
   [
     Alcotest.test_case "json roundtrip" `Quick json_roundtrip;
     Alcotest.test_case "json numbers" `Quick json_numbers;
+    Alcotest.test_case "json float shortest roundtrip" `Quick
+      json_float_shortest_roundtrip;
+    QCheck_alcotest.to_alcotest json_float_roundtrip_prop;
+    Alcotest.test_case "json unicode escape rejects" `Quick
+      json_unicode_escape_rejects;
     Alcotest.test_case "job codec roundtrip" `Quick job_codec_roundtrip;
     Alcotest.test_case "job codec rejects" `Quick job_codec_rejects;
     Alcotest.test_case "job validate and digest" `Quick
@@ -510,5 +747,11 @@ let suite =
     Alcotest.test_case "protocol session" `Quick protocol_session;
     Alcotest.test_case "protocol backpressure visible" `Quick
       protocol_backpressure_visible;
+    Alcotest.test_case "submit wrong-type rejected" `Quick
+      submit_wrong_type_rejected;
     Alcotest.test_case "socket roundtrip" `Quick socket_roundtrip;
+    Alcotest.test_case "socket client killed mid-response" `Quick
+      socket_client_killed_mid_response;
+    Alcotest.test_case "concurrent socket clients" `Quick
+      concurrent_socket_clients;
   ]
