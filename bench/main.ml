@@ -5,8 +5,8 @@
 let usage () =
   print_endline
     "usage: main.exe [table1|fig2|immunity|fig7|screening|cs1|cs2|summary|\
-     ablation|yield|variation|sta|anneal|drc|mcscale|flowbench|service|\
-     loadgen|perf|all]"
+     ablation|yield|variation|sta|anneal|drc|mcscale|testgen|flowbench|\
+     service|loadgen|perf|all]"
 
 let all_experiments =
   [
@@ -27,6 +27,7 @@ let all_experiments =
     ("ring", Experiments.ring_exp);
     ("ripple", Experiments.ripple_exp);
     ("mcscale", fun () -> Mc_scaling.run ());
+    ("testgen", Testgen_bench.run);
     ("flowbench", Flowbench.run);
     ("service", Service_bench.run);
     ("loadgen", Loadgen.run);

@@ -3,6 +3,7 @@
    Subcommands:
      layout        generate an immune cell layout (ascii and/or GDS)
      fault         run the misposition fault-injection campaign on a cell
+     test-gen      fault dictionary, distinguishing vectors, repair curves
      table1        print the Table-1 area comparison
      characterize  simulate a cell's timing/energy arcs
      flow          place a netlist file under a layout scheme, stream GDSII
@@ -172,10 +173,12 @@ let fault_cmd =
       | exception Invalid_argument m -> prerr_endline ("cnfet_dk: " ^ m); 2
       | o ->
       Printf.printf
-        "%s: %d/%d functional failures (%.2f%%), %d shorted, %d stray CNTs\n"
+        "%s: %d/%d functional failures (%.2f%%), %d shorted (%d fight, %d \
+         float), %d stray CNTs\n"
         cell.Layout.Cell.name o.Fault.Injector.functional_failures o.Fault.Injector.trials
         (100. *. Fault.Injector.failure_rate o)
-        o.Fault.Injector.shorted_trials o.Fault.Injector.stray_edges;
+        o.Fault.Injector.shorted_trials o.Fault.Injector.fight_trials
+        o.Fault.Injector.float_trials o.Fault.Injector.stray_edges;
       (match Fault.Injector.horizontal_sweep cell with
       | Ok () -> print_endline "horizontal sweep: immune in every corridor"
       | Error ys ->
@@ -188,6 +191,116 @@ let fault_cmd =
   Cmd.v (Cmd.info "fault" ~doc)
     Term.(const run $ cell_arg $ drive_arg $ style_arg $ trials $ angle
           $ domains $ telemetry_arg $ trace_out_arg)
+
+(* test-gen *)
+
+let test_gen_cmd =
+  let cell_named =
+    Arg.(required
+         & opt (some string) None
+         & info [ "cell" ] ~docv:"CELL"
+             ~doc:"Cell name: INV, NAND2, NOR2, AOI21, OAI21, ...")
+  in
+  let style_scheme =
+    (* here --style is the paper's scheme axis (s1 stacked, s2 side by
+       side); the layout style is --layout, defaulting to vulnerable —
+       an immune cell yields an empty dictionary by construction. *)
+    let schemes =
+      [ ("s1", Layout.Cell.Scheme1); ("s2", Layout.Cell.Scheme2) ]
+    in
+    Arg.(value
+         & opt (enum schemes) Layout.Cell.Scheme1
+         & info [ "style" ] ~docv:"SCHEME"
+             ~doc:"Standard-cell scheme: s1 (stacked) or s2 (side by side).")
+  in
+  let layout_style =
+    let styles =
+      [ ("new", Layout.Cell.Immune_new); ("old", Layout.Cell.Immune_old);
+        ("vulnerable", Layout.Cell.Vulnerable); ("cmos", Layout.Cell.Cmos) ]
+    in
+    Arg.(value
+         & opt (enum styles) Layout.Cell.Vulnerable
+         & info [ "layout" ] ~docv:"STYLE"
+             ~doc:"Layout style under test: new, old, vulnerable or cmos.")
+  in
+  let trials =
+    Arg.(value & opt int 1000 & info [ "trials" ] ~docv:"N"
+           ~doc:"Monte-Carlo trials.")
+  in
+  let tracks =
+    Arg.(value & opt int 3 & info [ "tracks" ] ~docv:"N"
+           ~doc:"Stray CNT tracks sprayed per trial.")
+  in
+  let angle =
+    Arg.(value & opt float 8. & info [ "angle" ] ~docv:"DEG"
+           ~doc:"Maximum misposition angle, degrees.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"Campaign RNG seed.")
+  in
+  let spares =
+    Arg.(value & opt int 2 & info [ "spares" ] ~docv:"N"
+           ~doc:"Spare-track budget of the repair curve.")
+  in
+  let p_good =
+    Arg.(value & opt float 0.9 & info [ "p-good" ] ~docv:"P"
+           ~doc:"Per-tube survival probability for the N-of-M curve.")
+  in
+  let extra_tubes =
+    Arg.(value & opt int 4 & info [ "extra-tubes" ] ~docv:"N"
+           ~doc:"Redundancy curve extent beyond the required N tubes.")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N"
+           ~doc:"Worker domains; the result is bit-identical for every N.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the result as a JSON document (the same shape the \
+                 job service returns for testgen jobs).")
+  in
+  let run name drive scheme style trials tracks angle seed spares p_good
+      extra_tubes domains json telemetry trace_out =
+    match find_cell name with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok fn ->
+      match Layout.Cell.make ~rules ~fn ~style ~scheme ~drive with
+      | Error d -> diag_exit d
+      | Ok cell ->
+      let config =
+        {
+          Testgen.Campaign.fault =
+            {
+              Fault.Injector.default_config with
+              Fault.Injector.trials;
+              tracks_per_trial = tracks;
+              max_angle_deg = angle;
+              seed;
+            };
+          max_spares = spares;
+          p_good;
+          max_extra_tubes = extra_tubes;
+        }
+      in
+      telemetry_start telemetry trace_out;
+      match Testgen.Campaign.run ~domains config cell with
+      | exception Invalid_argument m -> prerr_endline ("cnfet_dk: " ^ m); 2
+      | r ->
+        if json then
+          print_endline (Service.Json.to_string (Service.Runner.testgen_json r))
+        else print_string (Testgen.Report.to_text r);
+        telemetry_finish telemetry trace_out;
+        0
+  in
+  let doc =
+    "Diagnose a misposition campaign: fault dictionary, minimal \
+     distinguishing vector set, spare-track and N-of-M repair curves."
+  in
+  Cmd.v (Cmd.info "test-gen" ~doc)
+    Term.(const run $ cell_named $ drive_arg $ style_scheme $ layout_style
+          $ trials $ tracks $ angle $ seed $ spares $ p_good $ extra_tubes
+          $ domains $ json $ telemetry_arg $ trace_out_arg)
 
 (* table1 *)
 
@@ -511,5 +624,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ layout_cmd; fault_cmd; table1_cmd; characterize_cmd; flow_cmd;
-            fo4_cmd; serve_cmd ]))
+          [ layout_cmd; fault_cmd; test_gen_cmd; table1_cmd; characterize_cmd;
+            flow_cmd; fo4_cmd; serve_cmd ]))

@@ -24,6 +24,8 @@ type outcome = {
   trials : int;
   functional_failures : int;
   shorted_trials : int;
+  fight_trials : int;
+  float_trials : int;
   stray_edges : int;
 }
 
@@ -31,28 +33,43 @@ let failure_rate o =
   if o.trials = 0 then 0.
   else float_of_int o.functional_failures /. float_of_int o.trials
 
-(* One trial, everything derived from the trial index: the RNG is split
-   per trial (see Parallel.Split_rng), so the strays a trial sprays depend
-   only on [config.seed] and the index — not on the domain or chunk that
-   runs it.  This is what makes campaign outcomes bit-identical at any
-   [~domains]. *)
-let run_trial config ~prep ~pun ~pdn index =
+(* Everything a trial sprays is derived from the trial index: the RNG is
+   split per trial (see Parallel.Split_rng), so the strays depend only on
+   [config.seed] and the index — not on the domain or chunk that runs
+   them.  This is what makes campaign outcomes bit-identical at any
+   [~domains], and what lets the testgen layer replay exactly the trials
+   tallied here. *)
+let trial_strays config ~pun ~pdn index =
   let rng = Parallel.Split_rng.state ~seed:config.seed ~stream:index in
   let spray p =
     let bbox = (Crossing.fabric p).Layout.Fabric.bbox in
     List.init config.tracks_per_trial (fun _ ->
         Track.sample rng ~bbox ~max_angle_deg:config.max_angle_deg
           ~margin:config.margin)
-    |> List.concat_map (fun (t : Track.t) -> Crossing.edges_prepared p t.Track.seg)
+    |> List.map (fun (t : Track.t) -> Crossing.edges_prepared p t.Track.seg)
   in
-  let pun_extra = spray pun in
-  let pdn_extra = spray pdn in
-  let got = Layout.Cell.truth_of_prepared prep ~pun_extra ~pdn_extra in
+  let pun_tracks = spray pun in
+  let pdn_tracks = spray pdn in
+  (pun_tracks, pdn_tracks)
+
+let run_trial config ~prep ~pun ~pdn index =
+  let pun_tracks, pdn_tracks = trial_strays config ~pun ~pdn index in
+  let pun_extra = List.concat pun_tracks in
+  let pdn_extra = List.concat pdn_tracks in
+  let drives = Layout.Cell.drives_of_prepared prep ~pun_extra ~pdn_extra in
+  let got =
+    Logic.Truth.of_column
+      ~inputs:(Layout.Cell.prepared_inputs prep)
+      (Array.map Logic.Switch_graph.value_of_drive drives)
+  in
   let failed =
     not (Logic.Truth.equal got (Layout.Cell.prepared_reference prep))
   in
-  let shorted = not (Logic.Truth.defined_everywhere got) in
-  (failed, shorted, List.length pun_extra + List.length pdn_extra)
+  let fight = Array.exists (fun d -> d = Logic.Switch_graph.Fight) drives in
+  let floating =
+    Array.exists (fun d -> d = Logic.Switch_graph.Floating) drives
+  in
+  (failed, fight, floating, List.length pun_extra + List.length pdn_extra)
 
 let style_slug = function
   | Layout.Cell.Immune_new -> "immune_new"
@@ -90,11 +107,14 @@ let run ?pool ?(domains = 1) config (cell : Layout.Cell.t) =
     Telemetry.with_span ~parent:"fault.campaign" "fault.chunk"
       ~attrs:[ ("lo", Telemetry.Int lo); ("hi", Telemetry.Int hi) ]
     @@ fun () ->
-    let failures = ref 0 and shorts = ref 0 and stray = ref 0 in
+    let failures = ref 0 and shorts = ref 0 and fights = ref 0
+    and floats = ref 0 and stray = ref 0 in
     for i = lo to hi - 1 do
-      let failed, shorted, edges = run_trial config ~prep ~pun ~pdn i in
+      let failed, fight, floating, edges = run_trial config ~prep ~pun ~pdn i in
       if failed then incr failures;
-      if shorted then incr shorts;
+      if fight || floating then incr shorts;
+      if fight then incr fights;
+      if floating then incr floats;
       stray := !stray + edges
     done;
     let n = hi - lo in
@@ -103,15 +123,16 @@ let run ?pool ?(domains = 1) config (cell : Layout.Cell.t) =
       (2 * config.tracks_per_trial * n);
     Telemetry.counter_add ("fault." ^ style ^ ".failed") !failures;
     Telemetry.counter_add ("fault." ^ style ^ ".immune") (n - !failures);
-    (!failures, !shorts, !stray)
+    (!failures, !shorts, !fights, !floats, !stray)
   in
   let campaign pool =
     Parallel.Pool.map_reduce ~chunk:(chunk_for config.trials) pool ~lo:0
       ~hi:config.trials ~map
-      ~reduce:(fun (a, b, c) (d, e, f) -> (a + d, b + e, c + f))
-      ~init:(0, 0, 0)
+      ~reduce:(fun (a, b, c, d, e) (f, g, h, i, j) ->
+        (a + f, b + g, c + h, d + i, e + j))
+      ~init:(0, 0, 0, 0, 0)
   in
-  let failures, shorts, stray =
+  let failures, shorts, fights, floats, stray =
     (* A caller-supplied pool (the job service's long-lived workers) is
        reused as is; chunking stays pinned to the workload either way, so
        the outcome and the span tree are identical on any pool. *)
@@ -123,6 +144,8 @@ let run ?pool ?(domains = 1) config (cell : Layout.Cell.t) =
     trials = config.trials;
     functional_failures = failures;
     shorted_trials = shorts;
+    fight_trials = fights;
+    float_trials = floats;
     stray_edges = stray;
   }
 

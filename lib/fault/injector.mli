@@ -33,11 +33,31 @@ val validate : config -> unit
 type outcome = {
   trials : int;
   functional_failures : int;  (** trials whose truth table deviates *)
-  shorted_trials : int;  (** trials with an X (fight/float) output row *)
+  shorted_trials : int;  (** trials with an X (fight or float) output row *)
+  fight_trials : int;
+      (** trials with a rail-fight row (Out connected to Vdd {e and} Gnd
+          — the Fig. 2 short).  Additive stray CNTs can only ever create
+          these, so under misposition campaigns
+          [fight_trials = shorted_trials]. *)
+  float_trials : int;
+      (** trials with a floating row (Out connected to neither rail — an
+          open).  Always 0 under misposition campaigns, nonzero once a
+          fault model removes conduction; tallied separately so the
+          distinction is observable either way. *)
   stray_edges : int;  (** total stray conduction edges injected *)
 }
 
 val failure_rate : outcome -> float
+
+val trial_strays : config -> pun:Crossing.prepared -> pdn:Crossing.prepared
+  -> int -> Logic.Switch_graph.edge list list
+     * Logic.Switch_graph.edge list list
+(** The stray CNTs trial [index] sprays over the two regions, grouped
+    {e per track} (one inner list per sampled CNT, in sampling order;
+    tracks missing every contact contribute an empty group).  This is
+    exactly the stray set whose flattened edges the campaign evaluates,
+    so a diagnosis layer (fault dictionaries, repair search) replays the
+    very trials {!run} tallies.  Deterministic in [(config.seed, index)]. *)
 
 val run : ?pool:Parallel.Pool.t -> ?domains:int -> config -> Layout.Cell.t
   -> outcome

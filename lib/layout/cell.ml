@@ -154,6 +154,7 @@ let prepare t =
   }
 
 let prepared_reference p = p.reference
+let prepared_inputs p = p.inputs
 
 let graph_of_prepared p ~pun_extra ~pdn_extra =
   let graph = Logic.Switch_graph.create () in
@@ -167,6 +168,11 @@ let graph_of_prepared p ~pun_extra ~pdn_extra =
 
 let truth_of_prepared p ~pun_extra ~pdn_extra =
   Logic.Switch_graph.truth_table
+    (graph_of_prepared p ~pun_extra ~pdn_extra)
+    ~inputs:p.inputs
+
+let drives_of_prepared p ~pun_extra ~pdn_extra =
+  Logic.Switch_graph.drive_table
     (graph_of_prepared p ~pun_extra ~pdn_extra)
     ~inputs:p.inputs
 

@@ -75,10 +75,21 @@ val prepare : t -> prepared
 val prepared_reference : prepared -> Logic.Truth.t
 (** Cached {!reference_truth}. *)
 
+val prepared_inputs : prepared -> string list
+(** Input names of the cell, in {!Logic.Truth} row order. *)
+
 val truth_of_prepared : prepared -> pun_extra:Logic.Switch_graph.edge list
   -> pdn_extra:Logic.Switch_graph.edge list -> Logic.Truth.t
 (** {!truth_with} against the cached nominal edges: equal output for equal
     input, without rebuilding the row graphs. *)
+
+val drives_of_prepared : prepared -> pun_extra:Logic.Switch_graph.edge list
+  -> pdn_extra:Logic.Switch_graph.edge list
+  -> Logic.Switch_graph.drive array
+(** {!Logic.Switch_graph.drive_table} of the corrupted graph over
+    {!prepared_inputs} — like {!truth_of_prepared} but keeping rail fights
+    and floating outputs apart, which is what fault diagnosis classifies
+    on. *)
 
 val check_function : t -> (unit, string) result
 (** Verify that nominal CNT rows of both fabrics realize the intended cell

@@ -84,13 +84,42 @@ let conducting_between t env a b =
     bfs [ a ]
   end
 
-let output_value t env =
+type drive = High | Low | Fight | Floating
+
+let output_drive t env =
   let to_vdd = conducting_between t env Out Vdd
   and to_gnd = conducting_between t env Out Gnd in
   match (to_vdd, to_gnd) with
-  | true, false -> Truth.T
-  | false, true -> Truth.F
-  | true, true | false, false -> Truth.X
+  | true, false -> High
+  | false, true -> Low
+  | true, true -> Fight
+  | false, false -> Floating
+
+let value_of_drive = function
+  | High -> Truth.T
+  | Low -> Truth.F
+  | Fight | Floating -> Truth.X
+
+let drive_string = function
+  | High -> "1"
+  | Low -> "0"
+  | Fight -> "fight"
+  | Floating -> "float"
+
+let drive_table t ~inputs =
+  let n = List.length inputs in
+  if n > 16 then invalid_arg "Switch_graph.drive_table: too many inputs";
+  let idx name =
+    let rec go k = function
+      | [] -> invalid_arg ("Switch_graph.drive_table: unknown input " ^ name)
+      | x :: rest -> if x = name then k else go (k + 1) rest
+    in
+    go 0 inputs
+  in
+  Array.init (1 lsl n) (fun i ->
+      output_drive t (fun name -> (i lsr idx name) land 1 = 1))
+
+let output_value t env = value_of_drive (output_drive t env)
 
 let truth_table t ~inputs =
   Truth.of_fun ~inputs (fun env -> output_value t env)

@@ -32,9 +32,31 @@ val fresh_internal : t -> node
 val conducting_between : t -> (string -> bool) -> node -> node -> bool
 (** Is there a conducting path between the two nodes under the assignment? *)
 
+type drive = High | Low | Fight | Floating
+(** What actually drives [Out] under one assignment.  {!Truth.value}
+    collapses [Fight] and [Floating] into a single [X]; fault diagnosis
+    needs them apart — a rail fight is a short (the Fig. 2 failure mode),
+    a floating output is an open. *)
+
+val output_drive : t -> (string -> bool) -> drive
+(** [High] when [Out] is connected to Vdd only, [Low] when to Gnd only,
+    [Fight] when to both, [Floating] when to neither. *)
+
+val value_of_drive : drive -> Truth.value
+(** [High -> T], [Low -> F], [Fight | Floating -> X]. *)
+
+val drive_string : drive -> string
+(** ["1"], ["0"], ["fight"] or ["float"] — report and protocol spelling. *)
+
+val drive_table : t -> inputs:string list -> drive array
+(** {!output_drive} tabulated over all assignments of [inputs], indexed
+    like {!Truth} rows (row [i] assigns input [k] the bit
+    [(i lsr k) land 1]).
+    @raise Invalid_argument for more than 16 inputs. *)
+
 val output_value : t -> (string -> bool) -> Truth.value
-(** Output seen at [Out]: [T] when connected to Vdd only, [F] when to Gnd
-    only, [X] when to both (fight) or neither (floating). *)
+(** [value_of_drive (output_drive t env)]: [T] when connected to Vdd only,
+    [F] when to Gnd only, [X] when to both (fight) or neither (floating). *)
 
 val truth_table : t -> inputs:string list -> Truth.t
 (** Tabulated {!output_value} over all assignments of [inputs]. *)

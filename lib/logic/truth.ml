@@ -21,6 +21,12 @@ let of_fun ~inputs f =
   let column = Array.init rows (fun i -> f (env_of_row inputs i)) in
   { names = inputs; column }
 
+let of_column ~inputs column =
+  check_inputs inputs;
+  if Array.length column <> 1 lsl List.length inputs then
+    invalid_arg "Truth.of_column: column length is not 2^inputs";
+  { names = inputs; column = Array.copy column }
+
 let of_expr e =
   let names = Expr.inputs e in
   of_fun ~inputs:names (fun env -> if Expr.eval env e then T else F)

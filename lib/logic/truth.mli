@@ -15,6 +15,12 @@ val of_fun : inputs:string list -> ((string -> bool) -> value) -> t
 val of_expr : Expr.t -> t
 (** Tabulate a boolean expression (never produces [X]). *)
 
+val of_column : inputs:string list -> value array -> t
+(** Adopt an already-tabulated column (row [i] as per the header rule).
+    The array is copied.
+    @raise Invalid_argument when the length is not [2 ^ (inputs)], or for
+    invalid input lists as per {!of_fun}. *)
+
 val inputs : t -> string list
 val size : t -> int
 (** Number of rows, [2 ^ (number of inputs)]. *)

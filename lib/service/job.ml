@@ -25,10 +25,25 @@ type characterize_job = {
   loads : int list;
 }
 
+type testgen_job = {
+  tg_cell : string;
+  tg_drive : int;
+  tg_style : Layout.Cell.style;
+  tg_scheme : [ `S1 | `S2 ];
+  tg_trials : int;
+  tg_tracks_per_trial : int;
+  tg_max_angle_deg : float;
+  tg_seed : int;
+  tg_max_spares : int;
+  tg_p_good : float;
+  tg_max_extra_tubes : int;
+}
+
 type t =
   | Flow of flow_job
   | Fault of fault_job
   | Characterize of characterize_job
+  | Testgen of testgen_job
 
 let flow ?(scheme = `S2) ?(aspect = 1.0) source = Flow { source; scheme; aspect }
 
@@ -39,10 +54,30 @@ let fault ?(drive = 4) ?(style = Layout.Cell.Immune_new) ?(trials = 1000)
 let characterize ?(drive = 1) ?(loads = [ 1; 2; 4 ]) cell =
   Characterize { char_cell = cell; char_drive = drive; loads }
 
+let testgen ?(drive = 4) ?(style = Layout.Cell.Vulnerable) ?(scheme = `S1)
+    ?(trials = 1000) ?(tracks_per_trial = 3) ?(max_angle_deg = 8.)
+    ?(seed = 42) ?(max_spares = 2) ?(p_good = 0.9) ?(max_extra_tubes = 4)
+    cell =
+  Testgen
+    {
+      tg_cell = cell;
+      tg_drive = drive;
+      tg_style = style;
+      tg_scheme = scheme;
+      tg_trials = trials;
+      tg_tracks_per_trial = tracks_per_trial;
+      tg_max_angle_deg = max_angle_deg;
+      tg_seed = seed;
+      tg_max_spares = max_spares;
+      tg_p_good = p_good;
+      tg_max_extra_tubes = max_extra_tubes;
+    }
+
 let kind = function
   | Flow _ -> "flow"
   | Fault _ -> "fault"
   | Characterize _ -> "characterize"
+  | Testgen _ -> "testgen"
 
 let scheme_string = function `S1 -> "s1" | `S2 -> "s2"
 
@@ -74,6 +109,11 @@ let describe = function
   | Characterize j ->
     Printf.sprintf "characterize %s_%dX loads=%s" j.char_cell j.char_drive
       (String.concat "," (List.map string_of_int j.loads))
+  | Testgen j ->
+    Printf.sprintf "testgen %s_%dX style=%s scheme=%s trials=%d" j.tg_cell
+      j.tg_drive (style_string j.tg_style)
+      (scheme_string j.tg_scheme)
+      j.tg_trials
 
 let stage = "service.job"
 
@@ -128,6 +168,39 @@ let validate = function
           ~context:[ ("load", string_of_int l) ]
           "characterize job: loads must be non-negative"
       | None -> Ok ())
+  | Testgen j ->
+    if Logic.Cell_fun.find_opt j.tg_cell = None then
+      Core.Diag.failf ~stage
+        ~context:[ ("cell", j.tg_cell) ]
+        "testgen job: unknown cell function %s" j.tg_cell
+    else if j.tg_drive < 1 then
+      Core.Diag.failf ~stage
+        ~context:[ ("drive", string_of_int j.tg_drive) ]
+        "testgen job: drive must be positive"
+    else if j.tg_trials <= 0 then
+      Core.Diag.failf ~stage
+        ~context:[ ("trials", string_of_int j.tg_trials) ]
+        "testgen job: trials must be positive"
+    else if j.tg_tracks_per_trial < 0 then
+      Core.Diag.failf ~stage
+        ~context:[ ("tracks_per_trial", string_of_int j.tg_tracks_per_trial) ]
+        "testgen job: tracks_per_trial must be non-negative"
+    else if j.tg_max_spares < 0 then
+      Core.Diag.failf ~stage
+        ~context:[ ("max_spares", string_of_int j.tg_max_spares) ]
+        "testgen job: max_spares must be non-negative"
+    else if
+      j.tg_p_good < 0. || j.tg_p_good > 1.
+      || not (Float.is_finite j.tg_p_good)
+    then
+      Core.Diag.failf ~stage
+        ~context:[ ("p_good", string_of_float j.tg_p_good) ]
+        "testgen job: p_good must lie in [0, 1]"
+    else if j.tg_max_extra_tubes < 0 then
+      Core.Diag.failf ~stage
+        ~context:[ ("max_extra_tubes", string_of_int j.tg_max_extra_tubes) ]
+        "testgen job: max_extra_tubes must be non-negative"
+    else Ok ()
 
 (* The cache key: a stable fingerprint of every field that affects the
    result.  Flow jobs reuse the pipeline's own source digests so the
@@ -151,6 +224,12 @@ let digest t =
     | Characterize j ->
       Printf.sprintf "characterize:%s:%d:%s" j.char_cell j.char_drive
         (String.concat "," (List.map string_of_int j.loads))
+    | Testgen j ->
+      Printf.sprintf "testgen:%s:%d:%s:%s:%d:%d:%g:%d:%d:%g:%d" j.tg_cell
+        j.tg_drive (style_string j.tg_style)
+        (scheme_string j.tg_scheme)
+        j.tg_trials j.tg_tracks_per_trial j.tg_max_angle_deg j.tg_seed
+        j.tg_max_spares j.tg_p_good j.tg_max_extra_tubes
   in
   kind t ^ "-" ^ Digest.to_hex (Digest.string canonical)
 
@@ -189,6 +268,22 @@ let to_json t =
         ("cell", Json.Str j.char_cell);
         ("drive", Json.int j.char_drive);
         ("loads", Json.Arr (List.map Json.int j.loads));
+      ]
+  | Testgen j ->
+    Json.Obj
+      [
+        ("kind", Json.Str "testgen");
+        ("cell", Json.Str j.tg_cell);
+        ("drive", Json.int j.tg_drive);
+        ("style", Json.Str (style_string j.tg_style));
+        ("scheme", Json.Str (scheme_string j.tg_scheme));
+        ("trials", Json.int j.tg_trials);
+        ("tracks_per_trial", Json.int j.tg_tracks_per_trial);
+        ("max_angle_deg", Json.Num j.tg_max_angle_deg);
+        ("seed", Json.int j.tg_seed);
+        ("max_spares", Json.int j.tg_max_spares);
+        ("p_good", Json.Num j.tg_p_good);
+        ("max_extra_tubes", Json.int j.tg_max_extra_tubes);
       ]
 
 (* Decoding helpers: each accessor failure names the member, so protocol
@@ -289,7 +384,60 @@ let of_json j =
       |> Result.map List.rev
     in
     Ok (Characterize { char_cell; char_drive; loads })
+  | "testgen" ->
+    let* tg_cell = get_field "cell" Json.to_str "string" j in
+    let* tg_drive = get_default "drive" Json.to_int "int" 4 j in
+    let* style_s = get_default "style" Json.to_str "string" "vulnerable" j in
+    let* tg_style =
+      match style_of_string style_s with
+      | Some s -> Ok s
+      | None ->
+        Core.Diag.failf ~stage:"service.protocol"
+          ~context:[ ("style", style_s) ]
+          "testgen job: unknown style %S (expected new, old, vulnerable or \
+           cmos)"
+          style_s
+    in
+    let* scheme_s = get_default "scheme" Json.to_str "string" "s1" j in
+    let* tg_scheme =
+      match String.lowercase_ascii scheme_s with
+      | "s1" | "1" -> Ok `S1
+      | "s2" | "2" -> Ok `S2
+      | other ->
+        Core.Diag.failf ~stage:"service.protocol"
+          ~context:[ ("scheme", other) ]
+          "testgen job: unknown scheme %S (expected s1 or s2)" other
+    in
+    let* tg_trials = get_default "trials" Json.to_int "int" 1000 j in
+    let* tg_tracks_per_trial =
+      get_default "tracks_per_trial" Json.to_int "int" 3 j
+    in
+    let* tg_max_angle_deg =
+      get_default "max_angle_deg" Json.to_float "number" 8.0 j
+    in
+    let* tg_seed = get_default "seed" Json.to_int "int" 42 j in
+    let* tg_max_spares = get_default "max_spares" Json.to_int "int" 2 j in
+    let* tg_p_good = get_default "p_good" Json.to_float "number" 0.9 j in
+    let* tg_max_extra_tubes =
+      get_default "max_extra_tubes" Json.to_int "int" 4 j
+    in
+    Ok
+      (Testgen
+         {
+           tg_cell;
+           tg_drive;
+           tg_style;
+           tg_scheme;
+           tg_trials;
+           tg_tracks_per_trial;
+           tg_max_angle_deg;
+           tg_seed;
+           tg_max_spares;
+           tg_p_good;
+           tg_max_extra_tubes;
+         })
   | other ->
     Core.Diag.failf ~stage:"service.protocol"
       ~context:[ ("kind", other) ]
-      "job: unknown kind %S (expected flow, fault or characterize)" other
+      "job: unknown kind %S (expected flow, fault, characterize or testgen)"
+      other

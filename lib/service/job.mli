@@ -36,10 +36,29 @@ type characterize_job = {
   loads : int list;  (** INV1X load sweep points, in order *)
 }
 
+type testgen_job = {
+  tg_cell : string;
+  tg_drive : int;
+  tg_style : Layout.Cell.style;
+  tg_scheme : [ `S1 | `S2 ];
+  tg_trials : int;
+  tg_tracks_per_trial : int;
+  tg_max_angle_deg : float;
+  tg_seed : int;
+  tg_max_spares : int;
+  tg_p_good : float;
+  tg_max_extra_tubes : int;
+}
+(** A {!Testgen.Campaign} request: the fault-campaign fields plus the
+    repair budgets.  Unlike {!fault_job} the layout style defaults to
+    [Vulnerable] — an immune cell has an empty dictionary, which is the
+    paper's point but a useless test-generation target. *)
+
 type t =
   | Flow of flow_job
   | Fault of fault_job
   | Characterize of characterize_job
+  | Testgen of testgen_job
 
 val flow : ?scheme:[ `S1 | `S2 ] -> ?aspect:float -> flow_source -> t
 (** Defaults: [`S2], aspect 1.0. *)
@@ -53,9 +72,18 @@ val fault :
 val characterize : ?drive:int -> ?loads:int list -> string -> t
 (** Defaults: drive 1, loads [[1; 2; 4]]. *)
 
+val testgen :
+  ?drive:int -> ?style:Layout.Cell.style -> ?scheme:[ `S1 | `S2 ] ->
+  ?trials:int -> ?tracks_per_trial:int -> ?max_angle_deg:float ->
+  ?seed:int -> ?max_spares:int -> ?p_good:float -> ?max_extra_tubes:int ->
+  string -> t
+(** Defaults mirror {!Testgen.Campaign.default_config} (drive 4,
+    vulnerable style, scheme s1, 1000 trials, 2 spares, p_good 0.9,
+    4 extra tubes). *)
+
 val kind : t -> string
-(** ["flow"], ["fault"] or ["characterize"] — the cache-key prefix and the
-    protocol discriminator. *)
+(** ["flow"], ["fault"], ["characterize"] or ["testgen"] — the cache-key
+    prefix and the protocol discriminator. *)
 
 val style_string : Layout.Cell.style -> string
 (** ["new"], ["old"], ["vulnerable"] or ["cmos"] — the protocol spelling
@@ -82,4 +110,6 @@ val to_json : t -> Json.t
 val of_json : Json.t -> (t, Core.Diag.t) result
 (** Protocol codec.  [of_json] validates shape only ({!validate} runs at
     submission); unknown [kind]s and missing/ill-typed fields are
-    structured diagnostics naming the offending member. *)
+    structured diagnostics naming the offending member.  Testgen jobs
+    spell their members like the other kinds ([scheme] as in flow jobs,
+    [style] the layout style as in fault jobs). *)

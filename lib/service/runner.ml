@@ -73,9 +73,115 @@ let run_fault ~pool (j : Job.fault_job) =
          ("functional_failures",
           Json.int o.Fault.Injector.functional_failures);
          ("shorted_trials", Json.int o.Fault.Injector.shorted_trials);
+         ("fight_trials", Json.int o.Fault.Injector.fight_trials);
+         ("float_trials", Json.int o.Fault.Injector.float_trials);
          ("stray_edges", Json.int o.Fault.Injector.stray_edges);
          ("failure_rate", Json.Num (Fault.Injector.failure_rate o));
        ])
+
+(* Testgen documents are shared with the CLI's --json mode, so the shape
+   lives here rather than in bin/.  Pure function of the result — no
+   timings, no environment. *)
+let testgen_json (r : Testgen.Campaign.result) =
+  let d = r.Testgen.Campaign.dictionary in
+  let v = r.Testgen.Campaign.vectors in
+  let class_json (c : Testgen.Dictionary.fault_class) =
+    Json.Obj
+      [
+        ("count", Json.int c.Testgen.Dictionary.count);
+        ("first_trial", Json.int c.Testgen.Dictionary.first_trial);
+        ("rows",
+         Json.Arr
+           (List.map
+              (fun (row, drive) ->
+                Json.Obj
+                  [
+                    ("row", Json.int row);
+                    ("drive",
+                     Json.Str (Logic.Switch_graph.drive_string drive));
+                  ])
+              c.Testgen.Dictionary.signature));
+      ]
+  in
+  Json.Obj
+    [
+      ("cell", Json.Str r.Testgen.Campaign.cell);
+      ("style", Json.Str (Job.style_string r.Testgen.Campaign.style));
+      ("scheme",
+       Json.Str (Testgen.Report.scheme_string r.Testgen.Campaign.scheme));
+      ("trials", Json.int d.Testgen.Dictionary.trials);
+      ("failing", Json.int d.Testgen.Dictionary.failing);
+      ("classes", Json.Arr (List.map class_json d.Testgen.Dictionary.classes));
+      ("vectors",
+       Json.Obj
+         [
+           ("rows", Json.Arr (List.map Json.int v.Testgen.Vectors.vectors));
+           ("covered", Json.int v.Testgen.Vectors.covered);
+           ("classes", Json.int v.Testgen.Vectors.classes);
+           ("optimal",
+            match v.Testgen.Vectors.optimal with
+            | Some n -> Json.int n
+            | None -> Json.Null);
+         ]);
+      ("spare_curve",
+       Json.Arr
+         (List.map
+            (fun (p : Testgen.Repair.spare_point) ->
+              Json.Obj
+                [
+                  ("spares", Json.int p.Testgen.Repair.spares);
+                  ("repaired", Json.int p.Testgen.Repair.repaired);
+                  ("yield", Json.Num p.Testgen.Repair.yield);
+                ])
+            r.Testgen.Campaign.spare_curve));
+      ("redundancy",
+       Json.Arr
+         (List.map
+            (fun (p : Testgen.Repair.redundancy_point) ->
+              Json.Obj
+                [
+                  ("tubes", Json.int p.Testgen.Repair.tubes);
+                  ("overhead", Json.Num p.Testgen.Repair.overhead);
+                  ("yield", Json.Num p.Testgen.Repair.yield);
+                ])
+            r.Testgen.Campaign.redundancy));
+    ]
+
+let run_testgen ~pool (j : Job.testgen_job) =
+  let* fn =
+    match Logic.Cell_fun.find_opt j.Job.tg_cell with
+    | Some fn -> Ok fn
+    | None ->
+      Core.Diag.failf ~stage:"service.run"
+        ~context:[ ("cell", j.Job.tg_cell) ]
+        "unknown cell function %s" j.Job.tg_cell
+  in
+  let scheme =
+    match j.Job.tg_scheme with
+    | `S1 -> Layout.Cell.Scheme1
+    | `S2 -> Layout.Cell.Scheme2
+  in
+  let* cell =
+    Layout.Cell.make ~rules ~fn ~style:j.Job.tg_style ~scheme
+      ~drive:j.Job.tg_drive
+  in
+  let config =
+    {
+      Testgen.Campaign.fault =
+        {
+          Fault.Injector.trials = j.Job.tg_trials;
+          tracks_per_trial = j.Job.tg_tracks_per_trial;
+          max_angle_deg = j.Job.tg_max_angle_deg;
+          margin = Fault.Injector.default_config.Fault.Injector.margin;
+          seed = j.Job.tg_seed;
+        };
+      max_spares = j.Job.tg_max_spares;
+      p_good = j.Job.tg_p_good;
+      max_extra_tubes = j.Job.tg_max_extra_tubes;
+    }
+  in
+  let r = Testgen.Campaign.run ~pool config cell in
+  Ok (testgen_json r)
 
 let arc_json (a : Stdcell.Characterize.arc) =
   Json.Obj
@@ -122,6 +228,7 @@ let run ~pool ~pass_cache job =
     | Job.Flow j -> run_flow ~pass_cache j
     | Job.Fault j -> run_fault ~pool j
     | Job.Characterize j -> run_characterize ~pool j
+    | Job.Testgen j -> run_testgen ~pool j
   with
   | r -> r
   | exception Core.Diag.Failure d -> Error d

@@ -9,12 +9,17 @@
     what lets replay-mode completions compare bit-for-bit at any pool
     size. *)
 
+val testgen_json : Testgen.Campaign.result -> Json.t
+(** The testgen result document — shared between served jobs and the
+    CLI's [test-gen --json] so the two shapes cannot drift.  Pure
+    function of the campaign result. *)
+
 val run :
   pool:Parallel.Pool.t ->
   pass_cache:Core.Pass.cache ->
   Job.t ->
   (Json.t, Core.Diag.t) result
-(** Execute the job.  Fault campaigns map-reduce on [pool];
+(** Execute the job.  Fault and testgen campaigns map-reduce on [pool];
     characterization sweeps fan their load points out on it; flow runs
     consult [pass_cache], so jobs sharing a design source skip the
     unchanged upstream passes even when their result digests differ. *)

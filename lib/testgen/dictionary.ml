@@ -1,0 +1,45 @@
+type signature = (int * Logic.Switch_graph.drive) list
+
+let classify ~reference drives =
+  let out = ref [] in
+  for i = Array.length drives - 1 downto 0 do
+    let d = drives.(i) in
+    if Logic.Switch_graph.value_of_drive d <> Logic.Truth.value reference i
+    then out := (i, d) :: !out
+  done;
+  !out
+
+let class_mask s = List.fold_left (fun m (row, _) -> m lor (1 lsl row)) 0 s
+
+let detects s row = List.exists (fun (r, _) -> r = row) s
+
+type fault_class = {
+  signature : signature;
+  count : int;
+  first_trial : int;
+}
+
+type t = {
+  inputs : string list;
+  trials : int;
+  failing : int;
+  classes : fault_class list;
+}
+
+let make ~inputs ~trials aggregates =
+  let classes =
+    List.map
+      (fun (signature, (count, first_trial)) ->
+        if signature = [] then
+          invalid_arg "Dictionary.make: empty signature (functional trial)";
+        if count <= 0 then
+          invalid_arg "Dictionary.make: non-positive class count";
+        { signature; count; first_trial })
+      aggregates
+    |> List.sort (fun a b ->
+           match compare b.count a.count with
+           | 0 -> Stdlib.compare a.signature b.signature
+           | c -> c)
+  in
+  let failing = List.fold_left (fun n c -> n + c.count) 0 classes in
+  { inputs; trials; failing; classes }

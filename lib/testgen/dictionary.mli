@@ -1,0 +1,53 @@
+(** Fault dictionaries: the observable equivalence classes of a
+    misposition campaign.
+
+    A failing trial corrupts the cell's truth table; what a tester can
+    observe is {e which input rows} deviate and {e how} (driven to the
+    wrong rail, a rail fight, or a floating output).  Two trials with the
+    same observation are indistinguishable at the cell pins no matter
+    which stray CNTs caused them, so the campaign's failure population
+    quotients into {!fault_class}es keyed by {!signature} — the fault
+    dictionary that test generation covers ({!Vectors}) and repair
+    triages ({!Repair}). *)
+
+type signature = (int * Logic.Switch_graph.drive) list
+(** Mismatching rows in ascending {!Logic.Truth} row order, each with the
+    drive actually observed there.  A functional trial has the empty
+    signature; dictionary classes always carry at least one row. *)
+
+val classify :
+  reference:Logic.Truth.t -> Logic.Switch_graph.drive array -> signature
+(** Rows of the observed drive table whose ternary value deviates from
+    the reference (an [X] — fight or float — always deviates: the
+    reference of a complementary cell is binary everywhere). *)
+
+val class_mask : signature -> int
+(** Bitmask of the mismatch rows — the set-cover representation used by
+    {!Vectors} (sound because {!Logic.Truth} caps inputs at 16 rows only
+    for cells of up to 4 inputs; wider cells still fit an [int]). *)
+
+val detects : signature -> int -> bool
+(** Does applying input row [row] expose this fault class?  True exactly
+    when the row is one of the signature's mismatch rows. *)
+
+type fault_class = {
+  signature : signature;
+  count : int;  (** failing trials observing exactly this signature *)
+  first_trial : int;  (** lowest trial index in the class, for replay *)
+}
+
+type t = {
+  inputs : string list;
+  trials : int;  (** campaign size the counts are out of *)
+  failing : int;  (** failing trials = sum of the class counts *)
+  classes : fault_class list;
+      (** descending [count], ties broken by signature order — canonical,
+          so equal campaigns compare with [=] *)
+}
+
+val make :
+  inputs:string list -> trials:int -> (signature * (int * int)) list -> t
+(** Assemble a dictionary from per-signature aggregates
+    [(signature, (count, first_trial))], sorting classes canonically.
+    @raise Invalid_argument on an empty signature or non-positive count —
+    a functional trial must never reach the dictionary. *)

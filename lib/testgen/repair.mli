@@ -1,0 +1,66 @@
+(** Repair strategies: what spare resources buy back of the yield a
+    misposition campaign loses.
+
+    {b Spare-track remapping.}  After test, a failing cell can be
+    repaired by quarantining offending stray CNTs — etching the corridor
+    a stray runs in and remapping any nominal row it served onto a spare
+    track; one spare per quarantined stray.  A trial's {e repair cost} is
+    therefore the minimum number of strays whose removal restores the
+    intended function (strays only ever add conduction, so removing all
+    of them always restores it — the cost is finite and at most the
+    number of contact-crossing strays).  {!curve_of_costs} turns the
+    per-trial cost histogram into the recovered-yield-vs-spares curve.
+
+    {b N-of-M redundant tube allocation.}  Growing [M >= N] tubes per
+    device where [N] carry the nominal drive tolerates per-tube loss
+    (metallic removal, missed growth): the device works when at least
+    [N] of its [M] tubes survive.  {!redundancy_curve} is the analytic
+    yield-vs-overhead curve — binomial tails composed over the cell's
+    device count, evaluated with plain float arithmetic (no [**]/libm)
+    so results are bit-stable across platforms. *)
+
+type spare_point = {
+  spares : int;  (** total spare tracks budgeted, both regions *)
+  repaired : int;  (** failing trials recovered within this budget *)
+  yield : float;  (** (functional + repaired) / trials *)
+}
+
+val min_repair_cost :
+  prep:Layout.Cell.prepared ->
+  pun_tracks:Logic.Switch_graph.edge list list ->
+  pdn_tracks:Logic.Switch_graph.edge list list ->
+  int option
+(** Minimum number of stray tracks (inner lists, as grouped by
+    {!Fault.Injector.trial_strays}) whose removal restores the reference
+    function; [0] when the trial is functional as sprayed.  Exhaustive
+    over removal subsets by increasing size, so the answer is the true
+    minimum.  [None] only if even removing every stray does not restore
+    the function — impossible for additive stray corruption, kept total
+    for future open-defect models. *)
+
+val curve_of_costs :
+  trials:int -> max_spares:int -> cost_hist:int array -> spare_point list
+(** [cost_hist] has [max_spares + 2] buckets: bucket [c <= max_spares]
+    counts trials of minimal cost [c] (bucket 0 = functional), the last
+    bucket everything beyond the budget.  Returns one point per spare
+    count [0..max_spares], cumulative.
+    @raise Invalid_argument on a histogram of the wrong length. *)
+
+type redundancy_point = {
+  tubes : int;  (** M: tubes grown per device *)
+  overhead : float;  (** M/N growth-area overhead *)
+  yield : float;  (** probability every device keeps >= N good tubes *)
+}
+
+val device_count : Layout.Cell.t -> int
+(** Transistors in the cell: PUN + PDN devices (the dual has the same
+    count as the pull-down tree). *)
+
+val binomial_tail : m:int -> n:int -> p:float -> float
+(** P[Bin(m, p) >= n], exact summation. *)
+
+val redundancy_curve :
+  p_good:float -> n_required:int -> devices:int -> max_extra:int ->
+  redundancy_point list
+(** One point per [M = n_required .. n_required + max_extra].  Strictly
+    increasing in [M] while [0 < p_good < 1] and the yield is below 1. *)

@@ -1,0 +1,17 @@
+(** Human-readable rendering of a testgen campaign.
+
+    The text is a pure function of the {!Campaign.result} — no clocks,
+    no float formatting that depends on libm — so for a fixed seed it is
+    byte-stable and can be pinned by a golden test. *)
+
+val style_string : Layout.Cell.style -> string
+(** ["new"], ["old"], ["vulnerable"] or ["cmos"]. *)
+
+val scheme_string : Layout.Cell.scheme -> string
+(** ["s1"] or ["s2"]. *)
+
+val signature_string : Dictionary.signature -> string
+(** [{row:drive,...}] with drives spelled per
+    {!Logic.Switch_graph.drive_string}. *)
+
+val to_text : Campaign.result -> string

@@ -1,0 +1,83 @@
+type t = {
+  vectors : int list;
+  covered : int;
+  classes : int;
+  optimal : int option;
+}
+
+let masks_of (d : Dictionary.t) =
+  List.map (fun c -> Dictionary.class_mask c.Dictionary.signature) d.classes
+
+let greedy (d : Dictionary.t) =
+  let rows = 1 lsl List.length d.Dictionary.inputs in
+  let rec pick chosen uncovered =
+    match uncovered with
+    | [] -> List.rev chosen
+    | _ ->
+      let best = ref (-1) and best_n = ref 0 in
+      for r = 0 to rows - 1 do
+        let n =
+          List.fold_left
+            (fun n m -> if m land (1 lsl r) <> 0 then n + 1 else n)
+            0 uncovered
+        in
+        (* strict >: the lowest row wins ties, keeping the set stable *)
+        if n > !best_n then begin
+          best := r;
+          best_n := n
+        end
+      done;
+      if !best < 0 then List.rev chosen
+      else
+        pick (!best :: chosen)
+          (List.filter (fun m -> m land (1 lsl !best) = 0) uncovered)
+  in
+  pick [] (masks_of d)
+
+let popcount m =
+  let rec go n m = if m = 0 then n else go (n + 1) (m land (m - 1)) in
+  go 0 m
+
+let rows_of_mask mask rows =
+  List.filter (fun r -> mask land (1 lsl r) <> 0) (List.init rows Fun.id)
+
+let exhaustive_min (d : Dictionary.t) =
+  let k = List.length d.Dictionary.inputs in
+  if k > 4 then None
+  else begin
+    let rows = 1 lsl k in
+    let masks = masks_of d in
+    let covers m = List.for_all (fun cm -> m land cm <> 0) masks in
+    let best = ref None in
+    (try
+       (* by size then value: the first cover found is a true minimum *)
+       for size = 0 to rows do
+         for m = 0 to (1 lsl rows) - 1 do
+           if popcount m = size && covers m then begin
+             best := Some m;
+             raise Exit
+           end
+         done
+       done
+     with Exit -> ());
+    Option.map (fun m -> rows_of_mask m rows) !best
+  end
+
+let detects_all (d : Dictionary.t) vectors =
+  List.for_all
+    (fun (c : Dictionary.fault_class) ->
+      List.exists (Dictionary.detects c.Dictionary.signature) vectors)
+    d.Dictionary.classes
+
+let generate (d : Dictionary.t) =
+  let vectors = greedy d in
+  let classes = List.length d.Dictionary.classes in
+  let covered =
+    List.fold_left
+      (fun n (c : Dictionary.fault_class) ->
+        if List.exists (Dictionary.detects c.Dictionary.signature) vectors
+        then n + 1
+        else n)
+      0 d.Dictionary.classes
+  in
+  { vectors; covered; classes; optimal = Option.map List.length (exhaustive_min d) }

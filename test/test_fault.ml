@@ -280,6 +280,8 @@ let failure_rate_math () =
       Fault.Injector.trials = 200;
       functional_failures = 50;
       shorted_trials = 10;
+      fight_trials = 10;
+      float_trials = 0;
       stray_edges = 0;
     }
   in

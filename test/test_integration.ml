@@ -146,6 +146,7 @@ let () =
       ("flow", Test_flow.suite);
       ("cnfet", Test_cnfet.suite);
       ("extensions", Test_extensions.suite);
+      ("testgen", Test_testgen.suite);
       ("service", Test_service.suite);
       ("integration", suite);
     ]

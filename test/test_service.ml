@@ -110,6 +110,10 @@ let job_codec_roundtrip () =
         "NOR2";
       Job.characterize "INV";
       Job.characterize ~drive:4 ~loads:[ 0; 1; 8 ] "AOI21";
+      Job.testgen "NAND2";
+      Job.testgen ~drive:2 ~style:Layout.Cell.Immune_new ~scheme:`S2
+        ~trials:77 ~tracks_per_trial:5 ~max_angle_deg:6.5 ~seed:9
+        ~max_spares:3 ~p_good:0.85 ~max_extra_tubes:2 "AOI21";
     ]
   in
   List.iter
@@ -130,6 +134,10 @@ let job_codec_rejects () =
       "{\"kind\":\"flow\",\"design\":\"ripple\",\"bits\":\"wide\"}";
       "{\"kind\":\"flow\",\"design\":\"warp_core\"}";
       "{\"kind\":\"characterize\",\"cell\":\"INV\",\"loads\":\"x\"}";
+      "{\"kind\":\"testgen\"}";
+      "{\"kind\":\"testgen\",\"cell\":\"NAND2\",\"scheme\":\"s3\"}";
+      "{\"kind\":\"testgen\",\"cell\":\"NAND2\",\"style\":\"fancy\"}";
+      "{\"kind\":\"testgen\",\"cell\":\"NAND2\",\"p_good\":\"high\"}";
     ]
   in
   List.iter
@@ -157,7 +165,26 @@ let job_validate_and_digest () =
   checkb "kind prefix" true (String.length d1 > 6 && String.sub d1 0 6 = "fault-");
   checkb "seed changes digest" true (d1 <> Job.digest (Job.fault ~seed:2 "NAND2"));
   checkb "kind changes digest" true
-    (Job.digest (Job.characterize "INV") <> Job.digest (Job.fault "INV"))
+    (Job.digest (Job.characterize "INV") <> Job.digest (Job.fault "INV"));
+  (* testgen: validation covers the repair budgets too *)
+  checkb "testgen unknown cell rejected" true
+    (Result.is_error (Job.validate (Job.testgen "XYZZY")));
+  checkb "testgen negative spares rejected" true
+    (Result.is_error (Job.validate (Job.testgen ~max_spares:(-1) "NAND2")));
+  checkb "testgen p_good > 1 rejected" true
+    (Result.is_error (Job.validate (Job.testgen ~p_good:1.5 "NAND2")));
+  checkb "testgen valid job accepted" true
+    (Result.is_ok (Job.validate (Job.testgen "NAND2")));
+  let t1 = Job.digest (Job.testgen "NAND2") in
+  check_str "testgen digest stable" t1 (Job.digest (Job.testgen "NAND2"));
+  checkb "testgen kind prefix" true
+    (String.length t1 > 8 && String.sub t1 0 8 = "testgen-");
+  checkb "spares change testgen digest" true
+    (t1 <> Job.digest (Job.testgen ~max_spares:3 "NAND2"));
+  checkb "scheme changes testgen digest" true
+    (t1 <> Job.digest (Job.testgen ~scheme:`S2 "NAND2"));
+  checkb "testgen and fault digests differ" true
+    (t1 <> Job.digest (Job.fault ~style:Layout.Cell.Vulnerable "NAND2"))
 
 (* --- scheduler: the four acceptance properties --- *)
 
@@ -288,6 +315,36 @@ let persisted_cache_answers () =
   (* cleanup *)
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Unix.rmdir dir
+
+(* a served testgen job round-trips through the scheduler and the digest
+   cache: the resubmission never re-runs the campaign yet returns the
+   identical result document *)
+let testgen_job_cached () =
+  let config = { Scheduler.default_config with clock = Scheduler.Virtual } in
+  let job = Job.testgen ~trials:60 "NAND2" in
+  Scheduler.with_scheduler ~config (fun t ->
+      let id = Result.get_ok (Scheduler.submit t job) in
+      let first =
+        match Scheduler.await t id with
+        | Ok (Scheduler.Done { result; cached; _ }) ->
+          checkb "first run not cached" false cached;
+          result
+        | _ -> Alcotest.fail "testgen job did not complete"
+      in
+      (* the document has the testgen shape *)
+      checkb "failing reported" true
+        (match Option.bind (Json.member "failing" first) Json.to_int with
+        | Some n -> n > 0
+        | None -> false);
+      checkb "vectors reported" true (Json.member "vectors" first <> None);
+      checkb "spare curve reported" true
+        (Json.member "spare_curve" first <> None);
+      let id2 = Result.get_ok (Scheduler.submit t job) in
+      match Scheduler.await t id2 with
+      | Ok (Scheduler.Done { result; cached = true; _ }) ->
+        checkb "identical digest-cached document" true (result = first);
+        check_int "one execution" 1 (Scheduler.stats t).Scheduler.executed
+      | _ -> Alcotest.fail "resubmission missed the cache")
 
 (* --- scheduler: policy details --- *)
 
@@ -737,6 +794,7 @@ let suite =
     Alcotest.test_case "deadline expires queued job" `Quick deadline_expires;
     Alcotest.test_case "persisted cache answers resubmission" `Quick
       persisted_cache_answers;
+    Alcotest.test_case "testgen job digest-cached" `Quick testgen_job_cached;
     Alcotest.test_case "priority and FIFO order" `Quick
       priority_and_fifo_order;
     Alcotest.test_case "cancel queued job" `Quick cancel_queued_job;

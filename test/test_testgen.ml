@@ -1,0 +1,270 @@
+(* Testgen subsystem tests: campaign coverage on both schemes (the PR's
+   acceptance criteria), bit-identical results across domain counts, a
+   masked golden of the NAND2 report, the greedy-vs-exhaustive vector
+   property, the fight/float drive distinction, and the repair math. *)
+
+module C = Testgen.Campaign
+module D = Testgen.Dictionary
+module V = Testgen.Vectors
+module R = Testgen.Repair
+
+let rules = Pdk.Rules.default
+let checkb = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let vulnerable ?(drive = 4) name scheme =
+  Layout.Cell.make_exn ~rules
+    ~fn:(Logic.Cell_fun.find name)
+    ~style:Layout.Cell.Vulnerable ~scheme ~drive
+
+let campaign ?(trials = 1000) ?(domains = 1) cell =
+  C.run ~domains
+    {
+      C.default_config with
+      C.fault = { Fault.Injector.default_config with Fault.Injector.trials };
+    }
+    cell
+
+let check_strictly_increasing what yields =
+  let rec go = function
+    | a :: (b :: _ as tl) ->
+      checkb (what ^ " strictly increasing") true (b > a);
+      go tl
+    | _ -> ()
+  in
+  checkb (what ^ " non-empty") true (yields <> []);
+  go yields
+
+(* The headline acceptance: a 1000-trial vulnerable NAND2 campaign under
+   either scheme yields a vector set detecting every fault class, and a
+   spare-track curve whose recovered yield strictly increases. *)
+let full_coverage scheme () =
+  let r = campaign (vulnerable "NAND2" scheme) in
+  let d = r.C.dictionary in
+  checkb "campaign saw failures" true (d.D.failing > 0);
+  checkb "dictionary has classes" true (d.D.classes <> []);
+  check_int "class counts sum to failing trials" d.D.failing
+    (List.fold_left (fun acc c -> acc + c.D.count) 0 d.D.classes);
+  let v = r.C.vectors in
+  checkb "vectors detect every class" true (V.detects_all d v.V.vectors);
+  check_int "coverage audit agrees" v.V.classes v.V.covered;
+  (match v.V.optimal with
+  | Some opt -> checkb "greedy within bound" true (List.length v.V.vectors >= opt)
+  | None -> Alcotest.fail "NAND2 has 2 inputs: exhaustive must run");
+  check_strictly_increasing "spare-curve yield"
+    (List.map (fun (p : R.spare_point) -> p.R.yield) r.C.spare_curve);
+  check_int "one point per spare count"
+    (C.default_config.C.max_spares + 1)
+    (List.length r.C.spare_curve);
+  check_strictly_increasing "redundancy yield"
+    (List.map (fun (p : R.redundancy_point) -> p.R.yield) r.C.redundancy)
+
+let full_coverage_s1 () = full_coverage Layout.Cell.Scheme1 ()
+let full_coverage_s2 () = full_coverage Layout.Cell.Scheme2 ()
+
+(* AOI21 exercises the multi-class regime: several observable classes, a
+   multi-vector cover, and greedy matching the exhaustive optimum. *)
+let aoi21_multi_class () =
+  let r = campaign ~trials:300 (vulnerable "AOI21" Layout.Cell.Scheme1) in
+  let d = r.C.dictionary in
+  checkb "several classes" true (List.length d.D.classes > 1);
+  (* canonical order: descending count *)
+  let rec sorted = function
+    | a :: (b :: _ as tl) -> a.D.count >= b.D.count && sorted tl
+    | _ -> true
+  in
+  checkb "classes sorted by count" true (sorted d.D.classes);
+  let v = r.C.vectors in
+  checkb "multi-vector cover" true (List.length v.V.vectors > 1);
+  checkb "covers all" true (V.detects_all d v.V.vectors);
+  check_int "greedy hits the optimum here"
+    (Option.get v.V.optimal)
+    (List.length v.V.vectors)
+
+(* The determinism acceptance: the whole result record — dictionary,
+   vectors, both curves — is bit-identical at 1 and 4 domains. *)
+let domain_invariance () =
+  let run domains =
+    campaign ~trials:400 ~domains (vulnerable "NAND2" Layout.Cell.Scheme1)
+  in
+  checkb "results identical at 1 vs 4 domains" true (run 1 = run 4)
+
+(* Golden: the fixed-seed NAND2 report, digits masked exactly like the
+   Liberty golden in test_stdcell — the structure (sections, orderings,
+   spellings) is pinned, the Monte-Carlo numbers stay behind the mask. *)
+let mask_digits s =
+  let b = Buffer.create (String.length s) in
+  let in_digits = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' ->
+        if not !in_digits then Buffer.add_char b '#';
+        in_digits := true
+      | c ->
+        in_digits := false;
+        Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let nand2_report_golden () =
+  let r = campaign ~trials:300 (vulnerable "NAND2" Layout.Cell.Scheme1) in
+  let expected =
+    "testgen NAND#_#X_vuln style=vulnerable scheme=s#\n\
+     campaign: trials=# failing=# (#.#%) classes=#\n\
+     fault dictionary:\n\
+    \  class #: count=# first=# rows={#:fight}\n\
+     vectors: greedy=[#] covered=#/# optimal=#\n\
+     spare-track repair:\n\
+    \  spares=# repaired=# yield=#.#%\n\
+    \  spares=# repaired=# yield=#.#%\n\
+    \  spares=# repaired=# yield=#.#%\n\
+     redundancy (N-of-M tubes):\n\
+    \  tubes=# overhead=#.#x yield=#.#\n\
+    \  tubes=# overhead=#.#x yield=#.#\n\
+    \  tubes=# overhead=#.#x yield=#.#\n\
+    \  tubes=# overhead=#.#x yield=#.#\n\
+    \  tubes=# overhead=#.#x yield=#.#\n"
+  in
+  Alcotest.(check string) "masked report" expected
+    (mask_digits (Testgen.Report.to_text r))
+
+(* --- greedy vs exhaustive: the property --- *)
+
+(* Random synthetic dictionaries over <= 4 inputs: any nonempty set of
+   nonempty row subsets is a legal class list, which probes the set-cover
+   machinery far beyond what layout-induced dictionaries reach. *)
+let dict_gen =
+  let open QCheck.Gen in
+  let* n_inputs = int_range 1 4 in
+  let rows = 1 lsl n_inputs in
+  let* n_classes = int_range 1 8 in
+  let* masks =
+    list_repeat n_classes (int_range 1 ((1 lsl rows) - 1))
+  in
+  let masks = List.sort_uniq Stdlib.compare masks in
+  let signature_of_mask m =
+    List.filter_map
+      (fun row ->
+        if m land (1 lsl row) <> 0 then
+          Some (row, Logic.Switch_graph.Fight)
+        else None)
+      (List.init rows Fun.id)
+  in
+  let inputs =
+    List.filteri (fun i _ -> i < n_inputs) [ "A"; "B"; "C"; "D" ]
+  in
+  let aggregates =
+    List.mapi (fun i m -> (signature_of_mask m, (1, i))) masks
+  in
+  return (D.make ~inputs ~trials:(List.length masks) aggregates)
+
+let dict_arb =
+  QCheck.make
+    ~print:(fun d ->
+      String.concat ";"
+        (List.map
+           (fun c -> Testgen.Report.signature_string c.D.signature)
+           d.D.classes))
+    dict_gen
+
+let harmonic n =
+  let rec go k acc = if k = 0 then acc else go (k - 1) (acc +. (1. /. float_of_int k)) in
+  go n 0.
+
+let greedy_covers_and_near_optimal =
+  QCheck.Test.make ~name:"greedy covers all classes, within H(n) of optimal"
+    ~count:300 dict_arb (fun d ->
+      let v = V.generate d in
+      let g = List.length v.V.vectors in
+      if not (V.detects_all d v.V.vectors) then false
+      else
+        match v.V.optimal with
+        | None -> false (* <= 4 inputs: exhaustive must have run *)
+        | Some opt ->
+          if g > opt then
+            Printf.eprintf
+              "testgen: greedy used %d vectors vs optimal %d (classes=%d)\n%!"
+              g opt
+              (List.length d.D.classes);
+          g >= opt
+          && float_of_int g
+             <= (harmonic (List.length d.D.classes) *. float_of_int opt)
+                +. 1e-9)
+
+(* --- the fight/float drive distinction --- *)
+
+let drive_fight_and_float () =
+  let open Logic.Switch_graph in
+  let env _ = false in
+  (* gateless pull paths to both rails: a rail fight, X by shorting *)
+  let fought = create () in
+  add_edge fought
+    { src = Vdd; dst = Out; gates = []; polarity = Logic.Network.P_type };
+  add_edge fought
+    { src = Gnd; dst = Out; gates = []; polarity = Logic.Network.N_type };
+  checkb "both rails drive: fight" true (output_drive fought env = Fight);
+  checkb "fight is X" true (value_of_drive Fight = Logic.Truth.X);
+  Alcotest.(check string) "fight spelling" "fight" (drive_string Fight);
+  (* no pull path at all: floating, the other X *)
+  let dead = create () in
+  checkb "no rail drives: floating" true (output_drive dead env = Floating);
+  checkb "floating is X" true (value_of_drive Floating = Logic.Truth.X);
+  Alcotest.(check string) "float spelling" "float" (drive_string Floating);
+  checkb "floats in every row" true
+    (Array.for_all (fun d -> d = Floating) (drive_table dead ~inputs:[ "A" ]))
+
+(* Campaign level: strays only ever add conduction, so every shorted
+   trial is a rail fight and none floats — the split must account for
+   every short. *)
+let injector_fight_accounting () =
+  let cell = vulnerable "NAND2" Layout.Cell.Scheme1 in
+  let o =
+    Fault.Injector.run
+      { Fault.Injector.default_config with Fault.Injector.trials = 200 }
+      cell
+  in
+  checkb "vulnerable cell fails" true (o.Fault.Injector.functional_failures > 0);
+  check_int "every short is a fight" o.Fault.Injector.shorted_trials
+    o.Fault.Injector.fight_trials;
+  check_int "strays never float the output" 0 o.Fault.Injector.float_trials
+
+(* --- repair math --- *)
+
+let repair_math () =
+  (* binomial tails: exact at the edges (powers of two stay exact) *)
+  checkb "P[Bin(3,.5) >= 3] = 1/8" true
+    (R.binomial_tail ~m:3 ~n:3 ~p:0.5 = 0.125);
+  checkb "n = 0 is certain" true (R.binomial_tail ~m:4 ~n:0 ~p:0.3 = 1.);
+  checkb "p = 1 is certain" true (R.binomial_tail ~m:5 ~n:5 ~p:1. = 1.);
+  let curve =
+    R.redundancy_curve ~p_good:0.9 ~n_required:4 ~devices:8 ~max_extra:4
+  in
+  check_int "one point per tube count" 5 (List.length curve);
+  check_strictly_increasing "redundancy yield"
+    (List.map (fun (p : R.redundancy_point) -> p.R.yield) curve);
+  List.iteri
+    (fun i (p : R.redundancy_point) ->
+      check_int "tube counts count up" (4 + i) p.R.tubes;
+      checkb "overhead is M/N" true
+        (p.R.overhead = float_of_int (4 + i) /. 4.))
+    curve;
+  (* histogram length is validated *)
+  checkb "short histogram rejected" true
+    (match R.curve_of_costs ~trials:10 ~max_spares:2 ~cost_hist:[| 1; 2 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "NAND2 s1 full coverage" `Slow full_coverage_s1;
+    Alcotest.test_case "NAND2 s2 full coverage" `Slow full_coverage_s2;
+    Alcotest.test_case "AOI21 multi-class dictionary" `Quick aoi21_multi_class;
+    Alcotest.test_case "bit-identical across domains" `Slow domain_invariance;
+    Alcotest.test_case "NAND2 report golden" `Quick nand2_report_golden;
+    QCheck_alcotest.to_alcotest greedy_covers_and_near_optimal;
+    Alcotest.test_case "fight vs float drives" `Quick drive_fight_and_float;
+    Alcotest.test_case "injector fight accounting" `Quick
+      injector_fight_accounting;
+    Alcotest.test_case "repair math" `Quick repair_math;
+  ]
