@@ -6,7 +6,7 @@ let usage () =
   print_endline
     "usage: main.exe [table1|fig2|immunity|fig7|screening|cs1|cs2|summary|\
      ablation|yield|variation|sta|anneal|drc|mcscale|testgen|flowbench|\
-     service|loadgen|perf|all]"
+     service|loadgen|scale|perf|all]"
 
 let all_experiments =
   [
@@ -31,6 +31,7 @@ let all_experiments =
     ("flowbench", Flowbench.run);
     ("service", Service_bench.run);
     ("loadgen", Loadgen.run);
+    ("scale", Scale_bench.run);
   ]
 
 let () =

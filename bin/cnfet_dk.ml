@@ -375,6 +375,12 @@ let flow_cmd =
                  Without it, the paper's Figure-8 full-adder case study is \
                  run.")
   in
+  let design_arg =
+    Arg.(value & opt (some string) None & info [ "design" ] ~docv:"SPEC"
+           ~doc:"Generate the netlist instead of reading one: mult<N> \
+                 (array multiplier), lfsr<N>x<S> (unrolled LFSR), \
+                 rand<G>s<S> (random logic cloud), ripple<N>, full_adder.")
+  in
   let gds_out =
     Arg.(value & opt string "design.gds" & info [ "o" ] ~docv:"FILE"
            ~doc:"Output GDSII file.")
@@ -391,11 +397,12 @@ let flow_cmd =
     Arg.(value & flag & info [ "trace" ]
            ~doc:"Log pass enter/exit events to stderr.")
   in
-  let run path gds_out scheme2 report trace telemetry trace_out =
+  let run path design gds_out scheme2 report trace telemetry trace_out =
     let netlist_r =
-      match path with
-      | None -> Ok (Flow.Full_adder.netlist ())
-      | Some p ->
+      match (design, path) with
+      | Some spec, _ -> Flow.Generate.of_spec spec
+      | None, None -> Ok (Flow.Full_adder.netlist ())
+      | None, Some p ->
         let ic = open_in p in
         let n = in_channel_length ic in
         let text = really_input_string ic n in
@@ -452,8 +459,8 @@ let flow_cmd =
   in
   let doc = "Run the staged logic-to-GDSII flow on a netlist." in
   Cmd.v (Cmd.info "flow" ~doc)
-    Term.(const run $ netlist_arg $ gds_out $ scheme2 $ report $ trace
-          $ telemetry_arg $ trace_out_arg)
+    Term.(const run $ netlist_arg $ design_arg $ gds_out $ scheme2 $ report
+          $ trace $ telemetry_arg $ trace_out_arg)
 
 (* fo4 *)
 

@@ -32,6 +32,84 @@ let merge_assoc a b =
       | None -> (k, v) :: acc)
     a b
 
+type coupling = {
+  a : string;
+  b : string;
+  cap_f : float;
+}
+
+(* Lateral coupling between two abutting-but-disjoint outlines: fringe
+   capacitance over the facing overlap length, divided by the separation
+   (plus one lambda so exact abutment stays finite). *)
+let coupling_of tables (an, (ra : Geom.Rect.t)) (bn, (rb : Geom.Rect.t)) =
+  if Geom.Rect.intersects ra rb then None
+  else begin
+    let gap_x =
+      max 0 (max (rb.Geom.Rect.x0 - ra.Geom.Rect.x1) (ra.Geom.Rect.x0 - rb.Geom.Rect.x1))
+    and gap_y =
+      max 0 (max (rb.Geom.Rect.y0 - ra.Geom.Rect.y1) (ra.Geom.Rect.y0 - rb.Geom.Rect.y1))
+    in
+    let overlap_y =
+      min ra.Geom.Rect.y1 rb.Geom.Rect.y1 - max ra.Geom.Rect.y0 rb.Geom.Rect.y0
+    and overlap_x =
+      min ra.Geom.Rect.x1 rb.Geom.Rect.x1 - max ra.Geom.Rect.x0 rb.Geom.Rect.x0
+    in
+    let gap, facing =
+      if gap_x > 0 && overlap_y > 0 then (gap_x, overlap_y)
+      else if gap_y > 0 && overlap_x > 0 then (gap_y, overlap_x)
+      else (0, 0)
+    in
+    if facing <= 0 then None
+    else
+      let cap_f =
+        Tables.fringe_cap tables Pdk.Layer.Metal1
+        *. float_of_int facing
+        /. float_of_int (gap + 1)
+        *. af
+      in
+      Some { a = an; b = bn; cap_f }
+  end
+
+let couplings_naive ?(tables = Tables.default) ?(max_gap = 4) placements =
+  let rec pairs acc = function
+    | [] -> List.rev acc
+    | ((_, ra) as a) :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc ((_, rb) as b) ->
+            let w = Geom.Rect.inflate max_gap ra in
+            if
+              w.Geom.Rect.x0 <= rb.Geom.Rect.x1
+              && rb.Geom.Rect.x0 <= w.Geom.Rect.x1
+              && w.Geom.Rect.y0 <= rb.Geom.Rect.y1
+              && rb.Geom.Rect.y0 <= w.Geom.Rect.y1
+            then
+              match coupling_of tables a b with
+              | Some c -> c :: acc
+              | None -> acc
+            else acc)
+          acc rest
+      in
+      pairs acc rest
+  in
+  pairs [] placements
+
+let couplings ?(tables = Tables.default) ?(max_gap = 4) placements =
+  match placements with
+  | [] | [ _ ] -> []
+  | _ ->
+    let arr = Array.of_list placements in
+    let index =
+      Geom.Index.build (List.mapi (fun i (_, r) -> (r, i)) placements)
+    in
+    List.concat
+      (List.mapi
+         (fun i ((_, r) as a) ->
+           Geom.Index.query_rect index (Geom.Rect.inflate max_gap r)
+           |> List.filter_map (fun (_, j) ->
+                  if j > i then coupling_of tables a arr.(j) else None))
+         placements)
+
 let cell ?(tables = Tables.default) (c : Layout.Cell.t) =
   let out_cap_f =
     fabric_out_cap tables c.Layout.Cell.pun

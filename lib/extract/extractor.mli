@@ -13,5 +13,29 @@ type parasitics = {
 
 val cell : ?tables:Tables.t -> Layout.Cell.t -> parasitics
 
+type coupling = {
+  a : string;  (** first instance name, placement order *)
+  b : string;  (** second instance name *)
+  cap_f : float;  (** lateral coupling capacitance, farads *)
+}
+
+val couplings :
+  ?tables:Tables.t ->
+  ?max_gap:int ->
+  (string * Geom.Rect.t) list ->
+  coupling list
+(** Placement-level lateral coupling estimate: for every pair of disjoint
+    cell outlines within [max_gap] lambda (default 4) of each other,
+    fringe capacitance over the facing overlap length divided by the
+    separation.  Near-linear via {!Geom.Index}; pairs in ascending
+    placement order, identical to {!couplings_naive}. *)
+
+val couplings_naive :
+  ?tables:Tables.t ->
+  ?max_gap:int ->
+  (string * Geom.Rect.t) list ->
+  coupling list
+(** All-pairs reference for {!couplings}; equal output for equal input. *)
+
 val cap_of_rect : Tables.t -> Pdk.Layer.t -> Geom.Rect.t -> float
 (** Area plus fringe capacitance of one rectangle on a layer, farads. *)

@@ -1,46 +1,38 @@
 type hit = { at : float; elem : Layout.Fabric.element }
 
-(* Fabric geometry is immutable during a campaign, but [Geom.Segment]
-   clipping wants float bounds: converting the item rectangles once per
-   campaign instead of once per trial keeps the per-trial work down to the
-   Liang-Barsky interval arithmetic itself.  A [prepared] value holds no
-   mutable state, so it can be shared read-only across domains. *)
+(* Fabric geometry is immutable during a campaign; a [prepared] value
+   buckets the item rectangles into a {!Geom.Index} once per campaign so
+   each trial clips a track only against the items whose buckets the track
+   traverses instead of against every element.  The index holds no mutable
+   query state, so a [prepared] value can be shared read-only across
+   domains. *)
 type prepared = {
   fabric : Layout.Fabric.t;
-  x0s : float array;
-  y0s : float array;
-  x1s : float array;
-  y1s : float array;
-  elems : Layout.Fabric.element array;
+  index : Layout.Fabric.element Geom.Index.t;
 }
 
 let prepare (f : Layout.Fabric.t) =
-  let items = Array.of_list f.Layout.Fabric.items in
-  let coord sel =
-    Array.map (fun (p : Layout.Fabric.placed) -> float_of_int (sel p.Layout.Fabric.rect)) items
-  in
   {
     fabric = f;
-    x0s = coord (fun r -> r.Geom.Rect.x0);
-    y0s = coord (fun r -> r.Geom.Rect.y0);
-    x1s = coord (fun r -> r.Geom.Rect.x1);
-    y1s = coord (fun r -> r.Geom.Rect.y1);
-    elems = Array.map (fun (p : Layout.Fabric.placed) -> p.Layout.Fabric.elem) items;
+    index =
+      Geom.Index.build
+        (List.map
+           (fun (p : Layout.Fabric.placed) ->
+             (p.Layout.Fabric.rect, p.Layout.Fabric.elem))
+           f.Layout.Fabric.items);
   }
 
 let fabric p = p.fabric
 
 let hits_prepared p seg =
-  let acc = ref [] in
-  for i = Array.length p.elems - 1 downto 0 do
-    match
-      Geom.Segment.clip_to_rect_f seg ~x0:p.x0s.(i) ~y0:p.y0s.(i) ~x1:p.x1s.(i)
-        ~y1:p.y1s.(i)
-    with
-    | Some (t0, t1) -> acc := { at = (t0 +. t1) /. 2.; elem = p.elems.(i) } :: !acc
-    | None -> ()
-  done;
-  List.sort (fun a b -> Stdlib.compare a.at b.at) !acc
+  (* the index returns candidates in item order — the same pre-sort order
+     the full scan produced — so the sort below is bit-identical to it *)
+  let acc =
+    List.map
+      (fun (t0, t1, elem) -> { at = (t0 +. t1) /. 2.; elem })
+      (Geom.Index.query_segment p.index seg)
+  in
+  List.sort (fun a b -> Stdlib.compare a.at b.at) acc
 
 let edges_of_hits ~polarity hits =
   let fold (acc, state) h =

@@ -10,11 +10,11 @@
 type hit = { at : float; elem : Layout.Fabric.element }
 
 type prepared
-(** A fabric with its item geometry pre-converted for clipping.  Holds no
-    mutable state: one [prepared] value per fabric can be shared read-only
-    by every trial of a campaign, across domains.  Build it once with
-    {!prepare} instead of letting {!hits} re-derive the float bounds of
-    every item on every trial. *)
+(** A fabric with its item geometry bucketed into a {!Geom.Index}.  Holds
+    no mutable state: one [prepared] value per fabric can be shared
+    read-only by every trial of a campaign, across domains.  Build it once
+    with {!prepare} so each trial clips only against the items whose grid
+    buckets the track traverses instead of re-scanning every item. *)
 
 val prepare : Layout.Fabric.t -> prepared
 

@@ -39,14 +39,29 @@ let placement ~lib ~scheme ~name (p : Placer.t) =
           (Layout.Cell.layers l))
       layouts
   in
-  (* merge per layer *)
+  (* Merge per layer.  Layers come out ordered by last occurrence (most
+     recent first) with each layer's rectangles in encounter order — the
+     same list a repeated assoc-and-append fold produces, built in linear
+     time so a 10k-instance die exports in milliseconds, not minutes. *)
   let merged =
-    List.fold_left
-      (fun acc (layer, region) ->
-        match List.assoc_opt layer acc with
-        | Some r -> (layer, Geom.Region.union r region) :: List.remove_assoc layer acc
-        | None -> (layer, region) :: acc)
-      [] top_layers
+    let regions = Hashtbl.create 16 in
+    let last = Hashtbl.create 16 in
+    List.iteri
+      (fun i (layer, region) ->
+        Hashtbl.replace last layer i;
+        Hashtbl.replace regions layer
+          (region
+          :: (match Hashtbl.find_opt regions layer with
+             | Some rs -> rs
+             | None -> [])))
+      top_layers;
+    Hashtbl.fold (fun layer i acc -> (layer, i) :: acc) last []
+    |> List.sort (fun (_, a) (_, b) -> Stdlib.compare (b : int) a)
+    |> List.map (fun (layer, _) ->
+           ( layer,
+             Geom.Region.of_rects
+               (List.concat_map Geom.Region.rects
+                  (List.rev (Hashtbl.find regions layer))) ))
   in
   Ok
     (Gds.Stream.library ~rules ~name

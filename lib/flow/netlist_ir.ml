@@ -18,6 +18,23 @@ let stage = "netlist"
 let drivers t =
   List.map (fun i -> (i.output, i)) t.instances
 
+(* Hash-based driver/input lookup shared by validation and evaluation.
+   The netlist itself stays a plain list IR; these tables are rebuilt per
+   call so the IR needs no invalidation logic, and they are what keeps
+   validation and evaluation near-linear at 10k+ instances. *)
+let driver_table t =
+  let tbl = Hashtbl.create (List.length t.instances) in
+  (* first driver wins, matching [List.assoc] on the instance list *)
+  List.iter
+    (fun i -> if not (Hashtbl.mem tbl i.output) then Hashtbl.add tbl i.output i)
+    t.instances;
+  tbl
+
+let input_set t =
+  let tbl = Hashtbl.create (List.length t.inputs) in
+  List.iter (fun n -> Hashtbl.replace tbl n ()) t.inputs;
+  tbl
+
 let validate t =
   let driver_nets = List.map fst (drivers t) in
   let dup =
@@ -34,7 +51,10 @@ let validate t =
       ~context:[ ("net", net) ]
       "net %s has multiple drivers" net
   | None ->
-    let known net = List.mem net t.inputs || List.mem net driver_nets in
+    let inputs = input_set t in
+    let driven = Hashtbl.create (List.length driver_nets) in
+    List.iter (fun n -> Hashtbl.replace driven n ()) driver_nets;
+    let known net = Hashtbl.mem inputs net || Hashtbl.mem driven net in
     let missing_in =
       List.concat_map
         (fun i ->
@@ -84,30 +104,46 @@ let validate t =
               ~context:[ ("instance", inst); ("pin", pin) ]
               "instance %s leaves pin %s unbound" inst pin
           | None -> (
-          (* cycle check via depth-bounded evaluation ordering *)
-          let table = drivers t in
-          let rec depth seen net =
-            if List.mem net t.inputs then Ok 0
-            else if List.mem net seen then Error net
+          (* cycle check via depth-bounded evaluation ordering; nets whose
+             whole fan-in cone proved acyclic are memoized — an [Ok] for
+             any path prefix implies [Ok] for every prefix, so memoization
+             cannot change which net a cycle is reported on *)
+          let table = driver_table t in
+          let on_path = Hashtbl.create 64 in
+          let acyclic = Hashtbl.create 256 in
+          let rec depth net =
+            if Hashtbl.mem inputs net then Ok 0
+            else if Hashtbl.mem on_path net then Error net
             else
-              match List.assoc_opt net table with
-              | None -> Ok 0
-              | Some i ->
-                List.fold_left
-                  (fun acc (_, n) ->
-                    match acc with
-                    | Error _ -> acc
-                    | Ok d -> (
-                      match depth (net :: seen) n with
-                      | Ok d' -> Ok (max d (d' + 1))
-                      | Error e -> Error e))
-                  (Ok 0) i.conns
+              match Hashtbl.find_opt acyclic net with
+              | Some d -> Ok d
+              | None -> (
+                match Hashtbl.find_opt table net with
+                | None -> Ok 0
+                | Some i ->
+                  Hashtbl.replace on_path net ();
+                  let r =
+                    List.fold_left
+                      (fun acc (_, n) ->
+                        match acc with
+                        | Error _ -> acc
+                        | Ok d -> (
+                          match depth n with
+                          | Ok d' -> Ok (max d (d' + 1))
+                          | Error e -> Error e))
+                      (Ok 0) i.conns
+                  in
+                  Hashtbl.remove on_path net;
+                  (match r with
+                  | Ok d -> Hashtbl.replace acyclic net d
+                  | Error _ -> ());
+                  r)
           in
           match
             List.fold_left
               (fun acc o ->
                 match acc with Error _ -> acc | Ok () -> (
-                  match depth [] o with
+                  match depth o with
                   | Ok _ -> Ok ()
                   | Error net -> Error net))
               (Ok ()) t.outputs
@@ -123,7 +159,8 @@ let validate t =
    so the only open case is a top-level query for a net with no driver —
    that reads from [env], like a primary input. *)
 let eval_validated t =
-  let table = drivers t in
+  let table = driver_table t in
+  let inputs = input_set t in
   fun env net ->
     let memo = Hashtbl.create 32 in
     let rec value net =
@@ -131,9 +168,9 @@ let eval_validated t =
       | Some v -> v
       | None ->
         let v =
-          if List.mem net t.inputs then env net
+          if Hashtbl.mem inputs net then env net
           else
-            match List.assoc_opt net table with
+            match Hashtbl.find_opt table net with
             | None -> env net
             | Some i ->
               let fn = Logic.Cell_fun.find i.cell in

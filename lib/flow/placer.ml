@@ -129,18 +129,26 @@ let shelves ~lib ?(aspect = 1.0) netlist =
   Ok { scheme = `Shelves; cells; die_width; die_height; cell_area }
 
 let wirelength_estimate t netlist =
-  let pin_positions net =
-    List.concat_map
-      (fun c ->
-        let reads =
-          List.exists (fun (_, n) -> n = net) c.inst.Netlist_ir.conns
-        in
-        let writes = c.inst.Netlist_ir.output = net in
-        if reads || writes then
-          [ (c.x + (c.cell_width / 2), c.y + (c.cell_height / 2)) ]
-        else [])
-      t.cells
+  (* one pass over the placed cells builds net -> pin-center bounding box
+     (HPWL needs nothing else), replacing the per-net scan of every cell;
+     a cell contributes one pin position per distinct net it touches,
+     exactly as the old reads-or-writes predicate did *)
+  let boxes : (string, int * int * int * int * int) Hashtbl.t =
+    Hashtbl.create (1 + List.length t.cells)
   in
+  List.iter
+    (fun c ->
+      let px = c.x + (c.cell_width / 2) and py = c.y + (c.cell_height / 2) in
+      List.iter
+        (fun net ->
+          match Hashtbl.find_opt boxes net with
+          | None -> Hashtbl.replace boxes net (px, px, py, py, 1)
+          | Some (x0, x1, y0, y1, k) ->
+            Hashtbl.replace boxes net
+              (min x0 px, max x1 px, min y0 py, max y1 py, k + 1))
+        (List.sort_uniq Stdlib.compare
+           (c.inst.Netlist_ir.output :: List.map snd c.inst.Netlist_ir.conns)))
+    t.cells;
   let nets =
     List.concat_map
       (fun (i : Netlist_ir.instance) ->
@@ -150,12 +158,7 @@ let wirelength_estimate t netlist =
   in
   List.fold_left
     (fun acc net ->
-      match pin_positions net with
-      | [] | [ _ ] -> acc
-      | pts ->
-        let xs = List.map fst pts and ys = List.map snd pts in
-        let span vs =
-          List.fold_left max min_int vs - List.fold_left min max_int vs
-        in
-        acc + span xs + span ys)
+      match Hashtbl.find_opt boxes net with
+      | Some (x0, x1, y0, y1, k) when k >= 2 -> acc + (x1 - x0) + (y1 - y0)
+      | _ -> acc)
     0 nets

@@ -1,4 +1,5 @@
-type delay_table = cell:string -> drive:int -> fanout:int -> float
+type delay_table =
+  cell:string -> drive:int -> fanout:int -> (float, Core.Diag.t) result
 
 type path_node = { through : string; net : string; at : float }
 
@@ -8,32 +9,43 @@ type report = {
   critical_delay : float;
 }
 
+exception Table_miss of Core.Diag.t
+
 let analyze table (n : Netlist_ir.t) =
   match Netlist_ir.validate n with
   | Error d -> Error (Core.Diag.with_stage "sta" d)
   | Ok () ->
-  let drivers =
-    List.map (fun (i : Netlist_ir.instance) -> (i.Netlist_ir.output, i))
-      n.Netlist_ir.instances
+  let drivers : (string, Netlist_ir.instance) Hashtbl.t =
+    Hashtbl.create (List.length n.Netlist_ir.instances)
   in
-  let fanout_of net =
-    List.fold_left
-      (fun acc (i : Netlist_ir.instance) ->
-        acc
-        + List.length
-            (List.filter (fun (_, m) -> m = net) i.Netlist_ir.conns))
-      0 n.Netlist_ir.instances
-  in
+  List.iter
+    (fun (i : Netlist_ir.instance) ->
+      if not (Hashtbl.mem drivers i.Netlist_ir.output) then
+        Hashtbl.add drivers i.Netlist_ir.output i)
+    n.Netlist_ir.instances;
+  let inputs = Hashtbl.create (List.length n.Netlist_ir.inputs) in
+  List.iter (fun i -> Hashtbl.replace inputs i ()) n.Netlist_ir.inputs;
+  (* one pass over all pins: net -> number of gate loads it drives *)
+  let fanouts : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (i : Netlist_ir.instance) ->
+      List.iter
+        (fun (_, m) ->
+          Hashtbl.replace fanouts m
+            (1 + Option.value ~default:0 (Hashtbl.find_opt fanouts m)))
+        i.Netlist_ir.conns)
+    n.Netlist_ir.instances;
+  let fanout_of net = Option.value ~default:0 (Hashtbl.find_opt fanouts net) in
   let memo : (string, float * path_node list) Hashtbl.t = Hashtbl.create 32 in
   let rec arrival net =
     match Hashtbl.find_opt memo net with
     | Some r -> r
     | None ->
       let r =
-        if List.mem net n.Netlist_ir.inputs then
+        if Hashtbl.mem inputs net then
           (0., [ { through = "input:" ^ net; net; at = 0. } ])
         else
-          match List.assoc_opt net drivers with
+          match Hashtbl.find_opt drivers net with
           | None ->
             (* unreachable: validation guarantees every traversed net is a
                primary input or instance-driven *)
@@ -48,8 +60,17 @@ let analyze table (n : Netlist_ir.t) =
                 i.Netlist_ir.conns
             in
             let d =
-              table ~cell:i.Netlist_ir.cell ~drive:i.Netlist_ir.drive
-                ~fanout:(max 1 (fanout_of net))
+              match
+                table ~cell:i.Netlist_ir.cell ~drive:i.Netlist_ir.drive
+                  ~fanout:(max 1 (fanout_of net))
+              with
+              | Ok d -> d
+              | Error diag ->
+                raise
+                  (Table_miss
+                     (Core.Diag.with_context
+                        [ ("instance", i.Netlist_ir.inst_name) ]
+                        diag))
             in
             let at = worst_in +. d in
             (at, worst_path @ [ { through = i.Netlist_ir.inst_name; net; at } ])
@@ -57,26 +78,31 @@ let analyze table (n : Netlist_ir.t) =
       Hashtbl.replace memo net r;
       r
   in
-  let arrivals = List.map (fun o -> (o, arrival o)) n.Netlist_ir.outputs in
-  let critical_out, (critical_delay, critical_path) =
-    List.fold_left
-      (fun (bo, (ba, bp)) (o, (a, p)) ->
-        if a > ba then (o, (a, p)) else (bo, (ba, bp)))
-      ("", (neg_infinity, []))
-      arrivals
-  in
-  ignore critical_out;
-  Ok
-    {
-      arrival = List.map (fun (o, (a, _)) -> (o, a)) arrivals;
-      critical_path;
-      critical_delay;
-    }
+  match List.map (fun o -> (o, arrival o)) n.Netlist_ir.outputs with
+  | exception Table_miss d -> Error d
+  | arrivals ->
+    let critical_out, (critical_delay, critical_path) =
+      List.fold_left
+        (fun (bo, (ba, bp)) (o, (a, p)) ->
+          if a > ba then (o, (a, p)) else (bo, (ba, bp)))
+        ("", (neg_infinity, []))
+        arrivals
+    in
+    ignore critical_out;
+    Ok
+      {
+        arrival = List.map (fun (o, (a, _)) -> (o, a)) arrivals;
+        critical_path;
+        critical_delay;
+      }
 
 let table_of_characterization entries ~fanout_slope ~cell ~drive ~fanout =
   match
     List.find_opt (fun (c, d, _) -> c = cell && d = drive) entries
   with
   | Some (_, _, base) ->
-    base *. (1. +. (fanout_slope *. (float_of_int fanout -. 4.) /. 4.))
-  | None -> raise Not_found
+    Ok (base *. (1. +. (fanout_slope *. (float_of_int fanout -. 4.) /. 4.)))
+  | None ->
+    Core.Diag.failf ~stage:"sta"
+      ~context:[ ("cell", cell); ("drive", string_of_int drive) ]
+      "no characterization entry for cell %s at drive %d" cell drive

@@ -6,8 +6,12 @@
     transient simulation of case study 2 — STA and transient must agree on
     which path is critical and roughly on its length. *)
 
-type delay_table = cell:string -> drive:int -> fanout:int -> float
-(** Pin-to-output delay of a cell driving [fanout] gate loads, seconds. *)
+type delay_table =
+  cell:string -> drive:int -> fanout:int -> (float, Core.Diag.t) result
+(** Pin-to-output delay of a cell driving [fanout] gate loads, seconds —
+    or a diagnostic naming the cell and drive the table has no entry
+    for.  Lookups never raise; {!analyze} surfaces the first miss as its
+    own error with the offending instance added to the context. *)
 
 type path_node = { through : string;  (** instance name, or "input:<net>" *)
                    net : string; at : float }
@@ -19,11 +23,13 @@ type report = {
 }
 
 val analyze : delay_table -> Netlist_ir.t -> (report, Core.Diag.t) result
-(** Errors when the netlist does not validate (see {!Netlist_ir.validate}). *)
+(** Errors when the netlist does not validate (see {!Netlist_ir.validate})
+    or when the delay table has no entry for a cell the netlist
+    instantiates (the diagnostic carries cell, drive, and instance). *)
 
 val table_of_characterization :
   (string * int * float) list -> fanout_slope:float -> delay_table
 (** Build a table from [(cell, drive, base_delay)] triples; the delay grows
     linearly with fanout at [fanout_slope] per load relative to the base
-    (characterized at fanout 4).
-    @raise Not_found for cells missing from the list. *)
+    (characterized at fanout 4).  Missing (cell, drive) pairs yield an
+    [Error] diagnostic naming both, never an exception. *)

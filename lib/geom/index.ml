@@ -1,0 +1,159 @@
+type 'a t = {
+  rects : Rect.t array;
+  payloads : 'a array;
+  ox : int;  (* grid origin: lower-left corner of the item bbox *)
+  oy : int;
+  pitch : int;  (* bucket edge length, >= 1 *)
+  nx : int;
+  ny : int;
+  buckets : int array array;  (* ids per bucket, ascending *)
+}
+
+let touches (a : Rect.t) (b : Rect.t) =
+  (* closed intersection: shared boundary points count, so zero-area
+     rectangles and exact abutments are query hits.  Callers with open
+     semantics (e.g. overlap DRC) re-filter; a superset candidate list
+     never changes their result. *)
+  a.Rect.x0 <= b.Rect.x1 && b.Rect.x0 <= a.Rect.x1 && a.Rect.y0 <= b.Rect.y1
+  && b.Rect.y0 <= a.Rect.y1
+
+let naive_rect items w =
+  List.filter (fun (r, _) -> touches r w) items
+
+let clip (s : Segment.t) (r : Rect.t) =
+  Segment.clip_to_rect_f s ~x0:(float_of_int r.Rect.x0)
+    ~y0:(float_of_int r.Rect.y0) ~x1:(float_of_int r.Rect.x1)
+    ~y1:(float_of_int r.Rect.y1)
+
+let naive_segment items s =
+  List.filter_map
+    (fun (r, p) ->
+      match clip s r with Some (t0, t1) -> Some (t0, t1, p) | None -> None)
+    items
+
+let default_pitch ~w ~h ~n =
+  (* aim for ~1 item per bucket on a uniformly filled area; degenerate
+     (zero-area) extents fall back to spreading the longer side *)
+  let by_area =
+    int_of_float (sqrt (float_of_int w *. float_of_int h /. float_of_int n))
+  in
+  if by_area >= 1 then by_area else max 1 (max w h / n)
+
+let build ?bucket items =
+  let rects = Array.of_list (List.map fst items) in
+  let payloads = Array.of_list (List.map snd items) in
+  let n = Array.length rects in
+  let ox, oy, x1, y1 =
+    Array.fold_left
+      (fun (ax0, ay0, ax1, ay1) (r : Rect.t) ->
+        (min ax0 r.Rect.x0, min ay0 r.Rect.y0, max ax1 r.Rect.x1,
+         max ay1 r.Rect.y1))
+      (max_int, max_int, min_int, min_int)
+      rects
+  in
+  let ox, oy, x1, y1 = if n = 0 then (0, 0, 0, 0) else (ox, oy, x1, y1) in
+  let pitch =
+    match bucket with
+    | Some b when b >= 1 -> b
+    | Some b ->
+      invalid_arg (Printf.sprintf "Geom.Index.build: bucket %d < 1" b)
+    | None -> default_pitch ~w:(x1 - ox) ~h:(y1 - oy) ~n:(max 1 n)
+  in
+  let nx = ((x1 - ox) / pitch) + 1 and ny = ((y1 - oy) / pitch) + 1 in
+  let bx x = min (nx - 1) (max 0 ((x - ox) / pitch)) in
+  let by y = min (ny - 1) (max 0 ((y - oy) / pitch)) in
+  (* two passes: count, then fill each bucket in ascending id order *)
+  let counts = Array.make (nx * ny) 0 in
+  let iter_buckets (r : Rect.t) f =
+    for cx = bx r.Rect.x0 to bx r.Rect.x1 do
+      for cy = by r.Rect.y0 to by r.Rect.y1 do
+        f ((cy * nx) + cx)
+      done
+    done
+  in
+  Array.iter (fun r -> iter_buckets r (fun b -> counts.(b) <- counts.(b) + 1))
+    rects;
+  let buckets = Array.map (fun c -> Array.make c 0) counts in
+  let cursors = Array.make (nx * ny) 0 in
+  Array.iteri
+    (fun id r ->
+      iter_buckets r (fun b ->
+          buckets.(b).(cursors.(b)) <- id;
+          cursors.(b) <- cursors.(b) + 1))
+    rects;
+  { rects; payloads; ox; oy; pitch; nx; ny; buckets }
+
+let length t = Array.length t.rects
+let bucket t = t.pitch
+
+let items t =
+  Array.to_list (Array.map2 (fun r p -> (r, p)) t.rects t.payloads)
+
+let bx t x = min (t.nx - 1) (max 0 ((x - t.ox) / t.pitch))
+let by t y = min (t.ny - 1) (max 0 ((y - t.oy) / t.pitch))
+
+(* Collect candidate ids from a bucket range, deduplicated into ascending
+   id order.  Queries allocate their own scratch so a built index stays
+   safe to share read-only across domains. *)
+let candidates t ~cx0 ~cx1 ~rows =
+  let acc = ref [] in
+  for cx = max 0 cx0 to min (t.nx - 1) cx1 do
+    match rows cx with
+    | None -> ()
+    | Some (cy0, cy1) ->
+      for cy = max 0 cy0 to min (t.ny - 1) cy1 do
+        Array.iter
+          (fun id -> acc := id :: !acc)
+          t.buckets.((cy * t.nx) + cx)
+      done
+  done;
+  List.sort_uniq Stdlib.compare !acc
+
+let query_rect t (w : Rect.t) =
+  if Array.length t.rects = 0 then []
+  else begin
+    let cy0 = by t w.Rect.y0 and cy1 = by t w.Rect.y1 in
+    candidates t ~cx0:(bx t w.Rect.x0) ~cx1:(bx t w.Rect.x1)
+      ~rows:(fun _ -> Some (cy0, cy1))
+    |> List.filter_map (fun id ->
+           let r = t.rects.(id) in
+           if touches r w then Some (r, t.payloads.(id)) else None)
+  end
+
+(* float coordinate -> bucket row/column, with clamping; the +-1 margins at
+   use sites absorb floor/rounding at bucket boundaries *)
+let bxf t x = bx t (int_of_float (Float.floor x))
+let byf t y = by t (int_of_float (Float.floor y))
+
+let query_segment t (s : Segment.t) =
+  if Array.length t.rects = 0 then []
+  else begin
+    let px = s.Segment.p.Vec.x and py = s.Segment.p.Vec.y in
+    let qx = s.Segment.q.Vec.x and qy = s.Segment.q.Vec.y in
+    let cx0 = max 0 (bxf t (min px qx) - 1)
+    and cx1 = min (t.nx - 1) (bxf t (max px qx) + 1) in
+    let near_vertical = Float.abs (qx -. px) < 1e-9 in
+    let full_rows =
+      (* the whole y-extent of the segment, used when the per-column band
+         clip cannot resolve rows (near-vertical tracks) *)
+      (byf t (min py qy) - 1, byf t (max py qy) + 1)
+    in
+    let rows cx =
+      if near_vertical then Some full_rows
+      else begin
+        let xl = float_of_int (t.ox + (cx * t.pitch)) in
+        let xh = float_of_int (t.ox + ((cx + 1) * t.pitch)) in
+        match Segment.clip_to_vertical_band s ~xlo:xl ~xhi:xh with
+        | None -> None
+        | Some (t0, t1) ->
+          let ya = (Segment.point_at s t0).Vec.y in
+          let yb = (Segment.point_at s t1).Vec.y in
+          Some (byf t (min ya yb) - 1, byf t (max ya yb) + 1)
+      end
+    in
+    candidates t ~cx0 ~cx1 ~rows
+    |> List.filter_map (fun id ->
+           match clip s t.rects.(id) with
+           | Some (t0, t1) -> Some (t0, t1, t.payloads.(id))
+           | None -> None)
+  end

@@ -1,0 +1,58 @@
+(** Uniform-grid spatial index over axis-aligned rectangles.
+
+    Every pairwise geometric hot path of the design kit — CNT-track
+    crossing extraction, DRC neighbor checks, placement-level overlap and
+    coupling scans — asks the same two questions: "which items touch this
+    window?" and "which items does this segment hit?".  Answering them by
+    scanning every item is O(n) per query and O(n^2) for all-pairs passes,
+    which caps the physical flow at toy sizes.  This index buckets item
+    rectangles into a uniform grid sized so that an average bucket holds
+    O(1) items; queries visit only the buckets the window or segment
+    touches.
+
+    The index is *behaviorally invisible*: {!query_rect} and
+    {!query_segment} return exactly what the corresponding naive scans
+    ({!naive_rect}, {!naive_segment}) return, in the same canonical order
+    (ascending insertion order).  Callers can therefore swap a full scan
+    for an index query without changing a single downstream bit —
+    property-tested in [test_geom.ml].
+
+    A built index is immutable and holds no query scratch state, so one
+    value can be shared read-only across domains by concurrent
+    Monte-Carlo trials. *)
+
+type 'a t
+
+val build : ?bucket:int -> (Rect.t * 'a) list -> 'a t
+(** Build an index over the items, payloads carried through queries.
+    Insertion order defines the canonical result order of all queries.
+    [bucket] overrides the grid pitch in lambda (>= 1); by default it is
+    chosen so an average bucket holds about one item.
+    @raise Invalid_argument when [bucket < 1]. *)
+
+val length : 'a t -> int
+(** Number of indexed items. *)
+
+val bucket : 'a t -> int
+(** The grid pitch actually used. *)
+
+val items : 'a t -> (Rect.t * 'a) list
+(** All items in insertion order (the naive-scan reference input). *)
+
+val query_rect : 'a t -> Rect.t -> (Rect.t * 'a) list
+(** Items whose rectangle touches the closed window (shared boundary
+    points count, zero-area rectangles included), ascending insertion
+    order.  Equals [naive_rect (items t) w]. *)
+
+val query_segment : 'a t -> Segment.t -> (float * float * 'a) list
+(** Items whose rectangle the segment traverses with a positive-measure
+    parameter interval (Liang-Barsky on the rectangle corners converted
+    with [float_of_int]), as [(t0, t1, payload)] in ascending insertion
+    order.  Equals [naive_segment (items t) s]. *)
+
+val naive_rect : (Rect.t * 'a) list -> Rect.t -> (Rect.t * 'a) list
+(** Reference implementation of {!query_rect}: scan every item. *)
+
+val naive_segment : (Rect.t * 'a) list -> Segment.t -> (float * float * 'a) list
+(** Reference implementation of {!query_segment}: clip the segment
+    against every item in order. *)

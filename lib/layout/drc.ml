@@ -74,26 +74,27 @@ let pair_rules (r : Pdk.Rules.t) a b =
     | _ -> []
 
 (* Etched regions are drawn as rectangle tilings; the lithography minimum
-   applies to each *merged* connected component, not to the tiles. *)
+   applies to each *merged* connected component, not to the tiles.
+   Touching tiles are found through the spatial index — the closed
+   intersection of [query_rect] is exactly the merge criterion — so the
+   union pass is near-linear instead of all-pairs. *)
 let etch_rules (r : Pdk.Rules.t) (f : Fabric.t) =
   let etches = Fabric.etches f in
   let n = List.length etches in
   if n = 0 then []
   else begin
     let arr = Array.of_list etches in
+    let index = Geom.Index.build (List.mapi (fun i e -> (e, i)) etches) in
     let parent = Array.init n Fun.id in
     let rec find i = if parent.(i) = i then i else find parent.(i) in
-    let touching (a : Geom.Rect.t) (b : Geom.Rect.t) =
-      a.Geom.Rect.x0 <= b.Geom.Rect.x1 && b.Geom.Rect.x0 <= a.Geom.Rect.x1
-      && a.Geom.Rect.y0 <= b.Geom.Rect.y1 && b.Geom.Rect.y0 <= a.Geom.Rect.y1
-    in
     for i = 0 to n - 1 do
-      for j = i + 1 to n - 1 do
-        if touching arr.(i) arr.(j) then begin
-          let ri = find i and rj = find j in
-          if ri <> rj then parent.(ri) <- rj
-        end
-      done
+      List.iter
+        (fun (_, j) ->
+          if j > i then begin
+            let ri = find i and rj = find j in
+            if ri <> rj then parent.(ri) <- rj
+          end)
+        (Geom.Index.query_rect index arr.(i))
     done;
     let components = Hashtbl.create 8 in
     for i = 0 to n - 1 do
@@ -123,15 +124,34 @@ let tally vs =
     List.iter (fun t -> Telemetry.counter_add ("drc.violations." ^ t.rule) 1) vs;
   vs
 
+(* Pairwise rules fire only for overlapping items or gate/contact pairs
+   closer than Lgs, so each item needs to see just the neighbors inside an
+   Lgs-inflated window around it.  Candidates come back from the index in
+   item order and are filtered to [j > i], which reproduces the (i, j)
+   enumeration order — and hence the violation list — of the full
+   all-pairs scan exactly. *)
+let pair_violations (r : Pdk.Rules.t) items =
+  match items with
+  | [] | [ _ ] -> []
+  | _ ->
+    let arr = Array.of_list items in
+    let index =
+      Geom.Index.build
+        (List.mapi (fun i (p : Fabric.placed) -> (p.Fabric.rect, i)) items)
+    in
+    let reach = max 1 r.Pdk.Rules.gate_contact_sp in
+    List.concat
+      (List.mapi
+         (fun i (p : Fabric.placed) ->
+           Geom.Index.query_rect index (Geom.Rect.inflate reach p.Fabric.rect)
+           |> List.concat_map (fun (_, j) ->
+                  if j > i then pair_rules r p arr.(j) else []))
+         items)
+
 let check_fabric ~rules (f : Fabric.t) =
   let widths = List.concat_map (width_rules rules) f.Fabric.items in
-  let rec pairs acc = function
-    | [] -> acc
-    | p :: rest ->
-      pairs (acc @ List.concat_map (pair_rules rules p) rest) rest
-  in
   Telemetry.counter_add "drc.fabrics_checked" 1;
-  tally (widths @ etch_rules rules f @ pairs [] f.Fabric.items)
+  tally (widths @ etch_rules rules f @ pair_violations rules f.Fabric.items)
 
 let check_cell (c : Cell.t) =
   let rules = c.Cell.rules in
@@ -162,6 +182,49 @@ let check_cell (c : Cell.t) =
   in
   Telemetry.counter_add "drc.cells_checked" 1;
   check_fabric ~rules c.Cell.pun @ check_fabric ~rules c.Cell.pdn @ tally sep
+
+(* Placement-level rule: distinct cell outlines must not overlap.  The
+   index makes this near-linear in the instance count, which is what lets
+   full-die DRC run at 10k+ instances; [check_outlines_naive] is the
+   all-pairs reference the scale bench and tests compare against. *)
+let outline_pair a_name (a : Geom.Rect.t) b_name (b : Geom.Rect.t) =
+  if Geom.Rect.intersects a b then
+    [ v "placement.overlap"
+        (Printf.sprintf "cell %s overlaps cell %s" a_name b_name)
+        a ]
+  else []
+
+let check_outlines outlines =
+  Telemetry.counter_add "drc.placements_checked" 1;
+  match outlines with
+  | [] | [ _ ] -> tally []
+  | _ ->
+    let arr = Array.of_list outlines in
+    let index =
+      Geom.Index.build (List.mapi (fun i (_, r) -> (r, i)) outlines)
+    in
+    tally
+      (List.concat
+         (List.mapi
+            (fun i (name, r) ->
+              Geom.Index.query_rect index r
+              |> List.concat_map (fun (_, j) ->
+                     if j > i then
+                       let bn, br = arr.(j) in
+                       outline_pair name r bn br
+                     else []))
+            outlines))
+
+let check_outlines_naive outlines =
+  let rec pairs acc = function
+    | [] -> acc
+    | (name, r) :: rest ->
+      pairs
+        (acc
+        @ List.concat_map (fun (bn, br) -> outline_pair name r bn br) rest)
+        rest
+  in
+  pairs [] outlines
 
 let pp_violation ppf t =
   Format.fprintf ppf "%s: %s at %a" t.rule t.detail Geom.Rect.pp t.where

@@ -22,4 +22,16 @@ val check_cell : Cell.t -> violation list
     Telemetry: [drc.cells_checked] plus the per-rule violation counters
     of {!check_fabric}. *)
 
+val check_outlines : (string * Geom.Rect.t) list -> violation list
+(** Placement-level DRC over named cell outlines: any two outlines with a
+    positive-area intersection raise a [placement.overlap] violation.
+    Near-linear in the instance count via {!Geom.Index}; pairs are
+    reported in ascending (i, j) placement order, identical to
+    {!check_outlines_naive}.  Telemetry: [drc.placements_checked] plus
+    the per-rule violation counters. *)
+
+val check_outlines_naive : (string * Geom.Rect.t) list -> violation list
+(** All-pairs reference for {!check_outlines}; equal output for equal
+    input (scale-bench and property-test baseline). *)
+
 val pp_violation : Format.formatter -> violation -> unit

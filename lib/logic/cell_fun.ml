@@ -62,9 +62,21 @@ let maj3_inv =
         [ and_list [ v "A"; v "B" ]; and_list [ v "B"; v "C" ];
           and_list [ v "A"; v "C" ] ])
 
+(* Single-stage CNFET cells realize F = (core)' with a positive core, so
+   non-unate functions take their complemented inputs as explicit pins
+   (AN = A', BN = B', SN = S', supplied by inverters in the netlist):
+   XOR2 = (A*B + AN*BN)' = A xor B; MUX2 = (S*AN + SN*BN)' = S ? A : B. *)
+let xor2 =
+  make "XOR2"
+    Expr.(or_list [ and_list [ v "A"; v "B" ]; and_list [ v "AN"; v "BN" ] ])
+
+let mux2 =
+  make "MUX2"
+    Expr.(or_list [ and_list [ v "S"; v "AN" ]; and_list [ v "SN"; v "BN" ] ])
+
 let all =
   [ inv; nand 2; nand 3; nand 4; nor 2; nor 3; nor 4; aoi21; aoi22; oai21;
-    oai22; aoi31; aoi211; oai211; aoi222; maj3_inv ]
+    oai22; aoi31; aoi211; oai211; aoi222; maj3_inv; xor2; mux2 ]
 
 let find_opt name =
   let up = String.uppercase_ascii name in

@@ -43,10 +43,19 @@ val maj3_inv : t
 (** [(AB + BC + AC)'] — the inverted majority (carry) gate; note the same
     input gates several devices. *)
 
+val xor2 : t
+(** [(A*B + AN*BN)'] — equals [A xor B] when the AN/BN pins are wired to
+    the complements of A/B (single-stage CNFET cells are negative-unate,
+    so non-unate functions take complemented inputs as explicit pins). *)
+
+val mux2 : t
+(** [(S*AN + SN*BN)'] — equals [S ? A : B] under the same complemented-pin
+    convention (AN = A', BN = B', SN = S'). *)
+
 val all : t list
 (** The Table 1 catalog (INV, NAND2/3, NOR2/3, AOI21/22, OAI21/22, AOI31)
-    extended with NAND4/NOR4, AOI211/OAI211, AOI222 and the inverted
-    majority gate. *)
+    extended with NAND4/NOR4, AOI211/OAI211, AOI222, the inverted
+    majority gate, and the complemented-pin XOR2/MUX2. *)
 
 val find_opt : string -> t option
 (** Look up by name (case-insensitive). *)

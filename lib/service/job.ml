@@ -2,6 +2,7 @@ type flow_source =
   | Full_adder
   | Ripple of int
   | Netlist_text of string
+  | Generated of string
 
 type flow_job = {
   source : flow_source;
@@ -98,6 +99,7 @@ let source_describe = function
   | Full_adder -> "full_adder"
   | Ripple bits -> Printf.sprintf "ripple%d" bits
   | Netlist_text _ -> "netlist"
+  | Generated spec -> "generated:" ^ spec
 
 let describe = function
   | Flow j ->
@@ -131,6 +133,8 @@ let validate = function
           "flow job: ripple bits must be in 1..64"
       | Netlist_text "" ->
         Core.Diag.fail ~stage "flow job: empty netlist text"
+      | Generated "" ->
+        Core.Diag.fail ~stage "flow job: empty design spec"
       | _ -> Ok ())
   | Fault j ->
     if Logic.Cell_fun.find_opt j.cell = None then
@@ -215,6 +219,7 @@ let digest t =
           Flow.Pipeline.source_digest (`Netlist (Flow.Full_adder.netlist ()))
         | Ripple bits -> Printf.sprintf "ripple:%d" bits
         | Netlist_text text -> Flow.Pipeline.source_digest (`Text text)
+        | Generated spec -> "generated:" ^ spec
       in
       Printf.sprintf "flow:%s:%s:%g" src (scheme_string j.scheme) j.aspect
     | Fault j ->
@@ -242,6 +247,8 @@ let to_json t =
       | Ripple bits -> [ ("design", Json.Str "ripple"); ("bits", Json.int bits) ]
       | Netlist_text text ->
         [ ("design", Json.Str "netlist"); ("text", Json.Str text) ]
+      | Generated spec ->
+        [ ("design", Json.Str "generated"); ("spec", Json.Str spec) ]
     in
     Json.Obj
       ((("kind", Json.Str "flow") :: source_fields)
@@ -318,11 +325,14 @@ let of_json j =
       | "netlist" ->
         let* text = get_field "text" Json.to_str "string" j in
         Ok (Netlist_text text)
+      | "generated" ->
+        let* spec = get_field "spec" Json.to_str "string" j in
+        Ok (Generated spec)
       | other ->
         Core.Diag.failf ~stage:"service.protocol"
           ~context:[ ("design", other) ]
-          "flow job: unknown design %S (expected full_adder, ripple or \
-           netlist)"
+          "flow job: unknown design %S (expected full_adder, ripple, \
+           netlist or generated)"
           other
     in
     let* scheme_s = get_default "scheme" Json.to_str "string" "s2" j in

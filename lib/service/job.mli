@@ -13,6 +13,10 @@ type flow_source =
   | Full_adder  (** the paper's Figure-8 case study *)
   | Ripple of int  (** N-bit ripple-carry adder (flow scaling workload) *)
   | Netlist_text of string  (** inline {!Flow.Netlist_ir.of_string} text *)
+  | Generated of string
+      (** compact generator spec for {!Flow.Generate.of_spec}, e.g.
+          ["mult16"] or ["lfsr32x100"] — large designs without shipping
+          the netlist text over the wire *)
 
 type flow_job = {
   source : flow_source;

@@ -10,6 +10,7 @@ let resolve_source = function
   | Job.Full_adder -> Ok (Flow.Full_adder.netlist ())
   | Job.Ripple bits -> Flow.Ripple_adder.netlist ~bits
   | Job.Netlist_text text -> Flow.Netlist_ir.of_string text
+  | Job.Generated spec -> Flow.Generate.of_spec spec
 
 let run_flow ~pass_cache (j : Job.flow_job) =
   let* netlist = resolve_source j.Job.source in

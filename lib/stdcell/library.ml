@@ -78,7 +78,20 @@ let collect xs =
   |> Result.map List.rev
 
 let build ~lib_name ~rules ~technology ~style ~drives =
-  let sized_fns = [ Logic.Cell_fun.inv; Logic.Cell_fun.nand 2 ] in
+  (* Cells that synthesis maps at every requested drive; the rest of the
+     catalog is built at drive 1 only.  AOI21/OAI21 and the complemented-pin
+     XOR2/MUX2 join INV/NAND2 here so generated netlists (multipliers,
+     LFSRs, random clouds) can be drive-sized. *)
+  let sized_fns =
+    [
+      Logic.Cell_fun.inv;
+      Logic.Cell_fun.nand 2;
+      Logic.Cell_fun.aoi21;
+      Logic.Cell_fun.oai21;
+      Logic.Cell_fun.xor2;
+      Logic.Cell_fun.mux2;
+    ]
+  in
   let* sized =
     collect
       (List.concat_map

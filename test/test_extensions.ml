@@ -227,6 +227,47 @@ let drc_catches_tight_spacing () =
        (fun v -> v.Layout.Drc.rule = "gate_contact.spacing")
        (Layout.Drc.check_fabric ~rules f))
 
+let drc_outlines_overlap () =
+  let o = Geom.Rect.of_size in
+  let vs =
+    Layout.Drc.check_outlines
+      [
+        ("u1", o ~x:0 ~y:0 ~w:4 ~h:4);
+        ("u2", o ~x:2 ~y:2 ~w:4 ~h:4);
+        ("u3", o ~x:4 ~y:0 ~w:4 ~h:2) (* abuts u1: no positive overlap *);
+      ]
+  in
+  check_int "one overlap" 1 (List.length vs);
+  let v = List.nth vs 0 in
+  Alcotest.(check string) "rule" "placement.overlap" v.Layout.Drc.rule;
+  Alcotest.(check string) "detail" "cell u1 overlaps cell u2"
+    v.Layout.Drc.detail;
+  checkb "abutting placements are clean" true
+    (Layout.Drc.check_outlines
+       [ ("a", o ~x:0 ~y:0 ~w:4 ~h:4); ("b", o ~x:4 ~y:0 ~w:4 ~h:4) ]
+    = [])
+
+(* outline DRC through the spatial index is bit-identical to the
+   all-pairs scan, including violation order *)
+let drc_outlines_match_naive =
+  QCheck.Test.make ~count:300
+    ~name:"Drc.check_outlines equals the all-pairs scan"
+    (QCheck.make
+       ~print:(fun rs -> Printf.sprintf "%d outlines" (List.length rs))
+       QCheck.Gen.(
+         list_size (int_range 0 40)
+           (let* x = int_range 0 50 in
+            let* y = int_range 0 50 in
+            let* w = int_range 0 9 in
+            let* h = int_range 0 9 in
+            return (Geom.Rect.of_size ~x ~y ~w ~h))))
+    (fun rects ->
+      let outlines =
+        List.mapi (fun i r -> (Printf.sprintf "u%d" i, r)) rects
+      in
+      Layout.Drc.check_outlines outlines
+      = Layout.Drc.check_outlines_naive outlines)
+
 (* --- SPICE export --- *)
 
 let spice_deck_contents () =
@@ -273,7 +314,7 @@ let sta_chain () =
         ];
     }
   in
-  let table ~cell:_ ~drive:_ ~fanout:_ = 10e-12 in
+  let table ~cell:_ ~drive:_ ~fanout:_ = Ok 10e-12 in
   let r = Core.Diag.ok_exn (Flow.Sta.analyze table n) in
   Alcotest.(check (float 1e-15)) "3 stages" 30e-12 r.Flow.Sta.critical_delay;
   check_int "path length (input + 3 gates)" 4
@@ -282,7 +323,7 @@ let sta_chain () =
 let sta_full_adder_structure () =
   let fa = Flow.Full_adder.netlist () in
   let table ~cell ~drive:_ ~fanout:_ =
-    match cell with "NAND2" -> 8e-12 | _ -> 4e-12
+    Ok (match cell with "NAND2" -> 8e-12 | _ -> 4e-12)
   in
   let r = Core.Diag.ok_exn (Flow.Sta.analyze table fa) in
   (* deepest cone: 6 NAND levels (n1 n2 n4 n5 n6 n8) + 2 buffers = 56 ps *)
@@ -300,8 +341,44 @@ let sta_fanout_dependence () =
   let table =
     Flow.Sta.table_of_characterization [ ("INV", 1, 10e-12) ] ~fanout_slope:1.
   in
+  let lookup ~fanout =
+    Core.Diag.ok_exn (table ~cell:"INV" ~drive:1 ~fanout)
+  in
   checkb "more fanout, more delay" true
-    (table ~cell:"INV" ~drive:1 ~fanout:8 > table ~cell:"INV" ~drive:1 ~fanout:2)
+    (lookup ~fanout:8 > lookup ~fanout:2)
+
+let sta_table_miss_is_diagnostic () =
+  let table =
+    Flow.Sta.table_of_characterization [ ("INV", 1, 10e-12) ] ~fanout_slope:1.
+  in
+  (match table ~cell:"NAND2" ~drive:1 ~fanout:4 with
+  | Ok _ -> Alcotest.fail "missing cell lookup should error"
+  | Error d ->
+    Alcotest.(check string)
+      "table miss diagnostic" "sta: error: no characterization entry for \
+                               cell NAND2 at drive 1 (cell=NAND2, drive=1)"
+      (Core.Diag.to_string d));
+  (* analyze surfaces the miss as its own error, naming the instance *)
+  let n =
+    {
+      Flow.Netlist_ir.design = "miss";
+      inputs = [ "A"; "B" ];
+      outputs = [ "Z" ];
+      instances =
+        [
+          { Flow.Netlist_ir.inst_name = "g0"; cell = "NAND2"; drive = 1;
+            output = "Z"; conns = [ ("A", "A"); ("B", "B") ] };
+        ];
+    }
+  in
+  match Flow.Sta.analyze table n with
+  | Ok _ -> Alcotest.fail "analyze should propagate the table miss"
+  | Error d ->
+    checkb "instance named" true
+      (List.mem_assoc "instance" d.Core.Diag.context
+      && List.assoc "instance" d.Core.Diag.context = "g0");
+    checkb "cell named" true
+      (List.assoc_opt "cell" d.Core.Diag.context = Some "NAND2")
 
 (* --- annealing --- *)
 
@@ -375,10 +452,14 @@ let base_suite =
     Alcotest.test_case "drc: catches overlap" `Quick drc_catches_overlap;
     Alcotest.test_case "drc: catches tight spacing" `Quick
       drc_catches_tight_spacing;
+    Alcotest.test_case "drc: outline overlap" `Quick drc_outlines_overlap;
+    QCheck_alcotest.to_alcotest drc_outlines_match_naive;
     Alcotest.test_case "spice deck" `Quick spice_deck_contents;
     Alcotest.test_case "sta: inverter chain" `Quick sta_chain;
     Alcotest.test_case "sta: full adder depth" `Quick sta_full_adder_structure;
     Alcotest.test_case "sta: fanout dependence" `Quick sta_fanout_dependence;
+    Alcotest.test_case "sta: table miss is a diagnostic" `Quick
+      sta_table_miss_is_diagnostic;
     Alcotest.test_case "anneal: improves or keeps" `Quick
       anneal_improves_or_keeps;
     Alcotest.test_case "anneal: preserves instances" `Quick

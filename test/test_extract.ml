@@ -59,6 +59,46 @@ let new_layout_duplicates_out_contacts () =
   checkb "new has more Out columns" true
     (out_contacts Layout.Cell.Immune_new > out_contacts Layout.Cell.Immune_old)
 
+let couplings_neighbors_only () =
+  let o = Geom.Rect.of_size in
+  let placements =
+    [
+      ("a", o ~x:0 ~y:0 ~w:4 ~h:8);
+      ("b", o ~x:6 ~y:0 ~w:4 ~h:8) (* 2-lambda gap from a: couples *);
+      ("c", o ~x:40 ~y:40 ~w:4 ~h:8) (* far away: no pair *);
+    ]
+  in
+  let cs = Extract.Extractor.couplings placements in
+  Alcotest.(check int) "one coupled pair" 1 (List.length cs);
+  let c = List.hd cs in
+  checkb "names a-b" true
+    (c.Extract.Extractor.a = "a" && c.Extract.Extractor.b = "b");
+  checkb "positive coupling cap" true (c.Extract.Extractor.cap_f > 0.);
+  checkb "overlapping outlines never couple" true
+    (Extract.Extractor.couplings
+       [ ("a", o ~x:0 ~y:0 ~w:4 ~h:8); ("b", o ~x:2 ~y:0 ~w:4 ~h:8) ]
+    = [])
+
+(* the index-backed pass is bit-identical to the all-pairs scan *)
+let couplings_match_naive =
+  QCheck.Test.make ~count:300
+    ~name:"Extractor.couplings equals the all-pairs scan"
+    (QCheck.make
+       ~print:(fun rs -> Printf.sprintf "%d placements" (List.length rs))
+       QCheck.Gen.(
+         list_size (int_range 0 30)
+           (let* x = int_range 0 40 in
+            let* y = int_range 0 40 in
+            let* w = int_range 1 8 in
+            let* h = int_range 1 8 in
+            return (Geom.Rect.of_size ~x ~y ~w ~h))))
+    (fun rects ->
+      let placements =
+        List.mapi (fun i r -> (Printf.sprintf "u%d" i, r)) rects
+      in
+      Extract.Extractor.couplings placements
+      = Extract.Extractor.couplings_naive placements)
+
 let suite =
   [
     Alcotest.test_case "cap_of_rect formula" `Quick cap_of_rect_formula;
@@ -68,4 +108,7 @@ let suite =
       parasitics_grow_with_drive;
     Alcotest.test_case "duplicated Out contact columns" `Quick
       new_layout_duplicates_out_contacts;
+    Alcotest.test_case "couplings: neighbors only" `Quick
+      couplings_neighbors_only;
+    QCheck_alcotest.to_alcotest couplings_match_naive;
   ]

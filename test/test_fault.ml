@@ -221,6 +221,29 @@ let hits_prepared_agrees =
       Fault.Crossing.hits_prepared p seg = Fault.Crossing.hits f seg
       && Fault.Crossing.edges_prepared p seg = Fault.Crossing.edges f seg)
 
+(* [hits] is index-backed; rebuild its answer from the all-items clip so
+   the spatial index stays bit-identical to the scan it replaced *)
+let hits_match_naive_scan =
+  QCheck.Test.make ~count:500
+    ~name:"Crossing.hits equals the all-items naive scan" fabric_arb
+    (fun (items, seg) ->
+      let f =
+        Layout.Fabric.make ~polarity:Logic.Network.N_type ~rows:[] items
+      in
+      let naive =
+        Geom.Index.naive_segment
+          (List.map
+             (fun (p : Layout.Fabric.placed) ->
+               (p.Layout.Fabric.rect, p.Layout.Fabric.elem))
+             f.Layout.Fabric.items)
+          seg
+        |> List.map (fun (t0, t1, elem) ->
+               { Fault.Crossing.at = (t0 +. t1) /. 2.; elem })
+        |> List.sort (fun (a : Fault.Crossing.hit) b ->
+               Stdlib.compare a.Fault.Crossing.at b.Fault.Crossing.at)
+      in
+      Fault.Crossing.hits f seg = naive)
+
 let injector_domains_deterministic () =
   let cell = mk Layout.Cell.Vulnerable "NAND2" in
   let cfg = { Fault.Injector.default_config with Fault.Injector.trials = 200 } in
@@ -320,6 +343,7 @@ let suite =
       injector_rejects_bad_config;
     QCheck_alcotest.to_alcotest hits_sorted_and_in_bbox;
     QCheck_alcotest.to_alcotest hits_prepared_agrees;
+    QCheck_alcotest.to_alcotest hits_match_naive_scan;
     Alcotest.test_case "failure rate math" `Quick failure_rate_math;
     Alcotest.test_case "verify_immunity API" `Quick verify_immunity_api;
   ]

@@ -249,6 +249,110 @@ let wirelength_positive () =
   let p = ok (Flow.Placer.rows ~lib fa) in
   checkb "positive wirelength" true (Flow.Placer.wirelength_estimate p fa > 0)
 
+(* --- synthetic netlist generators --- *)
+
+let generate_multiplier_correct () =
+  checkb "mult3 exhaustive" true (Flow.Generate.multiplier_check ~bits:3 = Ok ());
+  checkb "mult4 exhaustive" true (Flow.Generate.multiplier_check ~bits:4 = Ok ())
+
+let generate_multiplier_scales () =
+  let n = ok (Flow.Generate.multiplier ~bits:8) in
+  checkb "validates" true (Flow.Netlist_ir.validate n = Ok ());
+  checkb "hundreds of instances" true
+    (List.length n.Flow.Netlist_ir.instances > 400);
+  check_int "product width" 16 (List.length n.Flow.Netlist_ir.outputs);
+  checkb "bits out of range rejected" true
+    (match Flow.Generate.multiplier ~bits:0 with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let generate_lfsr_correct () =
+  checkb "lfsr16 x40" true
+    (Flow.Generate.lfsr_check ~bits:16 ~steps:40 ~seed:0xACE1 = Ok ());
+  checkb "lfsr8 x13" true
+    (Flow.Generate.lfsr_check ~bits:8 ~steps:13 ~seed:0x5A = Ok ())
+
+let generate_random_deterministic () =
+  let a = ok (Flow.Generate.random_logic ~gates:200 ~inputs:8 ~seed:7) in
+  let b = ok (Flow.Generate.random_logic ~gates:200 ~inputs:8 ~seed:7) in
+  let c = ok (Flow.Generate.random_logic ~gates:200 ~inputs:8 ~seed:8) in
+  checkb "validates" true (Flow.Netlist_ir.validate a = Ok ());
+  checkb "same seed, same design" true (a = b);
+  checkb "different seed, different design" true (a <> c)
+
+let generate_of_spec () =
+  let design s = (ok (Flow.Generate.of_spec s)).Flow.Netlist_ir.design in
+  Alcotest.(check string) "mult spec" "mult4" (design "mult4");
+  Alcotest.(check string) "lfsr spec" "lfsr8x5" (design "lfsr8x5");
+  Alcotest.(check string) "rand spec" "rand50s3" (design "rand50s3");
+  checkb "full_adder spec" true (design "full_adder" <> "");
+  List.iter
+    (fun bad ->
+      match Flow.Generate.of_spec bad with
+      | Ok _ -> Alcotest.failf "spec %s accepted" bad
+      | Error d ->
+        let s = Core.Diag.to_string d in
+        checkb (bad ^ " named in diagnostic") true
+          (List.mem ("spec", bad) d.Core.Diag.context && String.length s > 0))
+    [ "mult"; "multx"; "lfsr16"; "rand9"; "tree8"; "" ]
+
+(* --- placer error paths: diagnostics verbatim --- *)
+
+let lib1 = Stdcell.Library.cnfet_exn ~drives:[ 1 ] ()
+
+let with_first_instance f n =
+  { n with
+    Flow.Netlist_ir.instances =
+      (match n.Flow.Netlist_ir.instances with
+      | i :: rest -> f i :: rest
+      | [] -> []) }
+
+let placer_unknown_cell_diag () =
+  let n =
+    with_first_instance
+      (fun i -> { i with Flow.Netlist_ir.cell = "XNOR3" })
+      (ok (Flow.Generate.multiplier ~bits:2))
+  in
+  let expect =
+    "placer: error: no cell XNOR3 at drive 1 in library cnfet65 \
+     (library=cnfet65, cell=XNOR3, drive=1, available_drives=, \
+     origin=library, instance=g1)"
+  in
+  List.iter
+    (fun (name, place) ->
+      match place ~lib:lib1 n with
+      | Ok _ -> Alcotest.failf "%s placed an unknown cell" name
+      | Error d ->
+        Alcotest.(check string) (name ^ " diagnostic") expect
+          (Core.Diag.to_string d))
+    [
+      ("rows", fun ~lib n -> Flow.Placer.rows ~lib n);
+      ("shelves", fun ~lib n -> Flow.Placer.shelves ~lib n);
+    ]
+
+let placer_unknown_drive_diag () =
+  let n =
+    with_first_instance
+      (fun i -> { i with Flow.Netlist_ir.drive = 9 })
+      (ok (Flow.Generate.multiplier ~bits:2))
+  in
+  let expect =
+    "placer: error: no cell NAND2 at drive 9 in library cnfet65 \
+     (library=cnfet65, cell=NAND2, drive=9, available_drives=1, \
+     origin=library, instance=g1)"
+  in
+  List.iter
+    (fun (name, place) ->
+      match place ~lib:lib1 n with
+      | Ok _ -> Alcotest.failf "%s placed an unknown drive" name
+      | Error d ->
+        Alcotest.(check string) (name ^ " diagnostic") expect
+          (Core.Diag.to_string d))
+    [
+      ("rows", fun ~lib n -> Flow.Placer.rows ~lib n);
+      ("shelves", fun ~lib n -> Flow.Placer.shelves ~lib n);
+    ]
+
 let gds_export_placement () =
   let fa = Flow.Full_adder.netlist () in
   let p = ok (Flow.Placer.shelves ~lib fa) in
@@ -282,5 +386,17 @@ let suite =
     Alcotest.test_case "scheme area gains" `Quick placer_scheme_gains;
     Alcotest.test_case "wirelength positive" `Quick wirelength_positive;
     Alcotest.test_case "gds export placement" `Quick gds_export_placement;
+    Alcotest.test_case "generate: multiplier correct" `Quick
+      generate_multiplier_correct;
+    Alcotest.test_case "generate: multiplier scales" `Quick
+      generate_multiplier_scales;
+    Alcotest.test_case "generate: lfsr correct" `Quick generate_lfsr_correct;
+    Alcotest.test_case "generate: random deterministic" `Quick
+      generate_random_deterministic;
+    Alcotest.test_case "generate: of_spec" `Quick generate_of_spec;
+    Alcotest.test_case "placer unknown cell diagnostic" `Quick
+      placer_unknown_cell_diag;
+    Alcotest.test_case "placer unknown drive diagnostic" `Quick
+      placer_unknown_drive_diag;
     QCheck_alcotest.to_alcotest mapper_random_equivalence;
   ]

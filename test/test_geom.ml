@@ -253,6 +253,95 @@ let segment_clip_inside_points =
         && p.Geom.Vec.y >= 5. -. 1e-6
         && p.Geom.Vec.y <= 15. +. 1e-6)
 
+(* --- spatial index: behavioral invisibility vs the naive scans --- *)
+
+(* Shape soups include zero-area rectangles (w or h = 0) because the
+   rect_arb size range starts at 0. *)
+let soup_arb = QCheck.list_of_size (QCheck.Gen.int_range 0 60) rect_arb
+
+let indexed soup =
+  Geom.Index.build ~bucket:7 (List.mapi (fun i r -> (r, i)) soup)
+
+let index_rect_matches_naive =
+  QCheck.Test.make
+    ~name:"Index.query_rect equals naive scan (same order)" ~count:300
+    (QCheck.pair soup_arb rect_arb)
+    (fun (soup, w) ->
+      let items = List.mapi (fun i r -> (r, i)) soup in
+      Geom.Index.query_rect (indexed soup) w = Geom.Index.naive_rect items w)
+
+let index_rect_matches_naive_default_pitch =
+  QCheck.Test.make
+    ~name:"Index.query_rect equals naive scan (auto pitch)" ~count:300
+    (QCheck.pair soup_arb rect_arb)
+    (fun (soup, w) ->
+      let items = List.mapi (fun i r -> (r, i)) soup in
+      Geom.Index.query_rect (Geom.Index.build items) w
+      = Geom.Index.naive_rect items w)
+
+let index_segment_matches_naive =
+  QCheck.Test.make
+    ~name:"Index.query_segment equals naive scan (same order)" ~count:300
+    (QCheck.pair soup_arb
+       QCheck.(
+         quad (float_range (-40.) 60.) (float_range (-40.) 60.)
+           (float_range (-40.) 60.) (float_range (-40.) 60.)))
+    (fun (soup, (ax, ay, bx, by)) ->
+      let items = List.mapi (fun i r -> (r, i)) soup in
+      let s = Geom.Segment.make (Geom.Vec.v ax ay) (Geom.Vec.v bx by) in
+      Geom.Index.query_segment (indexed soup) s
+      = Geom.Index.naive_segment items s)
+
+let index_vertical_segment_matches_naive =
+  QCheck.Test.make
+    ~name:"Index.query_segment equals naive scan (vertical tracks)"
+    ~count:300
+    (QCheck.pair soup_arb
+       QCheck.(
+         triple (float_range (-40.) 60.) (float_range (-40.) 60.)
+           (float_range (-40.) 60.)))
+    (fun (soup, (x, ay, by)) ->
+      let items = List.mapi (fun i r -> (r, i)) soup in
+      let s = Geom.Segment.make (Geom.Vec.v x ay) (Geom.Vec.v x by) in
+      Geom.Index.query_segment (indexed soup) s
+      = Geom.Index.naive_segment items s)
+
+let index_bucket_boundaries () =
+  (* rects and windows sitting exactly on pitch multiples: closed
+     intersection means boundary contact counts, and bucket assignment
+     must not lose straddlers *)
+  let r a b = Geom.Rect.make ~x0:a ~y0:a ~x1:b ~y1:b in
+  let soup =
+    [ r 0 4; r 4 8; r 8 8 (* zero-area on a bucket corner *); r (-4) 0 ]
+  in
+  let items = List.mapi (fun i x -> (x, i)) soup in
+  let t = Geom.Index.build ~bucket:4 items in
+  List.iter
+    (fun w ->
+      Alcotest.(check bool)
+        (Printf.sprintf "window %s" (Geom.Rect.to_string w))
+        true
+        (Geom.Index.query_rect t w = Geom.Index.naive_rect items w))
+    [ r 4 4; r 0 8; r 8 8; r (-4) (-4); r (-100) 100; r 9 20 ];
+  Alcotest.(check int) "length" 4 (Geom.Index.length t);
+  Alcotest.(check int) "bucket" 4 (Geom.Index.bucket t);
+  Alcotest.(check bool) "items round-trip" true (Geom.Index.items t = items)
+
+let index_empty () =
+  let t = Geom.Index.build [] in
+  Alcotest.(check int) "empty length" 0 (Geom.Index.length t);
+  Alcotest.(check bool) "empty rect query" true
+    (Geom.Index.query_rect t (Geom.Rect.of_size ~x:0 ~y:0 ~w:5 ~h:5) = []);
+  Alcotest.(check bool) "empty segment query" true
+    (Geom.Index.query_segment t
+       (Geom.Segment.make (Geom.Vec.v 0. 0.) (Geom.Vec.v 5. 5.))
+    = []);
+  Alcotest.(check bool) "bad bucket rejected" true
+    (try
+       ignore (Geom.Index.build ~bucket:0 []);
+       false
+     with Invalid_argument _ -> true)
+
 let suite =
   [
     Alcotest.test_case "rect basics" `Quick basic_rect;
@@ -280,4 +369,11 @@ let suite =
     QCheck_alcotest.to_alcotest complement_partitions;
     QCheck_alcotest.to_alcotest complement_disjoint;
     QCheck_alcotest.to_alcotest segment_clip_inside_points;
+    Alcotest.test_case "index bucket boundaries" `Quick
+      index_bucket_boundaries;
+    Alcotest.test_case "index empty" `Quick index_empty;
+    QCheck_alcotest.to_alcotest index_rect_matches_naive;
+    QCheck_alcotest.to_alcotest index_rect_matches_naive_default_pitch;
+    QCheck_alcotest.to_alcotest index_segment_matches_naive;
+    QCheck_alcotest.to_alcotest index_vertical_segment_matches_naive;
   ]

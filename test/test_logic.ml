@@ -214,7 +214,7 @@ let switch_graph_floating_gives_x () =
   checkb "A=1 floats" true (Logic.Truth.value tt 1 = Logic.Truth.X)
 
 let cell_fun_catalog () =
-  check_int "catalog size" 16 (List.length Logic.Cell_fun.all);
+  check_int "catalog size" 18 (List.length Logic.Cell_fun.all);
   let nand3 = Logic.Cell_fun.find "nand3" in
   check_int "NAND3 fan-in" 3 nand3.Logic.Cell_fun.fan_in;
   let tt = Logic.Cell_fun.truth nand3 in
@@ -234,6 +234,47 @@ let aoi21_truth () =
   checkb "B pulls low" true (value false false true = Logic.Truth.F);
   checkb "idle pulls high" true (value true false false = Logic.Truth.T)
 
+(* XOR2/MUX2 are negative-unate single-stage cells over complemented input
+   pins: the truth table is correct only on the consistent half of the
+   input space where AN = A', BN = B', SN = S'. *)
+let complemented_pin_cells () =
+  let value fn assigns =
+    let inputs = Logic.Expr.inputs fn.Logic.Cell_fun.core in
+    let i =
+      List.fold_left
+        (fun acc (n, v) ->
+          match
+            List.mapi (fun k x -> (x, k)) inputs |> List.assoc_opt n
+          with
+          | Some k when v -> acc lor (1 lsl k)
+          | _ -> acc)
+        0 assigns
+    in
+    Logic.Truth.value (Logic.Cell_fun.truth fn) i
+  in
+  List.iter
+    (fun (a, b) ->
+      let got =
+        value Logic.Cell_fun.xor2
+          [ ("A", a); ("B", b); ("AN", not a); ("BN", not b) ]
+      in
+      let want = if a <> b then Logic.Truth.T else Logic.Truth.F in
+      checkb (Printf.sprintf "xor2 %b %b" a b) true (got = want))
+    [ (false, false); (false, true); (true, false); (true, true) ];
+  List.iter
+    (fun (s, a, b) ->
+      let got =
+        value Logic.Cell_fun.mux2
+          [ ("S", s); ("SN", not s); ("AN", not a); ("BN", not b) ]
+      in
+      let want = if (if s then a else b) then Logic.Truth.T else Logic.Truth.F in
+      checkb (Printf.sprintf "mux2 %b %b %b" s a b) true (got = want))
+    [
+      (false, false, false); (false, false, true); (false, true, false);
+      (false, true, true); (true, false, false); (true, false, true);
+      (true, true, false); (true, true, true);
+    ]
+
 let suite =
   [
     Alcotest.test_case "expr eval" `Quick expr_eval_basics;
@@ -252,6 +293,8 @@ let suite =
     Alcotest.test_case "switch graph float -> X" `Quick
       switch_graph_floating_gives_x;
     Alcotest.test_case "cell catalog" `Quick cell_fun_catalog;
+    Alcotest.test_case "xor2/mux2 complemented pins" `Quick
+      complemented_pin_cells;
     Alcotest.test_case "AOI21 truth" `Quick aoi21_truth;
     QCheck_alcotest.to_alcotest simplify_preserves_semantics;
     QCheck_alcotest.to_alcotest network_dual_involution;

@@ -105,6 +105,8 @@ let job_codec_roundtrip () =
       Job.flow Job.Full_adder;
       Job.flow ~scheme:`S1 ~aspect:2.0 (Job.Ripple 4);
       Job.flow (Job.Netlist_text "design inv_pair\ninst u1 INV 4 A=a Z=b\n");
+      Job.flow (Job.Generated "mult8");
+      Job.flow ~scheme:`S1 (Job.Generated "lfsr16x20");
       Job.fault "NAND2";
       Job.fault ~drive:2 ~style:Layout.Cell.Vulnerable ~trials:77 ~seed:9
         "NOR2";
@@ -157,6 +159,13 @@ let job_validate_and_digest () =
     (Result.is_error (Job.validate (Job.characterize ~loads:[] "INV")));
   checkb "huge ripple rejected" true
     (Result.is_error (Job.validate (Job.flow (Job.Ripple 65))));
+  checkb "empty generator spec rejected" true
+    (Result.is_error (Job.validate (Job.flow (Job.Generated ""))));
+  checkb "generated flow job accepted" true
+    (Job.validate (Job.flow (Job.Generated "mult8")) = Ok ());
+  checkb "generated digests differ by spec" true
+    (Job.digest (Job.flow (Job.Generated "mult8"))
+    <> Job.digest (Job.flow (Job.Generated "mult9")));
   checkb "valid job accepted" true
     (Result.is_ok (Job.validate (Job.fault "NAND2")));
   (* digests: stable, kind-prefixed, sensitive to every field *)

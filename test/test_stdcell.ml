@@ -28,6 +28,25 @@ let library_contents () =
       ignore (Stdcell.Library.find_exn cn_lib ~name ~drive:1))
     [ "NAND3"; "NOR2"; "AOI21"; "AOI22"; "OAI21"; "AOI31" ]
 
+let sized_cells_at_all_drives () =
+  (* the drive-sized subset now includes the synthesis workhorses; each
+     must exist at every requested drive with layouts in both schemes *)
+  List.iter
+    (fun name ->
+      List.iter
+        (fun drive ->
+          let e = Stdcell.Library.find_exn cn_lib ~name ~drive in
+          checkb
+            (Printf.sprintf "%s_%dX scheme1 nonempty" name drive)
+            true
+            (e.Stdcell.Library.scheme1.Layout.Cell.width > 0);
+          checkb
+            (Printf.sprintf "%s_%dX scheme2 nonempty" name drive)
+            true
+            (e.Stdcell.Library.scheme2.Layout.Cell.width > 0))
+        [ 1; 2; 4 ])
+    [ "INV"; "NAND2"; "AOI21"; "OAI21"; "XOR2"; "MUX2" ]
+
 let entries_have_layouts () =
   List.iter
     (fun (e : Stdcell.Library.entry) ->
@@ -236,6 +255,8 @@ let cell_height_standardization () =
 let suite =
   [
     Alcotest.test_case "library contents" `Quick library_contents;
+    Alcotest.test_case "sized cells at all drives" `Quick
+      sized_cells_at_all_drives;
     Alcotest.test_case "entry layouts are functional" `Slow entries_have_layouts;
     Alcotest.test_case "tubes_for widths" `Quick tubes_for_widths;
     Alcotest.test_case "factory polarity" `Quick factory_polarity;
