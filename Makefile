@@ -3,7 +3,7 @@
 # including the 2-domain smoke campaign (test/smoke.ml) that exercises the
 # parallel Monte-Carlo engine end to end.
 
-.PHONY: all build test smoke bench verify fmt-check clean
+.PHONY: all build test smoke bench perf-check verify fmt-check clean
 
 all: build
 
@@ -18,6 +18,14 @@ smoke:
 
 bench:
 	dune exec bench/main.exe -- mcscale
+
+# Perf ratchet: rerun the scale bench smoke and compare against the
+# committed BENCH_scale.json (median-normalized, >15% regression fails).
+perf-check:
+	git show HEAD:BENCH_scale.json > _bench_baseline.json
+	SCALE_SIZES=1000 dune exec bench/main.exe -- scale
+	dune exec bench/check_regression.exe -- _bench_baseline.json BENCH_scale.json
+	rm -f _bench_baseline.json
 
 # Formatting gate: uses ocamlformat via dune when installed; otherwise
 # falls back to cheap hygiene checks (tabs and trailing whitespace in

@@ -568,10 +568,67 @@ let serve_cmd =
                  clock so queue waits, timestamps and completion records \
                  are exact functions of the request stream.")
   in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Dump the Prometheus text exposition (v0.0.4) of the \
+                   telemetry registry to $(docv) about once a second \
+                   while serving, and once more at exit.  The write is \
+                   atomic (tmp + rename), so a scraper reading the file \
+                   never sees a torn document.")
+  in
+  let event_log =
+    Arg.(value & opt (some string) None
+         & info [ "event-log" ] ~docv:"FILE"
+             ~doc:"Append the structured event log to $(docv) as NDJSON, \
+                   one event per line as it happens (submissions, state \
+                   transitions, cache hits, rejections, connection \
+                   errors), each with its trace id.")
+  in
   let run domains capacity cache_dir no_cache socket connections max_conns
-      idle_timeout_ms replay telemetry trace_out =
+      idle_timeout_ms replay metrics_out event_log telemetry trace_out =
     or_diag_exit @@ fun () ->
-    telemetry_start telemetry trace_out;
+    (* the serving layer is always observable: metrics/health/event ops
+       must answer with data whether or not a summary was asked for *)
+    Telemetry.reset ();
+    Telemetry.enable ();
+    Telemetry.Events.clear ();
+    let event_sink =
+      match event_log with
+      | None -> None
+      | Some path ->
+        let oc =
+          open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+        in
+        Telemetry.Events.set_sink
+          (Some
+             (fun line ->
+               output_string oc line;
+               output_char oc '\n';
+               flush oc));
+        Some oc
+    in
+    let dump_metrics path =
+      let body = Telemetry.Prometheus.render (Telemetry.collect ()) in
+      let tmp = path ^ ".tmp" in
+      let oc = open_out tmp in
+      output_string oc body;
+      close_out oc;
+      Sys.rename tmp path
+    in
+    let on_tick =
+      match metrics_out with
+      | None -> None
+      | Some path ->
+        let last = ref neg_infinity in
+        Some
+          (fun () ->
+            let now = Unix.gettimeofday () in
+            if now -. !last >= 1.0 then begin
+              last := now;
+              dump_metrics path
+            end)
+    in
     let config =
       {
         Service.Scheduler.default_config with
@@ -588,14 +645,20 @@ let serve_cmd =
         | Some path ->
           let st =
             Service.Server.serve_socket ~max_conns ?idle_timeout_ms
-              ~connections sched ~path
+              ~connections ?on_tick sched ~path
           in
           (* the summary goes to stderr: stdout is pure NDJSON *)
           Printf.eprintf
-            "serve: %d connections, %d errors, %d idle-closed\n%!"
+            "serve: %d connections, %d errors, %d idle-closed, %d dropped\n%!"
             st.Service.Server.accepted st.Service.Server.conn_errors
-            st.Service.Server.idle_closed
-        | None -> Service.Server.serve sched stdin stdout);
+            st.Service.Server.idle_closed st.Service.Server.dropped
+        | None -> Service.Server.serve ?on_tick sched stdin stdout);
+    (match metrics_out with Some path -> dump_metrics path | None -> ());
+    (match event_sink with
+    | Some oc ->
+      Telemetry.Events.set_sink None;
+      close_out oc
+    | None -> ());
     (* stdout is the NDJSON stream; the telemetry summary goes to stderr *)
     if telemetry_wanted telemetry trace_out then begin
       Telemetry.disable ();
@@ -622,8 +685,191 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ domains $ capacity $ cache_dir $ no_cache $ socket
-          $ connections $ max_conns $ idle_timeout_ms $ replay
-          $ telemetry_arg $ trace_out_arg)
+          $ connections $ max_conns $ idle_timeout_ms $ replay $ metrics_out
+          $ event_log $ telemetry_arg $ trace_out_arg)
+
+(* top: a polling live monitor over a serve socket.  One connection, one
+   {"op":"health"} + {"op":"metrics"} round per refresh; quantiles are
+   estimated client-side from the scraped histogram buckets — the same
+   estimator the text summary uses — so the monitor exercises the
+   Prometheus exposition round-trip end to end. *)
+
+let top_cmd =
+  let socket =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"The Unix-domain socket of a running serve session.")
+  in
+  let interval_ms =
+    Arg.(value & opt float 1000. & info [ "interval-ms" ] ~docv:"MS"
+           ~doc:"Refresh interval.")
+  in
+  let iterations =
+    Arg.(value & opt int 0 & info [ "iterations" ] ~docv:"N"
+           ~doc:"Stop after $(docv) refreshes (0 = run until the server \
+                 goes away).")
+  in
+  let no_clear =
+    Arg.(value & flag & info [ "no-clear" ]
+           ~doc:"Append each refresh instead of redrawing in place \
+                 (useful when piping to a file).")
+  in
+  (* rebuild a Telemetry.Hist.t from the scraped cumulative _bucket
+     samples of one histogram family, so quantile_of_hist applies *)
+  let hist_of_samples samples family =
+    let module P = Telemetry.Prometheus in
+    let le s =
+      match List.assoc_opt "le" s.P.labels with
+      | Some "+Inf" -> Some infinity
+      | Some v -> float_of_string_opt v
+      | None -> None
+    in
+    let buckets =
+      List.filter_map
+        (fun s ->
+          if s.P.metric = family ^ "_bucket" then
+            Option.map (fun b -> (b, s.P.value)) (le s)
+          else None)
+        samples
+    in
+    let scalar suffix =
+      List.find_map
+        (fun s -> if s.P.metric = family ^ suffix then Some s.P.value else None)
+        samples
+    in
+    match List.sort compare buckets with
+    | [] -> None
+    | sorted ->
+      let finite = List.filter (fun (b, _) -> Float.is_finite b) sorted in
+      let bounds = Array.of_list (List.map fst finite) in
+      let total =
+        match scalar "_count" with
+        | Some c -> int_of_float c
+        | None -> ( match sorted with [] -> 0 | l ->
+                      int_of_float (snd (List.nth l (List.length l - 1))))
+      in
+      let counts = Array.make (Array.length bounds + 1) 0 in
+      let prev = ref 0. in
+      List.iteri
+        (fun i (_, cum) ->
+          counts.(i) <- int_of_float (cum -. !prev);
+          prev := cum)
+        finite;
+      counts.(Array.length bounds) <- max 0 (total - int_of_float !prev);
+      Some
+        {
+          Telemetry.Hist.buckets = bounds;
+          counts;
+          count = total;
+          sum = Option.value ~default:0. (scalar "_sum");
+        }
+  in
+  let get obj name = Service.Json.member name obj in
+  let num obj name =
+    Option.value ~default:0. (Option.bind (get obj name) Service.Json.to_float)
+  in
+  let int_f obj name = int_of_float (num obj name) in
+  let run path interval_ms iterations no_clear =
+    match
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "cnfet_dk top: cannot connect to %s: %s\n" path
+        (Unix.error_message e);
+      1
+    | fd ->
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let request op =
+        output_string oc (Printf.sprintf "{\"op\":%S}\n" op);
+        flush oc;
+        match input_line ic with
+        | line -> Service.Json.of_string line |> Result.to_option
+        | exception End_of_file -> None
+      in
+      let prev_done = ref None in
+      let rec poll i =
+        match (request "health", request "metrics") with
+        | Some health, Some metrics ->
+          let body =
+            Option.value ~default:""
+              (Option.bind (get metrics "body") Service.Json.to_str)
+          in
+          let samples = Telemetry.Prometheus.parse body in
+          let qwait = hist_of_samples samples "service_queue_wait_ms" in
+          let buf = Buffer.create 1024 in
+          let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+          if not no_clear then Buffer.add_string buf "\027[2J\027[H";
+          add "cnfet_dk top — %s   uptime %.1fs\n" path
+            (num health "uptime_ms" /. 1000.);
+          add
+            "jobs: queued %d (high %d / normal %d / low %d)   in-flight %d   \
+             done %d   failed %d   cache hits %d\n"
+            (int_f health "queued") (int_f health "queued_high")
+            (int_f health "queued_normal") (int_f health "queued_low")
+            (int_f health "in_flight") (int_f health "done")
+            (int_f health "failed") (int_f health "cache_hits");
+          let done_now = int_f health "done" in
+          (match !prev_done with
+          | Some d when interval_ms > 0. ->
+            add "throughput: %.1f jobs/s\n"
+              (float_of_int (done_now - d) /. (interval_ms /. 1000.))
+          | _ -> add "throughput: --\n");
+          prev_done := Some done_now;
+          (match qwait with
+          | Some h ->
+            let q p =
+              match Telemetry.quantile_of_hist h p with
+              | Some v -> Printf.sprintf "%.2f ms" v
+              | None -> "--"
+            in
+            add "queue wait: p50 %s   p90 %s   p99 %s   (%d observed)\n"
+              (q 0.5) (q 0.9) (q 0.99) h.Telemetry.Hist.count
+          | None -> add "queue wait: no samples yet\n");
+          add "conns: %d active / %d accepted / %d errors / %d idle-closed / \
+               %d dropped\n"
+            (int_f health "conns_active") (int_f health "conns_accepted")
+            (int_f health "conn_errors") (int_f health "conns_idle_closed")
+            (int_f health "conns_dropped");
+          (match Option.bind (get health "connections") (function
+             | Service.Json.Arr l -> Some l
+             | _ -> None)
+           with
+          | Some (_ :: _ as l) ->
+            add "  %4s %6s %9s %8s %8s\n" "CID" "JOBS" "OUT_B" "AGE_S"
+              "IDLE_S";
+            List.iter
+              (fun c ->
+                add "  %4d %6d %9d %8.1f %8.1f\n" (int_f c "cid")
+                  (int_f c "owned_jobs") (int_f c "out_bytes")
+                  (num c "age_ms" /. 1000.)
+                  (num c "idle_ms" /. 1000.))
+              l
+          | _ -> ());
+          print_string (Buffer.contents buf);
+          flush Stdlib.stdout;
+          if iterations > 0 && i >= iterations then 0
+          else begin
+            Unix.sleepf (Float.max 0.01 (interval_ms /. 1000.));
+            poll (i + 1)
+          end
+        | _ ->
+          prerr_endline "cnfet_dk top: server closed the connection";
+          if i > 1 then 0 else 1
+      in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> poll 1)
+  in
+  let doc =
+    "Live monitor for a serve socket: queue depth, throughput, latency \
+     quantiles (estimated from the scraped Prometheus histogram) and \
+     per-client stats, refreshed in place."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const run $ socket $ interval_ms $ iterations $ no_clear)
 
 let () =
   let doc = "CNFET design kit: imperfection-immune layouts, logic-to-GDSII." in
@@ -632,4 +878,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ layout_cmd; fault_cmd; test_gen_cmd; table1_cmd; characterize_cmd;
-            flow_cmd; fo4_cmd; serve_cmd ]))
+            flow_cmd; fo4_cmd; serve_cmd; top_cmd ]))

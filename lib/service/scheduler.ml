@@ -34,10 +34,14 @@ type completion = {
   outcome : terminal;
   queue_wait_ms : float;
   finished_at_ms : float;
+  trace_id : string;
 }
 
 type stats = {
   queued : int;
+  queued_high : int;
+  queued_normal : int;
+  queued_low : int;
   executed : int;
   cache_hits : int;
   done_ : int;
@@ -52,6 +56,7 @@ type jrec = {
   jid : int;
   jjob : Job.t;
   jpriority : priority;
+  jtrace : string;
   arrival_ms : float;
   deadline_ms : float option;
   cost_ms : float;
@@ -73,9 +78,11 @@ type t = {
   q_low : jrec Queue.t;
   jobs : (int, jrec) Hashtbl.t;
   mem_cache : (string, Json.t) Hashtbl.t;
+  created_wall_ms : float;  (* wall clock at create, for uptime *)
   mutable vnow_ms : float;  (* virtual clock; unused in Wall mode *)
   mutable next_id : int;
   mutable queued_count : int;
+  queued_by : int array;  (* per-class depth: High, Normal, Low *)
   mutable executed : int;
   mutable cache_hits : int;
   mutable done_count : int;
@@ -100,6 +107,8 @@ let queue_for t = function
   | High -> t.q_high
   | Normal -> t.q_normal
   | Low -> t.q_low
+
+let class_index = function High -> 0 | Normal -> 1 | Low -> 2
 
 let now_ms t =
   match t.config.clock with
@@ -137,9 +146,11 @@ let create ?(config = default_config) () =
     q_low = Queue.create ();
     jobs = Hashtbl.create 64;
     mem_cache = Hashtbl.create 64;
+    created_wall_ms = Int64.to_float (Telemetry.now_ns ()) /. 1e6;
     vnow_ms = 0.;
     next_id = 0;
     queued_count = 0;
+    queued_by = Array.make 3 0;
     executed = 0;
     cache_hits = 0;
     done_count = 0;
@@ -166,12 +177,35 @@ let with_scheduler ?config f =
 (* ------------------------------------------------------------------ *)
 (* Admission                                                          *)
 
-let reject t diag =
+let reject t ?trace_id ~job diag =
   t.rejected_count <- t.rejected_count + 1;
   Telemetry.counter_add "service.rejected" 1;
+  Telemetry.Events.emit ?trace_id "job.rejected"
+    ~attrs:
+      [
+        ("job", Telemetry.String (Job.describe job));
+        ("reason", Telemetry.String diag.Core.Diag.message);
+      ];
   Error diag
 
-let submit t ?(priority = Normal) ?deadline_ms ?cost_ms job =
+(* A submission that does not carry a trace id gets a deterministic one:
+   the job id (deterministic under replay) plus a digest prefix, so the
+   id is stable across reruns yet unique per submission. *)
+let fresh_trace_id id job =
+  let digest = Job.digest job in
+  let prefix =
+    let hex =
+      match String.index_opt digest '-' with
+      | Some i when i + 1 < String.length digest ->
+        String.sub digest (i + 1) (String.length digest - i - 1)
+      | _ -> digest
+    in
+    String.sub hex 0 (min 8 (String.length hex))
+  in
+  Printf.sprintf "t%d-%s" id prefix
+
+let submit t ?(priority = Normal) ?deadline_ms ?cost_ms ?trace_id job =
+  let reject t d = reject t ?trace_id ~job d in
   if t.closed then
     reject t (Core.Diag.error ~stage "scheduler is shut down")
   else
@@ -205,11 +239,17 @@ let submit t ?(priority = Normal) ?deadline_ms ?cost_ms job =
         else begin
           let id = t.next_id in
           t.next_id <- id + 1;
+          let jtrace =
+            match trace_id with
+            | Some tid -> tid
+            | None -> fresh_trace_id id job
+          in
           let r =
             {
               jid = id;
               jjob = job;
               jpriority = priority;
+              jtrace;
               arrival_ms = now_ms t;
               deadline_ms;
               cost_ms =
@@ -220,7 +260,16 @@ let submit t ?(priority = Normal) ?deadline_ms ?cost_ms job =
           Hashtbl.replace t.jobs id r;
           Queue.push r (queue_for t priority);
           t.queued_count <- t.queued_count + 1;
+          let ci = class_index priority in
+          t.queued_by.(ci) <- t.queued_by.(ci) + 1;
           Telemetry.counter_add "service.submitted" 1;
+          Telemetry.Events.emit ~trace_id:jtrace "job.submitted"
+            ~attrs:
+              [
+                ("id", Telemetry.Int id);
+                ("job_kind", Telemetry.String (Job.kind job));
+                ("priority", Telemetry.String (priority_string priority));
+              ];
           Ok id
         end)
 
@@ -233,8 +282,12 @@ let cancel t id =
       (* leave it in its FIFO; run_next skips non-Queued records *)
       r.jstate <- Finished Cancelled;
       t.queued_count <- t.queued_count - 1;
+      let ci = class_index r.jpriority in
+      t.queued_by.(ci) <- t.queued_by.(ci) - 1;
       t.cancelled_count <- t.cancelled_count + 1;
       Telemetry.counter_add "service.cancelled" 1;
+      Telemetry.Events.emit ~trace_id:r.jtrace "job.cancelled"
+        ~attrs:[ ("id", Telemetry.Int r.jid) ];
       Ok ()
     | Running ->
       Core.Diag.failf ~stage "job %d is already running (no preemption)" id
@@ -305,13 +358,33 @@ let dequeue t =
 
 let finish t r outcome ~queue_wait_ms =
   r.jstate <- Finished outcome;
-  (match outcome with
-  | Done _ -> t.done_count <- t.done_count + 1
-  | Failed _ -> t.failed_count <- t.failed_count + 1
-  | Cancelled -> t.cancelled_count <- t.cancelled_count + 1
-  | Expired _ ->
-    t.expired_count <- t.expired_count + 1;
-    Telemetry.counter_add "service.expired" 1);
+  let event, extra =
+    match outcome with
+    | Done { cached; _ } ->
+      t.done_count <- t.done_count + 1;
+      ("job.done", [ ("cached", Telemetry.Bool cached) ])
+    | Failed d ->
+      t.failed_count <- t.failed_count + 1;
+      ("job.failed", [ ("reason", Telemetry.String d.Core.Diag.message) ])
+    | Cancelled ->
+      t.cancelled_count <- t.cancelled_count + 1;
+      ("job.cancelled", [])
+    | Expired { late_ms } ->
+      t.expired_count <- t.expired_count + 1;
+      Telemetry.counter_add "service.expired" 1;
+      Telemetry.instant "service.expired"
+        ~attrs:
+          [
+            ("trace_id", Telemetry.String r.jtrace);
+            ("late_ms", Telemetry.Float late_ms);
+          ];
+      ("job.expired", [ ("late_ms", Telemetry.Float late_ms) ])
+  in
+  Telemetry.Events.emit ~trace_id:r.jtrace event
+    ~attrs:
+      (("id", Telemetry.Int r.jid)
+      :: ("queue_wait_ms", Telemetry.Float queue_wait_ms)
+      :: extra);
   {
     id = r.jid;
     job = r.jjob;
@@ -319,6 +392,7 @@ let finish t r outcome ~queue_wait_ms =
     outcome;
     queue_wait_ms;
     finished_at_ms = now_ms t;
+    trace_id = r.jtrace;
   }
 
 let execute t r ~queue_wait_ms =
@@ -328,7 +402,14 @@ let execute t r ~queue_wait_ms =
     t.cache_hits <- t.cache_hits + 1;
     Telemetry.counter_add "service.cache_hits" 1;
     Telemetry.instant "service.cache_hit"
-      ~attrs:[ ("digest", Telemetry.String digest) ];
+      ~attrs:
+        [
+          ("digest", Telemetry.String digest);
+          ("trace_id", Telemetry.String r.jtrace);
+        ];
+    Telemetry.Events.emit ~trace_id:r.jtrace "job.cache_hit"
+      ~attrs:
+        [ ("id", Telemetry.Int r.jid); ("digest", Telemetry.String digest) ];
     finish t r (Done { cached = true; wall_ms = 0.; result }) ~queue_wait_ms
   | None ->
     t.executed <- t.executed + 1;
@@ -338,6 +419,7 @@ let execute t r ~queue_wait_ms =
         ("kind", Telemetry.String (Job.kind r.jjob));
         ("priority", Telemetry.String (priority_string r.jpriority));
         ("queue_wait_ms", Telemetry.Float queue_wait_ms);
+        ("trace_id", Telemetry.String r.jtrace);
       ]
     in
     let started = now_ms t in
@@ -362,6 +444,8 @@ let run_next t =
   | None -> None
   | Some r ->
     t.queued_count <- t.queued_count - 1;
+    let ci = class_index r.jpriority in
+    t.queued_by.(ci) <- t.queued_by.(ci) - 1;
     let queue_wait_ms = now_ms t -. r.arrival_ms in
     Telemetry.histogram_observe "service.queue_wait_ms"
       ~buckets:wait_buckets queue_wait_ms;
@@ -371,6 +455,12 @@ let run_next t =
         finish t r (Expired { late_ms = queue_wait_ms -. d }) ~queue_wait_ms
       | _ ->
         r.jstate <- Running;
+        Telemetry.Events.emit ~trace_id:r.jtrace "job.started"
+          ~attrs:
+            [
+              ("id", Telemetry.Int r.jid);
+              ("queue_wait_ms", Telemetry.Float queue_wait_ms);
+            ];
         execute t r ~queue_wait_ms
     in
     Some completion
@@ -391,13 +481,23 @@ let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let submit t ?priority ?deadline_ms ?cost_ms job =
-  with_lock t (fun () -> submit t ?priority ?deadline_ms ?cost_ms job)
+let submit t ?priority ?deadline_ms ?cost_ms ?trace_id job =
+  with_lock t (fun () -> submit t ?priority ?deadline_ms ?cost_ms ?trace_id job)
 
 let cancel t id = with_lock t (fun () -> cancel t id)
 let state t id = with_lock t (fun () -> state t id)
 let run_next t = with_lock t (fun () -> run_next t)
 let now_ms t = with_lock t (fun () -> now_ms t)
+
+let trace_id t id =
+  with_lock t (fun () ->
+      Option.map (fun r -> r.jtrace) (Hashtbl.find_opt t.jobs id))
+
+let uptime_ms t =
+  (* wall-clock age regardless of the scheduling clock: the virtual
+     clock freezes between jobs, which is useless for "how long has this
+     server been up" *)
+  (Int64.to_float (Telemetry.now_ns ()) /. 1e6) -. t.created_wall_ms
 
 let drain ?on_completion t =
   let rec loop acc =
@@ -428,6 +528,9 @@ let stats t =
   with_lock t (fun () ->
       {
         queued = t.queued_count;
+        queued_high = t.queued_by.(0);
+        queued_normal = t.queued_by.(1);
+        queued_low = t.queued_by.(2);
         executed = t.executed;
         cache_hits = t.cache_hits;
         done_ = t.done_count;
@@ -446,14 +549,16 @@ type request = {
   req_priority : priority;
   req_deadline_ms : float option;
   req_cost_ms : float option;
+  req_trace_id : string option;
 }
 
-let request ?(priority = Normal) ?deadline_ms ?cost_ms job =
+let request ?(priority = Normal) ?deadline_ms ?cost_ms ?trace_id job =
   {
     req_job = job;
     req_priority = priority;
     req_deadline_ms = deadline_ms;
     req_cost_ms = cost_ms;
+    req_trace_id = trace_id;
   }
 
 type replay_result = {
@@ -484,7 +589,7 @@ let replay ?(config = default_config) ~seed requests =
           let r = reqs.(i) in
           (match
              submit t ~priority:r.req_priority ?deadline_ms:r.req_deadline_ms
-               ?cost_ms:r.req_cost_ms r.req_job
+               ?cost_ms:r.req_cost_ms ?trace_id:r.req_trace_id r.req_job
            with
           | Ok _ -> ()
           | Error d -> rejections := (i, d) :: !rejections);

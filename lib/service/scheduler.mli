@@ -100,10 +100,17 @@ type completion = {
   outcome : terminal;
   queue_wait_ms : float;
   finished_at_ms : float;  (** clock reading when the job completed *)
+  trace_id : string;
+      (** the id supplied at submission, or the generated one — the same
+          value flows through the job's spans, its event-log entries and
+          its completion event on the wire *)
 }
 
 type stats = {
   queued : int;  (** currently waiting, all classes *)
+  queued_high : int;  (** per-class depths; they sum to [queued] *)
+  queued_normal : int;
+  queued_low : int;
   executed : int;  (** jobs actually run (cache misses) *)
   cache_hits : int;
   done_ : int;  (** completed with a result, cached or not *)
@@ -127,11 +134,17 @@ val with_scheduler : ?config:config -> (t -> 'a) -> 'a
 (** [create], run, then [shutdown] (also on exception). *)
 
 val submit :
-  t -> ?priority:priority -> ?deadline_ms:float -> ?cost_ms:float -> Job.t ->
-  (int, Core.Diag.t) result
+  t -> ?priority:priority -> ?deadline_ms:float -> ?cost_ms:float ->
+  ?trace_id:string -> Job.t -> (int, Core.Diag.t) result
 (** Enqueue a job; returns its id.  Rejections ({!Job.validate} failures,
     non-positive deadline/cost, full queue, shut-down scheduler) are
-    structured diagnostics and are counted in {!stats}. *)
+    structured diagnostics and are counted in {!stats}.
+
+    [?trace_id] names the submission in every observability surface — the
+    job's spans, the structured event log, the completion record and the
+    Chrome trace.  When omitted one is generated deterministically from
+    the job id and the job digest ([t<id>-<digest prefix>]), so replayed
+    schedules carry bit-identical trace ids. *)
 
 val cancel : t -> int -> (unit, Core.Diag.t) result
 (** Cancel a queued job (it is skipped at dequeue and produces no
@@ -158,6 +171,15 @@ val await : t -> int -> (terminal, Core.Diag.t) result
 
 val stats : t -> stats
 
+val trace_id : t -> int -> string option
+(** The trace id of a known job (supplied or generated at submission);
+    [None] for unknown ids. *)
+
+val uptime_ms : t -> float
+(** Wall-clock milliseconds since {!create} — always the real clock,
+    even under the virtual clock mode (it feeds the [health] op, not the
+    replay model). *)
+
 val now_ms : t -> float
 (** Current clock reading (virtual or wall), for tests and servers. *)
 
@@ -168,11 +190,12 @@ type request = {
   req_priority : priority;
   req_deadline_ms : float option;
   req_cost_ms : float option;
+  req_trace_id : string option;
 }
 
 val request :
-  ?priority:priority -> ?deadline_ms:float -> ?cost_ms:float -> Job.t ->
-  request
+  ?priority:priority -> ?deadline_ms:float -> ?cost_ms:float ->
+  ?trace_id:string -> Job.t -> request
 
 type replay_result = {
   completions : completion list;

@@ -31,6 +31,7 @@ let event_of_completion (c : Scheduler.completion) =
       ("ok", Json.Bool true);
       ("event", Json.Str "done");
       ("id", Json.int c.Scheduler.id);
+      ("trace_id", Json.Str c.Scheduler.trace_id);
       ("kind", Json.Str (Job.kind c.Scheduler.job));
       ("state", Json.Str (state_string (Scheduler.Finished c.Scheduler.outcome)));
       ("queue_wait_ms", Json.Num c.Scheduler.queue_wait_ms);
@@ -96,8 +97,16 @@ let submit_request sched obj =
       let* cost_ms =
         opt_member obj "cost_ms" Json.to_float ~expect:"a number"
       in
-      match Scheduler.submit sched ~priority ?deadline_ms ?cost_ms job with
+      let* trace_id =
+        opt_member obj "trace_id" Json.to_str ~expect:"a string"
+      in
+      match
+        Scheduler.submit sched ~priority ?deadline_ms ?cost_ms ?trace_id job
+      with
       | Ok id ->
+        let trace =
+          match Scheduler.trace_id sched id with Some t -> t | None -> ""
+        in
         Ok
           ( id,
             Json.Obj
@@ -105,6 +114,7 @@ let submit_request sched obj =
                 ("ok", Json.Bool true);
                 ("event", Json.Str "accepted");
                 ("id", Json.int id);
+                ("trace_id", Json.Str trace);
                 ("kind", Json.Str (Job.kind job));
               ] )
       | Error d -> reject d)
@@ -146,21 +156,54 @@ let handle_cancel sched obj =
             ];
         ])
 
-let stats_event sched =
+let stats_event ?(extra = []) sched =
   let s = Scheduler.stats sched in
+  Json.Obj
+    ([
+       ("ok", Json.Bool true);
+       ("event", Json.Str "stats");
+       ("queued", Json.int s.Scheduler.queued);
+       ("queued_high", Json.int s.Scheduler.queued_high);
+       ("queued_normal", Json.int s.Scheduler.queued_normal);
+       ("queued_low", Json.int s.Scheduler.queued_low);
+       ("executed", Json.int s.Scheduler.executed);
+       ("cache_hits", Json.int s.Scheduler.cache_hits);
+       ("done", Json.int s.Scheduler.done_);
+       ("failed", Json.int s.Scheduler.failed);
+       ("cancelled", Json.int s.Scheduler.cancelled);
+       ("expired", Json.int s.Scheduler.expired);
+       ("rejected", Json.int s.Scheduler.rejected);
+       ("capacity", Json.int s.Scheduler.capacity);
+     ]
+    @ extra)
+
+let health_event ?(in_flight = 0) ?(extra = []) sched =
+  let s = Scheduler.stats sched in
+  Json.Obj
+    ([
+       ("ok", Json.Bool true);
+       ("event", Json.Str "health");
+       ("status", Json.Str "ok");
+       ("uptime_ms", Json.Num (Scheduler.uptime_ms sched));
+       ("queued", Json.int s.Scheduler.queued);
+       ("queued_high", Json.int s.Scheduler.queued_high);
+       ("queued_normal", Json.int s.Scheduler.queued_normal);
+       ("queued_low", Json.int s.Scheduler.queued_low);
+       ("in_flight", Json.int in_flight);
+       ("done", Json.int s.Scheduler.done_);
+       ("failed", Json.int s.Scheduler.failed);
+       ("cache_hits", Json.int s.Scheduler.cache_hits);
+       ("capacity", Json.int s.Scheduler.capacity);
+     ]
+    @ extra)
+
+let metrics_event () =
   Json.Obj
     [
       ("ok", Json.Bool true);
-      ("event", Json.Str "stats");
-      ("queued", Json.int s.Scheduler.queued);
-      ("executed", Json.int s.Scheduler.executed);
-      ("cache_hits", Json.int s.Scheduler.cache_hits);
-      ("done", Json.int s.Scheduler.done_);
-      ("failed", Json.int s.Scheduler.failed);
-      ("cancelled", Json.int s.Scheduler.cancelled);
-      ("expired", Json.int s.Scheduler.expired);
-      ("rejected", Json.int s.Scheduler.rejected);
-      ("capacity", Json.int s.Scheduler.capacity);
+      ("event", Json.Str "metrics");
+      ("content_type", Json.Str "text/plain; version=0.0.4");
+      ("body", Json.Str (Telemetry.Prometheus.render (Telemetry.collect ())));
     ]
 
 let handle_drain ?on_event sched =
@@ -193,10 +236,13 @@ let handle ?on_event sched line =
       | Some "status" -> handle_status sched req
       | Some "cancel" -> handle_cancel sched req
       | Some "stats" -> [ stats_event sched ]
+      | Some "health" -> [ health_event sched ]
+      | Some "metrics" -> [ metrics_event () ]
       | Some "drain" -> handle_drain ?on_event sched
       | Some op -> [ error_event (protocol_error "unknown op %S" op) ])
 
-let serve sched ic oc =
+let serve ?on_tick sched ic oc =
+  let tick () = match on_tick with Some f -> f () | None -> () in
   let emit e =
     output_string oc (Json.to_string e);
     output_char oc '\n';
@@ -209,9 +255,11 @@ let serve sched ic oc =
          (no trailing "drained" marker — the stream just ends cleanly) *)
       ignore
         (Scheduler.drain sched ~on_completion:(fun c ->
-             emit (event_of_completion c)))
+             emit (event_of_completion c)));
+      tick ()
     | line ->
       List.iter emit (handle ~on_event:emit sched line);
+      tick ();
       loop ()
   in
   loop ()
@@ -225,7 +273,12 @@ let serve sched ic oc =
    keep going.  Jobs are pumped one per tick between I/O rounds, and
    each completion is routed to the connection that submitted it. *)
 
-type serve_stats = { accepted : int; conn_errors : int; idle_closed : int }
+type serve_stats = {
+  accepted : int;
+  conn_errors : int;
+  idle_closed : int;
+  dropped : int;
+}
 
 let read_chunk_bytes = 4096
 let max_line_bytes = 1 lsl 20 (* a request line beyond 1 MiB is an error *)
@@ -246,8 +299,8 @@ type conn = {
   opened_ms : float;
 }
 
-let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1) sched
-    ~path =
+let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1) ?on_tick
+    sched ~path =
   if max_conns < 1 then
     invalid_arg "Server.serve_socket: max_conns must be >= 1";
   if connections < 1 then
@@ -275,6 +328,7 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1) sched
       let accepted = ref 0 in
       let conn_errors = ref 0 in
       let idle_closed = ref 0 in
+      let dropped_conns = ref 0 in
       let gauge_active () =
         Telemetry.gauge_set "service.conns_active"
           (float_of_int (List.length !conns))
@@ -287,7 +341,7 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1) sched
           Telemetry.counter_add "service.events_out" 1
         end
       in
-      let close_conn ?(error = false) ?(idle = false) c =
+      let close_conn ?(error = false) ?(idle = false) ?(drop = false) c =
         if not c.dead then begin
           c.dead <- true;
           (try Unix.close c.fd with Unix.Unix_error _ -> ());
@@ -299,12 +353,30 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1) sched
             incr idle_closed;
             Telemetry.counter_add "service.conn_idle_closed" 1
           end;
+          if drop then begin
+            incr dropped_conns;
+            Telemetry.counter_add "service.conns_dropped" 1
+          end;
+          let dur_ms = now_ms () -. c.opened_ms in
           Telemetry.instant "service.conn.close"
             ~attrs:
               [
                 ("conn", Telemetry.Int c.cid);
                 ("error", Telemetry.Bool error);
-                ("dur_ms", Telemetry.Float (now_ms () -. c.opened_ms));
+                ("dur_ms", Telemetry.Float dur_ms);
+              ];
+          let kind =
+            if drop then "conn.dropped"
+            else if error then "conn.error"
+            else if idle then "conn.idle_closed"
+            else "conn.close"
+          in
+          Telemetry.Events.emit kind
+            ~attrs:
+              [
+                ("conn", Telemetry.Int c.cid);
+                ("dur_ms", Telemetry.Float dur_ms);
+                ("out_bytes", Telemetry.Int c.out_bytes);
               ]
         end
       in
@@ -323,6 +395,34 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1) sched
         match Scheduler.run_next sched with
         | None -> ()
         | Some comp -> route comp
+      in
+      (* connection-layer counters appended to the scheduler's stats and
+         health replies — only the socket server knows them *)
+      let conn_extra () =
+        [
+          ("conns_active", Json.int (List.length !conns));
+          ("conns_accepted", Json.int !accepted);
+          ("conn_errors", Json.int !conn_errors);
+          ("conns_idle_closed", Json.int !idle_closed);
+          ("conns_dropped", Json.int !dropped_conns);
+        ]
+      in
+      let health_extra () =
+        let now = now_ms () in
+        let conn_json c =
+          Json.Obj
+            [
+              ("cid", Json.int c.cid);
+              ("owned_jobs", Json.int c.owned_jobs);
+              ("out_bytes", Json.int c.out_bytes);
+              ("age_ms", Json.Num (now -. c.opened_ms));
+              ("idle_ms", Json.Num (now -. c.last_in_ms));
+            ]
+        in
+        conn_extra () @ [ ("connections", Json.Arr (List.map conn_json !conns)) ]
+      in
+      let in_flight () =
+        List.fold_left (fun acc c -> acc + c.owned_jobs) 0 !conns
       in
       let handle_line c line =
         Telemetry.counter_add "service.lines_in" 1;
@@ -366,7 +466,12 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1) sched
                          ("event", Json.Str "cancelled");
                          ("id", Json.int id);
                        ])))
-            | Some "stats" -> enqueue c (stats_event sched)
+            | Some "stats" -> enqueue c (stats_event ~extra:(conn_extra ()) sched)
+            | Some "health" ->
+              enqueue c
+                (health_event ~in_flight:(in_flight ())
+                   ~extra:(health_extra ()) sched)
+            | Some "metrics" -> enqueue c (metrics_event ())
             | Some "drain" ->
               (* run the whole queue (all clients' jobs), routing every
                  completion to its owner; the requester is then told how
@@ -486,6 +591,8 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1) sched
             Telemetry.counter_add "service.conns_accepted" 1;
             Telemetry.instant "service.conn.open"
               ~attrs:[ ("conn", Telemetry.Int c.cid) ];
+            Telemetry.Events.emit "conn.open"
+              ~attrs:[ ("conn", Telemetry.Int c.cid) ];
             gauge_active ()
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> () (* retry *)
           | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> ()
@@ -502,7 +609,8 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1) sched
         List.iter
           (fun c ->
             if not c.dead then
-              if c.out_bytes > out_drop_bytes then close_conn ~error:true c
+              if c.out_bytes > out_drop_bytes then
+                close_conn ~error:true ~drop:true c
               else if c.eof && c.owned_jobs = 0 && Queue.is_empty c.outq then
                 close_conn c
               else
@@ -549,12 +657,15 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1) sched
           List.iter (fun c -> if (not c.dead) && List.mem c.fd w then write_conn c) !conns;
           (* one job per tick keeps the loop responsive under load *)
           if queued then pump_one ();
+          (match on_tick with Some f -> f () | None -> ());
           loop ()
         end
       in
       loop ();
+      (match on_tick with Some f -> f () | None -> ());
       {
         accepted = !accepted;
         conn_errors = !conn_errors;
         idle_closed = !idle_closed;
+        dropped = !dropped_conns;
       })

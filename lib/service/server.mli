@@ -10,24 +10,43 @@
     {"op":"status","id":3}
     {"op":"cancel","id":3}
     {"op":"stats"}
+    {"op":"health"}
+    {"op":"metrics"}
     {"op":"drain"}
     v}
 
     [submit] optionally carries ["priority"] (["high"|"normal"|"low"]),
-    ["deadline_ms"] and ["cost_ms"]; the ["job"] member uses the
-    {!Job.of_json} schema.  Every response carries ["ok"] (bool) and
-    ["event"]:
+    ["deadline_ms"], ["cost_ms"] and ["trace_id"] (any string naming the
+    submission in every observability surface — spans, event log,
+    completion events, Chrome trace; one is generated when absent); the
+    ["job"] member uses the {!Job.of_json} schema.  Every response
+    carries ["ok"] (bool) and ["event"]:
 
-    - [submit] answers [{"ok":true,"event":"accepted","id":N}] or
+    - [submit] answers
+      [{"ok":true,"event":"accepted","id":N,"trace_id":"..."}] or
       [{"ok":false,"event":"rejected","error":{...}}] — backpressure is a
       visible rejection, never a stalled connection;
     - [status] answers [{"ok":true,"event":"status","id":N,"state":...}];
-    - [stats] answers [{"ok":true,"event":"stats",...counters...}];
+    - [stats] answers [{"ok":true,"event":"stats",...counters...}]
+      including per-priority queue depths ([queued_high] / [queued_normal]
+      / [queued_low]) and [cache_hits]; the socket server appends its
+      connection counters ([conns_active], [conns_accepted],
+      [conn_errors], [conns_idle_closed], [conns_dropped]);
+    - [health] answers [{"ok":true,"event":"health","status":"ok",
+      "uptime_ms":x,"queued":N,...,"in_flight":N,...}] — the liveness
+      probe; the socket server appends its connection counters and a
+      [connections] array ([cid], [owned_jobs], [out_bytes], [age_ms],
+      [idle_ms] per live client);
+    - [metrics] answers [{"ok":true,"event":"metrics","content_type":
+      "text/plain; version=0.0.4","body":"..."}] where [body] is the
+      {!Telemetry.Prometheus.render} exposition of the merged registry —
+      one JSON line an operator (or the [top] monitor) unwraps into a
+      scrape;
     - [drain] (and end-of-input) runs all queued jobs, streaming one
-      [{"ok":true,"event":"done","id":N,"state":"done|failed|expired",
-      "cached":b,"wall_ms":x,"queue_wait_ms":x,"result":{...}}] line per
-      completion, then (for the explicit op)
-      [{"ok":true,"event":"drained","jobs":N}];
+      [{"ok":true,"event":"done","id":N,"trace_id":"...",
+      "state":"done|failed|expired","cached":b,"wall_ms":x,
+      "queue_wait_ms":x,"result":{...}}] line per completion, then (for
+      the explicit op) [{"ok":true,"event":"drained","jobs":N}];
     - unparseable or unknown requests answer
       [{"ok":false,"event":"error","error":{...}}] and the connection
       stays up.
@@ -49,7 +68,21 @@
 val diag_json : Core.Diag.t -> Json.t
 
 val event_of_completion : Scheduler.completion -> Json.t
-(** The ["done"] event line for a completion (shared with tests). *)
+(** The ["done"] event line for a completion (shared with tests); always
+    carries the completion's [trace_id]. *)
+
+val stats_event : ?extra:(string * Json.t) list -> Scheduler.t -> Json.t
+(** The ["stats"] reply; [?extra] members are appended (the socket server
+    adds its connection counters).  Exposed for the field-set pin test. *)
+
+val health_event :
+  ?in_flight:int -> ?extra:(string * Json.t) list -> Scheduler.t -> Json.t
+(** The ["health"] reply.  [in_flight] defaults to 0 (the stdio server
+    has no connection-owned jobs to count). *)
+
+val metrics_event : unit -> Json.t
+(** The ["metrics"] reply: the Prometheus exposition of
+    [Telemetry.collect ()] wrapped in one JSON document. *)
 
 val handle :
   ?on_event:(Json.t -> unit) -> Scheduler.t -> string -> Json.t list
@@ -59,10 +92,13 @@ val handle :
     being collected — what lets {!serve} stream.  Exposed for tests;
     {!serve} is this in a read-print loop. *)
 
-val serve : Scheduler.t -> in_channel -> out_channel -> unit
+val serve :
+  ?on_tick:(unit -> unit) -> Scheduler.t -> in_channel -> out_channel -> unit
 (** Serve NDJSON until end-of-input, then drain the queue (streaming the
     final ["done"] events) and return.  Each response line is flushed
-    before the next request is read. *)
+    before the next request is read.  [on_tick] fires after each handled
+    request line and once after the final drain — the CLI hangs its
+    periodic metrics dump on it. *)
 
 type serve_stats = {
   accepted : int;  (** connections accepted over the server's lifetime *)
@@ -70,12 +106,16 @@ type serve_stats = {
       (** connections dropped on an I/O or protocol error (EPIPE mid
           response, reset, oversized request line, slow consumer) *)
   idle_closed : int;  (** connections closed by the idle timeout *)
+  dropped : int;
+      (** slow consumers dropped over the output hard cap (also counted
+          in [conn_errors]) *)
 }
 
 val serve_socket :
   ?max_conns:int ->
   ?idle_timeout_ms:float ->
   ?connections:int ->
+  ?on_tick:(unit -> unit) ->
   Scheduler.t ->
   path:string ->
   serve_stats

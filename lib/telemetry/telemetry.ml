@@ -271,6 +271,43 @@ let span_shape snap =
   Hashtbl.fold (fun (p, n) c acc -> (p, n, c) :: acc) tbl []
   |> List.sort compare
 
+(* --- quantiles --- *)
+
+(* Linear interpolation within the bucket containing the target rank —
+   the client-side analogue of PromQL's histogram_quantile, shared by
+   the text summary, the tests and the `top` monitor. *)
+let quantile_of_hist (h : Hist.t) q =
+  let n = Array.length h.Hist.buckets in
+  if h.Hist.count = 0 || n = 0 || not (q >= 0. && q <= 1.) then None
+  else begin
+    let target = q *. float_of_int h.Hist.count in
+    let rec go i cum =
+      if i >= n then
+        (* overflow bucket: no finite upper bound to interpolate into *)
+        Some h.Hist.buckets.(n - 1)
+      else
+        let inside = h.Hist.counts.(i) in
+        let cum' = cum + inside in
+        if inside > 0 && float_of_int cum' >= target then begin
+          let upper = h.Hist.buckets.(i) in
+          let lower =
+            if i > 0 then h.Hist.buckets.(i - 1)
+            else if upper > 0. then 0.
+            else upper
+          in
+          let frac =
+            Float.max 0. ((target -. float_of_int cum) /. float_of_int inside)
+          in
+          Some (lower +. ((upper -. lower) *. frac))
+        end
+        else go (i + 1) cum'
+    in
+    go 0 0
+  end
+
+let quantile snap name q =
+  Option.bind (List.assoc_opt name snap.hists) (fun h -> quantile_of_hist h q)
+
 (* --- exporters --- *)
 
 let json_escape s =
@@ -350,7 +387,15 @@ let summary_to_text snap =
     add "histograms:\n";
     List.iter
       (fun (k, (h : Hist.t)) ->
-        add "  %s: count=%d sum=%g\n" k h.Hist.count h.Hist.sum;
+        add "  %s: count=%d sum=%g" k h.Hist.count h.Hist.sum;
+        (match
+           (quantile_of_hist h 0.5, quantile_of_hist h 0.9,
+            quantile_of_hist h 0.99)
+         with
+        | Some p50, Some p90, Some p99 ->
+          add " p50=%g p90=%g p99=%g" p50 p90 p99
+        | _ -> ());
+        add "\n";
         Array.iteri
           (fun i c ->
             if c > 0 then
@@ -427,3 +472,322 @@ let chrome_trace snap =
   in
   Printf.sprintf "{\"traceEvents\":[%s]}"
     (String.concat ",\n" (List.map event snap.spans))
+
+(* --- Prometheus text exposition (v0.0.4) --- *)
+
+module Prometheus = struct
+  let valid_char first c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || c = '_' || c = ':'
+    || ((not first) && c >= '0' && c <= '9')
+
+  let sanitize_name name =
+    if name = "" then "_"
+    else begin
+      let buf = Buffer.create (String.length name + 1) in
+      String.iteri
+        (fun i c ->
+          if i = 0 && c >= '0' && c <= '9' then begin
+            Buffer.add_char buf '_';
+            Buffer.add_char buf c
+          end
+          else if valid_char (i = 0) c then Buffer.add_char buf c
+          else Buffer.add_char buf '_')
+        name;
+      Buffer.contents buf
+    end
+
+  let escape_label s =
+    let buf = Buffer.create (String.length s + 4) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let escape_help s =
+    let buf = Buffer.create (String.length s + 4) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* Shortest decimal spelling that round-trips the double: "%g" when it
+     parses back exactly, full precision otherwise. *)
+  let fmt_float f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else
+      let s = Printf.sprintf "%g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+  let fmt_value f =
+    if f <> f then "NaN"
+    else if f = Float.infinity then "+Inf"
+    else if f = Float.neg_infinity then "-Inf"
+    else fmt_float f
+
+  let labels_string = function
+    | [] -> ""
+    | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize_name k) (escape_label v))
+             labels)
+      ^ "}"
+
+  let render ?(labels = []) snap =
+    let buf = Buffer.create 1024 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let header name ~kind ~orig =
+      add "# HELP %s %s\n" name (escape_help orig);
+      add "# TYPE %s %s\n" name kind
+    in
+    List.iter
+      (fun (orig, v) ->
+        let name = sanitize_name orig ^ "_total" in
+        header name ~kind:"counter" ~orig;
+        add "%s%s %d\n" name (labels_string labels) v)
+      snap.counters;
+    List.iter
+      (fun (orig, v) ->
+        let name = sanitize_name orig in
+        header name ~kind:"gauge" ~orig;
+        add "%s%s %s\n" name (labels_string labels) (fmt_value v))
+      snap.gauges;
+    List.iter
+      (fun (orig, (h : Hist.t)) ->
+        let name = sanitize_name orig in
+        header name ~kind:"histogram" ~orig;
+        (* _bucket series are cumulative and always end at le="+Inf" *)
+        let cum = ref 0 in
+        Array.iteri
+          (fun i bound ->
+            cum := !cum + h.Hist.counts.(i);
+            add "%s_bucket%s %d\n" name
+              (labels_string (labels @ [ ("le", fmt_value bound) ]))
+              !cum)
+          h.Hist.buckets;
+        add "%s_bucket%s %d\n" name
+          (labels_string (labels @ [ ("le", "+Inf") ]))
+          h.Hist.count;
+        add "%s_sum%s %s\n" name (labels_string labels) (fmt_value h.Hist.sum);
+        add "%s_count%s %d\n" name (labels_string labels) h.Hist.count)
+      snap.hists;
+    Buffer.contents buf
+
+  type sample = {
+    metric : string;
+    labels : (string * string) list;
+    value : float;
+  }
+
+  let unescape_label s =
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let rec go i =
+      if i < n then
+        if s.[i] = '\\' && i + 1 < n then begin
+          (match s.[i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | ('\\' | '"') as c -> Buffer.add_char buf c
+          | c ->
+            Buffer.add_char buf '\\';
+            Buffer.add_char buf c);
+          go (i + 2)
+        end
+        else begin
+          Buffer.add_char buf s.[i];
+          go (i + 1)
+        end
+    in
+    go 0;
+    Buffer.contents buf
+
+  let parse_value s =
+    match String.trim s with
+    | "+Inf" -> Some Float.infinity
+    | "-Inf" -> Some Float.neg_infinity
+    | "NaN" -> Some Float.nan
+    | t -> float_of_string_opt t
+
+  (* One `name{k="v",...} value` line; labels may contain escaped quotes,
+     so the closing brace is found by scanning the label grammar, not by
+     a blind index. *)
+  let parse_sample line =
+    let n = String.length line in
+    match String.index_opt line '{' with
+    | None -> (
+      (* unlabelled: name value *)
+      match String.index_opt line ' ' with
+      | None -> None
+      | Some sp ->
+        Option.map
+          (fun v -> { metric = String.sub line 0 sp; labels = []; value = v })
+          (parse_value (String.sub line sp (n - sp))))
+    | Some lb ->
+      let metric = String.sub line 0 lb in
+      (* scan key="value" pairs, honouring backslash escapes *)
+      let rec labels i acc =
+        if i >= n then None
+        else if line.[i] = '}' then Some (List.rev acc, i + 1)
+        else if line.[i] = ',' || line.[i] = ' ' then labels (i + 1) acc
+        else
+          match String.index_from_opt line i '=' with
+          | None -> None
+          | Some eq ->
+            let key = String.trim (String.sub line i (eq - i)) in
+            if eq + 1 >= n || line.[eq + 1] <> '"' then None
+            else
+              let rec close j =
+                if j >= n then None
+                else if line.[j] = '\\' then close (j + 2)
+                else if line.[j] = '"' then Some j
+                else close (j + 1)
+              in
+              (match close (eq + 2) with
+              | None -> None
+              | Some q ->
+                let raw = String.sub line (eq + 2) (q - eq - 2) in
+                labels (q + 1) ((key, unescape_label raw) :: acc))
+      in
+      (match labels (lb + 1) [] with
+      | None -> None
+      | Some (labels, after) ->
+        Option.map
+          (fun v -> { metric; labels; value = v })
+          (parse_value (String.sub line after (n - after))))
+
+  let parse text =
+    String.split_on_char '\n' text
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then None else parse_sample line)
+end
+
+(* --- structured event log --- *)
+
+module Events = struct
+  type event = {
+    seq : int;
+    ts_ms : float;
+    kind : string;
+    trace_id : string option;
+    attrs : attrs;
+  }
+
+  (* One process-wide bounded ring under its own mutex: emits come from
+     the scheduler (under its lock) and the server loop concurrently,
+     and must never contend with the metrics shards. *)
+  let lock = Mutex.create ()
+  let ring = ref (Array.make 1024 None)
+  let next_seq = ref 0
+  let stored = ref 0 (* events currently retained *)
+  let dropped_count = ref 0
+  let sink : (string -> unit) option ref = ref None
+
+  let with_lock f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+  let set_capacity n =
+    if n < 1 then invalid_arg "Telemetry.Events.set_capacity: must be >= 1";
+    with_lock (fun () ->
+        ring := Array.make n None;
+        stored := 0;
+        dropped_count := 0)
+
+  let capacity () = with_lock (fun () -> Array.length !ring)
+  let dropped () = with_lock (fun () -> !dropped_count)
+
+  let clear () =
+    with_lock (fun () ->
+        Array.fill !ring 0 (Array.length !ring) None;
+        stored := 0;
+        dropped_count := 0)
+
+  let set_sink f = with_lock (fun () -> sink := f)
+
+  let to_json e =
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf
+      (Printf.sprintf "{\"seq\":%d,\"ts_ms\":%s,\"kind\":\"%s\"" e.seq
+         (json_float e.ts_ms) (json_escape e.kind));
+    (match e.trace_id with
+    | Some t ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\"trace_id\":\"%s\"" (json_escape t))
+    | None -> ());
+    List.iter
+      (fun (k, v) ->
+        (* an attr reusing an envelope key would make a duplicate-key
+           document; prefix it instead of emitting invalid JSON *)
+        let k =
+          match k with
+          | "seq" | "ts_ms" | "kind" | "trace_id" -> "attr_" ^ k
+          | _ -> k
+        in
+        Buffer.add_string buf
+          (Printf.sprintf ",\"%s\":%s" (json_escape k) (value_to_json v)))
+      e.attrs;
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+  let emit ?trace_id ?(attrs = []) kind =
+    let line =
+      with_lock (fun () ->
+          let e =
+            {
+              seq = !next_seq;
+              ts_ms = Int64.to_float (now_ns ()) /. 1e6;
+              kind;
+              trace_id;
+              attrs;
+            }
+          in
+          incr next_seq;
+          let cap = Array.length !ring in
+          let slot = e.seq mod cap in
+          if !ring.(slot) <> None then incr dropped_count
+          else incr stored;
+          !ring.(slot) <- Some e;
+          match !sink with None -> None | Some f -> Some (f, to_json e))
+    in
+    (* the sink runs outside the lock (it may write a file) and must not
+       take the emitter down *)
+    match line with
+    | None -> ()
+    | Some (f, json) -> ( try f json with _ -> ())
+
+  let recent ?limit () =
+    with_lock (fun () ->
+        let cap = Array.length !ring in
+        let events = ref [] in
+        (* newest is seq-1; walk back over the retained window *)
+        let newest = !next_seq - 1 in
+        let oldest = max (!next_seq - !stored) (!next_seq - cap) in
+        for s = newest downto max 0 oldest do
+          match !ring.(s mod cap) with
+          | Some e when e.seq = s -> events := e :: !events
+          | _ -> ()
+        done;
+        let all = !events in
+        match limit with
+        | None -> all
+        | Some k when k >= List.length all -> all
+        | Some k ->
+          (* keep the k newest *)
+          let drop = List.length all - k in
+          List.filteri (fun i _ -> i >= drop) all)
+end

@@ -159,11 +159,30 @@ val span_shape : snapshot -> (string option * string * int) list
     deterministic instrumentation compare equal here even though
     timestamps, durations and shard ids differ. *)
 
+(** {1 Quantiles} *)
+
+val quantile_of_hist : Hist.t -> float -> float option
+(** [quantile_of_hist h q] estimates the [q]-quantile ([0 <= q <= 1]) of
+    the observations recorded in [h] by linear interpolation within the
+    bucket containing the target rank — the textbook estimator shared by
+    the text summary and the [top] monitor (and the client-side
+    equivalent of PromQL's [histogram_quantile]).  The lower edge of the
+    first bucket is taken as 0 when its upper bound is positive (the
+    bound itself otherwise); ranks landing in the overflow bucket clamp
+    to the last finite bound.  [None] for an empty histogram, an empty
+    bucket array, or [q] outside [0, 1]. *)
+
+val quantile : snapshot -> string -> float -> float option
+(** [quantile snap name q] is {!quantile_of_hist} applied to the named
+    histogram of the snapshot; [None] if no such histogram exists. *)
+
 (** {1 Exporters} *)
 
 val summary_to_text : snapshot -> string
 (** Human-readable summary: spans aggregated by name (count / total /
-    mean ms), then counters, gauges and histograms. *)
+    mean ms), then counters, gauges and histograms — each histogram with
+    its {!quantile_of_hist} p50/p90/p99 estimates, the same figures the
+    [top] monitor shows. *)
 
 val summary_to_json : snapshot -> string
 (** Same data, hand-rolled stable JSON:
@@ -174,3 +193,101 @@ val chrome_trace : snapshot -> string
     ([ph:"X"]) per span and instant events ([ph:"i"]) — timestamps are
     microseconds relative to the earliest event, [tid] is the shard id.
     Load in [about://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+
+(** {1 Prometheus exposition}
+
+    Text-format exposition (version 0.0.4) of the merged registry, the
+    format every Prometheus-compatible scraper ingests.  The registry's
+    dotted metric names are sanitized to the Prometheus grammar
+    ([[a-zA-Z_:][a-zA-Z0-9_:]*], everything else becomes [_]); two
+    registry names colliding after sanitization would produce a
+    duplicate family — keep dotted names distinct under that mapping. *)
+
+module Prometheus : sig
+  val sanitize_name : string -> string
+  (** Map a registry name onto the Prometheus metric-name grammar:
+      invalid characters become [_], a leading digit gains a [_] prefix,
+      the empty string becomes ["_"].  ["service.cache_hits"] is
+      ["service_cache_hits"]. *)
+
+  val escape_label : string -> string
+  (** Escape a label {e value}: backslash, double quote and newline gain
+      the backslash escapes of the exposition format. *)
+
+  val escape_help : string -> string
+  (** Escape a [# HELP] line: backslash and newline only. *)
+
+  val render : ?labels:(string * string) list -> snapshot -> string
+  (** The exposition document: every counter (as [<name>_total] with
+      [# HELP]/[# TYPE counter]), gauge ([# TYPE gauge]) and histogram
+      ([# TYPE histogram] with cumulative [_bucket{le="..."}] series
+      ending in [le="+Inf"], then [_sum] and [_count]) of the snapshot,
+      name-sorted, one trailing newline.  [?labels] are attached to
+      every sample (label values escaped), e.g. an [instance] tag.  An
+      empty registry renders as the empty string — a valid scrape. *)
+
+  type sample = {
+    metric : string;  (** sanitized family name, e.g. [foo_bucket] *)
+    labels : (string * string) list;  (** unescaped values *)
+    value : float;
+  }
+
+  val parse : string -> sample list
+  (** Parse the sample lines of an exposition document ([#] comment
+      lines and blank lines are skipped), in document order, undoing
+      label-value escapes.  Lines that do not fit the
+      [name{labels} value] grammar are dropped.  This is what lets the
+      [top] monitor (and the golden tests) consume a scrape without a
+      Prometheus server in the loop. *)
+end
+
+(** {1 Structured event log}
+
+    A bounded in-memory ring of structured events — submissions, state
+    transitions, cache hits, rejections, connection errors — each with a
+    wall-clock timestamp and an optional trace id, so one job's life is
+    greppable end-to-end.  Recording is always on (the ring is bounded
+    and an emit is one mutex-guarded array write); an optional sink
+    additionally streams each event as one NDJSON line as it happens.
+    Independent of the span/metrics switch: {!reset} does not clear the
+    ring, {!Events.clear} does. *)
+
+module Events : sig
+  type event = {
+    seq : int;  (** process-wide emission index, 0-based, monotonic *)
+    ts_ms : float;  (** {!now_ns} at emission, milliseconds *)
+    kind : string;  (** e.g. ["job.submitted"], ["conn.close"] *)
+    trace_id : string option;
+    attrs : attrs;
+  }
+
+  val set_capacity : int -> unit
+  (** Resize the ring (clearing it).  @raise Invalid_argument if < 1.
+      Default capacity: 1024 events. *)
+
+  val capacity : unit -> int
+
+  val emit : ?trace_id:string -> ?attrs:attrs -> string -> unit
+  (** Record an event (and stream it to the sink, if any).  Never
+      raises: a sink exception is swallowed — observability must not
+      take down the observed. *)
+
+  val recent : ?limit:int -> unit -> event list
+  (** The retained events, oldest first (at most [limit] newest). *)
+
+  val dropped : unit -> int
+  (** Events overwritten by ring wrap-around since the last {!clear}. *)
+
+  val clear : unit -> unit
+  (** Empty the ring and zero {!dropped} (the sink stays attached). *)
+
+  val set_sink : (string -> unit) option -> unit
+  (** Attach (or detach) the NDJSON sink; each emitted event is passed
+      as one JSON line without the trailing newline. *)
+
+  val to_json : event -> string
+  (** One event as a stable single-line JSON document carrying [seq],
+      [ts_ms], [kind], [trace_id] (when present) and the attrs flattened
+      alongside them (an attr named like an envelope key gains an
+      [attr_] prefix rather than duplicating it). *)
+end

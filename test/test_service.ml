@@ -783,6 +783,199 @@ let concurrent_socket_clients () =
         check_int "all clients accepted" n_clients st.Server.accepted;
         check_int "no connection errors" 0 st.Server.conn_errors)
 
+(* --- observability: stats pin, trace ids, health, metrics --- *)
+
+let obj_keys = function
+  | Json.Obj members -> List.map fst members
+  | _ -> Alcotest.fail "expected an object"
+
+let str_member name obj =
+  Option.get (Option.bind (Json.member name obj) Json.to_str)
+
+(* the stats reply is an operator API: adding a field is fine (extend this
+   list), renaming or dropping one is a break this pin makes loud *)
+let stats_field_set_pinned () =
+  let config = { Scheduler.default_config with clock = Scheduler.Virtual } in
+  Scheduler.with_scheduler ~config (fun t ->
+      (match Server.handle t "{\"op\":\"stats\"}" with
+      | [ e ] ->
+        Alcotest.(check (list string))
+          "stats field set"
+          [
+            "ok"; "event"; "queued"; "queued_high"; "queued_normal";
+            "queued_low"; "executed"; "cache_hits"; "done"; "failed";
+            "cancelled"; "expired"; "rejected"; "capacity";
+          ]
+          (obj_keys e)
+      | _ -> Alcotest.fail "one stats event expected");
+      (* per-priority depths track the queue classes *)
+      let submit p =
+        ignore
+          (Server.handle t
+             (line_of
+                (Json.Obj
+                   [
+                     ("op", Json.Str "submit");
+                     ("priority", Json.Str p);
+                     ("job", Job.to_json (Job.fault ~trials:10 "INV"));
+                   ])))
+      in
+      submit "high";
+      submit "normal";
+      submit "normal";
+      submit "low";
+      match Server.handle t "{\"op\":\"stats\"}" with
+      | [ e ] ->
+        let n name =
+          Option.get (Option.bind (Json.member name e) Json.to_int)
+        in
+        check_int "queued" 4 (n "queued");
+        check_int "queued_high" 1 (n "queued_high");
+        check_int "queued_normal" 2 (n "queued_normal");
+        check_int "queued_low" 1 (n "queued_low")
+      | _ -> Alcotest.fail "one stats event expected")
+
+let trace_id_propagates () =
+  Telemetry.reset ();
+  Telemetry.enable ();
+  Telemetry.Events.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Events.clear ();
+      Telemetry.disable ();
+      Telemetry.reset ())
+  @@ fun () ->
+  let config = { Scheduler.default_config with clock = Scheduler.Virtual } in
+  Scheduler.with_scheduler ~config (fun t ->
+      let accepted =
+        match
+          Server.handle t
+            (line_of
+               (Json.Obj
+                  [
+                    ("op", Json.Str "submit");
+                    ("trace_id", Json.Str "tr-wire-7");
+                    ("job", Job.to_json (Job.fault ~trials:20 "INV"));
+                  ]))
+        with
+        | [ e ] -> e
+        | _ -> Alcotest.fail "one accepted event expected"
+      in
+      check_str "accepted echoes the trace id" "tr-wire-7"
+        (str_member "trace_id" accepted);
+      let id =
+        Option.get (Option.bind (Json.member "id" accepted) Json.to_int)
+      in
+      checkb "accessor agrees" true
+        (Scheduler.trace_id t id = Some "tr-wire-7");
+      (* wrong-type trace_id is a visible rejection naming the field *)
+      (match
+         Server.handle t
+           (line_of
+              (Json.Obj
+                 [
+                   ("op", Json.Str "submit");
+                   ("trace_id", Json.int 3);
+                   ("job", Job.to_json (Job.fault ~trials:20 "INV"));
+                 ]))
+       with
+      | [ e ] ->
+        checkb "rejected" true (Json.member "ok" e = Some (Json.Bool false))
+      | _ -> Alcotest.fail "one rejection expected");
+      (* the completion event on the wire carries it *)
+      let events = Server.handle t "{\"op\":\"drain\"}" in
+      let done_e =
+        List.find
+          (fun e ->
+            Option.bind (Json.member "event" e) Json.to_str = Some "done")
+          events
+      in
+      check_str "done event carries the trace id" "tr-wire-7"
+        (str_member "trace_id" done_e);
+      (* ... as do the structured event log entries for its whole life ... *)
+      let kinds_with_trace =
+        List.filter_map
+          (fun (e : Telemetry.Events.event) ->
+            if e.Telemetry.Events.trace_id = Some "tr-wire-7" then
+              Some e.Telemetry.Events.kind
+            else None)
+          (Telemetry.Events.recent ())
+      in
+      List.iter
+        (fun k ->
+          checkb (k ^ " logged with trace id") true
+            (List.mem k kinds_with_trace))
+        [ "job.submitted"; "job.started"; "job.done" ];
+      (* ... and the Chrome trace export *)
+      let trace = Telemetry.chrome_trace (Telemetry.collect ()) in
+      checkb "chrome trace carries the trace id" true
+        (let needle = "\"trace_id\":\"tr-wire-7\"" in
+         let nl = String.length needle and hl = String.length trace in
+         let rec go i =
+           i + nl <= hl && (String.sub trace i nl = needle || go (i + 1))
+         in
+         go 0))
+
+let generated_trace_ids_deterministic () =
+  let config = { Scheduler.default_config with clock = Scheduler.Virtual } in
+  let generated () =
+    Scheduler.with_scheduler ~config (fun t ->
+        match Scheduler.submit t (Job.fault ~trials:20 "INV") with
+        | Ok id -> Option.get (Scheduler.trace_id t id)
+        | Error d -> Alcotest.fail (Core.Diag.to_string d))
+  in
+  let a = generated () and b = generated () in
+  check_str "same job, same slot, same generated trace id" a b;
+  checkb "shape is t<id>-<digest8>" true
+    (String.length a > 2 && a.[0] = 't'
+    && String.contains a '-'
+    && String.length a - String.index a '-' = 9)
+
+let health_and_metrics_ops () =
+  Telemetry.reset ();
+  Telemetry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.reset ())
+  @@ fun () ->
+  let config = { Scheduler.default_config with clock = Scheduler.Virtual } in
+  Scheduler.with_scheduler ~config (fun t ->
+      ignore
+        (Server.handle t
+           (line_of
+              (Json.Obj
+                 [
+                   ("op", Json.Str "submit");
+                   ("job", Job.to_json (Job.fault ~trials:20 "INV"));
+                 ])));
+      (match Server.handle t "{\"op\":\"health\"}" with
+      | [ e ] ->
+        check_str "health status" "ok" (str_member "status" e);
+        checkb "uptime is a number" true
+          (match Json.member "uptime_ms" e with
+          | Some (Json.Num f) -> f >= 0.
+          | _ -> false);
+        check_int "queued visible" 1
+          (Option.get (Option.bind (Json.member "queued" e) Json.to_int));
+        checkb "in_flight present" true (Json.member "in_flight" e <> None)
+      | _ -> Alcotest.fail "one health event expected");
+      ignore (Server.handle t "{\"op\":\"drain\"}");
+      match Server.handle t "{\"op\":\"metrics\"}" with
+      | [ e ] ->
+        check_str "content type" "text/plain; version=0.0.4"
+          (str_member "content_type" e);
+        let body = str_member "body" e in
+        let samples = Telemetry.Prometheus.parse body in
+        checkb "exposition parses to samples" true (samples <> []);
+        checkb "submission counter scraped" true
+          (List.exists
+             (fun s ->
+               s.Telemetry.Prometheus.metric = "service_submitted_total"
+               && s.Telemetry.Prometheus.value = 1.)
+             samples)
+      | _ -> Alcotest.fail "one metrics event expected")
+
 let suite =
   [
     Alcotest.test_case "json roundtrip" `Quick json_roundtrip;
@@ -821,4 +1014,9 @@ let suite =
       socket_client_killed_mid_response;
     Alcotest.test_case "concurrent socket clients" `Quick
       concurrent_socket_clients;
+    Alcotest.test_case "stats field set pinned" `Quick stats_field_set_pinned;
+    Alcotest.test_case "trace id propagates" `Quick trace_id_propagates;
+    Alcotest.test_case "generated trace ids deterministic" `Quick
+      generated_trace_ids_deterministic;
+    Alcotest.test_case "health and metrics ops" `Quick health_and_metrics_ops;
   ]

@@ -144,6 +144,245 @@ let exporters_well_formed () =
       check_int "braces balance" 0 (balance '{' '}' trace);
       check_int "brackets balance" 0 (balance '[' ']' trace))
 
+(* --- quantiles --- *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* a known distribution: 10 observations in each of (0,10], (10,20],
+   (20,30] — the interpolated quantiles are exact *)
+let known_hist () =
+  let h = Telemetry.Hist.create ~buckets:[| 10.; 20.; 30. |] in
+  let obs =
+    List.concat_map
+      (fun base -> List.init 10 (fun i -> base +. float_of_int i +. 0.5))
+      [ 0.; 10.; 20. ]
+  in
+  List.fold_left Telemetry.Hist.observe h obs
+
+let quantile_known_distribution () =
+  let h = known_hist () in
+  let q p = Option.get (Telemetry.quantile_of_hist h p) in
+  check_float "p50 interpolates mid-bucket" 15. (q 0.5);
+  check_float "p90 interpolates" 27. (q 0.9);
+  check_float "q=1 is the max bound" 30. (q 1.);
+  check_float "q=0 is the lower edge" 0. (q 0.);
+  check_float "p25 lands at the first bound" 7.5 (q 0.25)
+
+let quantile_edge_cases () =
+  let h = known_hist () in
+  checkb "q out of range" true (Telemetry.quantile_of_hist h 1.5 = None);
+  checkb "negative q" true (Telemetry.quantile_of_hist h (-0.1) = None);
+  let empty = Telemetry.Hist.create ~buckets:[| 1.; 2. |] in
+  checkb "empty histogram" true (Telemetry.quantile_of_hist empty 0.5 = None);
+  (* everything in the overflow bucket clamps to the last finite bound *)
+  let over =
+    List.fold_left Telemetry.Hist.observe
+      (Telemetry.Hist.create ~buckets:[| 1.; 2. |])
+      [ 5.; 6.; 7. ]
+  in
+  check_float "overflow clamps to last bound" 2.
+    (Option.get (Telemetry.quantile_of_hist over 0.99))
+
+let quantile_of_snapshot () =
+  recording (fun () ->
+      List.iter
+        (Telemetry.histogram_observe "q.wait" ~buckets:[| 10.; 20.; 30. |])
+        (List.concat_map
+           (fun base -> List.init 10 (fun i -> base +. float_of_int i +. 0.5))
+           [ 0.; 10.; 20. ]);
+      let snap = Telemetry.collect () in
+      check_float "snapshot quantile" 15.
+        (Option.get (Telemetry.quantile snap "q.wait" 0.5));
+      checkb "unknown name" true (Telemetry.quantile snap "nope" 0.5 = None))
+
+(* --- Prometheus exposition --- *)
+
+let check_str = Alcotest.(check string)
+
+let prometheus_sanitize () =
+  let s = Telemetry.Prometheus.sanitize_name in
+  check_str "dots become underscores" "service_queue_wait_ms"
+    (s "service.queue_wait_ms");
+  check_str "leading digit prefixed" "_9lives" (s "9lives");
+  check_str "empty becomes underscore" "_" (s "");
+  check_str "punctuation collapses" "a_b_c" (s "a-b/c");
+  check_str "colons survive" "a:b" (s "a:b")
+
+let prometheus_escaping () =
+  let e = Telemetry.Prometheus.escape_label in
+  check_str "backslash" {|a\\b|} (e {|a\b|});
+  check_str "double quote" {|a\"b|} (e {|a"b|});
+  check_str "newline" {|a\nb|} (e "a\nb");
+  check_str "help keeps quotes" {|say "hi"\nbye|}
+    (Telemetry.Prometheus.escape_help "say \"hi\"\nbye")
+
+let empty_snapshot =
+  { Telemetry.spans = []; counters = []; gauges = []; hists = [] }
+
+let prometheus_empty_registry () =
+  check_str "empty registry is an empty scrape" ""
+    (Telemetry.Prometheus.render empty_snapshot)
+
+(* hand-built snapshot with one counter, one gauge, one histogram whose
+   last observation lands in the overflow bucket — the whole document is
+   pinned byte for byte *)
+let prometheus_golden_render () =
+  let h =
+    List.fold_left Telemetry.Hist.observe
+      (Telemetry.Hist.create ~buckets:[| 1.; 5. |])
+      [ 0.5; 3.; 7. ]
+  in
+  let snap =
+    {
+      Telemetry.spans = [];
+      counters = [ ("jobs.done", 3) ];
+      gauges = [ ("queue.depth", 2.) ];
+      hists = [ ("wait.ms", h) ];
+    }
+  in
+  check_str "golden exposition"
+    "# HELP jobs_done_total jobs.done\n\
+     # TYPE jobs_done_total counter\n\
+     jobs_done_total 3\n\
+     # HELP queue_depth queue.depth\n\
+     # TYPE queue_depth gauge\n\
+     queue_depth 2\n\
+     # HELP wait_ms wait.ms\n\
+     # TYPE wait_ms histogram\n\
+     wait_ms_bucket{le=\"1\"} 1\n\
+     wait_ms_bucket{le=\"5\"} 2\n\
+     wait_ms_bucket{le=\"+Inf\"} 3\n\
+     wait_ms_sum 10.5\n\
+     wait_ms_count 3\n"
+    (Telemetry.Prometheus.render snap)
+
+let prometheus_parse_roundtrip () =
+  let h =
+    List.fold_left Telemetry.Hist.observe
+      (Telemetry.Hist.create ~buckets:[| 1.; 5. |])
+      [ 0.5; 3.; 7. ]
+  in
+  let tricky = "a\\b\"c\nd" in
+  let snap =
+    {
+      Telemetry.spans = [];
+      counters = [ ("jobs.done", 3) ];
+      gauges = [];
+      hists = [ ("wait.ms", h) ];
+    }
+  in
+  let body =
+    Telemetry.Prometheus.render ~labels:[ ("instance", tricky) ] snap
+  in
+  let samples = Telemetry.Prometheus.parse body in
+  let find metric =
+    List.find_opt
+      (fun s -> s.Telemetry.Prometheus.metric = metric)
+      samples
+  in
+  (match find "jobs_done_total" with
+  | None -> Alcotest.fail "counter sample missing"
+  | Some s ->
+    check_float "counter value survives" 3. s.Telemetry.Prometheus.value;
+    check_str "label value unescapes" tricky
+      (Option.get
+         (List.assoc_opt "instance" s.Telemetry.Prometheus.labels)));
+  (* cumulative buckets: one sample per bound, non-decreasing, +Inf = count *)
+  let buckets =
+    List.filter
+      (fun s -> s.Telemetry.Prometheus.metric = "wait_ms_bucket")
+      samples
+  in
+  check_int "bucket series has every bound" 3 (List.length buckets);
+  let values = List.map (fun s -> s.Telemetry.Prometheus.value) buckets in
+  checkb "buckets are cumulative" true
+    (values = List.sort compare values);
+  let inf =
+    List.find
+      (fun s ->
+        List.assoc_opt "le" s.Telemetry.Prometheus.labels = Some "+Inf")
+      buckets
+  in
+  check_float "+Inf bucket equals count" 3. inf.Telemetry.Prometheus.value
+
+(* end-to-end: a deterministic campaign's merged registry scrapes to the
+   exact counter samples the workload implies, at any domain count *)
+let prometheus_campaign_scrape () =
+  let scrape domains =
+    recording (fun () ->
+        ignore (campaign ~domains ~trials:64 ());
+        Telemetry.Prometheus.render (Telemetry.collect ()))
+  in
+  let body = scrape 1 in
+  checkb "trials counter sample" true
+    (contains "fault_trials_total 64" body);
+  checkb "crossings counter sample" true
+    (contains "fault_crossings_tested_total 384" body);
+  checkb "HELP keeps the registry name" true
+    (contains "# HELP fault_trials_total fault.trials" body);
+  checkb "TYPE line present" true
+    (contains "# TYPE fault_trials_total counter" body);
+  (* the counter samples are workload-exact, so they agree across domain
+     counts (gauges carry per-shard timings and legitimately differ) *)
+  let counter_lines b =
+    List.filter
+      (fun l -> String.length l > 0 && l.[0] <> '#' && contains "_total" l)
+      (String.split_on_char '\n' b)
+  in
+  Alcotest.(check (list string))
+    "counter samples domain-independent" (counter_lines body)
+    (counter_lines (scrape 3))
+
+(* --- structured event log --- *)
+
+let with_event_ring cap f =
+  Telemetry.Events.set_capacity cap;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Events.set_sink None;
+      Telemetry.Events.set_capacity 1024)
+    f
+
+let events_ring_wraps () =
+  with_event_ring 4 (fun () ->
+      for i = 0 to 5 do
+        Telemetry.Events.emit "tick" ~attrs:[ ("i", Telemetry.Int i) ]
+      done;
+      let recent = Telemetry.Events.recent () in
+      check_int "ring keeps capacity" 4 (List.length recent);
+      check_int "two overwritten" 2 (Telemetry.Events.dropped ());
+      let seqs = List.map (fun e -> e.Telemetry.Events.seq) recent in
+      Alcotest.(check (list int)) "oldest first, newest kept" [ 2; 3; 4; 5 ] seqs;
+      let limited = Telemetry.Events.recent ~limit:2 () in
+      Alcotest.(check (list int))
+        "limit keeps the newest" [ 4; 5 ]
+        (List.map (fun e -> e.Telemetry.Events.seq) limited);
+      Telemetry.Events.clear ();
+      check_int "clear empties" 0 (List.length (Telemetry.Events.recent ()));
+      check_int "clear zeroes dropped" 0 (Telemetry.Events.dropped ()))
+
+let events_sink_and_json () =
+  with_event_ring 16 (fun () ->
+      let lines = ref [] in
+      Telemetry.Events.set_sink (Some (fun l -> lines := l :: !lines));
+      Telemetry.Events.emit ~trace_id:"tr-1" "job.submitted"
+        ~attrs:[ ("id", Telemetry.Int 7); ("cached", Telemetry.Bool false) ];
+      Telemetry.Events.emit "conn.open";
+      check_int "sink saw every event" 2 (List.length !lines);
+      let first = List.nth (List.rev !lines) 0 in
+      checkb "sink line carries the trace id" true
+        (contains "\"trace_id\":\"tr-1\"" first);
+      checkb "sink line carries attrs" true (contains "\"id\":7" first);
+      checkb "sink line carries the kind" true
+        (contains "\"kind\":\"job.submitted\"" first);
+      (* a raising sink must never take down the emitter *)
+      Telemetry.Events.set_sink (Some (fun _ -> failwith "boom"));
+      Telemetry.Events.emit "survives";
+      checkb "emit survives a raising sink" true
+        (List.exists
+           (fun e -> e.Telemetry.Events.kind = "survives")
+           (Telemetry.Events.recent ())))
+
 (* --- QCheck properties --- *)
 
 let float_list =
@@ -220,6 +459,23 @@ let suite =
     Alcotest.test_case "span nesting parents" `Quick nesting_parents;
     Alcotest.test_case "pipeline bridge" `Quick pipeline_bridge;
     Alcotest.test_case "exporters well-formed" `Quick exporters_well_formed;
+    Alcotest.test_case "quantile known distribution" `Quick
+      quantile_known_distribution;
+    Alcotest.test_case "quantile edge cases" `Quick quantile_edge_cases;
+    Alcotest.test_case "quantile of snapshot" `Quick quantile_of_snapshot;
+    Alcotest.test_case "prometheus name sanitization" `Quick
+      prometheus_sanitize;
+    Alcotest.test_case "prometheus escaping" `Quick prometheus_escaping;
+    Alcotest.test_case "prometheus empty registry" `Quick
+      prometheus_empty_registry;
+    Alcotest.test_case "prometheus golden render" `Quick
+      prometheus_golden_render;
+    Alcotest.test_case "prometheus parse roundtrip" `Quick
+      prometheus_parse_roundtrip;
+    Alcotest.test_case "prometheus campaign scrape" `Quick
+      prometheus_campaign_scrape;
+    Alcotest.test_case "event ring wraps" `Quick events_ring_wraps;
+    Alcotest.test_case "event sink and json" `Quick events_sink_and_json;
     QCheck_alcotest.to_alcotest hist_counts_sum;
     QCheck_alcotest.to_alcotest hist_registry_sum;
     QCheck_alcotest.to_alcotest hist_merge_associative;
