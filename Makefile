@@ -19,12 +19,17 @@ smoke:
 bench:
 	dune exec bench/main.exe -- mcscale
 
-# Perf ratchet: rerun the scale bench smoke and compare against the
-# committed BENCH_scale.json (median-normalized, >15% regression fails).
+# Perf ratchet: rerun the scale and dse bench smokes and compare each
+# against its committed BENCH_*.json (median-normalized, >15% regression
+# fails).  The dse bench also asserts adaptive-vs-exhaustive front
+# equality and the <= 50% evaluation budget.
 perf-check:
 	git show HEAD:BENCH_scale.json > _bench_baseline.json
 	SCALE_SIZES=1000 dune exec bench/main.exe -- scale
 	dune exec bench/check_regression.exe -- _bench_baseline.json BENCH_scale.json
+	git show HEAD:BENCH_dse.json > _bench_baseline.json
+	dune exec bench/main.exe -- dse
+	dune exec bench/check_regression.exe -- _bench_baseline.json BENCH_dse.json
 	rm -f _bench_baseline.json
 
 # Formatting gate: uses ocamlformat via dune when installed; otherwise

@@ -5,7 +5,7 @@
 let usage () =
   print_endline
     "usage: main.exe [table1|fig2|immunity|fig7|screening|cs1|cs2|summary|\
-     ablation|yield|variation|sta|anneal|drc|mcscale|testgen|flowbench|\
+     ablation|yield|variation|sta|anneal|drc|mcscale|testgen|dse|flowbench|\
      service|loadgen|scale|perf|all]"
 
 let all_experiments =
@@ -28,6 +28,7 @@ let all_experiments =
     ("ripple", Experiments.ripple_exp);
     ("mcscale", fun () -> Mc_scaling.run ());
     ("testgen", Testgen_bench.run);
+    ("dse", Dse_bench.run);
     ("flowbench", Flowbench.run);
     ("service", Service_bench.run);
     ("loadgen", Loadgen.run);

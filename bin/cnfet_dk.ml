@@ -4,6 +4,7 @@
      layout        generate an immune cell layout (ascii and/or GDS)
      fault         run the misposition fault-injection campaign on a cell
      test-gen      fault dictionary, distinguishing vectors, repair curves
+     dse           processing/circuit co-optimization Pareto campaign
      table1        print the Table-1 area comparison
      characterize  simulate a cell's timing/energy arcs
      flow          place a netlist file under a layout scheme, stream GDSII
@@ -302,6 +303,128 @@ let test_gen_cmd =
           $ trials $ tracks $ angle $ seed $ spares $ p_good $ extra_tubes
           $ domains $ json $ telemetry_arg $ trace_out_arg)
 
+(* dse *)
+
+let dse_cmd =
+  let cell_named =
+    Arg.(required
+         & opt (some string) None
+         & info [ "cell" ] ~docv:"CELL"
+             ~doc:"Cell name: INV, NAND2, NOR2, AOI21, OAI21, ...")
+  in
+  let layout_style =
+    let styles =
+      [ ("new", Layout.Cell.Immune_new); ("old", Layout.Cell.Immune_old);
+        ("vulnerable", Layout.Cell.Vulnerable); ("cmos", Layout.Cell.Cmos) ]
+    in
+    Arg.(value
+         & opt (enum styles) Layout.Cell.Vulnerable
+         & info [ "layout" ] ~docv:"STYLE"
+             ~doc:"Layout style under test: new, old, vulnerable or cmos.")
+  in
+  let pitches =
+    Arg.(value & opt (list float) [ 4.; 5.; 6.; 8. ]
+         & info [ "pitches" ] ~docv:"NM,..."
+             ~doc:"Grown CNT pitch axis, nm (comma-separated).")
+  in
+  let p_metallic =
+    Arg.(value & opt (list float) [ 0.01; 0.1; 0.33 ]
+         & info [ "p-metallic" ] ~docv:"P,..."
+             ~doc:"Metallic-CNT fraction axis (comma-separated).")
+  in
+  let removal =
+    Arg.(value & opt (list float) [ 0.95; 0.999 ]
+         & info [ "removal" ] ~docv:"EFF,..."
+             ~doc:"Metallic-removal efficiency axis (comma-separated).")
+  in
+  let drives =
+    Arg.(value & opt (list int) [ 1; 2 ]
+         & info [ "drives" ] ~docv:"K,..."
+             ~doc:"Drive-strength axis, INV1X multiples (comma-separated).")
+  in
+  let schemes =
+    Arg.(value
+         & opt (list (enum [ ("s1", `S1); ("s2", `S2) ])) [ `S1; `S2 ]
+         & info [ "schemes" ] ~docv:"S,..."
+             ~doc:"Layout-scheme axis: s1 (stacked), s2 (side by side).")
+  in
+  let load =
+    Arg.(value & opt int 2 & info [ "load" ] ~docv:"N"
+           ~doc:"INV1X loads on every characterization arc.")
+  in
+  let trials =
+    Arg.(value & opt int 400 & info [ "trials" ] ~docv:"N"
+           ~doc:"Misposition Monte-Carlo budget per grid point.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"Campaign RNG seed (points derive theirs from it).")
+  in
+  let exhaustive =
+    Arg.(value & flag & info [ "exhaustive" ]
+           ~doc:"Evaluate the full fine grid instead of refining \
+                 adaptively.  The front is identical either way; only \
+                 the evaluation count differs.")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N"
+           ~doc:"Worker domains; the front is bit-identical for every N.")
+  in
+  let report =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "report" ] ~docv:"FORMAT"
+             ~doc:"Report format: text or json (the same document the \
+                   job service returns for dse jobs).")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE"
+             ~doc:"Also export the Pareto front as CSV to $(docv).")
+  in
+  let run name layout pitches p_metallic removal drives schemes load trials
+      seed exhaustive domains report csv telemetry trace_out =
+    let job =
+      Service.Job.dse ~style:layout ~pitches ~p_metallic ~removal ~drives
+        ~schemes ~load ~max_trials:trials ~seed ~adaptive:(not exhaustive)
+        name
+    in
+    match job with
+    | Service.Job.Dse j -> (
+      match Service.Job.validate job with
+      | Error d -> diag_exit d
+      | Ok () -> (
+        telemetry_start telemetry trace_out;
+        match Dse.Engine.run ~domains (Service.Job.dse_config j) with
+        | Error d -> diag_exit d
+        | Ok o ->
+          (match report with
+          | `Text -> print_string (Dse.Report.text o)
+          | `Json ->
+            print_endline (Service.Json.to_string (Service.Runner.dse_json o)));
+          (match csv with
+          | Some path ->
+            let oc = open_out path in
+            output_string oc (Dse.Report.csv o);
+            close_out oc;
+            Printf.eprintf "wrote front %s\n%!" path
+          | None -> ());
+          telemetry_finish telemetry trace_out;
+          0))
+    | _ -> assert false
+  in
+  let doc =
+    "Design-space exploration: sweep processing knobs (CNT pitch, metallic \
+     fraction, removal efficiency) against circuit knobs (drive sizing, \
+     layout scheme) and report the delay/energy/yield Pareto front.  \
+     Adaptive refinement and early-stopped yield trials return the same \
+     front as the exhaustive fine-grid sweep."
+  in
+  Cmd.v (Cmd.info "dse" ~doc)
+    Term.(const run $ cell_named $ layout_style $ pitches $ p_metallic
+          $ removal $ drives $ schemes $ load $ trials $ seed $ exhaustive
+          $ domains $ report $ csv $ telemetry_arg $ trace_out_arg)
+
 (* table1 *)
 
 let table1_cmd =
@@ -562,6 +685,22 @@ let serve_cmd =
                    nothing and has no job in flight for $(docv) \
                    milliseconds.")
   in
+  let rate_limit =
+    Arg.(value & opt (some float) None
+         & info [ "rate-limit" ] ~docv:"N"
+             ~doc:"With --socket: per-connection submit budget in \
+                   jobs/second (token bucket, burst of max(1,$(docv))); \
+                   submissions over budget get a structured \
+                   $(i,rejected) event naming the reason and the \
+                   connection stays up.")
+  in
+  let queue_high_water =
+    Arg.(value & opt (some int) None
+         & info [ "queue-high-water" ] ~docv:"N"
+             ~doc:"With --socket: refuse submissions while the shared \
+                   queue depth is at or above $(docv) (admission \
+                   control below the hard --capacity bound).")
+  in
   let replay =
     Arg.(value & flag & info [ "replay" ]
            ~doc:"Deterministic mode: drive the scheduler on a virtual \
@@ -586,7 +725,8 @@ let serve_cmd =
                    errors), each with its trace id.")
   in
   let run domains capacity cache_dir no_cache socket connections max_conns
-      idle_timeout_ms replay metrics_out event_log telemetry trace_out =
+      idle_timeout_ms rate_limit queue_high_water replay metrics_out
+      event_log telemetry trace_out =
     or_diag_exit @@ fun () ->
     (* the serving layer is always observable: metrics/health/event ops
        must answer with data whether or not a summary was asked for *)
@@ -645,7 +785,8 @@ let serve_cmd =
         | Some path ->
           let st =
             Service.Server.serve_socket ~max_conns ?idle_timeout_ms
-              ~connections ?on_tick sched ~path
+              ?rate_limit ?queue_high_water ~connections ?on_tick sched
+              ~path
           in
           (* the summary goes to stderr: stdout is pure NDJSON *)
           Printf.eprintf
@@ -685,8 +826,9 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ domains $ capacity $ cache_dir $ no_cache $ socket
-          $ connections $ max_conns $ idle_timeout_ms $ replay $ metrics_out
-          $ event_log $ telemetry_arg $ trace_out_arg)
+          $ connections $ max_conns $ idle_timeout_ms $ rate_limit
+          $ queue_high_water $ replay $ metrics_out $ event_log
+          $ telemetry_arg $ trace_out_arg)
 
 (* top: a polling live monitor over a serve socket.  One connection, one
    {"op":"health"} + {"op":"metrics"} round per refresh; quantiles are
@@ -877,5 +1019,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ layout_cmd; fault_cmd; test_gen_cmd; table1_cmd; characterize_cmd;
-            flow_cmd; fo4_cmd; serve_cmd; top_cmd ]))
+          [ layout_cmd; fault_cmd; test_gen_cmd; dse_cmd; table1_cmd;
+            characterize_cmd; flow_cmd; fo4_cmd; serve_cmd; top_cmd ]))

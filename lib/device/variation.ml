@@ -89,3 +89,27 @@ let on_current_stats ?(domains = 1) t spec ~tubes ~width_nm =
 let delay_spread_estimate ?domains t spec ~tubes ~width_nm =
   let s = on_current_stats ?domains t spec ~tubes ~width_nm in
   if s.mean = 0. then 0. else s.sigma /. s.mean
+
+type sampler = {
+  tubes : int;
+  width_nm : float;
+  stats : stats;
+  slow_derate : float;
+}
+
+let slow_derate_of stats =
+  if stats.p5 > 0. && Float.is_finite stats.p5 then
+    Float.max 1. (stats.mean /. stats.p5)
+  else 1.
+
+let prepare_sampler ?domains t spec ~tubes ~width_nm =
+  let stats = on_current_stats ?domains t spec ~tubes ~width_nm in
+  { tubes; width_nm; stats; slow_derate = slow_derate_of stats }
+
+let neutral_sampler ~tubes ~width_nm =
+  {
+    tubes;
+    width_nm;
+    stats = { mean = 1.; sigma = 0.; p5 = 1.; p95 = 1. };
+    slow_derate = 1.;
+  }

@@ -40,3 +40,30 @@ val delay_spread_estimate : ?domains:int -> Cnfet.tech -> spec -> tubes:int
   -> width_nm:float -> float
 (** Relative gate-delay sigma, [sigma_I / mean_I] to first order (delay is
     inversely proportional to drive at fixed load). *)
+
+type sampler = {
+  tubes : int;
+  width_nm : float;  (** the device geometry the stats were drawn for *)
+  stats : stats;
+  slow_derate : float;
+      (** slow-corner delay multiplier, [mean_I / p5_I] clamped to >= 1
+          (delay is inversely proportional to drive at fixed load) *)
+}
+(** A {e prepared} variation sampler: the Monte-Carlo on-current stats of
+    one device geometry, computed once and shared across every
+    characterization arc of the cell built from it.  Consumers
+    ({!Stdcell.Characterize}) apply [slow_derate] instead of re-deriving
+    device statistics per arc. *)
+
+val slow_derate_of : stats -> float
+(** [max 1 (mean /. p5)]; 1 when [p5] is non-positive or non-finite. *)
+
+val prepare_sampler : ?domains:int -> Cnfet.tech -> spec -> tubes:int
+  -> width_nm:float -> sampler
+(** Run {!on_current_stats} once and package it as a sampler.  Same
+    determinism contract: bit-identical at any [domains]. *)
+
+val neutral_sampler : tubes:int -> width_nm:float -> sampler
+(** A sampler whose derate is exactly 1.0 — characterization under it is
+    byte-identical to characterization without any sampler (the golden
+    test pins this). *)

@@ -1,0 +1,24 @@
+let dominates a b =
+  let n = Array.length a in
+  if n = 0 || Array.length b <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Dse.Pareto.dominates: objective arity mismatch (%d vs %d, need > 0)"
+         n (Array.length b));
+  let no_worse = ref true and strictly_better = ref false in
+  for i = 0 to n - 1 do
+    (* a NaN on either side fails [a <= b], breaking [no_worse]: NaN
+       vectors neither dominate nor are dominated (incomparable) *)
+    if not (a.(i) <= b.(i)) then no_worse := false
+    else if a.(i) < b.(i) then strictly_better := true
+  done;
+  !no_worse && !strictly_better
+
+let front ~objectives items =
+  let tagged = List.map (fun x -> (x, objectives x)) items in
+  let dominated (_, ob) =
+    (* self-comparison is harmless: nothing dominates itself *)
+    List.exists (fun (_, oa) -> dominates oa ob) tagged
+  in
+  let front, rest = List.partition (fun t -> not (dominated t)) tagged in
+  (List.map fst front, List.map fst rest)

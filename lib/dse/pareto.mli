@@ -1,0 +1,22 @@
+(** Pareto dominance over minimized objective vectors.
+
+    The DSE engine compares campaign points on [delay, energy, -yield]
+    (every axis minimized — yield is negated by the caller).  The
+    operations here are generic over any item type carrying a fixed-arity
+    objective vector; the engine and the property tests share them. *)
+
+val dominates : float array -> float array -> bool
+(** [dominates a b]: [a] is no worse than [b] on every objective and
+    strictly better on at least one.  Irreflexive and transitive on
+    NaN-free vectors; any NaN comparison is false, so a vector with a NaN
+    objective neither dominates nor is dominated (such points simply stay
+    on the front — the engine validates its inputs so they cannot arise).
+    @raise Invalid_argument on arity mismatch or empty vectors. *)
+
+val front : objectives:('a -> float array) -> 'a list -> 'a list * 'a list
+(** [front ~objectives items] splits [items] into [(front, dominated)]:
+    the mutually non-dominated subset and everything else.  Both halves
+    preserve the input order; [objectives] is called once per item.
+    Duplicate objective vectors do not dominate each other, so ties all
+    surface on the front.  O(n^2) pairwise comparisons — campaign fronts
+    are tens of points, never millions. *)

@@ -1,0 +1,15 @@
+(** Campaign reporting: the human-readable front table and the CSV
+    export the CLI writes with [--csv]. *)
+
+val text : Engine.outcome -> string
+(** Multi-line summary: campaign header, one row per front point
+    (knobs, tube count, delay/energy/yield with its Wilson interval,
+    trials spent, footprint), then the evaluation tally — points
+    evaluated out of the fine grid, rounds, trials, pruned count. *)
+
+val csv : Engine.outcome -> string
+(** The front as CSV (header + one line per point, evaluation order):
+    [pitch_nm,p_metallic,removal_eff,drive,scheme,tubes,delay_ps,
+    energy_fj,yield,yield_lo,yield_hi,trials,area_lambda2].  Floats are
+    printed with [%.6g] — enough digits to round-trip the comparisons
+    the CI smoke makes. *)

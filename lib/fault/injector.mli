@@ -59,6 +59,16 @@ val trial_strays : config -> pun:Crossing.prepared -> pdn:Crossing.prepared
     so a diagnosis layer (fault dictionaries, repair search) replays the
     very trials {!run} tallies.  Deterministic in [(config.seed, index)]. *)
 
+val run_trial : config -> prep:Layout.Cell.prepared -> pun:Crossing.prepared
+  -> pdn:Crossing.prepared -> int -> bool * bool * bool * int
+(** Evaluate one trial against a prepared cell:
+    [(failed, fight, floating, stray_edges)].  This is the exact per-trial
+    predicate {!run} tallies — spray {!trial_strays}, rebuild the drives,
+    compare with the reference truth — exposed so adaptive campaigns (the
+    DSE engine's early-stopped yield estimates) can consume trials one
+    batch at a time while staying bit-identical to a full {!run} over the
+    same indices.  Deterministic in [(config.seed, index)]. *)
+
 val run : ?pool:Parallel.Pool.t -> ?domains:int -> config -> Layout.Cell.t
   -> outcome
 (** Monte-Carlo campaign over the cell, on [domains] OCaml domains

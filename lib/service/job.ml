@@ -40,11 +40,26 @@ type testgen_job = {
   tg_max_extra_tubes : int;
 }
 
+type dse_job = {
+  dse_cell : string;
+  dse_style : Layout.Cell.style;
+  dse_pitches : float list;
+  dse_p_metallic : float list;
+  dse_removal : float list;
+  dse_drives : int list;
+  dse_schemes : [ `S1 | `S2 ] list;
+  dse_load : int;
+  dse_max_trials : int;
+  dse_seed : int;
+  dse_adaptive : bool;
+}
+
 type t =
   | Flow of flow_job
   | Fault of fault_job
   | Characterize of characterize_job
   | Testgen of testgen_job
+  | Dse of dse_job
 
 let flow ?(scheme = `S2) ?(aspect = 1.0) source = Flow { source; scheme; aspect }
 
@@ -74,11 +89,31 @@ let testgen ?(drive = 4) ?(style = Layout.Cell.Vulnerable) ?(scheme = `S1)
       tg_max_extra_tubes = max_extra_tubes;
     }
 
+let dse ?(style = Layout.Cell.Vulnerable) ?(pitches = [ 4.; 5.; 6.; 8. ])
+    ?(p_metallic = [ 0.01; 0.1; 0.33 ]) ?(removal = [ 0.95; 0.999 ])
+    ?(drives = [ 1; 2 ]) ?(schemes = [ `S1; `S2 ]) ?(load = 2)
+    ?(max_trials = 400) ?(seed = 42) ?(adaptive = true) cell =
+  Dse
+    {
+      dse_cell = cell;
+      dse_style = style;
+      dse_pitches = pitches;
+      dse_p_metallic = p_metallic;
+      dse_removal = removal;
+      dse_drives = drives;
+      dse_schemes = schemes;
+      dse_load = load;
+      dse_max_trials = max_trials;
+      dse_seed = seed;
+      dse_adaptive = adaptive;
+    }
+
 let kind = function
   | Flow _ -> "flow"
   | Fault _ -> "fault"
   | Characterize _ -> "characterize"
   | Testgen _ -> "testgen"
+  | Dse _ -> "dse"
 
 let scheme_string = function `S1 -> "s1" | `S2 -> "s2"
 
@@ -116,8 +151,44 @@ let describe = function
       j.tg_drive (style_string j.tg_style)
       (scheme_string j.tg_scheme)
       j.tg_trials
+  | Dse j ->
+    Printf.sprintf "dse %s style=%s grid=%dx%dx%dx%dx%d %s" j.dse_cell
+      (style_string j.dse_style)
+      (List.length j.dse_pitches)
+      (List.length j.dse_p_metallic)
+      (List.length j.dse_removal)
+      (List.length j.dse_drives)
+      (List.length j.dse_schemes)
+      (if j.dse_adaptive then "adaptive" else "exhaustive")
 
 let stage = "service.job"
+
+(* The engine owns the knob-space semantics; a dse job is validated by
+   building the very config {!Runner} will run. *)
+let dse_config (j : dse_job) =
+  let scheme_of = function
+    | `S1 -> Layout.Cell.Scheme1
+    | `S2 -> Layout.Cell.Scheme2
+  in
+  let base = Dse.Engine.default ~cell:j.dse_cell in
+  {
+    base with
+    Dse.Engine.style = j.dse_style;
+    space =
+      {
+        Dse.Knobs.pitches_nm = Array.of_list j.dse_pitches;
+        p_metallic = Array.of_list j.dse_p_metallic;
+        removal_eff = Array.of_list j.dse_removal;
+        drives = Array.of_list j.dse_drives;
+        schemes = Array.of_list (List.map scheme_of j.dse_schemes);
+      };
+    load = j.dse_load;
+    max_trials = j.dse_max_trials;
+    min_trials = min base.Dse.Engine.min_trials j.dse_max_trials;
+    batch = min base.Dse.Engine.batch j.dse_max_trials;
+    seed = j.dse_seed;
+    adaptive = j.dse_adaptive;
+  }
 
 let validate = function
   | Flow j ->
@@ -205,6 +276,16 @@ let validate = function
         ~context:[ ("max_extra_tubes", string_of_int j.tg_max_extra_tubes) ]
         "testgen job: max_extra_tubes must be non-negative"
     else Ok ()
+  | Dse j ->
+    if Logic.Cell_fun.find_opt j.dse_cell = None then
+      Core.Diag.failf ~stage
+        ~context:[ ("cell", j.dse_cell) ]
+        "dse job: unknown cell function %s" j.dse_cell
+    else if j.dse_max_trials > 20_000 then
+      Core.Diag.failf ~stage
+        ~context:[ ("max_trials", string_of_int j.dse_max_trials) ]
+        "dse job: max_trials above the 20000 service budget"
+    else Dse.Engine.validate (dse_config j)
 
 (* The cache key: a stable fingerprint of every field that affects the
    result.  Flow jobs reuse the pipeline's own source digests so the
@@ -235,6 +316,16 @@ let digest t =
         (scheme_string j.tg_scheme)
         j.tg_trials j.tg_tracks_per_trial j.tg_max_angle_deg j.tg_seed
         j.tg_max_spares j.tg_p_good j.tg_max_extra_tubes
+    | Dse j ->
+      let floats xs = String.concat "," (List.map (Printf.sprintf "%g") xs) in
+      let ints xs = String.concat "," (List.map string_of_int xs) in
+      Printf.sprintf "dse:%s:%s:%s:%s:%s:%s:%s:%d:%d:%d:%b" j.dse_cell
+        (style_string j.dse_style)
+        (floats j.dse_pitches)
+        (floats j.dse_p_metallic)
+        (floats j.dse_removal) (ints j.dse_drives)
+        (String.concat "," (List.map scheme_string j.dse_schemes))
+        j.dse_load j.dse_max_trials j.dse_seed j.dse_adaptive
   in
   kind t ^ "-" ^ Digest.to_hex (Digest.string canonical)
 
@@ -291,6 +382,25 @@ let to_json t =
         ("max_spares", Json.int j.tg_max_spares);
         ("p_good", Json.Num j.tg_p_good);
         ("max_extra_tubes", Json.int j.tg_max_extra_tubes);
+      ]
+  | Dse j ->
+    Json.Obj
+      [
+        ("kind", Json.Str "dse");
+        ("cell", Json.Str j.dse_cell);
+        ("style", Json.Str (style_string j.dse_style));
+        ("pitches", Json.Arr (List.map (fun v -> Json.Num v) j.dse_pitches));
+        ( "p_metallic",
+          Json.Arr (List.map (fun v -> Json.Num v) j.dse_p_metallic) );
+        ("removal", Json.Arr (List.map (fun v -> Json.Num v) j.dse_removal));
+        ("drives", Json.Arr (List.map Json.int j.dse_drives));
+        ( "schemes",
+          Json.Arr
+            (List.map (fun s -> Json.Str (scheme_string s)) j.dse_schemes) );
+        ("load", Json.int j.dse_load);
+        ("max_trials", Json.int j.dse_max_trials);
+        ("seed", Json.int j.dse_seed);
+        ("adaptive", Json.Bool j.dse_adaptive);
       ]
 
 (* Decoding helpers: each accessor failure names the member, so protocol
@@ -446,8 +556,96 @@ let of_json j =
            tg_p_good;
            tg_max_extra_tubes;
          })
+  | "dse" ->
+    let* dse_cell = get_field "cell" Json.to_str "string" j in
+    let* style_s = get_default "style" Json.to_str "string" "vulnerable" j in
+    let* dse_style =
+      match style_of_string style_s with
+      | Some s -> Ok s
+      | None ->
+        Core.Diag.failf ~stage:"service.protocol"
+          ~context:[ ("style", style_s) ]
+          "dse job: unknown style %S (expected new, old, vulnerable or cmos)"
+          style_s
+    in
+    let number_list name default =
+      let* xs =
+        get_default name Json.to_list "array"
+          (List.map (fun v -> Json.Num v) default)
+          j
+      in
+      List.fold_left
+        (fun acc x ->
+          let* acc = acc in
+          match Json.to_float x with
+          | Some v -> Ok (v :: acc)
+          | None ->
+            Core.Diag.failf ~stage:"service.protocol"
+              ~context:[ ("member", name) ]
+              "dse job: %s must be an array of numbers" name)
+        (Ok []) xs
+      |> Result.map List.rev
+    in
+    let* dse_pitches = number_list "pitches" [ 4.; 5.; 6.; 8. ] in
+    let* dse_p_metallic = number_list "p_metallic" [ 0.01; 0.1; 0.33 ] in
+    let* dse_removal = number_list "removal" [ 0.95; 0.999 ] in
+    let* drives_json =
+      get_default "drives" Json.to_list "array" [ Json.int 1; Json.int 2 ] j
+    in
+    let* dse_drives =
+      List.fold_left
+        (fun acc x ->
+          let* acc = acc in
+          match Json.to_int x with
+          | Some v -> Ok (v :: acc)
+          | None ->
+            Core.Diag.fail ~stage:"service.protocol"
+              ~context:[ ("member", "drives") ]
+              "dse job: drives must be an array of ints")
+        (Ok []) drives_json
+      |> Result.map List.rev
+    in
+    let* schemes_json =
+      get_default "schemes" Json.to_list "array"
+        [ Json.Str "s1"; Json.Str "s2" ]
+        j
+    in
+    let* dse_schemes =
+      List.fold_left
+        (fun acc x ->
+          let* acc = acc in
+          match Option.map String.lowercase_ascii (Json.to_str x) with
+          | Some ("s1" | "1") -> Ok (`S1 :: acc)
+          | Some ("s2" | "2") -> Ok (`S2 :: acc)
+          | _ ->
+            Core.Diag.fail ~stage:"service.protocol"
+              ~context:[ ("member", "schemes") ]
+              "dse job: schemes must be an array of \"s1\" / \"s2\"")
+        (Ok []) schemes_json
+      |> Result.map List.rev
+    in
+    let* dse_load = get_default "load" Json.to_int "int" 2 j in
+    let* dse_max_trials = get_default "max_trials" Json.to_int "int" 400 j in
+    let* dse_seed = get_default "seed" Json.to_int "int" 42 j in
+    let* dse_adaptive = get_default "adaptive" Json.to_bool "bool" true j in
+    Ok
+      (Dse
+         {
+           dse_cell;
+           dse_style;
+           dse_pitches;
+           dse_p_metallic;
+           dse_removal;
+           dse_drives;
+           dse_schemes;
+           dse_load;
+           dse_max_trials;
+           dse_seed;
+           dse_adaptive;
+         })
   | other ->
     Core.Diag.failf ~stage:"service.protocol"
       ~context:[ ("kind", other) ]
-      "job: unknown kind %S (expected flow, fault, characterize or testgen)"
+      "job: unknown kind %S (expected flow, fault, characterize, testgen or \
+       dse)"
       other

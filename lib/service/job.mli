@@ -58,11 +58,30 @@ type testgen_job = {
     [Vulnerable] — an immune cell has an empty dictionary, which is the
     paper's point but a useless test-generation target. *)
 
+type dse_job = {
+  dse_cell : string;
+  dse_style : Layout.Cell.style;
+  dse_pitches : float list;  (** grown CNT pitch axis, nm *)
+  dse_p_metallic : float list;  (** metallic-fraction axis *)
+  dse_removal : float list;  (** removal-efficiency axis *)
+  dse_drives : int list;
+  dse_schemes : [ `S1 | `S2 ] list;
+  dse_load : int;
+  dse_max_trials : int;
+  dse_seed : int;
+  dse_adaptive : bool;
+}
+(** A {!Dse.Engine} Pareto campaign request: the knob-space axes plus
+    the evaluation budget.  Like {!testgen_job} the layout style
+    defaults to [Vulnerable] — misposition yield is only interesting
+    where mispositions can hurt. *)
+
 type t =
   | Flow of flow_job
   | Fault of fault_job
   | Characterize of characterize_job
   | Testgen of testgen_job
+  | Dse of dse_job
 
 val flow : ?scheme:[ `S1 | `S2 ] -> ?aspect:float -> flow_source -> t
 (** Defaults: [`S2], aspect 1.0. *)
@@ -85,9 +104,23 @@ val testgen :
     vulnerable style, scheme s1, 1000 trials, 2 spares, p_good 0.9,
     4 extra tubes). *)
 
+val dse :
+  ?style:Layout.Cell.style -> ?pitches:float list -> ?p_metallic:float list ->
+  ?removal:float list -> ?drives:int list -> ?schemes:[ `S1 | `S2 ] list ->
+  ?load:int -> ?max_trials:int -> ?seed:int -> ?adaptive:bool -> string -> t
+(** Defaults mirror {!Dse.Knobs.default_space} and
+    {!Dse.Engine.default}: vulnerable style, pitches [4;5;6;8] nm,
+    metallic fractions [0.01;0.1;0.33], removal [0.95;0.999], drives
+    [1;2], both schemes, load 2, 400 trials, seed 42, adaptive. *)
+
+val dse_config : dse_job -> Dse.Engine.config
+(** The engine configuration a dse job runs as — shared by {!validate}
+    (which validates exactly this config) and {!Runner}, so admission
+    control and execution can never disagree on semantics. *)
+
 val kind : t -> string
-(** ["flow"], ["fault"], ["characterize"] or ["testgen"] — the cache-key
-    prefix and the protocol discriminator. *)
+(** ["flow"], ["fault"], ["characterize"], ["testgen"] or ["dse"] — the
+    cache-key prefix and the protocol discriminator. *)
 
 val style_string : Layout.Cell.style -> string
 (** ["new"], ["old"], ["vulnerable"] or ["cmos"] — the protocol spelling

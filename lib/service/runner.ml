@@ -223,6 +223,53 @@ let run_characterize ~pool (j : Job.characterize_job) =
                points));
        ])
 
+(* Like testgen, the dse document shape is shared with the CLI's
+   [dse --report json] so the two cannot drift. *)
+let dse_json (o : Dse.Engine.outcome) =
+  let eval_json (e : Dse.Engine.eval) =
+    let p = e.Dse.Engine.point in
+    Json.Obj
+      [
+        ( "knobs",
+          Json.Obj
+            [
+              ("pitch_nm", Json.Num p.Dse.Knobs.pitch_nm);
+              ("p_metallic", Json.Num p.Dse.Knobs.p_metallic);
+              ("removal_eff", Json.Num p.Dse.Knobs.removal_eff);
+              ("drive", Json.int p.Dse.Knobs.drive);
+              ("scheme", Json.Str (Dse.Knobs.scheme_string p.Dse.Knobs.scheme));
+              ("tubes", Json.int e.Dse.Engine.tubes);
+            ] );
+        ("delay_ps", Json.Num e.Dse.Engine.delay_ps);
+        ("energy_fj", Json.Num e.Dse.Engine.energy_fj);
+        ("yield", Json.Num e.Dse.Engine.yield_);
+        ("yield_lo", Json.Num e.Dse.Engine.yield_lo);
+        ("yield_hi", Json.Num e.Dse.Engine.yield_hi);
+        ("trials", Json.int e.Dse.Engine.trials);
+        ("area_lambda2", Json.int e.Dse.Engine.area_lambda2);
+      ]
+  in
+  let pruned =
+    List.length
+      (List.filter (fun e -> e.Dse.Engine.pruned) o.Dse.Engine.evaluated)
+  in
+  Json.Obj
+    [
+      ("cell", Json.Str o.Dse.Engine.cell);
+      ("style", Json.Str (Job.style_string o.Dse.Engine.style));
+      ("adaptive", Json.Bool o.Dse.Engine.adaptive);
+      ("fine_grid", Json.int o.Dse.Engine.fine_grid);
+      ("evaluated", Json.int (List.length o.Dse.Engine.evaluated));
+      ("pruned", Json.int pruned);
+      ("rounds", Json.int o.Dse.Engine.rounds);
+      ("trials", Json.int o.Dse.Engine.trials_total);
+      ("front", Json.Arr (List.map eval_json o.Dse.Engine.front));
+    ]
+
+let run_dse ~pool (j : Job.dse_job) =
+  let* o = Dse.Engine.run ~pool (Job.dse_config j) in
+  Ok (dse_json o)
+
 let run ~pool ~pass_cache job =
   match
     match job with
@@ -230,6 +277,7 @@ let run ~pool ~pass_cache job =
     | Job.Fault j -> run_fault ~pool j
     | Job.Characterize j -> run_characterize ~pool j
     | Job.Testgen j -> run_testgen ~pool j
+    | Job.Dse j -> run_dse ~pool j
   with
   | r -> r
   | exception Core.Diag.Failure d -> Error d

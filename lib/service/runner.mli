@@ -14,6 +14,13 @@ val testgen_json : Testgen.Campaign.result -> Json.t
     CLI's [test-gen --json] so the two shapes cannot drift.  Pure
     function of the campaign result. *)
 
+val dse_json : Dse.Engine.outcome -> Json.t
+(** The dse result document — shared between served jobs and the CLI's
+    [dse --report json].  Carries the front (each point with its knobs,
+    tube count, delay/energy/yield + Wilson bounds, trials and
+    footprint) plus the evaluation tally: [fine_grid], [evaluated],
+    [pruned], [rounds], [trials].  Pure function of the outcome. *)
+
 val run :
   pool:Parallel.Pool.t ->
   pass_cache:Core.Pass.cache ->

@@ -296,11 +296,13 @@ type conn = {
   mutable dead : bool;
   mutable last_in_ms : float;
   mutable owned_jobs : int; (* submitted here and not yet completed *)
+  mutable tokens : float; (* rate-limit token bucket (submits) *)
+  mutable refill_ms : float; (* last bucket refill instant *)
   opened_ms : float;
 }
 
-let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1) ?on_tick
-    sched ~path =
+let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1)
+    ?rate_limit ?queue_high_water ?on_tick sched ~path =
   if max_conns < 1 then
     invalid_arg "Server.serve_socket: max_conns must be >= 1";
   if connections < 1 then
@@ -308,6 +310,14 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1) ?on_tick
   (match idle_timeout_ms with
   | Some t when not (t > 0. && Float.is_finite t) ->
     invalid_arg "Server.serve_socket: idle_timeout_ms must be positive"
+  | _ -> ());
+  (match rate_limit with
+  | Some r when not (r > 0. && Float.is_finite r) ->
+    invalid_arg "Server.serve_socket: rate_limit must be positive"
+  | _ -> ());
+  (match queue_high_water with
+  | Some h when h < 1 ->
+    invalid_arg "Server.serve_socket: queue_high_water must be >= 1"
   | _ -> ());
   (* a client gone mid-write must surface as EPIPE, not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -329,6 +339,13 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1) ?on_tick
       let conn_errors = ref 0 in
       let idle_closed = ref 0 in
       let dropped_conns = ref 0 in
+      let rejected_rate = ref 0 in
+      let rejected_queue = ref 0 in
+      (* a bucket holds at most one second's budget (but never less than
+         one token), so a client that slept cannot burst past its rate *)
+      let bucket_burst =
+        match rate_limit with Some r -> Float.max 1. r | None -> 0.
+      in
       let gauge_active () =
         Telemetry.gauge_set "service.conns_active"
           (float_of_int (List.length !conns))
@@ -405,6 +422,8 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1) ?on_tick
           ("conn_errors", Json.int !conn_errors);
           ("conns_idle_closed", Json.int !idle_closed);
           ("conns_dropped", Json.int !dropped_conns);
+          ("rejected_rate_limited", Json.int !rejected_rate);
+          ("rejected_high_water", Json.int !rejected_queue);
         ]
       in
       let health_extra () =
@@ -424,6 +443,61 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1) ?on_tick
       let in_flight () =
         List.fold_left (fun acc c -> acc + c.owned_jobs) 0 !conns
       in
+      (* Admission control, checked before the job is even parsed: a
+         rejected submission must cost the server nothing but the reply.
+         Queue depth guards the shared scheduler; the token bucket guards
+         it per client, so one chatty connection cannot starve the rest.
+         Both surface as the same structured "rejected" event a full
+         scheduler produces — backpressure is always visible, never a
+         stalled connection. *)
+      let admit c =
+        let queue_full =
+          match queue_high_water with
+          | Some hw -> (Scheduler.stats sched).Scheduler.queued >= hw
+          | None -> false
+        in
+        if queue_full then Some "queue_high_water"
+        else
+          match rate_limit with
+          | None -> None
+          | Some rate ->
+            let now = now_ms () in
+            c.tokens <-
+              Float.min bucket_burst
+                (c.tokens +. (rate *. (now -. c.refill_ms) /. 1000.));
+            c.refill_ms <- now;
+            if c.tokens >= 1. then begin
+              c.tokens <- c.tokens -. 1.;
+              None
+            end
+            else Some "rate_limited"
+      in
+      let reject_admission c reason =
+        let counter, msg =
+          if reason = "rate_limited" then
+            ( rejected_rate,
+              Printf.sprintf "submit rate above %g/s for this connection"
+                (Option.value rate_limit ~default:0.) )
+          else
+            ( rejected_queue,
+              Printf.sprintf "queue depth at high-water mark %d"
+                (Option.value queue_high_water ~default:0) )
+        in
+        incr counter;
+        Telemetry.counter_add ("service.rejected_" ^ reason) 1;
+        Telemetry.Events.emit "job.rejected"
+          ~attrs:
+            [
+              ("conn", Telemetry.Int c.cid);
+              ("reason", Telemetry.String reason);
+            ];
+        enqueue c
+          (error_event ~event:"rejected"
+             (Core.Diag.error ~stage:"service.admission"
+                ~context:
+                  [ ("reason", reason); ("conn", string_of_int c.cid) ]
+                msg))
+      in
       let handle_line c line =
         Telemetry.counter_add "service.lines_in" 1;
         if String.trim line = "" then ()
@@ -435,12 +509,15 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1) ?on_tick
             match Option.bind (Json.member "op" req) Json.to_str with
             | None -> enqueue c (error_event (protocol_error "missing member op"))
             | Some "submit" -> (
-              match submit_request sched req with
-              | Ok (id, e) ->
-                Hashtbl.replace owners id c;
-                c.owned_jobs <- c.owned_jobs + 1;
-                enqueue c e
-              | Error e -> enqueue c e)
+              match admit c with
+              | Some reason -> reject_admission c reason
+              | None -> (
+                match submit_request sched req with
+                | Ok (id, e) ->
+                  Hashtbl.replace owners id c;
+                  c.owned_jobs <- c.owned_jobs + 1;
+                  enqueue c e
+                | Error e -> enqueue c e))
             | Some "status" -> List.iter (enqueue c) (handle_status sched req)
             | Some "cancel" -> (
               match Option.bind (Json.member "id" req) Json.to_int with
@@ -584,6 +661,8 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1) ?on_tick
                 dead = false;
                 last_in_ms = now;
                 owned_jobs = 0;
+                tokens = bucket_burst;
+                refill_ms = now;
                 opened_ms = now;
               }
             in

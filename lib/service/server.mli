@@ -31,7 +31,8 @@
       including per-priority queue depths ([queued_high] / [queued_normal]
       / [queued_low]) and [cache_hits]; the socket server appends its
       connection counters ([conns_active], [conns_accepted],
-      [conn_errors], [conns_idle_closed], [conns_dropped]);
+      [conn_errors], [conns_idle_closed], [conns_dropped],
+      [rejected_rate_limited], [rejected_high_water]);
     - [health] answers [{"ok":true,"event":"health","status":"ok",
       "uptime_ms":x,"queued":N,...,"in_flight":N,...}] — the liveness
       probe; the socket server appends its connection counters and a
@@ -115,6 +116,8 @@ val serve_socket :
   ?max_conns:int ->
   ?idle_timeout_ms:float ->
   ?connections:int ->
+  ?rate_limit:float ->
+  ?queue_high_water:int ->
   ?on_tick:(unit -> unit) ->
   Scheduler.t ->
   path:string ->
@@ -148,6 +151,18 @@ val serve_socket :
     - {b idle timeout}: with [idle_timeout_ms], a connection with no
       input, no queued output and no job in flight for that long is
       closed (counted in [idle_closed], not an error);
+    - {b admission control}: with [rate_limit], each connection gets a
+      token bucket of [rate_limit] submits/second (burst capacity
+      [max 1. rate_limit]); with [queue_high_water], submits are refused
+      while the shared scheduler queue is at or above that depth.  Either
+      way the client gets the same structured
+      [{"ok":false,"event":"rejected","error":{...}}] line a full
+      scheduler produces, with the error context naming the reason
+      ([rate_limited] or [queue_high_water]); the connection stays up,
+      and the per-reason totals appear in [stats]/[health] replies as
+      [rejected_rate_limited] / [rejected_high_water] (plus
+      [service.rejected_*] telemetry counters and a [job.rejected]
+      event-log entry per refusal);
     - {b graceful shutdown}: once [connections] clients have been served
       and disconnected, any still-queued jobs run to completion (cache
       and stats stay coherent) before the socket is unlinked. *)

@@ -34,7 +34,7 @@ let vdd_of lib =
   | Library.Cnfet_tech t -> t.Device.Cnfet.vdd
   | Library.Cmos_tech t -> t.Device.Mosfet.vdd
 
-let arc ~lib (entry : Library.entry) ~input ~load_inv1x =
+let arc ?variation ~lib (entry : Library.entry) ~input ~load_inv1x =
   let vdd = vdd_of lib in
   let period = 2e-9 in
   let net = Circuit.Netlist.create () in
@@ -105,7 +105,18 @@ let arc ~lib (entry : Library.entry) ~input ~load_inv1x =
       input
   else begin
     let energy = Circuit.Transient.energy_from r vdd_meas /. 3. in
-    let rise_delay_s = d_fall_in and fall_delay_s = d_rise_in in
+    (* The injected sampler applies its slow-corner derate here — the one
+       prepared stat set covers every arc of the cell; without a sampler
+       the delays pass through untouched (the golden test pins that path
+       byte for byte).  Energy is CV^2 work and does not scale with drive
+       current, so it is left alone. *)
+    let derate =
+      match variation with
+      | None -> 1.
+      | Some (v : Device.Variation.sampler) -> v.Device.Variation.slow_derate
+    in
+    let rise_delay_s = d_fall_in *. derate
+    and fall_delay_s = d_rise_in *. derate in
     Ok
       {
         input;
@@ -121,21 +132,21 @@ let arc ~lib (entry : Library.entry) ~input ~load_inv1x =
       }
   end
 
-let all_arcs ~lib entry ~load_inv1x =
+let all_arcs ?variation ~lib entry ~load_inv1x =
   let ( let* ) = Result.bind in
   List.fold_left
     (fun acc input ->
       let* acc = acc in
-      let* a = arc ~lib entry ~input ~load_inv1x in
+      let* a = arc ?variation ~lib entry ~input ~load_inv1x in
       Ok (a :: acc))
     (Ok [])
     (Logic.Expr.inputs entry.Library.fn.Logic.Cell_fun.core)
   |> Result.map List.rev
 
-let all_arcs_exn ~lib entry ~load_inv1x =
-  Core.Diag.ok_exn (all_arcs ~lib entry ~load_inv1x)
+let all_arcs_exn ?variation ~lib entry ~load_inv1x =
+  Core.Diag.ok_exn (all_arcs ?variation ~lib entry ~load_inv1x)
 
-let sweep ?pool ~lib (entry : Library.entry) ~loads =
+let sweep ?pool ?variation ~lib (entry : Library.entry) ~loads =
   if loads = [] then
     Core.Diag.fail ~stage:"characterize"
       ~context:[ ("cell", entry.Library.cell_name) ]
@@ -149,7 +160,7 @@ let sweep ?pool ~lib (entry : Library.entry) ~loads =
         "negative load point %d in sweep" l
     | None ->
       let points = Array.of_list loads in
-      let at i = all_arcs ~lib entry ~load_inv1x:points.(i) in
+      let at i = all_arcs ?variation ~lib entry ~load_inv1x:points.(i) in
       let results =
         (* every point is a pure function of its load, so pool scheduling
            cannot change the result array — only how fast it fills *)

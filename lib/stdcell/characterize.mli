@@ -19,20 +19,30 @@ val sensitize : Logic.Cell_fun.t -> input:string -> (string * bool) list
 (** Side-input values under which the output toggles when [input] toggles.
     @raise Not_found when the input cannot control the output. *)
 
-val arc : lib:Library.t -> Library.entry -> input:string -> load_inv1x:int
+val arc : ?variation:Device.Variation.sampler -> lib:Library.t
+  -> Library.entry -> input:string -> load_inv1x:int
   -> (arc, Core.Diag.t) result
 (** Simulate one pin.  An output that never switches is a [Diag] error
-    naming the cell and the pin. *)
+    naming the cell and the pin.
 
-val all_arcs : lib:Library.t -> Library.entry -> load_inv1x:int
-  -> (arc list, Core.Diag.t) result
+    [?variation] injects a {e prepared} variation sampler (one
+    {!Device.Variation.prepare_sampler} per device geometry, shared by
+    every arc) whose slow-corner derate multiplies the measured delays —
+    the arc never re-derives device statistics itself.  Without the
+    argument the result is byte-identical to the pre-sampler code path
+    (pinned by a golden test); a {!Device.Variation.neutral_sampler}
+    (derate exactly 1.0) is also byte-identical. *)
+
+val all_arcs : ?variation:Device.Variation.sampler -> lib:Library.t
+  -> Library.entry -> load_inv1x:int -> (arc list, Core.Diag.t) result
 (** One arc per input pin; the first failing pin aborts with its error. *)
 
-val all_arcs_exn : lib:Library.t -> Library.entry -> load_inv1x:int
-  -> arc list
+val all_arcs_exn : ?variation:Device.Variation.sampler -> lib:Library.t
+  -> Library.entry -> load_inv1x:int -> arc list
 (** {!all_arcs}, raising [Core.Diag.Failure].  CLI/test boundary shim. *)
 
-val sweep : ?pool:Parallel.Pool.t -> lib:Library.t -> Library.entry
+val sweep : ?pool:Parallel.Pool.t -> ?variation:Device.Variation.sampler
+  -> lib:Library.t -> Library.entry
   -> loads:int list -> ((int * arc list) list, Core.Diag.t) result
 (** Characterize the cell at every load point, in the order given:
     [(load, arcs)] per point.  A zero load measures the unloaded cell

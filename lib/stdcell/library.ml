@@ -13,6 +13,7 @@ type entry = {
 type t = {
   lib_name : string;
   rules : Pdk.Rules.t;
+  pitch_nm : float;
   entries : entry list;
 }
 
@@ -20,9 +21,9 @@ let base_width_lambda = Pdk.Rules.default.Pdk.Rules.min_width
 
 let optimal_pitch_nm = 5.0
 
-let tubes_for _tech ~rules ~width_lambda =
+let tubes_for ?(pitch_nm = optimal_pitch_nm) _tech ~rules ~width_lambda =
   let width_nm = Pdk.Rules.nm_of_lambda rules width_lambda in
-  max 1 (1 + int_of_float (Float.round (width_nm /. optimal_pitch_nm)))
+  max 1 (1 + int_of_float (Float.round (width_nm /. pitch_nm)))
 
 let factory t ~polarity ~width_lambda ~name =
   match
@@ -33,7 +34,9 @@ let factory t ~polarity ~width_lambda ~name =
     match e.technology with
     | Cnfet_tech tech ->
       let width_nm = Pdk.Rules.nm_of_lambda t.rules width_lambda in
-      let tubes = tubes_for tech ~rules:t.rules ~width_lambda in
+      let tubes =
+        tubes_for ~pitch_nm:t.pitch_nm tech ~rules:t.rules ~width_lambda
+      in
       Device.Cnfet.make tech ~name ~polarity ~tubes ~width_nm ()
     | Cmos_tech tech ->
       let scale =
@@ -77,7 +80,15 @@ let collect xs =
     (Ok []) xs
   |> Result.map List.rev
 
-let build ~lib_name ~rules ~technology ~style ~drives =
+let build ?(pitch_nm = optimal_pitch_nm) ~lib_name ~rules ~technology ~style
+    ~drives () =
+  let* () =
+    if pitch_nm > 0. && Float.is_finite pitch_nm then Ok ()
+    else
+      Core.Diag.failf ~stage:"library"
+        ~context:[ ("pitch_nm", string_of_float pitch_nm) ]
+        "CNT pitch must be positive and finite"
+  in
   (* Cells that synthesis maps at every requested drive; the rest of the
      catalog is built at drive 1 only.  AOI21/OAI21 and the complemented-pin
      XOR2/MUX2 join INV/NAND2 here so generated netlists (multipliers,
@@ -111,7 +122,7 @@ let build ~lib_name ~rules ~technology ~style ~drives =
            else Some (entry_of ~rules ~technology ~style fn 1))
          catalog)
   in
-  Ok { lib_name; rules; entries = sized @ table1 }
+  Ok { lib_name; rules; pitch_nm; entries = sized @ table1 }
 
 let relabel lib_name r =
   Result.map_error
@@ -121,19 +132,19 @@ let relabel lib_name r =
     r
 
 let cnfet ?(tech = Device.Cnfet.default_tech) ?(rules = Pdk.Rules.default)
-    ~drives () =
+    ?pitch_nm ~drives () =
   relabel "cnfet65"
-    (build ~lib_name:"cnfet65" ~rules ~technology:(Cnfet_tech tech)
-       ~style:Layout.Cell.Immune_new ~drives)
+    (build ?pitch_nm ~lib_name:"cnfet65" ~rules ~technology:(Cnfet_tech tech)
+       ~style:Layout.Cell.Immune_new ~drives ())
 
-let cnfet_exn ?tech ?rules ~drives () =
-  Core.Diag.ok_exn (cnfet ?tech ?rules ~drives ())
+let cnfet_exn ?tech ?rules ?pitch_nm ~drives () =
+  Core.Diag.ok_exn (cnfet ?tech ?rules ?pitch_nm ~drives ())
 
 let cmos ?(tech = Device.Mosfet.default_tech) ?(rules = Pdk.Rules.default)
     ~drives () =
   relabel "cmos65"
     (build ~lib_name:"cmos65" ~rules ~technology:(Cmos_tech tech)
-       ~style:Layout.Cell.Cmos ~drives)
+       ~style:Layout.Cell.Cmos ~drives ())
 
 let cmos_exn ?tech ?rules ~drives () =
   Core.Diag.ok_exn (cmos ?tech ?rules ~drives ())

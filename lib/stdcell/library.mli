@@ -21,30 +21,42 @@ type entry = {
 type t = {
   lib_name : string;
   rules : Pdk.Rules.t;
+  pitch_nm : float;
+      (** CNT pitch the {!factory} populates devices at; {!optimal_pitch_nm}
+          unless the builder was given a processing knob *)
   entries : entry list;
 }
 
 val base_width_lambda : int
 (** Unit transistor width of INV1X (the rules' minimum width). *)
 
-val tubes_for : Device.Cnfet.tech -> rules:Pdk.Rules.t -> width_lambda:int -> int
-(** Tube count at the technology's optimal pitch for a gate of the given
-    drawn width (at least one tube). *)
+val optimal_pitch_nm : float
+(** The default inter-CNT pitch (nm) — the screening-optimal density the
+    paper's comparisons assume. *)
+
+val tubes_for : ?pitch_nm:float -> Device.Cnfet.tech -> rules:Pdk.Rules.t
+  -> width_lambda:int -> int
+(** Tube count at the given CNT pitch (default {!optimal_pitch_nm}) for a
+    gate of the given drawn width (at least one tube).  [pitch_nm] is the
+    processing density knob: sparser growth means fewer tubes under the
+    same drawn gate. *)
 
 val factory : t -> Gate_netlist.factory
 (** Transistor factory for the library's technology; CNFET widths are
     populated with tubes at the optimal pitch, CMOS pMOS widths are scaled
     by the rules' P/N ratio. *)
 
-val cnfet : ?tech:Device.Cnfet.tech -> ?rules:Pdk.Rules.t -> drives:int list
-  -> unit -> (t, Core.Diag.t) result
+val cnfet : ?tech:Device.Cnfet.tech -> ?rules:Pdk.Rules.t -> ?pitch_nm:float
+  -> drives:int list -> unit -> (t, Core.Diag.t) result
 (** CNFET library over INV and NAND2 plus the Table 1 catalog at drive 1,
     and all [drives] for INV/NAND2 (the full-adder case study sizes).
-    Invalid drives (and any cell-construction failure) arrive as [Diag]
-    errors. *)
+    [pitch_nm] (default {!optimal_pitch_nm}) sets the grown CNT pitch the
+    factory populates devices at — the DSE engine's density knob.
+    Invalid drives, a non-positive pitch (and any cell-construction
+    failure) arrive as [Diag] errors. *)
 
 val cnfet_exn : ?tech:Device.Cnfet.tech -> ?rules:Pdk.Rules.t
-  -> drives:int list -> unit -> t
+  -> ?pitch_nm:float -> drives:int list -> unit -> t
 (** {!cnfet}, raising [Core.Diag.Failure].  CLI/test boundary shim. *)
 
 val cmos : ?tech:Device.Mosfet.tech -> ?rules:Pdk.Rules.t -> drives:int list

@@ -147,6 +147,7 @@ let () =
       ("cnfet", Test_cnfet.suite);
       ("extensions", Test_extensions.suite);
       ("testgen", Test_testgen.suite);
+      ("dse", Test_dse.suite);
       ("service", Test_service.suite);
       ("integration", suite);
     ]
