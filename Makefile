@@ -19,17 +19,21 @@ smoke:
 bench:
 	dune exec bench/main.exe -- mcscale
 
-# Perf ratchet: rerun the scale and dse bench smokes and compare each
-# against its committed BENCH_*.json (median-normalized, >15% regression
-# fails).  The dse bench also asserts adaptive-vs-exhaustive front
+# Perf ratchet: rerun the bench behind every *committed* BENCH_*.json
+# and compare fresh against baseline (median-normalized, >15% regression
+# fails).  The bench name is the file name minus the BENCH_/.json
+# wrapping, so committing a new ledger automatically adds it to the
+# gate.  The dse bench also asserts adaptive-vs-exhaustive front
 # equality and the <= 50% evaluation budget.
 perf-check:
-	git show HEAD:BENCH_scale.json > _bench_baseline.json
-	SCALE_SIZES=1000 dune exec bench/main.exe -- scale
-	dune exec bench/check_regression.exe -- _bench_baseline.json BENCH_scale.json
-	git show HEAD:BENCH_dse.json > _bench_baseline.json
-	dune exec bench/main.exe -- dse
-	dune exec bench/check_regression.exe -- _bench_baseline.json BENCH_dse.json
+	@set -e; \
+	for f in $$(git ls-files 'BENCH_*.json'); do \
+	  name=$${f#BENCH_}; name=$${name%.json}; \
+	  echo "== perf ratchet: $$name =="; \
+	  git show HEAD:$$f > _bench_baseline.json; \
+	  SCALE_SIZES=1000 dune exec bench/main.exe -- $$name; \
+	  dune exec bench/check_regression.exe -- _bench_baseline.json $$f; \
+	done; \
 	rm -f _bench_baseline.json
 
 # Formatting gate: uses ocamlformat via dune when installed; otherwise

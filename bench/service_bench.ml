@@ -66,4 +66,39 @@ let run () =
             [ cold; warm ]))
       [ 1; 4 ]
   in
-  Bench_json.write ~bench:"service" records
+  (* the durability tax: the same cold batch with the write-ahead journal
+     on (one fsync per submission and per settlement).  Throughput is
+     dominated by the campaigns themselves, so this row mostly guards
+     against the journal accidentally serializing something expensive. *)
+  let journal_record =
+    let dir = Filename.concat "_artifacts" "bench_journal" in
+    let path = Filename.concat dir "journal.ndjson" in
+    if Sys.file_exists path then Sys.remove path;
+    let config =
+      {
+        Service.Scheduler.default_config with
+        domains = 1;
+        journal = Some path;
+      }
+    in
+    Service.Scheduler.with_scheduler ~config (fun sched ->
+        let dt = batch sched in
+        let appends =
+          match Service.Scheduler.journal_info sched with
+          | Some ji -> ji.Service.Scheduler.ji_appends
+          | None -> 0
+        in
+        Printf.printf "  %8d %6s %10.3f %10.1f %11s\n" 1 "jrnl" dt
+          (float_of_int n /. Float.max 1e-9 dt)
+          (Printf.sprintf "%d appends" appends);
+        Bench_json.entry
+          ~extras:
+            [
+              ("domains", 1.);
+              ("jobs", float_of_int n);
+              ("journal_appends", float_of_int appends);
+            ]
+          ~name:"service.cold.journal" ~wall_ms:(1000. *. dt)
+          ~throughput:(float_of_int n /. Float.max 1e-9 dt) ())
+  in
+  Bench_json.write ~bench:"service" (records @ [ journal_record ])

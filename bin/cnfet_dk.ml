@@ -724,9 +724,25 @@ let serve_cmd =
                    transitions, cache hits, rejections, connection \
                    errors), each with its trace id.")
   in
+  let journal =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Write-ahead journal: fsync every accepted submission \
+                 and every settlement to $(docv), and on startup replay \
+                 it against the result cache — completed jobs rehydrate \
+                 the ledger, interrupted ones re-enqueue and re-run \
+                 bit-identically.  A kill -9 mid-batch loses nothing.")
+  in
+  let workers =
+    Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N"
+           ~doc:"Shard job execution across $(docv) child worker \
+                 processes (0 = run jobs in-process).  A worker that \
+                 dies mid-job is respawned and its job requeued; \
+                 duplicate in-flight digests are deduplicated, not \
+                 double-run.")
+  in
   let run domains capacity cache_dir no_cache socket connections max_conns
-      idle_timeout_ms rate_limit queue_high_water replay metrics_out
-      event_log telemetry trace_out =
+      idle_timeout_ms rate_limit queue_high_water replay journal workers
+      metrics_out event_log telemetry trace_out =
     or_diag_exit @@ fun () ->
     (* the serving layer is always observable: metrics/health/event ops
        must answer with data whether or not a summary was asked for *)
@@ -778,22 +794,55 @@ let serve_cmd =
         clock =
           (if replay then Service.Scheduler.Virtual
            else Service.Scheduler.Wall);
+        journal;
       }
     in
     Service.Scheduler.with_scheduler ~config (fun sched ->
-        match socket with
-        | Some path ->
-          let st =
-            Service.Server.serve_socket ~max_conns ?idle_timeout_ms
-              ?rate_limit ?queue_high_water ~connections ?on_tick sched
-              ~path
-          in
-          (* the summary goes to stderr: stdout is pure NDJSON *)
-          Printf.eprintf
-            "serve: %d connections, %d errors, %d idle-closed, %d dropped\n%!"
-            st.Service.Server.accepted st.Service.Server.conn_errors
-            st.Service.Server.idle_closed st.Service.Server.dropped
-        | None -> Service.Server.serve ?on_tick sched stdin stdout);
+        (match journal with
+        | None -> ()
+        | Some _ ->
+          (match Service.Scheduler.recover sched with
+          | Ok r ->
+            Printf.eprintf
+              "serve: journal recovered %d settled, %d requeued%s\n%!"
+              r.Service.Scheduler.rec_settled r.Service.Scheduler.rec_requeued
+              (if r.Service.Scheduler.rec_truncated then
+                 " (torn trailing record discarded)"
+               else "")
+          | Error d -> raise (Core.Diag.Failure d)));
+        let pool =
+          if workers <= 0 then None
+          else
+            Some
+              (Service.Workers.create
+                 ~argv:
+                   [|
+                     Sys.executable_name; "worker"; "--domains";
+                     string_of_int domains;
+                   |]
+                 ~n:workers)
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            match pool with
+            | Some w -> Service.Workers.shutdown w
+            | None -> ())
+          (fun () ->
+            match socket with
+            | Some path ->
+              let st =
+                Service.Server.serve_socket ~max_conns ?idle_timeout_ms
+                  ?rate_limit ?queue_high_water ~connections ?on_tick
+                  ?workers:pool sched ~path
+              in
+              (* the summary goes to stderr: stdout is pure NDJSON *)
+              Printf.eprintf
+                "serve: %d connections, %d errors, %d idle-closed, %d dropped\n%!"
+                st.Service.Server.accepted st.Service.Server.conn_errors
+                st.Service.Server.idle_closed st.Service.Server.dropped
+            | None ->
+              Service.Server.serve ?on_tick ?workers:pool sched stdin
+                stdout));
     (match metrics_out with Some path -> dump_metrics path | None -> ());
     (match event_sink with
     | Some oc ->
@@ -827,8 +876,40 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ domains $ capacity $ cache_dir $ no_cache $ socket
           $ connections $ max_conns $ idle_timeout_ms $ rate_limit
-          $ queue_high_water $ replay $ metrics_out $ event_log
-          $ telemetry_arg $ trace_out_arg)
+          $ queue_high_water $ replay $ journal $ workers $ metrics_out
+          $ event_log $ telemetry_arg $ trace_out_arg)
+
+(* worker: the child end of `serve --workers N`.  A plain stdio NDJSON
+   server with no cache dir and no journal of its own — the parent owns
+   both; the child only executes.  Usable standalone for debugging:
+   `echo '{"op":"submit",...}' | cnfet_dk worker`. *)
+
+let worker_cmd =
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for intra-job parallelism.")
+  in
+  let run domains =
+    or_diag_exit @@ fun () ->
+    let config =
+      {
+        Service.Scheduler.default_config with
+        domains;
+        (* the parent deduplicates, caches and journals; a private disk
+           cache here would race the parent's writes *)
+        cache_dir = None;
+      }
+    in
+    Service.Scheduler.with_scheduler ~config (fun sched ->
+        Service.Server.serve sched stdin stdout);
+    0
+  in
+  let doc =
+    "Run one worker process for $(b,serve --workers): an NDJSON job \
+     executor on stdin/stdout with no persistent cache (the parent owns \
+     caching, dedup and the journal)."
+  in
+  Cmd.v (Cmd.info "worker" ~doc) Term.(const run $ domains)
 
 (* top: a polling live monitor over a serve socket.  One connection, one
    {"op":"health"} + {"op":"metrics"} round per refresh; quantiles are
@@ -1020,4 +1101,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ layout_cmd; fault_cmd; test_gen_cmd; dse_cmd; table1_cmd;
-            characterize_cmd; flow_cmd; fo4_cmd; serve_cmd; top_cmd ]))
+            characterize_cmd; flow_cmd; fo4_cmd; serve_cmd; worker_cmd;
+            top_cmd ]))

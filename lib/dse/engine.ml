@@ -8,6 +8,7 @@ type config = {
   batch : int;
   z : float;
   eps : float;
+  margin : float;
   variation_samples : int;
   seed : int;
   adaptive : bool;
@@ -24,6 +25,7 @@ let default ~cell =
     batch = 40;
     z = 3.0;
     eps = 0.02;
+    margin = 0.04;
     variation_samples = 400;
     seed = 42;
     adaptive = true;
@@ -100,6 +102,10 @@ let validate (config : config) =
   let* () =
     if config.eps > 0. && Float.is_finite config.eps then Ok ()
     else fail "eps = %g must be positive and finite" config.eps
+  in
+  let* () =
+    if config.margin >= 0. && Float.is_finite config.margin then Ok ()
+    else fail "margin = %g must be non-negative and finite" config.margin
   in
   let* () =
     if config.variation_samples >= 1 then Ok ()
@@ -211,8 +217,9 @@ let run_on ~pool (config : config) =
      exhaustive evaluation); (3) certainty — even if every remaining
      trial survived, the final yield could not reach [threshold], so the
      point is provably dominated by the running front.  Rule 3 is the
-     only front-dependent rule, and it can only stop points the
-     exhaustive front would discard anyway. *)
+     only front-dependent rule; its bar is already discounted by the bar
+     point's own noise band (see [noise_band]), so a challenger within MC
+     noise of the bar is never stopped by it. *)
   let yield_mc ~icfg ~(m : mc_point) ~metallic_yield ~threshold =
     let rec go n fails =
       let p_max =
@@ -262,13 +269,22 @@ let run_on ~pool (config : config) =
     in
     front := fst (Pareto.front ~objectives candidates)
   in
-  (* Best front yield at no worse delay and energy: the bar a point must
-     provably clear to stay alive under rule 3. *)
+  (* The noise band of an evaluation: how far its sampled yield may sit
+     below its true yield, as witnessed by its own Wilson upper bound,
+     capped at [margin].  Deterministic campaigns (immune styles: every
+     trial survives, so the upper bound pins to the estimate) get a band
+     of exactly 0 — the noise machinery costs them nothing. *)
+  let noise_band e = Float.min config.margin (e.yield_hi -. e.yield_) in
+  (* Best front yield at no worse delay and energy, each bar discounted
+     by its own noise band: the bar a point must provably clear to stay
+     alive under rule 3.  Without the discount a bar whose MC draw came
+     in high prunes a challenger the exhaustive front keeps (the §5i
+     near-tie caveat). *)
   let threshold_for ~delay_ps ~energy_fj =
     List.fold_left
       (fun acc f ->
         if f.delay_ps <= delay_ps && f.energy_fj <= energy_fj then
-          Float.max acc f.yield_
+          Float.max acc (f.yield_ -. noise_band f)
         else acc)
       Float.neg_infinity !front
   in
@@ -391,6 +407,26 @@ let run_on ~pool (config : config) =
                   nidx.(a) <- v;
                   nidx)))
   in
+  (* The greedy walk expands neighbours of the running front.  With MC
+     noise, a true front point can hide behind a neighbour whose sampled
+     yield lost a near-tie — the walk then stops one cell short of it
+     (the §5i caveat).  So the walk is seeded from every {e near-tied}
+     evaluation too: a point whose yield, credited its own noise band,
+     would be non-dominated still gets its neighbours explored.  Front
+     members trivially qualify, so this widens the seed set — but only on
+     noisy (vulnerable-style) campaigns, where the band is non-zero. *)
+  let walk_seeds () =
+    let near e =
+      (not e.pruned)
+      &&
+      let boosted =
+        [| e.delay_ps; e.energy_fj; -.(e.yield_ +. noise_band e) |]
+      in
+      not
+        (List.exists (fun f -> Pareto.dominates (objectives f) boosted) !front)
+    in
+    List.filter near (List.rev !evaluated_rev)
+  in
   if not config.adaptive then
     eval_round ~level:0 (grid_at_level 0)
   else begin
@@ -401,7 +437,7 @@ let run_on ~pool (config : config) =
     while not !finished do
       let l = !level in
       let candidates =
-        List.concat_map (neighbours_at_level l) !front
+        List.concat_map (neighbours_at_level l) (walk_seeds ())
         |> List.filter (fun idx ->
                not (Hashtbl.mem by_ordinal (Knobs.ordinal space idx)))
         |> by_ord_sorted

@@ -23,10 +23,15 @@
       narrower than [eps] — a {e point-pure} rule, shared verbatim by the
       exhaustive path — or (b) its {e certainty} upper bound (all
       remaining trials succeed) falls below the best front yield at no
-      worse delay and energy.  Rule (b) only fires when the point is
-      {e provably} dominated, which is what makes the adaptive front equal
-      to the exhaustive one by construction, not just with high
-      probability.
+      worse delay and energy, each bar discounted by its {e noise band}:
+      the gap between the bar point's sampled yield and its own Wilson
+      upper bound, capped at [margin].  A bar whose MC draw came in high
+      can otherwise prune (and hide from the refinement walk) a
+      challenger the exhaustive front keeps — the §5i near-tie caveat.
+      The same band seeds the refinement walk: a point within its band
+      of being non-dominated still has its neighbours explored.  On
+      deterministic (immune-style) campaigns every band is exactly 0, so
+      the noise machinery changes nothing there.
 
     {2 Determinism}
 
@@ -46,6 +51,11 @@ type config = {
   batch : int;  (** trials evaluated between stop-rule checks *)
   z : float;  (** Wilson interval z-score *)
   eps : float;  (** precision stop: scaled CI half-width target *)
+  margin : float;
+      (** cap on the per-point noise band [min margin (yield_hi - yield)]
+          used to discount certainty-prune bars and to widen the
+          refinement walk's seed set (>= 0; 0 restores the pre-band
+          greedy walk, keep >= 2 eps to cover MC near-ties) *)
   variation_samples : int;  (** MC samples behind each prepared sampler *)
   seed : int;
   adaptive : bool;  (** refinement + front pruning; off = full fine grid *)
@@ -53,8 +63,8 @@ type config = {
 
 val default : cell:string -> config
 (** Vulnerable style over {!Knobs.default_space}: load 2, 400 trials max
-    (min 40, batches of 40), z = 3, eps = 0.02, 400 variation samples,
-    seed 42, adaptive on. *)
+    (min 40, batches of 40), z = 3, eps = 0.02, margin = 0.04, 400
+    variation samples, seed 42, adaptive on. *)
 
 type eval = {
   point : Knobs.point;

@@ -8,6 +8,7 @@ type config = {
   cache_dir : string option;
   clock : clock_mode;
   default_cost_ms : float;
+  journal : string option;
 }
 
 let default_config =
@@ -17,6 +18,7 @@ let default_config =
     cache_dir = None;
     clock = Wall;
     default_cost_ms = 1.0;
+    journal = None;
   }
 
 type terminal =
@@ -91,6 +93,16 @@ type t = {
   mutable expired_count : int;
   mutable rejected_count : int;
   mutable closed : bool;
+  (* write-ahead journal (config.journal); None when unconfigured or
+     after an append failure disabled it *)
+  mutable jnl : Journal.t option;
+  mutable jnl_settled : int;  (* settled submissions seen by recover *)
+  mutable jnl_requeued : int;  (* pending submissions re-enqueued *)
+  mutable jnl_truncated : bool;  (* recover discarded a torn tail *)
+  mutable jnl_compactions : int;
+  (* jobs handed out through next_dispatch and not yet completed or
+     requeued: id -> queue wait at dispatch *)
+  dispatched : (int, float) Hashtbl.t;
 }
 
 let stage = "service.scheduler"
@@ -130,12 +142,46 @@ let mkdir_p dir =
   in
   build dir
 
+(* [cache_store] writes through [<digest>.json.tmp.<pid>]; a writer that
+   died between creating the tmp and renaming it leaves an orphan no one
+   will ever read.  Swept when the cache directory is (re)opened. *)
+let sweep_orphan_tmps dir =
+  let is_tmp name =
+    (* matches "<digest>.json.tmp.<pid>" without matching digests *)
+    let rec find i =
+      if i + 5 > String.length name then false
+      else if String.sub name i 5 = ".tmp." then true
+      else find (i + 1)
+    in
+    find 0
+  in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+    Array.iter
+      (fun name ->
+        if is_tmp name then
+          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+      names
+
 let create ?(config = default_config) () =
   if config.domains < 1 then
     invalid_arg "Scheduler.create: domains must be >= 1";
   if config.capacity < 1 then
     invalid_arg "Scheduler.create: capacity must be >= 1";
-  Option.iter mkdir_p config.cache_dir;
+  Option.iter
+    (fun dir ->
+      mkdir_p dir;
+      sweep_orphan_tmps dir)
+    config.cache_dir;
+  let jnl =
+    match config.journal with
+    | None -> None
+    | Some path -> (
+      match Journal.open_append path with
+      | Ok j -> Some j
+      | Error d -> raise (Core.Diag.Failure d))
+  in
   {
     config;
     lock = Mutex.create ();
@@ -159,12 +205,21 @@ let create ?(config = default_config) () =
     expired_count = 0;
     rejected_count = 0;
     closed = false;
+    jnl;
+    jnl_settled = 0;
+    jnl_requeued = 0;
+    jnl_truncated = false;
+    jnl_compactions = 0;
+    dispatched = Hashtbl.create 8;
   }
 
 let shutdown t =
   Mutex.lock t.lock;
   let was_closed = t.closed in
   t.closed <- true;
+  (* closing never truncates or compacts: the on-disk journal must look
+     exactly like a crash left it, so recovery has one code path *)
+  Option.iter Journal.close t.jnl;
   Mutex.unlock t.lock;
   (* join the pool outside the lock: a worker must never need it, but a
      status query racing the shutdown should not block on the join *)
@@ -203,6 +258,14 @@ let fresh_trace_id id job =
     String.sub hex 0 (min 8 (String.length hex))
   in
   Printf.sprintf "t%d-%s" id prefix
+
+let jappend t entry = Option.iter (fun j -> Journal.append j entry) t.jnl
+
+let outcome_string = function
+  | Done _ -> "done"
+  | Failed _ -> "failed"
+  | Cancelled -> "cancelled"
+  | Expired _ -> "expired"
 
 let submit t ?(priority = Normal) ?deadline_ms ?cost_ms ?trace_id job =
   let reject t d = reject t ?trace_id ~job d in
@@ -262,6 +325,19 @@ let submit t ?(priority = Normal) ?deadline_ms ?cost_ms ?trace_id job =
           t.queued_count <- t.queued_count + 1;
           let ci = class_index priority in
           t.queued_by.(ci) <- t.queued_by.(ci) + 1;
+          (* the WAL write happens before the submission is acknowledged:
+             an accepted job survives a crash *)
+          jappend t
+            (Journal.Submit
+               {
+                 sid = id;
+                 sjob = job;
+                 sdigest = Job.digest job;
+                 strace = jtrace;
+                 spriority = priority_string priority;
+                 sdeadline_ms = deadline_ms;
+                 scost_ms = cost_ms;
+               });
           Telemetry.counter_add "service.submitted" 1;
           Telemetry.Events.emit ~trace_id:jtrace "job.submitted"
             ~attrs:
@@ -285,6 +361,13 @@ let cancel t id =
       let ci = class_index r.jpriority in
       t.queued_by.(ci) <- t.queued_by.(ci) - 1;
       t.cancelled_count <- t.cancelled_count + 1;
+      jappend t
+        (Journal.Settle
+           {
+             tid = r.jid;
+             tdigest = Job.digest r.jjob;
+             toutcome = "cancelled";
+           });
       Telemetry.counter_add "service.cancelled" 1;
       Telemetry.Events.emit ~trace_id:r.jtrace "job.cancelled"
         ~attrs:[ ("id", Telemetry.Int r.jid) ];
@@ -329,14 +412,19 @@ let cache_store t digest result =
   match cache_path t digest with
   | None -> ()
   | Some path -> (
-    try
-      let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+    let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+    match
       let oc = open_out_bin tmp in
       Fun.protect
         ~finally:(fun () -> close_out_noerr oc)
         (fun () -> output_string oc (Json.to_string result));
       Sys.rename tmp path
-    with Sys_error _ | Unix.Unix_error _ -> ())
+    with
+    | () -> ()
+    | exception (Sys_error _ | Unix.Unix_error _) ->
+      (* the write (or the rename) failed mid-way: the half-written tmp
+         must not outlive the attempt *)
+      (try Sys.remove tmp with Sys_error _ -> ()))
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                          *)
@@ -358,6 +446,13 @@ let dequeue t =
 
 let finish t r outcome ~queue_wait_ms =
   r.jstate <- Finished outcome;
+  jappend t
+    (Journal.Settle
+       {
+         tid = r.jid;
+         tdigest = Job.digest r.jjob;
+         toutcome = outcome_string outcome;
+       });
   let event, extra =
     match outcome with
     | Done { cached; _ } ->
@@ -466,6 +561,273 @@ let run_next t =
     Some completion
 
 (* ------------------------------------------------------------------ *)
+(* Out-of-process dispatch: the worker-sharding server pops jobs with
+   [next_dispatch] instead of [run_next], ships them to a child process,
+   and settles them with [complete_dispatch] — or puts them back with
+   [requeue_dispatch] when the child dies mid-job.  The dequeue policy,
+   the deadline check, the cache and the journal are exactly the
+   in-process ones; only the execution happens elsewhere. *)
+
+type dispatch =
+  | Run of {
+      disp_id : int;
+      disp_job : Job.t;
+      disp_digest : string;
+      disp_trace : string;
+    }
+  | Resolved of completion
+
+let next_dispatch t =
+  match dequeue t with
+  | None -> None
+  | Some r ->
+    t.queued_count <- t.queued_count - 1;
+    let ci = class_index r.jpriority in
+    t.queued_by.(ci) <- t.queued_by.(ci) - 1;
+    let queue_wait_ms = now_ms t -. r.arrival_ms in
+    Telemetry.histogram_observe "service.queue_wait_ms" ~buckets:wait_buckets
+      queue_wait_ms;
+    Some
+      (match r.deadline_ms with
+      | Some d when queue_wait_ms > d ->
+        Resolved
+          (finish t r (Expired { late_ms = queue_wait_ms -. d }) ~queue_wait_ms)
+      | _ -> (
+        let digest = Job.digest r.jjob in
+        match cache_lookup t digest with
+        | Some result ->
+          t.cache_hits <- t.cache_hits + 1;
+          Telemetry.counter_add "service.cache_hits" 1;
+          Telemetry.Events.emit ~trace_id:r.jtrace "job.cache_hit"
+            ~attrs:
+              [
+                ("id", Telemetry.Int r.jid);
+                ("digest", Telemetry.String digest);
+              ];
+          Resolved
+            (finish t r (Done { cached = true; wall_ms = 0.; result })
+               ~queue_wait_ms)
+        | None ->
+          r.jstate <- Running;
+          Hashtbl.replace t.dispatched r.jid queue_wait_ms;
+          Telemetry.Events.emit ~trace_id:r.jtrace "job.started"
+            ~attrs:
+              [
+                ("id", Telemetry.Int r.jid);
+                ("queue_wait_ms", Telemetry.Float queue_wait_ms);
+              ];
+          Run
+            {
+              disp_id = r.jid;
+              disp_job = r.jjob;
+              disp_digest = digest;
+              disp_trace = r.jtrace;
+            }))
+
+let complete_dispatch t id ?(wall_ms = 0.) result =
+  match Hashtbl.find_opt t.jobs id with
+  | None -> None
+  | Some r ->
+    if r.jstate <> Running || not (Hashtbl.mem t.dispatched id) then None
+    else begin
+      let queue_wait_ms =
+        Option.value ~default:0. (Hashtbl.find_opt t.dispatched id)
+      in
+      Hashtbl.remove t.dispatched id;
+      t.executed <- t.executed + 1;
+      advance t r.cost_ms;
+      match result with
+      | Ok result ->
+        cache_store t (Job.digest r.jjob) result;
+        Some
+          (finish t r (Done { cached = false; wall_ms; result }) ~queue_wait_ms)
+      | Error d -> Some (finish t r (Failed d) ~queue_wait_ms)
+    end
+
+let requeue_dispatch t id =
+  match Hashtbl.find_opt t.jobs id with
+  | None -> ()
+  | Some r ->
+    if r.jstate = Running && Hashtbl.mem t.dispatched id then begin
+      Hashtbl.remove t.dispatched id;
+      r.jstate <- Queued;
+      (* back of its class FIFO: re-arrivals queue behind their peers,
+         and the journal still holds the unsettled Submit record *)
+      Queue.push r (queue_for t r.jpriority);
+      t.queued_count <- t.queued_count + 1;
+      let ci = class_index r.jpriority in
+      t.queued_by.(ci) <- t.queued_by.(ci) + 1;
+      Telemetry.counter_add "service.requeued" 1;
+      Telemetry.Events.emit ~trace_id:r.jtrace "job.requeued"
+        ~attrs:[ ("id", Telemetry.Int r.jid) ]
+    end
+
+let dispatched_count t = Hashtbl.length t.dispatched
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery: replay the journal against the persisted digest
+   cache.  Settled submissions whose results the cache still holds
+   rehydrate the ledger as finished records (fresh ids — pre-crash ids
+   belong to pre-crash clients); unsettled ones — and settled ones whose
+   results are gone — re-enqueue in original order, which preserves the
+   per-class FIFO discipline.  Determinism makes the re-runs exact: a
+   re-executed job produces the byte-identical result document.  The
+   pass ends with a compaction: the journal is rewritten to hold exactly
+   the still-pending submissions. *)
+
+type recovery = {
+  rec_settled : int;
+  rec_requeued : int;
+  rec_truncated : bool;
+}
+
+let recover t =
+  match t.config.journal with
+  | None -> Ok { rec_settled = 0; rec_requeued = 0; rec_truncated = false }
+  | Some path -> (
+    match Journal.load path with
+    | Error d -> Error d
+    | Ok { Journal.entries; truncated } ->
+      (* the handle is reopened after the compaction rewrite below *)
+      Option.iter Journal.close t.jnl;
+      t.jnl <- None;
+      let settled : (int, string) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (function
+          | Journal.Settle { tid; toutcome; _ } ->
+            Hashtbl.replace settled tid toutcome
+          | Journal.Submit _ -> ())
+        entries;
+      let nsettled = ref 0 and nrequeued = ref 0 in
+      let pending = ref [] in
+      List.iter
+        (function
+          | Journal.Settle _ -> ()
+          | Journal.Submit
+              { sid; sjob; sdigest; strace; spriority; sdeadline_ms; scost_ms }
+            ->
+            let id = t.next_id in
+            t.next_id <- id + 1;
+            let priority =
+              Option.value ~default:Normal (priority_of_string spriority)
+            in
+            let jrec jstate =
+              {
+                jid = id;
+                jjob = sjob;
+                jpriority = priority;
+                jtrace = strace;
+                arrival_ms = now_ms t;
+                deadline_ms = sdeadline_ms;
+                cost_ms = Option.value scost_ms ~default:t.config.default_cost_ms;
+                jstate;
+              }
+            in
+            let rehydrate outcome =
+              incr nsettled;
+              let r = jrec (Finished outcome) in
+              Hashtbl.replace t.jobs id r;
+              match outcome with
+              | Done _ -> t.done_count <- t.done_count + 1
+              | Failed _ -> t.failed_count <- t.failed_count + 1
+              | Cancelled -> t.cancelled_count <- t.cancelled_count + 1
+              | Expired _ -> t.expired_count <- t.expired_count + 1
+            in
+            let requeue () =
+              incr nrequeued;
+              let r = jrec Queued in
+              Hashtbl.replace t.jobs id r;
+              Queue.push r (queue_for t priority);
+              t.queued_count <- t.queued_count + 1;
+              let ci = class_index priority in
+              t.queued_by.(ci) <- t.queued_by.(ci) + 1;
+              pending :=
+                Journal.Submit
+                  {
+                    sid = id;
+                    sjob;
+                    sdigest;
+                    strace;
+                    spriority;
+                    sdeadline_ms;
+                    scost_ms;
+                  }
+                :: !pending;
+              Telemetry.Events.emit ~trace_id:strace "job.recovered"
+                ~attrs:[ ("id", Telemetry.Int id) ]
+            in
+            (match Hashtbl.find_opt settled sid with
+            | Some "done" -> (
+              match cache_lookup t sdigest with
+              | Some result ->
+                rehydrate (Done { cached = true; wall_ms = 0.; result })
+              | None ->
+                (* completed before the crash but the cache no longer has
+                   the result: run it again (determinism: same bytes) *)
+                requeue ())
+            | Some "failed" ->
+              rehydrate
+                (Failed
+                   (Core.Diag.error ~stage
+                      ~context:[ ("digest", sdigest) ]
+                      "failed before restart (journal settle record)"))
+            | Some "cancelled" -> rehydrate Cancelled
+            | Some "expired" -> rehydrate (Expired { late_ms = 0. })
+            | Some _ | None -> requeue ()))
+        entries;
+      let rewrite_result = Journal.rewrite path (List.rev !pending) in
+      t.jnl_compactions <- t.jnl_compactions + 1;
+      (match Journal.open_append path with
+      | Ok j -> t.jnl <- Some j
+      | Error _ -> Telemetry.counter_add "service.journal_errors" 1);
+      t.jnl_settled <- t.jnl_settled + !nsettled;
+      t.jnl_requeued <- t.jnl_requeued + !nrequeued;
+      t.jnl_truncated <- t.jnl_truncated || truncated;
+      Telemetry.counter_add "service.journal_recovered" !nsettled;
+      Telemetry.counter_add "service.journal_requeued" !nrequeued;
+      Telemetry.Events.emit "journal.recovered"
+        ~attrs:
+          [
+            ("settled", Telemetry.Int !nsettled);
+            ("requeued", Telemetry.Int !nrequeued);
+            ("truncated", Telemetry.Bool truncated);
+          ];
+      (match rewrite_result with
+      | Error d -> Error d
+      | Ok () ->
+        Ok
+          {
+            rec_settled = !nsettled;
+            rec_requeued = !nrequeued;
+            rec_truncated = truncated;
+          }))
+
+type journal_info = {
+  ji_path : string;
+  ji_healthy : bool;
+  ji_appends : int;
+  ji_settled : int;
+  ji_requeued : int;
+  ji_truncated : bool;
+  ji_compactions : int;
+}
+
+let journal_info t =
+  match t.config.journal with
+  | None -> None
+  | Some path ->
+    Some
+      {
+        ji_path = path;
+        ji_healthy = (match t.jnl with Some j -> Journal.healthy j | None -> false);
+        ji_appends = (match t.jnl with Some j -> Journal.appends j | None -> 0);
+        ji_settled = t.jnl_settled;
+        ji_requeued = t.jnl_requeued;
+        ji_truncated = t.jnl_truncated;
+        ji_compactions = t.jnl_compactions;
+      }
+
+(* ------------------------------------------------------------------ *)
 (* Thread-safe facade.
 
    Everything above runs unlocked; the wrappers below shadow the entry
@@ -488,6 +850,15 @@ let cancel t id = with_lock t (fun () -> cancel t id)
 let state t id = with_lock t (fun () -> state t id)
 let run_next t = with_lock t (fun () -> run_next t)
 let now_ms t = with_lock t (fun () -> now_ms t)
+let next_dispatch t = with_lock t (fun () -> next_dispatch t)
+
+let complete_dispatch t id ?wall_ms result =
+  with_lock t (fun () -> complete_dispatch t id ?wall_ms result)
+
+let requeue_dispatch t id = with_lock t (fun () -> requeue_dispatch t id)
+let dispatched_count t = with_lock t (fun () -> dispatched_count t)
+let recover t = with_lock t (fun () -> recover t)
+let journal_info t = with_lock t (fun () -> journal_info t)
 
 let trace_id t id =
   with_lock t (fun () ->

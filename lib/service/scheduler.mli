@@ -77,10 +77,15 @@ type config = {
   clock : clock_mode;
   default_cost_ms : float;
       (** virtual-clock advance for a job without an explicit cost *)
+  journal : string option;
+      (** write-ahead journal path (see {!Journal}); every accepted
+          submission and every settlement is fsync'd to it, and
+          {!recover} replays it after a restart *)
 }
 
 val default_config : config
-(** 1 domain, capacity 64, no persistence, wall clock, 1 ms cost. *)
+(** 1 domain, capacity 64, no persistence, wall clock, 1 ms cost, no
+    journal. *)
 
 type terminal =
   | Done of { cached : bool; wall_ms : float; result : Json.t }
@@ -182,6 +187,85 @@ val uptime_ms : t -> float
 
 val now_ms : t -> float
 (** Current clock reading (virtual or wall), for tests and servers. *)
+
+(** {1 Out-of-process dispatch}
+
+    The worker-sharding server ({!Workers}) pops jobs with
+    {!next_dispatch} instead of {!run_next}, ships them to child
+    processes, and settles them with {!complete_dispatch} — or returns
+    them to the queue with {!requeue_dispatch} when a child dies
+    mid-job.  Dequeue policy, deadline expiry, the digest cache and the
+    journal behave exactly as for in-process execution. *)
+
+type dispatch =
+  | Run of {
+      disp_id : int;
+      disp_job : Job.t;
+      disp_digest : string;
+      disp_trace : string;
+    }  (** run this job elsewhere, then call {!complete_dispatch} *)
+  | Resolved of completion
+      (** settled at dequeue: a cache hit or a blown deadline *)
+
+val next_dispatch : t -> dispatch option
+(** Pop the next runnable job without executing it.  A cache hit or an
+    expired deadline completes immediately ([Resolved]); otherwise the
+    job is marked [Running], counted as in-dispatch, and returned as
+    [Run].  [None] when the queue is empty. *)
+
+val complete_dispatch :
+  t -> int -> ?wall_ms:float -> (Json.t, Core.Diag.t) result ->
+  completion option
+(** Settle a dispatched job with the result its worker produced: [Ok]
+    stores the result in the digest cache and completes the job as
+    [Done { cached = false }]; [Error] completes it as [Failed].  [None]
+    if the id is not currently dispatched (e.g. already requeued). *)
+
+val requeue_dispatch : t -> int -> unit
+(** Return a dispatched job to the back of its priority FIFO (worker
+    death).  The journal still holds its unsettled [Submit] record, so
+    the job also survives a parent crash while requeued.  No-op for ids
+    not currently dispatched. *)
+
+val dispatched_count : t -> int
+(** Jobs handed out by {!next_dispatch} and not yet settled or
+    requeued. *)
+
+(** {1 Crash recovery} *)
+
+type recovery = {
+  rec_settled : int;
+      (** journaled submissions with a matching settle record,
+          rehydrated into the ledger *)
+  rec_requeued : int;
+      (** submissions re-enqueued (unsettled, or settled-done whose
+          result the cache no longer holds) *)
+  rec_truncated : bool;  (** a torn trailing record was discarded *)
+}
+
+val recover : t -> (recovery, Core.Diag.t) result
+(** Replay the configured journal against the persisted digest cache:
+    settled submissions rehydrate the ledger counters (done/failed/
+    cancelled/expired) as finished records under fresh ids; unsettled
+    ones re-enqueue in original order with their original priority,
+    trace id, deadline and cost.  Ends with a compaction — the journal
+    is atomically rewritten to exactly the still-pending submissions.
+    Call once, after {!create} and before submitting; without a
+    configured journal it is a no-op returning zeros. *)
+
+type journal_info = {
+  ji_path : string;
+  ji_healthy : bool;  (** false once an append failed and disabled it *)
+  ji_appends : int;  (** records fsync'd since the journal was opened *)
+  ji_settled : int;  (** from {!recover} *)
+  ji_requeued : int;  (** from {!recover} *)
+  ji_truncated : bool;  (** from {!recover} *)
+  ji_compactions : int;
+}
+
+val journal_info : t -> journal_info option
+(** Journal state for the stats/health surfaces; [None] when no journal
+    is configured. *)
 
 (** {1 Deterministic replay} *)
 

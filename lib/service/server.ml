@@ -156,8 +156,25 @@ let handle_cancel sched obj =
             ];
         ])
 
+(* journal members appear in stats/health only when a journal is
+   configured, so journal-less servers keep their exact reply shape *)
+let journal_extra sched =
+  match Scheduler.journal_info sched with
+  | None -> []
+  | Some ji ->
+    [
+      ("journal_path", Json.Str ji.Scheduler.ji_path);
+      ("journal_healthy", Json.Bool ji.Scheduler.ji_healthy);
+      ("journal_appends", Json.int ji.Scheduler.ji_appends);
+      ("journal_recovered_settled", Json.int ji.Scheduler.ji_settled);
+      ("journal_recovered_requeued", Json.int ji.Scheduler.ji_requeued);
+      ("journal_truncated", Json.Bool ji.Scheduler.ji_truncated);
+      ("journal_compactions", Json.int ji.Scheduler.ji_compactions);
+    ]
+
 let stats_event ?(extra = []) sched =
   let s = Scheduler.stats sched in
+  let extra = journal_extra sched @ extra in
   Json.Obj
     ([
        ("ok", Json.Bool true);
@@ -179,6 +196,7 @@ let stats_event ?(extra = []) sched =
 
 let health_event ?(in_flight = 0) ?(extra = []) sched =
   let s = Scheduler.stats sched in
+  let extra = journal_extra sched @ extra in
   Json.Obj
     ([
        ("ok", Json.Bool true);
@@ -206,25 +224,33 @@ let metrics_event () =
       ("body", Json.Str (Telemetry.Prometheus.render (Telemetry.collect ())));
     ]
 
-let handle_drain ?on_event sched =
+let handle_drain ?on_event ?workers sched =
   let events = ref [] in
   let emit e =
     match on_event with Some f -> f e | None -> events := e :: !events
   in
-  let completions =
-    Scheduler.drain sched ~on_completion:(fun c ->
-        emit (event_of_completion c))
+  let jobs = ref 0 in
+  let on_completion c =
+    incr jobs;
+    emit (event_of_completion c)
   in
+  (match workers with
+  | Some w -> Workers.drain w sched ~route:on_completion
+  | None -> ignore (Scheduler.drain sched ~on_completion));
   emit
     (Json.Obj
        [
          ("ok", Json.Bool true);
          ("event", Json.Str "drained");
-         ("jobs", Json.int (List.length completions));
+         ("jobs", Json.int !jobs);
        ]);
   List.rev !events
 
-let handle ?on_event sched line =
+let workers_extra = function
+  | Some w -> Workers.stats_json w
+  | None -> []
+
+let handle ?on_event ?workers sched line =
   if String.trim line = "" then []
   else
     match Json.of_string line with
@@ -235,13 +261,13 @@ let handle ?on_event sched line =
       | Some "submit" -> handle_submit sched req
       | Some "status" -> handle_status sched req
       | Some "cancel" -> handle_cancel sched req
-      | Some "stats" -> [ stats_event sched ]
-      | Some "health" -> [ health_event sched ]
+      | Some "stats" -> [ stats_event ~extra:(workers_extra workers) sched ]
+      | Some "health" -> [ health_event ~extra:(workers_extra workers) sched ]
       | Some "metrics" -> [ metrics_event () ]
-      | Some "drain" -> handle_drain ?on_event sched
+      | Some "drain" -> handle_drain ?on_event ?workers sched
       | Some op -> [ error_event (protocol_error "unknown op %S" op) ])
 
-let serve ?on_tick sched ic oc =
+let serve ?on_tick ?workers sched ic oc =
   let tick () = match on_tick with Some f -> f () | None -> () in
   let emit e =
     output_string oc (Json.to_string e);
@@ -253,12 +279,22 @@ let serve ?on_tick sched ic oc =
     | exception End_of_file ->
       (* implicit drain: run what's queued, stream the done events, stop
          (no trailing "drained" marker — the stream just ends cleanly) *)
-      ignore
-        (Scheduler.drain sched ~on_completion:(fun c ->
-             emit (event_of_completion c)));
+      let on_completion c = emit (event_of_completion c) in
+      (try
+         match workers with
+         | Some w -> Workers.drain w sched ~route:on_completion
+         | None -> ignore (Scheduler.drain sched ~on_completion)
+       with Sys_error _ -> ());
+      tick ()
+    | exception Sys_error _ ->
+      (* the peer reset the connection — e.g. a worker-pool parent
+         closing the socketpair with our final [drained] reply still
+         unread turns the close into a RST.  The peer is gone, so there
+         is nobody to drain for and writes would fail too: stop quietly
+         instead of dying on an "uncaught exception". *)
       tick ()
     | line ->
-      List.iter emit (handle ~on_event:emit sched line);
+      List.iter emit (handle ~on_event:emit ?workers sched line);
       tick ();
       loop ()
   in
@@ -302,7 +338,7 @@ type conn = {
 }
 
 let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1)
-    ?rate_limit ?queue_high_water ?on_tick sched ~path =
+    ?rate_limit ?queue_high_water ?on_tick ?workers sched ~path =
   if max_conns < 1 then
     invalid_arg "Server.serve_socket: max_conns must be >= 1";
   if connections < 1 then
@@ -409,6 +445,8 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1)
           enqueue c (event_of_completion comp)
       in
       let pump_one () =
+        (* in-process execution; with a worker pool, jobs go out through
+           Workers.dispatch instead and this is never called *)
         match Scheduler.run_next sched with
         | None -> ()
         | Some comp -> route comp
@@ -425,6 +463,7 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1)
           ("rejected_rate_limited", Json.int !rejected_rate);
           ("rejected_high_water", Json.int !rejected_queue);
         ]
+        @ workers_extra workers
       in
       let health_extra () =
         let now = now_ms () in
@@ -554,17 +593,23 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1)
                  completion to its owner; the requester is then told how
                  many of its own jobs completed in this drain *)
               let mine = ref 0 in
-              let rec go () =
-                match Scheduler.run_next sched with
-                | None -> ()
-                | Some comp ->
-                  (match Hashtbl.find_opt owners comp.Scheduler.id with
-                  | Some oc when oc == c -> incr mine
-                  | _ -> ());
-                  route comp;
-                  go ()
+              let route' comp =
+                (match Hashtbl.find_opt owners comp.Scheduler.id with
+                | Some oc when oc == c -> incr mine
+                | _ -> ());
+                route comp
               in
-              go ();
+              (match workers with
+              | Some w -> Workers.drain w sched ~route:route'
+              | None ->
+                let rec go () =
+                  match Scheduler.run_next sched with
+                  | None -> ()
+                  | Some comp ->
+                    route' comp;
+                    go ()
+                in
+                go ());
               enqueue c
                 (Json.Obj
                    [
@@ -703,11 +748,13 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1)
           !conns;
         conns := List.filter (fun c -> not c.dead) !conns;
         gauge_active ();
-        if !accepted >= connections && !conns = [] then
+        if !accepted >= connections && !conns = [] then (
           (* graceful shutdown: finish whatever is still queued so the
              cache and the stats stay coherent; the owners are gone, so
              the events have nowhere to go *)
-          ignore (Scheduler.drain sched)
+          match workers with
+          | Some w -> Workers.drain w sched ~route
+          | None -> ignore (Scheduler.drain sched))
         else begin
           let queued = (Scheduler.stats sched).Scheduler.queued > 0 in
           let want_accept =
@@ -720,13 +767,20 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1)
                   if c.eof || c.out_bytes > out_pause_bytes then None
                   else Some c.fd)
                 !conns
+            @ (match workers with Some w -> Workers.fds w | None -> [])
           in
           let wfds =
             List.filter_map
               (fun c -> if Queue.is_empty c.outq then None else Some c.fd)
               !conns
           in
-          let timeout = if queued then 0. else 0.25 in
+          (* runnable work pending: poll; otherwise block — a worker's
+             reply fd waking the select is what resumes dispatch *)
+          let runnable =
+            queued
+            && (match workers with Some w -> Workers.has_idle w | None -> true)
+          in
+          let timeout = if runnable then 0. else 0.25 in
           let r, w, _ =
             try Unix.select rfds wfds [] timeout
             with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
@@ -734,8 +788,13 @@ let serve_socket ?(max_conns = 8) ?idle_timeout_ms ?(connections = 1)
           if List.mem sock r then accept_ready ();
           List.iter (fun c -> if (not c.dead) && List.mem c.fd r then read_conn c) !conns;
           List.iter (fun c -> if (not c.dead) && List.mem c.fd w then write_conn c) !conns;
-          (* one job per tick keeps the loop responsive under load *)
-          if queued then pump_one ();
+          (match workers with
+          | Some wk ->
+            (* replies, deaths, respawns, then refill the idle workers *)
+            Workers.service wk sched ~route ~ready:r
+          | None ->
+            (* one job per tick keeps the loop responsive under load *)
+            if queued then pump_one ());
           (match on_tick with Some f -> f () | None -> ());
           loop ()
         end

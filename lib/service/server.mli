@@ -32,7 +32,13 @@
       / [queued_low]) and [cache_hits]; the socket server appends its
       connection counters ([conns_active], [conns_accepted],
       [conn_errors], [conns_idle_closed], [conns_dropped],
-      [rejected_rate_limited], [rejected_high_water]);
+      [rejected_rate_limited], [rejected_high_water]); with a journal
+      configured the reply also carries [journal_path], [journal_healthy],
+      [journal_appends], [journal_recovered_settled],
+      [journal_recovered_requeued], [journal_truncated] and
+      [journal_compactions], and with a worker pool it carries
+      [workers_active], [worker_restarts], [workers_in_flight] and a
+      per-worker [workers] array;
     - [health] answers [{"ok":true,"event":"health","status":"ok",
       "uptime_ms":x,"queued":N,...,"in_flight":N,...}] — the liveness
       probe; the socket server appends its connection counters and a
@@ -86,20 +92,26 @@ val metrics_event : unit -> Json.t
     [Telemetry.collect ()] wrapped in one JSON document. *)
 
 val handle :
-  ?on_event:(Json.t -> unit) -> Scheduler.t -> string -> Json.t list
+  ?on_event:(Json.t -> unit) -> ?workers:Workers.t ->
+  Scheduler.t -> string -> Json.t list
 (** Process one request line, returning the response documents it
     produces (several for [drain]).  When [on_event] is given, [drain]'s
     per-completion events go through it {e as they happen} instead of
-    being collected — what lets {!serve} stream.  Exposed for tests;
-    {!serve} is this in a read-print loop. *)
+    being collected — what lets {!serve} stream.  With [workers], [drain]
+    runs on the pool ({!Workers.drain}) and stats/health replies carry
+    the pool members.  Exposed for tests; {!serve} is this in a
+    read-print loop. *)
 
 val serve :
-  ?on_tick:(unit -> unit) -> Scheduler.t -> in_channel -> out_channel -> unit
+  ?on_tick:(unit -> unit) -> ?workers:Workers.t ->
+  Scheduler.t -> in_channel -> out_channel -> unit
 (** Serve NDJSON until end-of-input, then drain the queue (streaming the
     final ["done"] events) and return.  Each response line is flushed
     before the next request is read.  [on_tick] fires after each handled
     request line and once after the final drain — the CLI hangs its
-    periodic metrics dump on it. *)
+    periodic metrics dump on it.  With [workers], queued jobs execute on
+    the pool instead of in-process; the caller owns the pool's lifecycle
+    ({!Workers.shutdown} after this returns). *)
 
 type serve_stats = {
   accepted : int;  (** connections accepted over the server's lifetime *)
@@ -119,6 +131,7 @@ val serve_socket :
   ?rate_limit:float ->
   ?queue_high_water:int ->
   ?on_tick:(unit -> unit) ->
+  ?workers:Workers.t ->
   Scheduler.t ->
   path:string ->
   serve_stats
@@ -165,4 +178,9 @@ val serve_socket :
       event-log entry per refusal);
     - {b graceful shutdown}: once [connections] clients have been served
       and disconnected, any still-queued jobs run to completion (cache
-      and stats stay coherent) before the socket is unlinked. *)
+      and stats stay coherent) before the socket is unlinked;
+    - {b sharding}: with [workers], jobs run on the child-process pool —
+      the worker fds join the [select] set, replies settle jobs between
+      I/O rounds, and completions still route to the submitting
+      connection.  The caller owns the pool ({!Workers.shutdown} after
+      this returns). *)

@@ -132,6 +132,55 @@ let adaptive_equals_exhaustive () =
     (List.length a.E.evaluated <= List.length x.E.evaluated);
   checkb "front non-empty" true (a.E.front <> [])
 
+(* The §5i vulnerable-style near-tie caveat, pinned.  On this space and
+   seed the misposition MC produces a near-tied yield, and with no noise
+   margin the greedy cross-refinement stops one cell short of a true
+   front point — the adaptive front diverges from the exhaustive one.
+   The default margin band (walk seeds + certainty prune) restores
+   equality; the margin = 0 assertion keeps the reproduction alive. *)
+let vulnerable_margin_config =
+  {
+    (E.default ~cell:"NAND2") with
+    E.style = Layout.Cell.Vulnerable;
+    E.space =
+      {
+        K.pitches_nm = [| 4.; 5.; 6. |];
+        K.p_metallic = [| 0.05; 0.15; 0.33 |];
+        K.removal_eff = [| 0.9; 0.99 |];
+        K.drives = [| 1 |];
+        K.schemes = [| Layout.Cell.Scheme1 |];
+      };
+    E.max_trials = 120;
+    E.min_trials = 24;
+    E.batch = 24;
+    E.seed = 6;
+  }
+
+let vulnerable_margin_restores_equality () =
+  let run adaptive margin =
+    Core.Diag.ok_exn (E.run { vulnerable_margin_config with E.adaptive; margin })
+  in
+  let x = run false 0.04 in
+  let without_margin = run true 0. in
+  let with_margin = run true 0.04 in
+  checkb "margin 0 reproduces the near-tie divergence" true
+    (front_key without_margin <> front_key x);
+  checkb "default margin makes adaptive equal exhaustive" true
+    (front_key with_margin = front_key x);
+  checkb "margin walk still evaluates less than exhaustive" true
+    (List.length with_margin.E.evaluated < List.length x.E.evaluated)
+
+let margin_validation () =
+  let reject what cfg =
+    match E.validate cfg with
+    | Ok () -> Alcotest.failf "%s should be rejected" what
+    | Error _ -> ()
+  in
+  reject "negative margin" { small_config with E.margin = -0.01 };
+  reject "nan margin" { small_config with E.margin = Float.nan };
+  checkb "zero margin is legal" true
+    (Result.is_ok (E.validate { small_config with E.margin = 0. }))
+
 let domain_invariance () =
   let run domains =
     Core.Diag.ok_exn (E.run ~domains small_config)
@@ -239,6 +288,9 @@ let suite =
     Alcotest.test_case "ordinal addressing roundtrip" `Quick ordinal_roundtrip;
     Alcotest.test_case "adaptive front equals exhaustive" `Slow
       adaptive_equals_exhaustive;
+    Alcotest.test_case "vulnerable near-tie needs the margin band" `Slow
+      vulnerable_margin_restores_equality;
+    Alcotest.test_case "margin validation" `Quick margin_validation;
     Alcotest.test_case "bit-identical across domains" `Slow domain_invariance;
     Alcotest.test_case "wilson interval" `Quick wilson_interval;
     Alcotest.test_case "characterize sampler seam" `Quick

@@ -149,5 +149,6 @@ let () =
       ("testgen", Test_testgen.suite);
       ("dse", Test_dse.suite);
       ("service", Test_service.suite);
+      ("recovery", Test_recovery.suite);
       ("integration", suite);
     ]
